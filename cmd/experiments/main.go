@@ -1,0 +1,137 @@
+// Command experiments regenerates the paper's evaluation artifacts on the
+// simulated cluster and prints paper-style reports:
+//
+//	experiments fig3            quantified I/O performance impact factors
+//	experiments fig5            per-iteration throughput with the anomaly
+//	experiments fig6            IO500 boundary test cases, broken node
+//	experiments cycle           Example I: new knowledge generation
+//	experiments predict         outlook: linear-regression prediction
+//	experiments bboxmap         bounding-box expectation mapping
+//	experiments mix             workload-mix derivation
+//	experiments all             everything above in order
+//
+// A global --seed flag makes every experiment reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 7, "experiment seed")
+	runs := fs.Int("runs", 8, "IO500 repetitions for fig6")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: experiments [--seed N] [--runs N] {fig3|fig5|fig6|cycle|predict|bboxmap|causes|tune|mix|all}")
+	}
+	what := fs.Arg(0)
+	steps := map[string]func() error{
+		"fig3": func() error {
+			factors, err := experiments.Fig3(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.Fig3Report(factors))
+			return nil
+		},
+		"fig5": func() error {
+			r, err := experiments.Fig5(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
+		"fig6": func() error {
+			r, err := experiments.Fig6(*runs, *seed, 0.35)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
+		"cycle": func() error {
+			r, err := experiments.CycleExample(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
+		"predict": func() error {
+			r, err := experiments.Prediction(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
+		"bboxmap": func() error {
+			box, placement, err := experiments.BoundingBoxMapping(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Bounding box: write [%.3f, %.3f] GiB/s, read [%.3f, %.3f] GiB/s\n",
+				box.WriteLow, box.WriteHigh, box.ReadLow, box.ReadHigh)
+			fmt.Printf("Application placement: %s\n", placement)
+			return nil
+		},
+		"causes": func() error {
+			r, err := experiments.CauseCorrelation(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
+		"tune": func() error {
+			r, err := experiments.Autotune(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
+		"mix": func() error {
+			mix, err := experiments.WorkloadMix(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Workload mix: write fraction %.2f, mean transfer %d bytes, %d command(s)\n",
+				mix.WriteFraction, mix.MeanTransfer, len(mix.Commands))
+			for _, c := range mix.Commands {
+				fmt.Printf("  %s\n", c)
+			}
+			return nil
+		},
+	}
+	if what == "all" {
+		for _, name := range []string{"fig3", "fig5", "fig6", "cycle", "predict", "bboxmap", "causes", "tune", "mix"} {
+			fmt.Printf("==== %s ====\n", name)
+			if err := steps[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	step, ok := steps[what]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return step()
+}

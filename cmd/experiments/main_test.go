@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 1<<20)
+	n, _ := r.Read(data)
+	r.Close()
+	return string(data[:n]), runErr
+}
+
+func TestEachExperiment(t *testing.T) {
+	wants := map[string]string{
+		"fig3":    "impact factors",
+		"fig5":    "paper: 2850",
+		"fig6":    "boundary test cases",
+		"cycle":   "new knowledge generation",
+		"predict": "linear-regression",
+		"bboxmap": "Bounding box:",
+		"tune":    "SCTuner + H5Tuner",
+		"mix":     "Workload mix:",
+	}
+	for name, want := range wants {
+		out, err := capture(t, func() error { return run([]string{"--runs", "4", name}) })
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q:\n%s", name, want, out)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"--runs", "3", "all"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"==== fig3 ====", "==== fig5 ====", "==== fig6 ====", "==== mix ===="} {
+		if !strings.Contains(out, section) {
+			t.Errorf("all output missing %q", section)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{nil, {"nope"}, {"fig5", "extra"}} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

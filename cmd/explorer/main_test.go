@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestSeedDemo(t *testing.T) {
+	store, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := seedDemo(store); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := store.ListObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Errorf("demo knowledge objects = %d, want 2", len(objs))
+	}
+	io5, err := store.ListIO500()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(io5) != 5 {
+		t.Errorf("demo io500 runs = %d, want 5", len(io5))
+	}
+	// The anomalous demo run is detectable.
+	o, err := store.LoadObject(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := o.SummaryFor("write")
+	if w.MinMiBps > w.MeanMiBps*0.7 {
+		t.Errorf("demo anomaly missing: min %.0f vs mean %.0f", w.MinMiBps, w.MeanMiBps)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"--nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

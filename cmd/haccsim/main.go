@@ -1,0 +1,68 @@
+// Command haccsim runs the HACC-IO checkpoint/restart simulator against
+// the modelled FUCHS-CSC cluster.
+//
+//	haccsim [--seed N] [--tasks N] [--tpn N] [--particles N]
+//	        [--api posix|mpiio] [--mode ssf|fpp|fpg] [--group N] [--out PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/haccio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "haccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("haccsim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	tasks := fs.Int("tasks", 40, "MPI ranks")
+	tpn := fs.Int("tpn", 20, "ranks per node")
+	particles := fs.Int("particles", 2_000_000, "particles per rank")
+	api := fs.String("api", "mpiio", "posix or mpiio")
+	mode := fs.String("mode", "ssf", "ssf (single-shared-file), fpp (file-per-process), fpg (file-per-group)")
+	group := fs.Int("group", 20, "ranks per file for fpg")
+	out := fs.String("out", "/scratch/hacc/restart", "output file path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := haccio.Default()
+	cfg.Tasks = *tasks
+	cfg.TasksPerNode = *tpn
+	cfg.ParticlesPerRank = *particles
+	cfg.GroupSize = *group
+	cfg.OutputFile = *out
+	switch strings.ToLower(*api) {
+	case "posix":
+		cfg.API = cluster.POSIX
+	case "mpiio":
+		cfg.API = cluster.MPIIO
+	default:
+		return fmt.Errorf("--api: want posix or mpiio, got %q", *api)
+	}
+	switch strings.ToLower(*mode) {
+	case "ssf":
+		cfg.Mode = haccio.SingleSharedFile
+	case "fpp":
+		cfg.Mode = haccio.FilePerProcess
+	case "fpg":
+		cfg.Mode = haccio.FilePerGroup
+	default:
+		return fmt.Errorf("--mode: want ssf, fpp or fpg, got %q", *mode)
+	}
+	r := &haccio.Runner{Machine: cluster.FuchsCSC(), Seed: *seed}
+	runResult, err := r.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return haccio.WriteOutput(os.Stdout, runResult)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 1<<20)
+	n, _ := r.Read(data)
+	r.Close()
+	return string(data[:n]), runErr
+}
+
+func TestRunDefault(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"--seed", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HACC_IO-1.0", "Checkpoint :", "Restart    :", "single-shared-file"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"ssf", "fpp", "fpg"} {
+		if _, err := capture(t, func() error { return run([]string{"--mode", mode}) }); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	out, err := capture(t, func() error { return run([]string{"--api", "posix", "--mode", "fpp"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "API        : POSIX") || !strings.Contains(out, "file-per-process") {
+		t.Errorf("posix fpp output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"--api", "hdf5"},
+		{"--mode", "weird"},
+		{"--tasks", "x"},
+		{"--particles", "-5"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

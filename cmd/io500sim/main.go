@@ -1,0 +1,71 @@
+// Command io500sim runs the IO500 benchmark simulator against the modelled
+// FUCHS-CSC cluster and prints an IO500 result summary.
+//
+//	io500sim [--seed N] [--tasks N] [--tasks-per-node N]
+//	         [--easy-block SIZE] [--hard-segments N]
+//	         [--easy-files N] [--hard-files N]
+//	         [--break-node ID:READFACTOR]
+//
+// --break-node degrades one node's read path for the whole run,
+// reproducing the paper's Fig. 6 broken-node scenario.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/io500"
+	"repro/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "io500sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("io500sim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	tasks := fs.Int("tasks", 40, "MPI ranks")
+	tpn := fs.Int("tasks-per-node", 20, "ranks per node")
+	easyBlock := fs.String("easy-block", "512m", "ior-easy per-process volume")
+	hardSegs := fs.Int("hard-segments", 6000, "ior-hard segments per process")
+	easyFiles := fs.Int("easy-files", 10000, "mdtest-easy files per process")
+	hardFiles := fs.Int("hard-files", 2000, "mdtest-hard files per process")
+	breakNode := fs.String("break-node", "", "degrade a node's read path, e.g. 1:0.35")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	block, err := units.ParseSize(*easyBlock)
+	if err != nil {
+		return fmt.Errorf("--easy-block: %v", err)
+	}
+	cfg := io500.Default()
+	cfg.Tasks = *tasks
+	cfg.TasksPerNode = *tpn
+	cfg.EasyBlockPerProc = block
+	cfg.HardSegments = *hardSegs
+	cfg.EasyFilesPerProc = *easyFiles
+	cfg.HardFilesPerProc = *hardFiles
+
+	m := cluster.FuchsCSC()
+	if *breakNode != "" {
+		var id int
+		var factor float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*breakNode, ":", " "), "%d %f", &id, &factor); err != nil {
+			return fmt.Errorf("--break-node: want ID:FACTOR, got %q", *breakNode)
+		}
+		m.SetNodeFactor(id, 1, factor)
+	}
+	r := &io500.Runner{Machine: m, Seed: *seed}
+	runResult, err := r.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return io500.WriteOutput(os.Stdout, runResult)
+}

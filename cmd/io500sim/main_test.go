@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 1<<20)
+	n, _ := r.Read(data)
+	r.Close()
+	return string(data[:n]), runErr
+}
+
+func TestRunDefault(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"--seed", "3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IO500 version", "[RESULT]", "ior-easy-write", "[SCORE ] Bandwidth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBrokenNode(t *testing.T) {
+	healthy, err := capture(t, func() error { return run([]string{"--seed", "3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := capture(t, func() error { return run([]string{"--seed", "3", "--break-node", "1:0.35"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := func(out string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "ior-easy-read") {
+				var v float64
+				f := strings.Fields(line)
+				if len(f) >= 3 {
+					if _, err := fmt.Sscanf(f[2], "%f", &v); err == nil {
+						return v
+					}
+				}
+			}
+		}
+		return 0
+	}
+	h, b := ext(healthy), ext(broken)
+	if h == 0 || b == 0 {
+		t.Fatalf("could not extract easy-read: %v / %v", h, b)
+	}
+	if b > h*0.65 {
+		t.Errorf("broken node should depress easy read: %.3f vs %.3f", b, h)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"--easy-block", "zzz"},
+		{"--break-node", "notvalid"},
+		{"--tasks", "x"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,564 @@
+// Command iokc drives the full I/O knowledge cycle from the command line:
+//
+//	iokc generate [--db FILE] [--seed N] {ior ARGS... | io500 | hacc | darshan ARGS...}
+//	iokc jube [--db FILE] [--seed N] --config FILE [--basedir DIR]
+//	iokc extract [--db FILE] [--path FILE_OR_WORKSPACE]
+//	iokc dxt --log FILE [--bins N]
+//	iokc trace [--seed N] [--out FILE] -- IOR ARGS...
+//	iokc list [--db FILE]
+//	iokc show [--db FILE] --id N
+//	iokc analyze [--db FILE] --id N
+//	iokc recommend [--db FILE] --id N
+//	iokc configure [--db FILE] --id N [-t SIZE] [-b SIZE] [-s N] [-i N] [-N N]
+//	iokc causes [--db FILE] --id N --sacct FILE [--exclude-user U]
+//	iokc tune [--tasks N] [--burst SIZE] [--seed N]
+//	iokc serve [--db FILE] [--addr :8080]
+//	iokc servedb [--db FILE] [--addr :7070]
+//
+// Every --db flag also accepts a kdb://host:port connection URL, so any
+// subcommand can work against a shared remote knowledge base served by
+// "iokc servedb" — the paper's local/public database split.
+//
+// Each subcommand is one phase (or one usage) of the cycle; the database
+// file is the shared knowledge base connecting them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/anomaly"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/darshan"
+	"repro/internal/dxt"
+	"repro/internal/explorer"
+	"repro/internal/extract"
+	"repro/internal/haccio"
+	"repro/internal/io500"
+	"repro/internal/ior"
+	"repro/internal/kdb"
+	"repro/internal/recommend"
+	"repro/internal/schema"
+	"repro/internal/sctuner"
+	"repro/internal/siox"
+	"repro/internal/slurm"
+	"repro/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iokc:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = "usage: iokc {generate|jube|extract|dxt|trace|list|show|analyze|recommend|configure|causes|tune|serve|servedb} [flags]"
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "generate":
+		return cmdGenerate(rest)
+	case "jube":
+		return cmdJube(rest)
+	case "extract":
+		return cmdExtract(rest)
+	case "dxt":
+		return cmdDXT(rest)
+	case "trace":
+		return cmdTrace(rest)
+	case "list":
+		return cmdList(rest)
+	case "show":
+		return cmdShow(rest)
+	case "analyze":
+		return cmdAnalyze(rest)
+	case "recommend":
+		return cmdRecommend(rest)
+	case "configure":
+		return cmdConfigure(rest)
+	case "causes":
+		return cmdCauses(rest)
+	case "tune":
+		return cmdTune(rest)
+	case "serve":
+		return cmdServe(rest)
+	case "servedb":
+		return cmdServeDB(rest)
+	}
+	return fmt.Errorf("unknown subcommand %q\n%s", sub, usage)
+}
+
+func openCycle(db string, seed uint64) (*core.Cycle, error) {
+	store, err := schema.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(cluster.FuchsCSC(), seed)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := c.Store.Close(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	c.Store = store
+	return c, nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("generate: which generator? (ior ARGS..., io500, hacc, darshan ARGS...)")
+	}
+	c, err := openCycle(*db, *seed)
+	if err != nil {
+		return err
+	}
+	defer c.Store.Close()
+	var g core.Generator
+	switch fs.Arg(0) {
+	case "ior":
+		cfg, err := ior.ParseArgs(fs.Args()[1:])
+		if err != nil {
+			return err
+		}
+		if cfg.NumTasks <= 0 {
+			cfg.NumTasks = c.Machine.CoresPerNode
+		}
+		g = core.IORGenerator{Config: cfg}
+	case "io500":
+		g = core.IO500Generator{Config: io500.Default()}
+	case "hacc":
+		g = core.HACCGenerator{Config: haccio.Default()}
+	case "darshan":
+		cfg, err := ior.ParseArgs(fs.Args()[1:])
+		if err != nil {
+			return err
+		}
+		if cfg.NumTasks <= 0 {
+			cfg.NumTasks = c.Machine.CoresPerNode
+		}
+		g = core.DarshanGenerator{Config: cfg, JobID: *seed}
+	default:
+		return fmt.Errorf("generate: unknown generator %q", fs.Arg(0))
+	}
+	rep, err := c.Run(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generator %s: %d artifact(s)\n", rep.Generator, rep.Artifacts)
+	for _, id := range rep.ObjectIDs {
+		fmt.Printf("stored knowledge object #%d\n", id)
+	}
+	for _, id := range rep.IO500IDs {
+		fmt.Printf("stored IO500 knowledge #%d\n", id)
+	}
+	return nil
+}
+
+func cmdJube(args []string) error {
+	fs := flag.NewFlagSet("jube", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	config := fs.String("config", "", "JUBE XML configuration file")
+	baseDir := fs.String("basedir", ".", "workspace host directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *config == "" {
+		return fmt.Errorf("jube: --config is required")
+	}
+	data, err := os.ReadFile(*config)
+	if err != nil {
+		return err
+	}
+	c, err := openCycle(*db, *seed)
+	if err != nil {
+		return err
+	}
+	defer c.Store.Close()
+	rep, err := c.Run(core.JUBEGenerator{ConfigXML: string(data), BaseDir: *baseDir})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jube: %d workpackage(s), %d knowledge object(s), %d io500 run(s)\n",
+		rep.Artifacts, len(rep.ObjectIDs), len(rep.IO500IDs))
+	return nil
+}
+
+// cmdExtract implements the paper's stand-alone knowledge extractor: it
+// expects the path of an output as a parameter; if the path is a
+// directory (or omitted, defaulting to the working directory), it
+// automatically searches the JUBE workspace for available benchmark
+// results (§V-B).
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	path := fs.String("path", ".", "output file or JUBE workspace directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := schema.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	reg := extract.NewRegistry()
+	info, err := os.Stat(*path)
+	if err != nil {
+		return err
+	}
+	var extractions []*extract.Extraction
+	if info.IsDir() {
+		extractions, err = reg.ScanWorkspace(*path)
+	} else {
+		var ex *extract.Extraction
+		ex, err = reg.ExtractFile(*path)
+		extractions = []*extract.Extraction{ex}
+	}
+	if err != nil {
+		return err
+	}
+	if len(extractions) == 0 {
+		fmt.Println("no recognizable benchmark outputs found")
+		return nil
+	}
+	for _, ex := range extractions {
+		switch {
+		case ex.Object != nil:
+			id, err := store.SaveObject(ex.Object)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("stored knowledge object #%d (%s)\n", id, ex.Object.Source)
+		case ex.IO500 != nil:
+			id, err := store.SaveIO500(ex.IO500)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("stored IO500 knowledge #%d\n", id)
+		}
+	}
+	return nil
+}
+
+// cmdDXT analyzes a Darshan-style binary log's extended trace segments —
+// the DXT Explorer role.
+func cmdDXT(args []string) error {
+	fs := flag.NewFlagSet("dxt", flag.ContinueOnError)
+	logPath := fs.String("log", "", "Darshan-style binary log")
+	bins := fs.Int("bins", 20, "timeline bins")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("dxt: --log is required")
+	}
+	data, err := os.ReadFile(*logPath)
+	if err != nil {
+		return err
+	}
+	l, err := darshan.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	a, err := dxt.Analyze(l.DXT, *bins)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.Report())
+	return nil
+}
+
+// cmdTrace runs an IOR pattern under SIOX-style multi-level activity
+// capture, optionally stores the compressed trace, and prints the
+// analysis (level breakdown + slowest causal chain).
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	out := fs.String("out", "", "write the compressed trace to this file")
+	ranks := fs.Int("ranks", 2, "ranks to capture")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := ior.ParseArgs(fs.Args())
+	if err != nil {
+		return err
+	}
+	m := cluster.FuchsCSC()
+	if cfg.NumTasks <= 0 {
+		cfg.NumTasks = m.CoresPerNode
+	}
+	runRes, err := (&ior.Runner{Machine: m, Seed: *seed}).Run(cfg)
+	if err != nil {
+		return err
+	}
+	trace, err := siox.CaptureIOR(runRes, *ranks)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := siox.Write(f, trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+	fmt.Print(trace.Report())
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := schema.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	objs, err := store.ListObjects()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d knowledge object(s):\n", len(objs))
+	for _, m := range objs {
+		fmt.Printf("  #%-4d %-8s %s\n", m.ID, m.Source, m.Command)
+	}
+	io5, err := store.ListIO500()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d IO500 run(s):\n", len(io5))
+	for _, m := range io5 {
+		fmt.Printf("  #%-4d %s\n", m.ID, m.Command)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	id := fs.Int64("id", 0, "knowledge object id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := schema.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	o, err := store.LoadObject(*id)
+	if err != nil {
+		return err
+	}
+	return o.EncodeJSON(os.Stdout)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	id := fs.Int64("id", 0, "knowledge object id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := openCycle(*db, 1)
+	if err != nil {
+		return err
+	}
+	defer c.Store.Close()
+	findings, err := c.Analyze(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(anomaly.Report(findings))
+	return nil
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	id := fs.Int64("id", 0, "knowledge object id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := openCycle(*db, 1)
+	if err != nil {
+		return err
+	}
+	defer c.Store.Close()
+	recs, err := c.Recommend(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(recommend.Report(recs))
+	return nil
+}
+
+func cmdConfigure(args []string) error {
+	fs := flag.NewFlagSet("configure", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	id := fs.Int64("id", 0, "knowledge object id")
+	overrides := map[string]*string{
+		"-b": fs.String("b", "", "override block size"),
+		"-t": fs.String("t", "", "override transfer size"),
+		"-s": fs.String("s", "", "override segments"),
+		"-i": fs.String("i", "", "override repetitions"),
+		"-N": fs.String("N", "", "override tasks"),
+		"-o": fs.String("o", "", "override test file"),
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := openCycle(*db, 1)
+	if err != nil {
+		return err
+	}
+	defer c.Store.Close()
+	ov := map[string]string{}
+	for k, v := range overrides {
+		if *v != "" {
+			ov[k] = *v
+		}
+	}
+	cmd, err := c.NewConfiguration(*id, ov)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cmd)
+	return nil
+}
+
+func cmdCauses(args []string) error {
+	fs := flag.NewFlagSet("causes", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	id := fs.Int64("id", 0, "knowledge object id")
+	sacct := fs.String("sacct", "", "sacct --parsable2 accounting file")
+	excludeUser := fs.String("exclude-user", "", "drop this user's jobs from suspects")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sacct == "" {
+		return fmt.Errorf("causes: --sacct is required")
+	}
+	f, err := os.Open(*sacct)
+	if err != nil {
+		return err
+	}
+	jobs, err := slurm.ParseSacct(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	c, err := openCycle(*db, 1)
+	if err != nil {
+		return err
+	}
+	defer c.Store.Close()
+	causes, err := c.CorrelateCauses(*id, jobs, *excludeUser)
+	if err != nil {
+		return err
+	}
+	if len(causes) == 0 {
+		fmt.Println("no anomalies to correlate")
+		return nil
+	}
+	for _, cause := range causes {
+		fmt.Printf("finding: %s\nwindow: %s .. %s\n%s",
+			cause.Finding, cause.From.Format("2006-01-02T15:04:05"), cause.To.Format("2006-01-02T15:04:05"),
+			slurm.Report(cause.Suspects))
+	}
+	return nil
+}
+
+// cmdTune profiles the machine with the SCTuner grid and prints the
+// best-known configuration for the given runtime I/O pattern.
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	tasks := fs.Int("tasks", 80, "runtime pattern: MPI ranks")
+	burst := fs.String("burst", "8m", "runtime pattern: bytes per rank per burst")
+	seed := fs.Uint64("seed", 1, "profiling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	burstBytes, err := units.ParseSize(*burst)
+	if err != nil {
+		return fmt.Errorf("tune: --burst: %v", err)
+	}
+	m := cluster.FuchsCSC()
+	space := sctuner.DefaultSpace()
+	profile, err := sctuner.Build(m, space, 2, *seed)
+	if err != nil {
+		return err
+	}
+	rec, err := profile.Recommend(space.Patterns, sctuner.Pattern{Tasks: *tasks, BurstSize: burstBytes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern class: %s\n", rec.Pattern)
+	fmt.Printf("recommended configuration: %s\n", rec.Config)
+	fmt.Printf("expected gain over worst profiled configuration: %.1fx\n", rec.Gain)
+	return nil
+}
+
+// cmdServeDB exposes a local knowledge database over the kdb wire
+// protocol, making it the shared "public database" of the paper's Fig. 4.
+func cmdServeDB(args []string) error {
+	fs := flag.NewFlagSet("servedb", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database file to serve")
+	addr := fs.String("addr", ":7070", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backing, err := kdb.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer backing.Close()
+	srv := &kdb.Server{DB: backing}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("knowledge database %s served on kdb://%s\n", *db, l.Addr())
+	return srv.Serve(l)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := schema.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	fmt.Printf("knowledge explorer on %s (db %s)\n", *addr, *db)
+	return http.ListenAndServe(*addr, explorer.New(store))
+}

@@ -1,0 +1,75 @@
+// Command iorsim runs the IOR benchmark simulator against the modelled
+// FUCHS-CSC cluster and prints IOR-3.3-format output. It accepts IOR's own
+// command-line options plus simulator flags:
+//
+//	iorsim [--seed N] [--tpn N] -- -a mpiio -b 4m -t 2m -s 40 -N 80 -F -C -e -i 6 -o /scratch/test -k
+//
+// The "--" separator is optional; unknown leading --flags belong to the
+// simulator, everything else is handed to the IOR option parser.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	seed := uint64(1)
+	tpn := 0
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--seed":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--seed needs a value")
+			}
+			v, err := strconv.ParseUint(args[i+1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("--seed: %v", err)
+			}
+			seed = v
+			i++
+		case "--tpn":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--tpn needs a value")
+			}
+			v, err := strconv.Atoi(args[i+1])
+			if err != nil {
+				return fmt.Errorf("--tpn: %v", err)
+			}
+			tpn = v
+			i++
+		case "--":
+			rest = append(rest, args[i+1:]...)
+			i = len(args)
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+	cfg, err := ior.ParseArgs(rest)
+	if err != nil {
+		return err
+	}
+	m := cluster.FuchsCSC()
+	if cfg.NumTasks <= 0 {
+		cfg.NumTasks = m.CoresPerNode
+	}
+	cfg.TasksPerNode = tpn
+	r := &ior.Runner{Machine: m, Seed: seed}
+	runResult, err := r.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return ior.WriteOutput(os.Stdout, runResult)
+}

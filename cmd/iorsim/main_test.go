@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout during fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 1<<20)
+	n, _ := r.Read(data)
+	r.Close()
+	return string(data[:n]), runErr
+}
+
+func TestRunPaperCommand(t *testing.T) {
+	args := []string{"--seed", "7", "--tpn", "20", "--",
+		"-a", "mpiio", "-b", "4m", "-t", "2m", "-s", "40", "-N", "80",
+		"-F", "-C", "-e", "-i", "2", "-o", "/scratch/t", "-k"}
+	out, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IOR-3.3.0", "tasks               : 80", "Max Write:", "Summary of all tests:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDefaultTasks(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-o", "/scratch/x", "-s", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tasks               : 20") {
+		t.Error("default tasks should be one full node")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"--seed"},
+		{"--seed", "abc"},
+		{"--tpn"},
+		{"--tpn", "x"},
+		{"-q"},
+		{"-b", "3m", "-t", "2m"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

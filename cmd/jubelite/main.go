@@ -1,0 +1,64 @@
+// Command jubelite runs a JUBE-style XML benchmark configuration against
+// the modelled cluster, creating a workspace of per-workpackage output
+// directories and printing the configured result tables — the generation
+// phase of the knowledge cycle in stand-alone form.
+//
+//	jubelite [--seed N] [--basedir DIR] config.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/jube"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jubelite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jubelite", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	baseDir := fs.String("basedir", ".", "directory hosting the JUBE workspace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: jubelite [flags] config.xml")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg, err := jube.ParseConfig(f)
+	if err != nil {
+		return err
+	}
+	m := cluster.FuchsCSC()
+	runner := &jube.Runner{BaseDir: *baseDir, Exec: core.Dispatch(m, *seed)}
+	for i := range cfg.Benchmarks {
+		b := &cfg.Benchmarks[i]
+		fmt.Printf("benchmark %q\n", b.Name)
+		res, err := runner.Run(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workspace: %s (%d workpackages)\n", res.RunDir, len(res.Workpackages))
+		for _, tbl := range b.Result.Tables {
+			text, err := res.Table(tbl.Name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\ntable %q:\n%s", tbl.Name, text)
+		}
+	}
+	return nil
+}

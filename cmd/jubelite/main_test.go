@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testConfig = `<jube>
+  <benchmark name="sweep" outpath="bench_runs">
+    <parameterset name="p">
+      <parameter name="transfersize">1m,2m</parameter>
+    </parameterset>
+    <step name="run">
+      <use>p</use>
+      <do>ior -a mpiio -b 4m -t $transfersize -s 4 -N 40 -F -C -i 2 -o /scratch/sweep</do>
+    </step>
+    <analyser name="a">
+      <analyse step="run">
+        <pattern name="max_write" type="float">Max Write: $jube_pat_fp MiB/sec</pattern>
+      </analyse>
+    </analyser>
+    <result>
+      <table name="results">
+        <column>transfersize</column>
+        <column>max_write</column>
+      </table>
+    </result>
+  </benchmark>
+</jube>`
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 1<<20)
+	n, _ := r.Read(data)
+	r.Close()
+	return string(data[:n]), runErr
+}
+
+func TestRunConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "config.xml")
+	if err := os.WriteFile(cfgPath, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"--seed", "5", "--basedir", dir, cfgPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`benchmark "sweep"`, "2 workpackages", `table "results"`, "transfersize", "max_write"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+	// Workspace materialized on disk.
+	files, err := filepath.Glob(filepath.Join(dir, "bench_runs", "000000", "*", "work", "stdout"))
+	if err != nil || len(files) != 2 {
+		t.Errorf("workspace stdout files = %v (%v)", files, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run(nil) }); err == nil {
+		t.Error("no config should fail")
+	}
+	if _, err := capture(t, func() error { return run([]string{"/does/not/exist.xml"}) }); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte("<jube></jube>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return run([]string{bad}) }); err == nil {
+		t.Error("empty benchmark config should fail")
+	}
+}

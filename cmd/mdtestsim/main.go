@@ -1,0 +1,57 @@
+// Command mdtestsim runs the mdtest metadata benchmark simulator against
+// the modelled FUCHS-CSC cluster and prints mdtest-3.x output.
+//
+//	mdtestsim [--seed N] [--tasks N] [--tpn N] [-n FILES] [-u] [-w BYTES]
+//	          [-e BYTES] [-i ITERATIONS] [-d DIR]
+//
+// -u gives every task a unique working directory (mdtest-easy); without
+// it all tasks share one directory (mdtest-hard-style contention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mdtest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdtestsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mdtestsim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	tasks := fs.Int("tasks", 40, "MPI ranks")
+	tpn := fs.Int("tpn", 20, "ranks per node")
+	files := fs.Int("n", 1000, "items per task")
+	unique := fs.Bool("u", false, "unique working directory per task")
+	writeBytes := fs.Int64("w", 0, "bytes written per created file")
+	readBytes := fs.Int64("e", 0, "bytes read back per file")
+	iters := fs.Int("i", 1, "iterations")
+	dir := fs.String("d", "/scratch/mdtest", "working directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := mdtest.Config{
+		NumFiles:     *files,
+		Tasks:        *tasks,
+		TasksPerNode: *tpn,
+		UniqueDir:    *unique,
+		WriteBytes:   *writeBytes,
+		ReadBytes:    *readBytes,
+		Iterations:   *iters,
+		Dir:          *dir,
+	}
+	r := &mdtest.Runner{Machine: cluster.FuchsCSC(), Seed: *seed}
+	runResult, err := r.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return mdtest.WriteOutput(os.Stdout, runResult)
+}

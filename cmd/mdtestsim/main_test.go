@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 1<<20)
+	n, _ := r.Read(data)
+	r.Close()
+	return string(data[:n]), runErr
+}
+
+func TestRunEasy(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"--seed", "2", "-u", "-n", "500"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mdtest-3.3.0 was launched with 40 total task(s) on 2 node(s)",
+		"SUMMARY rate:",
+		"File creation",
+		"-u",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestHardSlowerThanEasy(t *testing.T) {
+	extract := func(out string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "File creation") {
+				f := strings.Fields(line)
+				var v float64
+				if len(f) >= 6 {
+					if _, err := fmt.Sscanf(f[3], "%f", &v); err == nil {
+						return v
+					}
+				}
+			}
+		}
+		return 0
+	}
+	easyOut, err := capture(t, func() error { return run([]string{"--seed", "3", "-u"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardOut, err := capture(t, func() error { return run([]string{"--seed", "3", "-w", "3901"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, hard := extract(easyOut), extract(hardOut)
+	if easy == 0 || hard == 0 {
+		t.Fatalf("could not extract rates: %v / %v", easy, hard)
+	}
+	if hard >= easy {
+		t.Errorf("hard create (%.0f) should be slower than easy (%.0f)", hard, easy)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{{"-n", "0"}, {"--tasks", "-1"}, {"--badflag"}} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Anomaly detection (the paper's Example II, Fig. 5): a benchmark run
+// whose second iteration suffers transient storage-side interference is
+// stored as knowledge; the analysis phase flags the dip, corroborates it
+// with the operation counts and times, and a cross-run baseline comparison
+// shows how populations of knowledge sharpen detection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/anomaly"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+)
+
+func main() {
+	machine := cluster.FuchsCSC()
+	cycle, err := core.New(machine, 2022)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := ior.ParseCommandLine(
+		"ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+
+	// A healthy baseline run first.
+	baselineRep, err := cycle.Run(core.IORGenerator{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Then the faulty run: write-path congestion during iteration 2 only
+	// (a competing burst or RAID rebuild on the storage side).
+	faulty := core.IORGenerator{
+		Config: cfg,
+		BeforeIteration: func(iter int, m *cluster.Machine) {
+			if iter == 1 {
+				m.WriteCongestion = 0.44
+			} else {
+				m.ClearFaults()
+			}
+		},
+	}
+	faultyRep, err := cycle.Run(faulty)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	obj, err := cycle.Store.LoadObject(faultyRep.ObjectIDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-iteration write throughput (MiB/s):")
+	for _, r := range obj.ResultsFor("write") {
+		fmt.Printf("  iteration %d: %8.1f  (%.0f ops/s, %.2f s total)\n",
+			r.Iteration+1, r.BwMiBps, r.OpsPerSec, r.TotalSec)
+	}
+
+	// Within-run detection (the Fig. 5 visualization in numbers).
+	findings, err := anomaly.DetectObject(obj, anomaly.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(anomaly.Report(findings))
+
+	// Cross-run detection against the healthy baseline population.
+	baseline, err := cycle.Store.LoadObject(baselineRep.ObjectIDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, flagged, err := anomaly.CompareAgainstBaseline(
+		obj, "write", baseline.Bandwidths("write"), 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if flagged {
+		fmt.Printf("cross-run check: %s\n", f)
+	} else {
+		fmt.Println("cross-run check: run mean within the baseline envelope")
+	}
+}

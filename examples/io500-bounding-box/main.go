@@ -1,0 +1,93 @@
+// IO500 bounding box (the paper's Fig. 6 and the approach of Liem et al.):
+// repeated IO500 runs — with one broken node degrading the read path —
+// are persisted as IO500 knowledge objects; the boundary test cases are
+// aggregated into boxplots, diagnosed, and an application run is mapped
+// into the resulting expectation box.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bbox"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/io500"
+	"repro/internal/ior"
+	"repro/internal/knowledge"
+)
+
+func main() {
+	cycle, err := core.New(cluster.FuchsCSC(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eight IO500 runs on 40 cores; node 1's read path is broken the whole
+	// time — exactly the hypothesis the paper offers for its bad
+	// ior-easy-read result.
+	var runs []*knowledge.IO500Object
+	for seed := uint64(1); seed <= 8; seed++ {
+		cycle.Seed = seed * 131
+		g := core.IO500Generator{
+			Config: io500.Default(),
+			BeforePhase: func(phase string, m *cluster.Machine) {
+				m.ClearFaults()
+				if phase == io500.IorEasyRead {
+					m.SetNodeFactor(1, 1, 0.35)
+				}
+			},
+		}
+		rep, err := cycle.Run(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := cycle.Store.LoadIO500(rep.IO500IDs[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, o)
+	}
+
+	series, err := bbox.CollectSeries(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags := bbox.DiagnoseSeries(series, 0.05)
+	fmt.Print(bbox.Report(series, diags))
+
+	// Expectation mapping: the box must come from a *healthy* system —
+	// a faulty run yields an inverted box, which FromIO500 rejects.
+	cycle.Seed = 4242
+	healthyRep, err := cycle.Run(core.IO500Generator{Config: io500.Default()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	healthy, err := cycle.Store.LoadIO500(healthyRep.IO500IDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	box, err := bbox.FromIO500(healthy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 3 -o /scratch/app -k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.NumTasks = 40
+	cfg.TasksPerNode = 20
+	rep, err := cycle.Run(core.IORGenerator{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := cycle.Store.LoadObject(rep.ObjectIDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, err := box.Place(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application expectation: %s\n", placement)
+}

@@ -1,0 +1,146 @@
+// Knowledge sharing — the paper's core motivation: "to continuously grow
+// the I/O knowledge base of the HPC community", knowledge must outlive its
+// one-time use and be shared between users. Here a public knowledge
+// database is served over the kdb wire protocol (Fig. 4's global
+// database); user A contributes benchmark knowledge from "their" cluster
+// session, and user B — connecting from a separate cycle — discovers it,
+// compares it with their own run, learns the better configuration from
+// A's knowledge, and applies it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/kdb"
+	"repro/internal/schema"
+	"repro/internal/units"
+)
+
+func main() {
+	// The shared public database, served on an ephemeral port.
+	backing, err := kdb.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backing.Close()
+	srv := &kdb.Server{DB: backing}
+	l, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	url := "kdb://" + l.Addr().String()
+	fmt.Printf("public knowledge database at %s\n\n", url)
+
+	// --- User A: has already discovered a well-tuned configuration and
+	// shares the resulting knowledge.
+	storeA, err := schema.Open(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer storeA.Close()
+	cycleA, err := core.New(cluster.FuchsCSC(), 111)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycleA.Store.Close()
+	cycleA.Store = storeA
+
+	tuned := ior.Default()
+	tuned.API = cluster.MPIIO
+	tuned.TransferSize = 2 * units.MiB
+	tuned.BlockSize = 4 * units.MiB
+	tuned.Segments = 20
+	tuned.Repetitions = 3
+	tuned.NumTasks = 80
+	tuned.TasksPerNode = 20
+	tuned.FilePerProc = true
+	tuned.ReorderTasks = true
+	tuned.TestFile = "/scratch/userA/tuned"
+	repA, err := cycleA.Run(core.IORGenerator{Config: tuned})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bwA, err := storeA.MeanBandwidth(repA.ObjectIDs[0], "write")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user A shares knowledge #%d: %s -> %.0f MiB/s write\n",
+		repA.ObjectIDs[0], tuned.CommandLine(), bwA)
+
+	// --- User B: connects to the same public database with their own
+	// (mistuned) workload.
+	storeB, err := schema.Open(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer storeB.Close()
+	cycleB, err := core.New(cluster.FuchsCSC(), 222)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycleB.Store.Close()
+	cycleB.Store = storeB
+
+	naive := tuned
+	naive.API = cluster.POSIX
+	naive.TransferSize = 64 * units.KiB
+	naive.FilePerProc = false
+	naive.TestFile = "/scratch/userB/naive"
+	repB, err := cycleB.Run(core.IORGenerator{Config: naive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bwB, err := storeB.MeanBandwidth(repB.ObjectIDs[0], "write")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user B's own run:      knowledge #%d -> %.0f MiB/s write\n", repB.ObjectIDs[0], bwB)
+
+	// User B browses the shared base, finds A's faster knowledge for a
+	// comparable workload, and loads A's command.
+	metas, err := storeB.ListObjects()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared knowledge base now holds %d objects from all users\n", len(metas))
+	var bestID int64
+	bestBW := bwB
+	for _, m := range metas {
+		if bw, err := storeB.MeanBandwidth(m.ID, "write"); err == nil && bw > bestBW {
+			bestBW, bestID = bw, m.ID
+		}
+	}
+	if bestID == 0 {
+		fmt.Println("no faster shared knowledge found")
+		return
+	}
+	borrowed, err := storeB.LoadObject(bestID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user B adopts knowledge #%d (%s)\n", bestID, borrowed.Command)
+
+	// Apply the borrowed configuration to user B's file and rerun.
+	adopted, err := ior.ParseCommandLine(borrowed.Command)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adopted.NumTasks = 80
+	adopted.TasksPerNode = 20
+	adopted.TestFile = "/scratch/userB/adopted"
+	repB2, err := cycleB.Run(core.IORGenerator{Config: adopted})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bwB2, err := storeB.MeanBandwidth(repB2.ObjectIDs[0], "write")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user B after adopting shared knowledge: %.0f MiB/s write (%.1fx faster)\n",
+		bwB2, bwB2/bwB)
+}

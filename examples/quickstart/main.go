@@ -1,0 +1,69 @@
+// Quickstart: one full pass through the I/O knowledge cycle — generate
+// knowledge with the IOR simulator on the modelled FUCHS-CSC cluster,
+// extract and persist it, analyze it, and close the loop by deriving a new
+// configuration from the stored knowledge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/anomaly"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+)
+
+func main() {
+	// Phase 0: a machine to experiment on (198 nodes, BeeGFS, IB-FDR).
+	machine := cluster.FuchsCSC()
+
+	// Wire the cycle: extractor registry + in-memory knowledge store.
+	cycle, err := core.New(machine, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase I (generation): the paper's Example-I IOR pattern.
+	cfg, err := ior.ParseCommandLine(
+		"ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+
+	// Phases II+III (extraction, persistence) run inside the cycle.
+	report, err := cycle.Run(core.IORGenerator{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := report.ObjectIDs[0]
+	fmt.Printf("stored knowledge object #%d\n", id)
+
+	// Phase IV (analysis): inspect the stored knowledge.
+	obj, err := cycle.Store.LoadObject(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, _ := obj.SummaryFor("write")
+	r, _ := obj.SummaryFor("read")
+	fmt.Printf("write: mean %.0f MiB/s over %d iterations (min %.0f, max %.0f)\n",
+		w.MeanMiBps, w.Iterations, w.MinMiBps, w.MaxMiBps)
+	fmt.Printf("read:  mean %.0f MiB/s\n", r.MeanMiBps)
+	fmt.Printf("file system: %s, %d stripe targets, chunk %d bytes, metadata node %s\n",
+		obj.FileSystem.Type, obj.FileSystem.NumTargets, obj.FileSystem.ChunkSize, obj.FileSystem.MetadataNode)
+	findings, err := cycle.Analyze(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(anomaly.Report(findings))
+
+	// Phase V (usage): derive a new configuration from the knowledge and
+	// feed it back into generation — the knowledge cycle closes.
+	cmd, err := cycle.NewConfiguration(id, map[string]string{"-t": "4m", "-i": "3"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("next-iteration configuration: %s\n", cmd)
+}

@@ -1,0 +1,96 @@
+// Workload generation (the paper's Example I scaled up): stored knowledge
+// seeds a JUBE parameter sweep — the sweep configuration is *generated*
+// from an existing knowledge object, executed through the JUBE engine with
+// every workpackage routed to the IOR simulator, and each result flows
+// back into the knowledge base, growing it by one sweep per cycle turn.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/workloadgen"
+)
+
+func main() {
+	cycle, err := core.New(cluster.FuchsCSC(), 314)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed knowledge: one paper-style run.
+	cfg, err := ior.ParseCommandLine(
+		"ior -a mpiio -b 4m -t 2m -s 8 -F -C -i 2 -o /scratch/fuchs/zhuz/test80 -k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	rep, err := cycle.Run(core.IORGenerator{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedObj, err := cycle.Store.LoadObject(rep.ObjectIDs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate a JUBE sweep around the stored command.
+	base, err := workloadgen.CommandFromObject(seedObj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep := workloadgen.Sweep{
+		Name: "transfer-task-sweep",
+		Base: base,
+		Parameters: map[string][]string{
+			"-t": {"1m", "2m", "4m"},
+			"-N": {"40", "80"},
+		},
+	}
+	xmlText, err := sweep.JUBEConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated JUBE configuration:")
+	fmt.Println(xmlText)
+
+	// Run the sweep through the cycle: 6 workpackages, 6 new knowledge
+	// objects.
+	workdir, err := os.MkdirTemp("", "iokc-sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workdir)
+	rep2, err := cycle.Run(core.JUBEGenerator{ConfigXML: xmlText, BaseDir: workdir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep stored %d new knowledge objects:\n", len(rep2.ObjectIDs))
+	for _, id := range rep2.ObjectIDs {
+		o, err := cycle.Store.LoadObject(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, _ := o.SummaryFor("write")
+		fmt.Printf("  #%d tasks=%-3s xfer=%-9s -> %7.0f MiB/s write\n",
+			id, o.Pattern["tasks"], o.Pattern["transfersize"], w.MeanMiBps)
+	}
+
+	// Derive a synthetic workload mix from everything learned so far.
+	ids := append(rep.ObjectIDs, rep2.ObjectIDs...)
+	objs, err := cycle.LoadObjects(ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, err := workloadgen.DeriveMix(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived workload mix: %.0f%% writes, mean transfer %d bytes\n",
+		mix.WriteFraction*100, mix.MeanTransfer)
+}

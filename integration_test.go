@@ -1,0 +1,207 @@
+// Grand integration test: one complete turn of the knowledge cycle across
+// every phase and subsystem, against an on-disk knowledge base — the
+// closest thing to the paper's full prototype run.
+package repro
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/explorer"
+	"repro/internal/extract"
+	"repro/internal/io500"
+	"repro/internal/ior"
+	"repro/internal/schema"
+	"repro/internal/workloadgen"
+)
+
+func TestFullKnowledgeCycleIntegration(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "knowledge.db")
+
+	store, err := schema.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := cluster.FuchsCSC()
+	cycle, err := core.New(machine, 2022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cycle.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cycle.Store = store
+
+	// --- Phase I-III via JUBE: a parameter sweep generates, extracts,
+	// and persists four knowledge objects.
+	jubeXML := `<jube>
+  <benchmark name="sweep" outpath="bench_runs">
+    <parameterset name="p">
+      <parameter name="transfersize">1m,2m</parameter>
+      <parameter name="tasks">40,80</parameter>
+    </parameterset>
+    <step name="run">
+      <use>p</use>
+      <do>ior -a mpiio -b 4m -t $transfersize -s 8 -N $tasks -F -C -e -i 4 -o /scratch/sweep$tasks -k</do>
+    </step>
+  </benchmark>
+</jube>`
+	rep, err := cycle.Run(core.JUBEGenerator{ConfigXML: jubeXML, BaseDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ObjectIDs) != 4 {
+		t.Fatalf("sweep stored %d objects, want 4", len(rep.ObjectIDs))
+	}
+
+	// Plus an anomalous run and an IO500 run.
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	anomalous := core.IORGenerator{
+		Config: cfg,
+		BeforeIteration: func(iter int, m *cluster.Machine) {
+			if iter == 1 {
+				m.WriteCongestion = 0.44
+			} else {
+				m.ClearFaults()
+			}
+		},
+	}
+	repAnom, err := cycle.Run(anomalous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomID := repAnom.ObjectIDs[0]
+	repIO5, err := cycle.Run(core.IO500Generator{Config: io500.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The JUBE workspace exists on disk and re-scans into the same
+	// number of extractions (the paper's stand-alone extractor path).
+	found, err := extract.NewRegistry().ScanWorkspace(filepath.Join(dir, "bench_runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 4 {
+		t.Errorf("workspace re-scan found %d outputs, want 4", len(found))
+	}
+
+	// --- Persistence survives a full close/reopen.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := schema.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	cycle.Store = store2
+	objs, err := store2.ListObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 5 {
+		t.Fatalf("reopened store lists %d objects, want 5", len(objs))
+	}
+	io5s, err := store2.ListIO500()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(io5s) != 1 {
+		t.Fatalf("reopened store lists %d io500 runs", len(io5s))
+	}
+
+	// --- Phase IV: the explorer serves every view off the reopened store.
+	srv := explorer.New(store2)
+	get := func(path string) string {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s -> %d", path, rec.Code)
+		}
+		body, _ := io.ReadAll(rec.Result().Body)
+		return string(body)
+	}
+	if body := get("/"); !strings.Contains(body, "Benchmark knowledge objects") {
+		t.Error("index broken")
+	}
+	if body := get("/knowledge?id=1"); !strings.Contains(body, "Throughput per iteration") {
+		t.Error("viewer broken")
+	}
+	if body := get("/compare?op=write&sort=desc"); !strings.Contains(body, "Throughput overview") {
+		t.Error("compare broken")
+	}
+	if body := get("/heatmap?x=transfersize&y=tasks"); !strings.Contains(body, "<svg") {
+		t.Error("heatmap broken")
+	}
+	if body := get("/io500?id=1"); !strings.Contains(body, "Scores") {
+		t.Error("io500 viewer broken")
+	}
+
+	// --- Phase IV/V: anomaly detection finds the injected dip.
+	findings, err := cycle.Analyze(anomID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDip := false
+	for _, f := range findings {
+		if f.Operation == "write" && f.Iteration == 1 && f.Severity == anomaly.Strong {
+			foundDip = true
+		}
+	}
+	if !foundDip {
+		t.Errorf("injected anomaly not found: %+v", findings)
+	}
+
+	// --- Phase V: close the loop — new configuration from stored
+	// knowledge, rerun, knowledge base grows.
+	newCmd, err := cycle.NewConfiguration(anomID, map[string]string{"-i": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := ior.ParseCommandLine(newCmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2.NumTasks = 80
+	cfg2.TasksPerNode = 20
+	rep2, err := cycle.Run(core.IORGenerator{Config: cfg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err = store2.ListObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 6 {
+		t.Errorf("knowledge base did not grow: %d objects", len(objs))
+	}
+
+	// Workload generation from the grown population works.
+	loaded, err := cycle.LoadObjects([]int64{rep.ObjectIDs[0], anomID, rep2.ObjectIDs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workloadgen.DeriveMix(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.WriteFraction <= 0 || len(mix.Commands) == 0 {
+		t.Errorf("mix = %+v", mix)
+	}
+	_ = repIO5
+}

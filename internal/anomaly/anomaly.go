@@ -1,0 +1,241 @@
+// Package anomaly implements the anomaly-detection use case of the
+// knowledge cycle (paper §V-E2): statistical detection of per-iteration
+// performance outliers inside one knowledge object (the Fig. 5 scenario —
+// one write iteration at less than half the average throughput) and
+// cross-checks against supporting metrics so measurement errors can be
+// excluded.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/knowledge"
+	"repro/internal/stats"
+)
+
+// Severity grades how far an anomalous sample deviates.
+type Severity string
+
+// Severity grades.
+const (
+	Mild   Severity = "mild"   // outside the Tukey fences
+	Strong Severity = "strong" // below half / above double the typical value
+)
+
+// Finding is one detected anomaly.
+type Finding struct {
+	Operation string
+	Metric    string
+	Iteration int
+	Value     float64
+	// Typical is the mean of the remaining (non-anomalous) iterations.
+	Typical  float64
+	Ratio    float64 // Value / Typical
+	Severity Severity
+	// Corroborated is true when an independent metric of the same
+	// iteration also deviates, ruling out a bandwidth measurement error
+	// (the paper cross-checks ops, times and latency for this purpose).
+	Corroborated bool
+}
+
+// String renders a one-line report.
+func (f Finding) String() string {
+	c := ""
+	if f.Corroborated {
+		c = ", corroborated"
+	}
+	return fmt.Sprintf("%s %s iteration %d: %.1f vs typical %.1f (ratio %.2f, %s%s)",
+		f.Operation, f.Metric, f.Iteration, f.Value, f.Typical, f.Ratio, f.Severity, c)
+}
+
+// Config tunes detection.
+type Config struct {
+	// IQRFactor is the Tukey fence multiplier (default 1.5).
+	IQRFactor float64
+	// MinIterations below which detection is skipped (default 4: too few
+	// samples make fences meaningless).
+	MinIterations int
+	// MinDeviation is the smallest relative deviation |value/typical - 1|
+	// worth reporting (default 0.10): tight iteration series put the
+	// Tukey fences inside normal system noise, and sub-10% wobbles are
+	// not actionable anomalies.
+	MinDeviation float64
+}
+
+// Default returns the standard detection configuration.
+func Default() Config {
+	return Config{IQRFactor: 1.5, MinIterations: 4, MinDeviation: 0.10}
+}
+
+// DetectObject scans all operations of a knowledge object for bandwidth
+// anomalies, corroborating each finding with the iteration's operation
+// rate and total time.
+func DetectObject(o *knowledge.Object, cfg Config) ([]Finding, error) {
+	if cfg.IQRFactor <= 0 {
+		cfg.IQRFactor = 1.5
+	}
+	if cfg.MinIterations <= 0 {
+		cfg.MinIterations = 4
+	}
+	ops := map[string]bool{}
+	for _, r := range o.Results {
+		ops[r.Operation] = true
+	}
+	var names []string
+	for op := range ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	var findings []Finding
+	for _, op := range names {
+		rs := o.ResultsFor(op)
+		if len(rs) < cfg.MinIterations {
+			continue
+		}
+		bws := make([]float64, len(rs))
+		opsRate := make([]float64, len(rs))
+		totals := make([]float64, len(rs))
+		for i, r := range rs {
+			bws[i] = r.BwMiBps
+			opsRate[i] = r.OpsPerSec
+			totals[i] = r.TotalSec
+		}
+		idx, err := stats.OutliersIQR(bws, cfg.IQRFactor)
+		if err != nil {
+			return nil, err
+		}
+		opsOut := indexSet(stats.MustOutliersIQR(opsRate, cfg.IQRFactor))
+		totOut := indexSet(stats.MustOutliersIQR(totals, cfg.IQRFactor))
+		for _, i := range idx {
+			typical := meanExcluding(bws, i)
+			ratio := 0.0
+			if typical != 0 {
+				ratio = bws[i] / typical
+			}
+			if ratio > 1-cfg.MinDeviation && ratio < 1+cfg.MinDeviation {
+				continue
+			}
+			sev := Mild
+			if ratio < 0.5 || ratio > 2 {
+				sev = Strong
+			}
+			findings = append(findings, Finding{
+				Operation:    op,
+				Metric:       "bandwidth",
+				Iteration:    rs[i].Iteration,
+				Value:        bws[i],
+				Typical:      typical,
+				Ratio:        ratio,
+				Severity:     sev,
+				Corroborated: opsOut[i] || totOut[i],
+			})
+		}
+	}
+	return findings, nil
+}
+
+func indexSet(idx []int) map[int]bool {
+	m := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		m[i] = true
+	}
+	return m
+}
+
+func meanExcluding(xs []float64, skip int) float64 {
+	var sum float64
+	n := 0
+	for i, x := range xs {
+		if i == skip {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CompareAgainstBaseline flags a run whose mean bandwidth for op falls
+// below frac of the baseline population's mean — the cross-run variant of
+// detection used when many knowledge objects of the same pattern exist.
+func CompareAgainstBaseline(o *knowledge.Object, op string, baseline []float64, frac float64) (Finding, bool, error) {
+	if len(baseline) == 0 {
+		return Finding{}, false, fmt.Errorf("anomaly: empty baseline")
+	}
+	if frac <= 0 {
+		frac = 0.6
+	}
+	s, ok := o.SummaryFor(op)
+	if !ok {
+		return Finding{}, false, fmt.Errorf("anomaly: object has no %s summary", op)
+	}
+	base, err := stats.Mean(baseline)
+	if err != nil {
+		return Finding{}, false, err
+	}
+	if s.MeanMiBps >= base*frac {
+		return Finding{}, false, nil
+	}
+	sev := Mild
+	if s.MeanMiBps < base*0.5 {
+		sev = Strong
+	}
+	return Finding{
+		Operation: op,
+		Metric:    "mean bandwidth vs baseline",
+		Iteration: -1,
+		Value:     s.MeanMiBps,
+		Typical:   base,
+		Ratio:     s.MeanMiBps / base,
+		Severity:  sev,
+	}, true, nil
+}
+
+// Window estimates the wall-clock interval of a finding's iteration from
+// the knowledge object's timestamps and per-iteration durations, so the
+// anomaly can be correlated with workload-manager context ("providing
+// context between anomaly and causes"). Write and read phases of earlier
+// iterations are summed in recorded order.
+func Window(o *knowledge.Object, f Finding) (time.Time, time.Time, error) {
+	if o.Began.IsZero() {
+		return time.Time{}, time.Time{}, fmt.Errorf("anomaly: knowledge object has no start time")
+	}
+	if f.Iteration < 0 {
+		return time.Time{}, time.Time{}, fmt.Errorf("anomaly: finding has no iteration")
+	}
+	elapsed := 0.0
+	for _, r := range o.Results {
+		if r.Iteration < f.Iteration {
+			elapsed += r.TotalSec
+			continue
+		}
+		if r.Iteration == f.Iteration {
+			if r.Operation == f.Operation {
+				from := o.Began.Add(time.Duration(elapsed * float64(time.Second)))
+				to := from.Add(time.Duration(r.TotalSec * float64(time.Second)))
+				return from, to, nil
+			}
+			elapsed += r.TotalSec
+		}
+	}
+	return time.Time{}, time.Time{}, fmt.Errorf("anomaly: iteration %d of %s not found in results", f.Iteration, f.Operation)
+}
+
+// Report renders findings as a human-readable block, or a clean bill.
+func Report(findings []Finding) string {
+	if len(findings) == 0 {
+		return "no anomalies detected\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d anomalie(s) detected:\n", len(findings))
+	for _, f := range findings {
+		fmt.Fprintf(&b, "  - %s\n", f)
+	}
+	return b.String()
+}

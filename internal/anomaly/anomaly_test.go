@@ -1,0 +1,206 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/knowledge"
+)
+
+// fig5Object reproduces the paper's Fig. 5 data: write iterations around
+// 2850 MiB/s with iteration 1 (zero-based) at 1251, reads stable.
+func fig5Object() *knowledge.Object {
+	o := &knowledge.Object{
+		Source:  knowledge.SourceIOR,
+		Command: "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k",
+		Pattern: map[string]string{"tasks": "80"},
+	}
+	writes := []float64{2850, 1251, 2840, 2860, 2855, 2845}
+	reads := []float64{3720, 3715, 3725, 3718, 3722, 3719}
+	for i := range writes {
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: "write", Iteration: i, BwMiBps: writes[i],
+			OpsPerSec: writes[i] / 2, TotalSec: 12800 / writes[i],
+		})
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: "read", Iteration: i, BwMiBps: reads[i],
+			OpsPerSec: reads[i] / 2, TotalSec: 12800 / reads[i],
+		})
+	}
+	o.Summaries = []knowledge.Summary{
+		{Operation: "write", MeanMiBps: 2583.5},
+		{Operation: "read", MeanMiBps: 3719.8},
+	}
+	return o
+}
+
+func TestDetectFig5Anomaly(t *testing.T) {
+	findings, err := DetectObject(fig5Object(), Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v, want exactly the write dip", findings)
+	}
+	f := findings[0]
+	if f.Operation != "write" || f.Iteration != 1 {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Severity != Strong {
+		t.Errorf("severity = %s, want strong (1251 is less than half of 2850)", f.Severity)
+	}
+	if !f.Corroborated {
+		t.Error("ops and total time also dipped; finding should be corroborated")
+	}
+	if f.Ratio < 0.40 || f.Ratio > 0.48 {
+		t.Errorf("ratio = %.3f, want ~0.44", f.Ratio)
+	}
+	if !strings.Contains(f.String(), "write bandwidth iteration 1") {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestNoFalsePositivesOnCleanRun(t *testing.T) {
+	o := fig5Object()
+	// Remove the anomaly.
+	for i := range o.Results {
+		if o.Results[i].Operation == "write" && o.Results[i].Iteration == 1 {
+			o.Results[i].BwMiBps = 2848
+			o.Results[i].OpsPerSec = 1424
+			o.Results[i].TotalSec = 4.49
+		}
+	}
+	findings, err := DetectObject(o, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean run produced findings: %+v", findings)
+	}
+}
+
+func TestTooFewIterationsSkipped(t *testing.T) {
+	o := &knowledge.Object{
+		Source: knowledge.SourceIOR, Command: "x",
+		Results: []knowledge.Result{
+			{Operation: "write", Iteration: 0, BwMiBps: 100},
+			{Operation: "write", Iteration: 1, BwMiBps: 1},
+		},
+	}
+	findings, err := DetectObject(o, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("2 iterations should be skipped, got %+v", findings)
+	}
+}
+
+func TestUncorroboratedMeasurementError(t *testing.T) {
+	o := fig5Object()
+	// Bandwidth dips but ops and totals stay normal: likely a bandwidth
+	// measurement error, not corroborated.
+	for i := range o.Results {
+		if o.Results[i].Operation == "write" && o.Results[i].Iteration == 1 {
+			o.Results[i].OpsPerSec = 1425
+			o.Results[i].TotalSec = 4.49
+		}
+	}
+	findings, err := DetectObject(o, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Corroborated {
+		t.Errorf("findings = %+v, want one uncorroborated", findings)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	if _, err := DetectObject(fig5Object(), Config{}); err != nil {
+		t.Errorf("zero config should default, got %v", err)
+	}
+}
+
+func TestCompareAgainstBaseline(t *testing.T) {
+	o := fig5Object()
+	baseline := []float64{4300, 4280, 4310}
+	f, flagged, err := CompareAgainstBaseline(o, "write", baseline, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Fatal("2583 vs baseline ~4300 at 0.8 threshold should flag")
+	}
+	if f.Severity != Mild || f.Ratio > 0.62 || f.Ratio < 0.58 {
+		t.Errorf("finding = %+v", f)
+	}
+	_, flagged, err = CompareAgainstBaseline(o, "read", baseline, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("read 3720 vs 4300 at 0.8 should not flag")
+	}
+	if _, _, err := CompareAgainstBaseline(o, "trim", baseline, 0.8); err == nil {
+		t.Error("missing op should error")
+	}
+	if _, _, err := CompareAgainstBaseline(o, "write", nil, 0.8); err == nil {
+		t.Error("empty baseline should error")
+	}
+}
+
+func TestReport(t *testing.T) {
+	if got := Report(nil); !strings.Contains(got, "no anomalies") {
+		t.Errorf("empty report = %q", got)
+	}
+	findings, _ := DetectObject(fig5Object(), Default())
+	rep := Report(findings)
+	if !strings.Contains(rep, "1 anomalie(s)") || !strings.Contains(rep, "write bandwidth") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	o := fig5Object()
+	o.Began = time.Date(2022, 7, 7, 10, 0, 0, 0, time.UTC)
+	findings, err := DetectObject(o, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	from, to, err := Window(o, findings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 1 (zero-based) starts after write+read of iteration 0.
+	iter0Sec := 12800/2850.0 + 12800/3720.0
+	wantStart := o.Began.Add(time.Duration(iter0Sec * float64(time.Second)))
+	if d := from.Sub(wantStart); d > time.Second || d < -time.Second {
+		t.Errorf("window start = %v, want ~%v", from, wantStart)
+	}
+	// Anomalous write took 12800/1251 ≈ 10.2 s.
+	if d := to.Sub(from); d < 9*time.Second || d > 12*time.Second {
+		t.Errorf("window duration = %v, want ~10.2s", d)
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	o := fig5Object()
+	f := Finding{Operation: "write", Iteration: 1}
+	if _, _, err := Window(o, f); err == nil {
+		t.Error("zero Began should error")
+	}
+	o.Began = time.Date(2022, 7, 7, 10, 0, 0, 0, time.UTC)
+	if _, _, err := Window(o, Finding{Operation: "write", Iteration: -1}); err == nil {
+		t.Error("negative iteration should error")
+	}
+	if _, _, err := Window(o, Finding{Operation: "trim", Iteration: 1}); err == nil {
+		t.Error("unknown operation should error")
+	}
+	if _, _, err := Window(o, Finding{Operation: "write", Iteration: 99}); err == nil {
+		t.Error("out-of-range iteration should error")
+	}
+}

@@ -1,0 +1,212 @@
+// Package bbox implements the IO500-based performance bounding box of
+// Liem et al. that the paper adopts for anomaly detection (§II-B, §V-E2):
+// the four ior boundary test cases (easy/hard × write/read) span the
+// realistic performance envelope of a system; an application run mapped
+// into the box gets a realistic expectation, and a boundary case falling
+// out of its own historical band (e.g. the paper's depressed ior-easy
+// read, attributed to a broken node) flags a system fault.
+package bbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/io500"
+	"repro/internal/knowledge"
+	"repro/internal/stats"
+)
+
+// Box is the performance envelope derived from IO500 boundary test cases,
+// in GiB/s. Hard bounds from below, easy bounds from above; writes and
+// reads form the two dimensions of the original proposal.
+type Box struct {
+	WriteLow  float64 // ior-hard-write
+	WriteHigh float64 // ior-easy-write
+	ReadLow   float64 // ior-hard-read
+	ReadHigh  float64 // ior-easy-read
+}
+
+// FromIO500 builds the box from one IO500 knowledge object.
+func FromIO500(o *knowledge.IO500Object) (Box, error) {
+	get := func(name string) (float64, error) {
+		tc, ok := o.TestCaseFor(name)
+		if !ok {
+			return 0, fmt.Errorf("bbox: io500 object lacks %s", name)
+		}
+		return tc.Value, nil
+	}
+	var b Box
+	var err error
+	if b.WriteHigh, err = get(io500.IorEasyWrite); err != nil {
+		return b, err
+	}
+	if b.WriteLow, err = get(io500.IorHardWrite); err != nil {
+		return b, err
+	}
+	if b.ReadHigh, err = get(io500.IorEasyRead); err != nil {
+		return b, err
+	}
+	if b.ReadLow, err = get(io500.IorHardRead); err != nil {
+		return b, err
+	}
+	if b.WriteLow > b.WriteHigh || b.ReadLow > b.ReadHigh {
+		return b, fmt.Errorf("bbox: inverted box (hard above easy): %+v", b)
+	}
+	return b, nil
+}
+
+// Position classifies a measurement relative to a [low, high] band.
+type Position string
+
+// Band positions.
+const (
+	BelowBox Position = "below box"
+	InBox    Position = "inside box"
+	AboveBox Position = "above box"
+)
+
+// Classify places a bandwidth (GiB/s) in a band.
+func classify(v, low, high float64) Position {
+	switch {
+	case v < low:
+		return BelowBox
+	case v > high:
+		return AboveBox
+	}
+	return InBox
+}
+
+// Placement is the mapping of an application run into the box.
+type Placement struct {
+	WriteGiBps float64
+	ReadGiBps  float64
+	Write      Position
+	Read       Position
+}
+
+// Place maps an application knowledge object (with write/read summaries in
+// MiB/s) into the box.
+func (b Box) Place(o *knowledge.Object) (Placement, error) {
+	w, okW := o.SummaryFor("write")
+	r, okR := o.SummaryFor("read")
+	if !okW && !okR {
+		return Placement{}, fmt.Errorf("bbox: object has neither write nor read summary")
+	}
+	p := Placement{}
+	if okW {
+		p.WriteGiBps = w.MeanMiBps / 1024
+		p.Write = classify(p.WriteGiBps, b.WriteLow, b.WriteHigh)
+	}
+	if okR {
+		p.ReadGiBps = r.MeanMiBps / 1024
+		p.Read = classify(p.ReadGiBps, b.ReadLow, b.ReadHigh)
+	}
+	return p, nil
+}
+
+// String renders the placement.
+func (p Placement) String() string {
+	return fmt.Sprintf("write %.3f GiB/s (%s), read %.3f GiB/s (%s)",
+		p.WriteGiBps, p.Write, p.ReadGiBps, p.Read)
+}
+
+// Series aggregates a boundary test case over repeated IO500 runs —
+// exactly the data behind the paper's Fig. 6 boxplots.
+type Series struct {
+	Phase  string
+	Values []float64 // GiB/s
+	Box    stats.Box
+}
+
+// CollectSeries extracts the four boundary test cases from repeated runs.
+func CollectSeries(runs []*knowledge.IO500Object) ([]Series, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bbox: no io500 runs")
+	}
+	var out []Series
+	for _, phase := range io500.BandwidthPhases {
+		s := Series{Phase: phase}
+		for _, r := range runs {
+			tc, ok := r.TestCaseFor(phase)
+			if !ok {
+				return nil, fmt.Errorf("bbox: run %d lacks %s", r.ID, phase)
+			}
+			s.Values = append(s.Values, tc.Value)
+		}
+		box, err := stats.BoxPlot(s.Values)
+		if err != nil {
+			return nil, err
+		}
+		s.Box = box
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Diagnosis is a suspected fault derived from boundary-series shape.
+type Diagnosis struct {
+	Phase  string
+	Reason string
+}
+
+// DiagnoseSeries applies the paper's Fig. 6 reasoning: reads should be
+// stable and exceed their corresponding writes (cache/aggregation-free
+// streaming reads outrun writes on healthy systems); an easy-read median
+// at or below the easy-write median, or a hard-read median below the
+// hard-write median, points at a read-path fault such as a broken node.
+// Additionally, a read phase with a write-like spread (CV above maxReadCV)
+// is flagged as unexpectedly unstable.
+func DiagnoseSeries(series []Series, maxReadCV float64) []Diagnosis {
+	if maxReadCV <= 0 {
+		maxReadCV = 0.05
+	}
+	byPhase := map[string]Series{}
+	for _, s := range series {
+		byPhase[s.Phase] = s
+	}
+	var out []Diagnosis
+	pairs := []struct{ read, write string }{
+		{io500.IorEasyRead, io500.IorEasyWrite},
+		{io500.IorHardRead, io500.IorHardWrite},
+	}
+	for _, p := range pairs {
+		r, okR := byPhase[p.read]
+		w, okW := byPhase[p.write]
+		if okR && okW && r.Box.Median <= w.Box.Median {
+			out = append(out, Diagnosis{
+				Phase:  p.read,
+				Reason: fmt.Sprintf("median %.3f GiB/s does not exceed %s median %.3f GiB/s; possible broken node or degraded read path", r.Box.Median, p.write, w.Box.Median),
+			})
+		}
+		if okR {
+			if cv, err := stats.CoefficientOfVariation(r.Values); err == nil && cv > maxReadCV {
+				out = append(out, Diagnosis{
+					Phase:  p.read,
+					Reason: fmt.Sprintf("read variability CV %.3f exceeds %.3f; reads should be stable", cv, maxReadCV),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}
+
+// Report renders series statistics and diagnoses as text.
+func Report(series []Series, diags []Diagnosis) string {
+	var b strings.Builder
+	b.WriteString("IO500 boundary test cases (GiB/s):\n")
+	for _, s := range series {
+		b.WriteString(fmt.Sprintf("  %-16s median %8.3f  [Q1 %8.3f, Q3 %8.3f]  whiskers [%8.3f, %8.3f]  outliers %d\n",
+			s.Phase, s.Box.Median, s.Box.Q1, s.Box.Q3, s.Box.Min, s.Box.Max, len(s.Box.Outliers)))
+	}
+	if len(diags) == 0 {
+		b.WriteString("no boundary anomalies detected\n")
+		return b.String()
+	}
+	b.WriteString("diagnoses:\n")
+	for _, d := range diags {
+		b.WriteString(fmt.Sprintf("  - %s: %s\n", d.Phase, d.Reason))
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package bbox
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/io500"
+	"repro/internal/knowledge"
+)
+
+func io500Object(t *testing.T, seed uint64, fault func(string, *cluster.Machine)) *knowledge.IO500Object {
+	t.Helper()
+	r := &io500.Runner{Machine: cluster.FuchsCSC(), Seed: seed, BeforePhase: fault}
+	run, err := r.Run(io500.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &knowledge.IO500Object{
+		Command:    "io500",
+		ScoreBW:    run.Score.BandwidthGiBps,
+		ScoreMD:    run.Score.IOPSk,
+		ScoreTotal: run.Score.Total,
+	}
+	for _, p := range run.Results {
+		o.TestCases = append(o.TestCases, knowledge.TestCase{Name: p.Phase, Value: p.Value, Seconds: p.Seconds})
+	}
+	return o
+}
+
+func TestFromIO500(t *testing.T) {
+	o := io500Object(t, 1, nil)
+	b, err := FromIO500(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WriteLow >= b.WriteHigh {
+		t.Errorf("write bounds inverted: %+v", b)
+	}
+	if b.ReadLow >= b.ReadHigh {
+		t.Errorf("read bounds inverted: %+v", b)
+	}
+	// Missing phases error.
+	o.TestCases = o.TestCases[:2]
+	if _, err := FromIO500(o); err == nil {
+		t.Error("missing phases should error")
+	}
+}
+
+func TestPlace(t *testing.T) {
+	b, err := FromIO500(io500Object(t, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(wr, rd float64) *knowledge.Object {
+		return &knowledge.Object{
+			Source: knowledge.SourceIOR, Command: "x",
+			Summaries: []knowledge.Summary{
+				{Operation: "write", MeanMiBps: wr * 1024},
+				{Operation: "read", MeanMiBps: rd * 1024},
+			},
+		}
+	}
+	mid := mk((b.WriteLow+b.WriteHigh)/2, (b.ReadLow+b.ReadHigh)/2)
+	p, err := b.Place(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Write != InBox || p.Read != InBox {
+		t.Errorf("mid placement = %+v", p)
+	}
+	low := mk(b.WriteLow/4, b.ReadLow/4)
+	p, _ = b.Place(low)
+	if p.Write != BelowBox || p.Read != BelowBox {
+		t.Errorf("low placement = %+v", p)
+	}
+	high := mk(b.WriteHigh*3, b.ReadHigh*3)
+	p, _ = b.Place(high)
+	if p.Write != AboveBox || p.Read != AboveBox {
+		t.Errorf("high placement = %+v (cached reads can exceed the box)", p)
+	}
+	if !strings.Contains(p.String(), "above box") {
+		t.Errorf("String = %q", p.String())
+	}
+	if _, err := b.Place(&knowledge.Object{}); err == nil {
+		t.Error("object without summaries should error")
+	}
+}
+
+func TestCollectSeriesAndDiagnoseHealthy(t *testing.T) {
+	var runs []*knowledge.IO500Object
+	for seed := uint64(0); seed < 8; seed++ {
+		runs = append(runs, io500Object(t, seed, nil))
+	}
+	series, err := CollectSeries(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	byPhase := map[string]Series{}
+	for _, s := range series {
+		if len(s.Values) != 8 {
+			t.Errorf("%s has %d values", s.Phase, len(s.Values))
+		}
+		byPhase[s.Phase] = s
+	}
+	// Paper shape: writes vary much more than reads.
+	wCV := cv(byPhase[io500.IorEasyWrite].Values)
+	rCV := cv(byPhase[io500.IorEasyRead].Values)
+	if rCV >= wCV {
+		t.Errorf("read CV %.4f should be below write CV %.4f", rCV, wCV)
+	}
+	diags := DiagnoseSeries(series, 0.05)
+	if len(diags) != 0 {
+		t.Errorf("healthy system diagnosed: %+v", diags)
+	}
+	rep := Report(series, diags)
+	if !strings.Contains(rep, "no boundary anomalies") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestDiagnoseBrokenNode(t *testing.T) {
+	// Fig. 6 scenario: a broken node depresses ior-easy-read in every run.
+	fault := func(phase string, m *cluster.Machine) {
+		m.ClearFaults()
+		if phase == io500.IorEasyRead {
+			m.SetNodeFactor(1, 1, 0.35)
+		}
+	}
+	var runs []*knowledge.IO500Object
+	for seed := uint64(0); seed < 8; seed++ {
+		runs = append(runs, io500Object(t, seed, fault))
+	}
+	series, err := CollectSeries(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := DiagnoseSeries(series, 0.05)
+	found := false
+	for _, d := range diags {
+		if d.Phase == io500.IorEasyRead && strings.Contains(d.Reason, "broken node") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("broken node not diagnosed: %+v", diags)
+	}
+	rep := Report(series, diags)
+	if !strings.Contains(rep, "diagnoses:") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestCollectSeriesErrors(t *testing.T) {
+	if _, err := CollectSeries(nil); err == nil {
+		t.Error("empty runs should error")
+	}
+	o := io500Object(t, 1, nil)
+	o.TestCases = o.TestCases[:1]
+	if _, err := CollectSeries([]*knowledge.IO500Object{o}); err == nil {
+		t.Error("missing phase should error")
+	}
+}
+
+func cv(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return sqrt(ss/float64(len(xs))) / mean
+}
+
+func sqrt(x float64) float64 {
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

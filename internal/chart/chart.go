@@ -1,0 +1,330 @@
+// Package chart renders the knowledge explorer's visualizations as
+// self-contained SVG documents: line charts for per-iteration series
+// (Fig. 5), grouped bar charts for comparisons, boxplots for the
+// throughput overview and the IO500 boundary test cases (Fig. 6), and the
+// heat map named in the paper's outlook. No external assets are needed —
+// the SVG goes straight into the explorer's HTML.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// geometry defaults.
+const (
+	defaultWidth  = 720
+	defaultHeight = 420
+	marginLeft    = 70
+	marginRight   = 20
+	marginTop     = 40
+	marginBottom  = 55
+)
+
+// palette cycles across series.
+var palette = []string{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"}
+
+// Series is one named line on a line chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart plots one or more series, e.g. throughput per iteration.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int
+	Height int
+}
+
+// BarChart plots labelled values, optionally grouped.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Values []float64
+	Width  int
+	Height int
+}
+
+// BoxChart plots five-number summaries per label — the explorer's overview
+// chart and the Fig. 6 boundary comparison.
+type BoxChart struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Boxes  []stats.Box
+	Width  int
+	Height int
+}
+
+// HeatMap plots a matrix with a sequential color ramp.
+type HeatMap struct {
+	Title   string
+	XLabels []string
+	YLabels []string
+	Values  [][]float64
+	Width   int
+	Height  int
+}
+
+type canvas struct {
+	b     strings.Builder
+	w, h  int
+	plotW float64
+	plotH float64
+	minX  float64
+	maxX  float64
+	minY  float64
+	maxY  float64
+}
+
+func newCanvas(w, h int, minX, maxX, minY, maxY float64) *canvas {
+	if w <= 0 {
+		w = defaultWidth
+	}
+	if h <= 0 {
+		h = defaultHeight
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	c := &canvas{w: w, h: h, minX: minX, maxX: maxX, minY: minY, maxY: maxY}
+	c.plotW = float64(w - marginLeft - marginRight)
+	c.plotH = float64(h - marginTop - marginBottom)
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`, w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	return c
+}
+
+func (c *canvas) px(x float64) float64 {
+	return marginLeft + (x-c.minX)/(c.maxX-c.minX)*c.plotW
+}
+
+func (c *canvas) py(y float64) float64 {
+	return marginTop + c.plotH - (y-c.minY)/(c.maxY-c.minY)*c.plotH
+}
+
+func (c *canvas) title(s string) {
+	if s == "" {
+		return
+	}
+	fmt.Fprintf(&c.b, `<text x="%d" y="22" text-anchor="middle" font-size="15" font-weight="bold">%s</text>`, c.w/2, escape(s))
+}
+
+func (c *canvas) axes(xLabel, yLabel string) {
+	x0, y0 := float64(marginLeft), marginTop+c.plotH
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, x0, y0, x0+c.plotW, y0)
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, x0, float64(marginTop), x0, y0)
+	if xLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, x0+c.plotW/2, c.h-10, escape(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`, float64(marginTop)+c.plotH/2, float64(marginTop)+c.plotH/2, escape(yLabel))
+	}
+}
+
+// yTicks draws five horizontal gridlines with labels.
+func (c *canvas) yTicks() {
+	for i := 0; i <= 4; i++ {
+		v := c.minY + (c.maxY-c.minY)*float64(i)/4
+		y := c.py(v)
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`, marginLeft, y, float64(marginLeft)+c.plotW, y)
+		fmt.Fprintf(&c.b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`, marginLeft-6, y, formatTick(v))
+	}
+}
+
+func (c *canvas) done() string {
+	c.b.WriteString("</svg>")
+	return c.b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SVG renders the line chart.
+func (c LineChart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("chart: line chart has no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return "", fmt.Errorf("chart: series %q has mismatched or empty data", s.Name)
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	cv := newCanvas(c.Width, c.Height, minX, maxX, minY, maxY*1.05)
+	cv.title(c.Title)
+	cv.yTicks()
+	cv.axes(c.XLabel, c.YLabel)
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", cv.px(s.X[i]), cv.py(s.Y[i])))
+		}
+		fmt.Fprintf(&cv.b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`, color, strings.Join(pts, " "))
+		for i := range s.X {
+			fmt.Fprintf(&cv.b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"><title>%s: (%g, %g)</title></circle>`,
+				cv.px(s.X[i]), cv.py(s.Y[i]), color, escape(s.Name), s.X[i], s.Y[i])
+		}
+		// Legend.
+		lx := marginLeft + 10 + si*150
+		fmt.Fprintf(&cv.b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, lx, marginTop-12, color)
+		fmt.Fprintf(&cv.b, `<text x="%d" y="%d">%s</text>`, lx+16, marginTop-2, escape(s.Name))
+	}
+	return cv.done(), nil
+}
+
+// SVG renders the bar chart.
+func (c BarChart) SVG() (string, error) {
+	if len(c.Labels) == 0 || len(c.Labels) != len(c.Values) {
+		return "", fmt.Errorf("chart: bar chart needs matching labels and values")
+	}
+	maxY := 0.0
+	for _, v := range c.Values {
+		maxY = math.Max(maxY, v)
+	}
+	cv := newCanvas(c.Width, c.Height, 0, float64(len(c.Labels)), 0, maxY*1.05)
+	cv.title(c.Title)
+	cv.yTicks()
+	cv.axes("", c.YLabel)
+	slot := cv.plotW / float64(len(c.Labels))
+	barW := slot * 0.6
+	for i, v := range c.Values {
+		x := float64(marginLeft) + slot*float64(i) + (slot-barW)/2
+		y := cv.py(v)
+		h := marginTop + cv.plotH - y
+		fmt.Fprintf(&cv.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s: %g</title></rect>`,
+			x, y, barW, h, palette[i%len(palette)], escape(c.Labels[i]), v)
+		fmt.Fprintf(&cv.b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`,
+			x+barW/2, marginTop+cv.plotH+16, escape(c.Labels[i]))
+	}
+	return cv.done(), nil
+}
+
+// SVG renders the box chart.
+func (c BoxChart) SVG() (string, error) {
+	if len(c.Labels) == 0 || len(c.Labels) != len(c.Boxes) {
+		return "", fmt.Errorf("chart: box chart needs matching labels and boxes")
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, b := range c.Boxes {
+		minY = math.Min(minY, b.Min)
+		maxY = math.Max(maxY, b.Max)
+		for _, o := range b.Outliers {
+			minY = math.Min(minY, o)
+			maxY = math.Max(maxY, o)
+		}
+	}
+	if minY > 0 {
+		minY = 0
+	}
+	cv := newCanvas(c.Width, c.Height, 0, float64(len(c.Labels)), minY, maxY*1.05)
+	cv.title(c.Title)
+	cv.yTicks()
+	cv.axes("", c.YLabel)
+	slot := cv.plotW / float64(len(c.Labels))
+	boxW := slot * 0.4
+	for i, b := range c.Boxes {
+		cx := float64(marginLeft) + slot*(float64(i)+0.5)
+		color := palette[i%len(palette)]
+		// Whiskers.
+		fmt.Fprintf(&cv.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, cx, cv.py(b.Min), cx, cv.py(b.Q1))
+		fmt.Fprintf(&cv.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, cx, cv.py(b.Q3), cx, cv.py(b.Max))
+		fmt.Fprintf(&cv.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, cx-boxW/4, cv.py(b.Min), cx+boxW/4, cv.py(b.Min))
+		fmt.Fprintf(&cv.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, cx-boxW/4, cv.py(b.Max), cx+boxW/4, cv.py(b.Max))
+		// Box.
+		fmt.Fprintf(&cv.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.5" stroke="black"><title>%s: median %g</title></rect>`,
+			cx-boxW/2, cv.py(b.Q3), boxW, math.Max(1, cv.py(b.Q1)-cv.py(b.Q3)), color, escape(c.Labels[i]), b.Median)
+		// Median line.
+		fmt.Fprintf(&cv.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="2"/>`,
+			cx-boxW/2, cv.py(b.Median), cx+boxW/2, cv.py(b.Median))
+		// Outliers.
+		for _, o := range b.Outliers {
+			fmt.Fprintf(&cv.b, `<circle cx="%.1f" cy="%.1f" r="3" fill="none" stroke="%s"/>`, cx, cv.py(o), color)
+		}
+		fmt.Fprintf(&cv.b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`, cx, marginTop+cv.plotH+16, escape(c.Labels[i]))
+	}
+	return cv.done(), nil
+}
+
+// SVG renders the heat map.
+func (c HeatMap) SVG() (string, error) {
+	if len(c.Values) == 0 || len(c.Values) != len(c.YLabels) {
+		return "", fmt.Errorf("chart: heat map needs one row per y label")
+	}
+	for _, row := range c.Values {
+		if len(row) != len(c.XLabels) {
+			return "", fmt.Errorf("chart: heat map row width mismatch")
+		}
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, row := range c.Values {
+		for _, v := range row {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	cv := newCanvas(c.Width, c.Height, 0, 1, 0, 1)
+	cv.title(c.Title)
+	cellW := cv.plotW / float64(len(c.XLabels))
+	cellH := cv.plotH / float64(len(c.YLabels))
+	for yi, row := range c.Values {
+		for xi, v := range row {
+			frac := (v - minV) / (maxV - minV)
+			// White -> deep blue ramp.
+			r := int(255 - frac*200)
+			g := int(255 - frac*170)
+			x := float64(marginLeft) + cellW*float64(xi)
+			y := float64(marginTop) + cellH*float64(yi)
+			fmt.Fprintf(&cv.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,255)" stroke="#eee"><title>%s / %s: %g</title></rect>`,
+				x, y, cellW, cellH, r, g, escape(c.XLabels[xi]), escape(c.YLabels[yi]), v)
+			fmt.Fprintf(&cv.b, `<text x="%.1f" y="%.1f" text-anchor="middle" dominant-baseline="middle" font-size="10">%s</text>`,
+				x+cellW/2, y+cellH/2, formatTick(v))
+		}
+	}
+	for xi, l := range c.XLabels {
+		fmt.Fprintf(&cv.b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`,
+			float64(marginLeft)+cellW*(float64(xi)+0.5), marginTop+cv.plotH+16, escape(l))
+	}
+	for yi, l := range c.YLabels {
+		fmt.Fprintf(&cv.b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`,
+			marginLeft-6, float64(marginTop)+cellH*(float64(yi)+0.5), escape(l))
+	}
+	return cv.done(), nil
+}

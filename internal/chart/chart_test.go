@@ -1,0 +1,160 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestLineChart(t *testing.T) {
+	c := LineChart{
+		Title:  "Fig 5: throughput per iteration",
+		XLabel: "iteration",
+		YLabel: "MiB/s",
+		Series: []Series{
+			{Name: "write", X: []float64{1, 2, 3, 4, 5, 6}, Y: []float64{2850, 1251, 2840, 2860, 2855, 2845}},
+			{Name: "read", X: []float64{1, 2, 3, 4, 5, 6}, Y: []float64{3720, 3715, 3725, 3718, 3722, 3719}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 12 {
+		t.Errorf("points = %d, want 12", got)
+	}
+	for _, want := range []string{"Fig 5: throughput per iteration", "iteration", "MiB/s", "write", "read"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (LineChart{}).SVG(); err == nil {
+		t.Error("no series should error")
+	}
+	bad := LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series should error")
+	}
+	empty := LineChart{Series: []Series{{Name: "x"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := BarChart{
+		Title:  "comparison",
+		YLabel: "MiB/s",
+		Labels: []string{"run A", "run B", "run C"},
+		Values: []float64{2850, 1251, 3000},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 bars + background rect.
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Errorf("rects = %d, want 4", got)
+	}
+	if !strings.Contains(svg, "run B: 1251") {
+		t.Error("missing tooltip")
+	}
+	if _, err := (BarChart{Labels: []string{"a"}}).SVG(); err == nil {
+		t.Error("mismatch should error")
+	}
+}
+
+func TestBoxChart(t *testing.T) {
+	b1, _ := stats.BoxPlot([]float64{1.4, 1.5, 1.45, 1.48, 1.52, 0.4})
+	b2, _ := stats.BoxPlot([]float64{0.2, 0.22, 0.21, 0.19, 0.2})
+	c := BoxChart{
+		Title:  "Fig 6: IO500 boundary testcases",
+		YLabel: "GiB/s",
+		Labels: []string{"ior-easy write", "ior-hard write"},
+		Boxes:  []stats.Box{b1, b2},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each box draws 4 whisker lines + 1 median line = 5 lines, plus 2
+	// axis lines and 5 gridlines.
+	if got := strings.Count(svg, "<line"); got != 5*2+2+5 {
+		t.Errorf("lines = %d", got)
+	}
+	// b1 has one outlier circle.
+	if got := strings.Count(svg, "<circle"); got != 1 {
+		t.Errorf("outlier circles = %d, want 1", got)
+	}
+	if !strings.Contains(svg, "ior-easy write") {
+		t.Error("missing label")
+	}
+	if _, err := (BoxChart{Labels: []string{"a"}}).SVG(); err == nil {
+		t.Error("mismatch should error")
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	c := HeatMap{
+		Title:   "impact factors",
+		XLabels: []string{"1m", "2m", "4m"},
+		YLabels: []string{"40 tasks", "80 tasks"},
+		Values:  [][]float64{{1000, 2000, 2500}, {1800, 2850, 3100}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 cells + background.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Errorf("rects = %d, want 7", got)
+	}
+	if !strings.Contains(svg, "2m / 80 tasks: 2850") {
+		t.Error("missing cell tooltip")
+	}
+	if _, err := (HeatMap{YLabels: []string{"a"}, Values: [][]float64{}}).SVG(); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if _, err := (HeatMap{XLabels: []string{"a"}, YLabels: []string{"r"}, Values: [][]float64{{1, 2}}}).SVG(); err == nil {
+		t.Error("row width mismatch should error")
+	}
+}
+
+func TestConstantHeatMap(t *testing.T) {
+	c := HeatMap{
+		XLabels: []string{"a"},
+		YLabels: []string{"b"},
+		Values:  [][]float64{{5}},
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Errorf("constant heat map should render: %v", err)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := BarChart{
+		Title:  `<script>alert("x")</script>`,
+		Labels: []string{"a&b"},
+		Values: []float64{1},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&amp;b") {
+		t.Error("label not escaped")
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/haccio"
+	"repro/internal/io500"
+	"repro/internal/ior"
+	"repro/internal/slurm"
+	"repro/internal/units"
+)
+
+func newCycle(t *testing.T) *Cycle {
+	t.Helper()
+	c, err := New(cluster.FuchsCSC(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func paperIORConfig(t *testing.T) ior.Config {
+	t.Helper()
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	return cfg
+}
+
+func TestCycleIORGeneratorEndToEnd(t *testing.T) {
+	c := newCycle(t)
+	rep, err := c.Run(IORGenerator{Config: paperIORConfig(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generator != "ior" || rep.Artifacts != 1 || len(rep.ObjectIDs) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	o, err := c.Store.LoadObject(rep.ObjectIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enrichment happened: file system entry and system statistics.
+	if o.FileSystem == nil || o.FileSystem.Type != "beegfs" || o.FileSystem.NumTargets != 4 {
+		t.Errorf("filesystem enrichment = %+v", o.FileSystem)
+	}
+	if o.System == nil || o.System.Hostname != "fuchs01" || o.System.Cores != 20 {
+		t.Errorf("system enrichment = %+v", o.System)
+	}
+	if len(o.Results) != 12 || len(o.Summaries) != 2 {
+		t.Errorf("object shape: %d results, %d summaries", len(o.Results), len(o.Summaries))
+	}
+}
+
+func TestCycleIO500Generator(t *testing.T) {
+	c := newCycle(t)
+	rep, err := c.Run(IO500Generator{Config: io500.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.IO500IDs) != 1 || len(rep.ObjectIDs) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	o, err := c.Store.LoadIO500(rep.IO500IDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.TestCases) != 12 || o.ScoreTotal <= 0 {
+		t.Errorf("io500 object: %+v", o)
+	}
+	if o.System == nil {
+		t.Error("io500 system enrichment missing")
+	}
+}
+
+func TestCycleHACCGenerator(t *testing.T) {
+	c := newCycle(t)
+	rep, err := c.Run(HACCGenerator{Config: haccio.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Store.LoadObject(rep.ObjectIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Source != "haccio" || o.FileSystem == nil {
+		t.Errorf("hacc object: %+v", o)
+	}
+}
+
+func TestCycleDarshanGenerator(t *testing.T) {
+	c := newCycle(t)
+	cfg := ior.Default()
+	cfg.NumTasks = 8
+	cfg.TasksPerNode = 4
+	rep, err := c.Run(DarshanGenerator{Config: cfg, JobID: 4242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Store.LoadObject(rep.ObjectIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Source != "darshan" || o.Pattern["jobid"] != "4242" {
+		t.Errorf("darshan object: %+v", o)
+	}
+}
+
+func TestCycleJUBEGenerator(t *testing.T) {
+	c := newCycle(t)
+	xml := `<jube>
+  <benchmark name="sweep" outpath="bench_runs">
+    <parameterset name="p">
+      <parameter name="transfersize">1m,2m</parameter>
+    </parameterset>
+    <step name="run">
+      <use>p</use>
+      <do>ior -a mpiio -b 4m -t $transfersize -s 4 -N 40 -F -C -i 2 -o /scratch/sweep</do>
+    </step>
+  </benchmark>
+</jube>`
+	rep, err := c.Run(JUBEGenerator{ConfigXML: xml, BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Artifacts != 2 || len(rep.ObjectIDs) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Distinct parameter values produced distinct knowledge.
+	a, _ := c.Store.LoadObject(rep.ObjectIDs[0])
+	b, _ := c.Store.LoadObject(rep.ObjectIDs[1])
+	if a.Command == b.Command {
+		t.Errorf("sweep produced identical commands: %q", a.Command)
+	}
+}
+
+func TestAnalyzeDetectsInjectedAnomaly(t *testing.T) {
+	c := newCycle(t)
+	g := IORGenerator{
+		Config: paperIORConfig(t),
+		BeforeIteration: func(iter int, m *cluster.Machine) {
+			if iter == 1 {
+				m.WriteCongestion = 0.44
+			} else {
+				m.ClearFaults()
+			}
+		},
+	}
+	rep, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := c.Analyze(rep.ObjectIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Operation == "write" && f.Iteration == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("injected anomaly not detected: %+v", findings)
+	}
+}
+
+func TestRecommendOnStoredKnowledge(t *testing.T) {
+	c := newCycle(t)
+	cfg := paperIORConfig(t)
+	cfg.TransferSize = 64 * units.KiB
+	cfg.BlockSize = 4 * units.MiB
+	rep, err := c.Run(IORGenerator{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Recommend(rep.ObjectIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("small transfers should draw recommendations")
+	}
+}
+
+func TestNewConfigurationClosesTheLoop(t *testing.T) {
+	// The paper's Example I: run, persist, create a modified
+	// configuration, run it again — new knowledge from knowledge.
+	c := newCycle(t)
+	rep, err := c.Run(IORGenerator{Config: paperIORConfig(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd, err := c.NewConfiguration(rep.ObjectIDs[0], map[string]string{"-t": "4m", "-i": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cmd, "-t 4m") || !strings.Contains(cmd, "-i 3") {
+		t.Errorf("new configuration = %q", cmd)
+	}
+	cfg, err := ior.ParseCommandLine(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	rep2, err := c.Run(IORGenerator{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ObjectIDs[0] == rep.ObjectIDs[0] {
+		t.Error("second iteration did not create new knowledge")
+	}
+	objs, err := c.LoadObjects(append(rep.ObjectIDs, rep2.ObjectIDs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Errorf("loaded %d objects", len(objs))
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	d := Dispatch(cluster.FuchsCSC(), 1)
+	if _, err := d("", ""); err == nil {
+		t.Error("empty command should fail")
+	}
+	if _, err := d("", "unknowntool -x"); err == nil {
+		t.Error("unknown tool should fail")
+	}
+	if _, err := d("", "ior -q"); err == nil {
+		t.Error("bad ior flags should fail")
+	}
+	out, err := d("", "io500 --tasks 40 --tasks-per-node 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[SCORE ]") {
+		t.Error("io500 dispatch produced no score")
+	}
+	out, err = d("", "hacc_io -n 1000 -N 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "HACC_IO") {
+		t.Error("hacc dispatch produced no output")
+	}
+}
+
+func TestCycleErrors(t *testing.T) {
+	c := &Cycle{}
+	if _, err := c.Run(IORGenerator{}); err == nil {
+		t.Error("unwired cycle should fail")
+	}
+	c2 := newCycle(t)
+	bad := IORGenerator{Config: ior.Config{}}
+	if _, err := c2.Run(bad); err == nil {
+		t.Error("invalid generator config should fail")
+	}
+	if _, err := c2.Analyze(999); err == nil {
+		t.Error("missing knowledge should fail analysis")
+	}
+	if _, err := c2.Recommend(999); err == nil {
+		t.Error("missing knowledge should fail recommendation")
+	}
+	if _, err := c2.NewConfiguration(999, nil); err == nil {
+		t.Error("missing knowledge should fail configuration")
+	}
+	if _, err := c2.LoadObjects([]int64{999}); err == nil {
+		t.Error("missing knowledge should fail loading")
+	}
+}
+
+func TestCorrelateCausesEndToEnd(t *testing.T) {
+	c := newCycle(t)
+	g := IORGenerator{
+		Config: paperIORConfig(t),
+		BeforeIteration: func(iter int, m *cluster.Machine) {
+			if iter == 1 {
+				m.WriteCongestion = 0.44
+			} else {
+				m.ClearFaults()
+			}
+		},
+	}
+	rep, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Store.LoadObject(rep.ObjectIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accounting context: a heavy writer overlapping the whole run, plus
+	// an unrelated job long before.
+	jobs := []slurm.Job{
+		{JobID: 500, Name: "burst-writer", User: "alice", Nodes: 8,
+			NodeList: "fuchs[050-057]", State: slurm.StateCompleted,
+			Start: o.Began.Add(-1 * time.Minute), End: o.Finished.Add(time.Minute),
+			WriteMiBps: 9000},
+		{JobID: 400, Name: "old-job", User: "bob", Nodes: 1,
+			NodeList: "fuchs099", State: slurm.StateCompleted,
+			Start: o.Began.Add(-2 * time.Hour), End: o.Began.Add(-1 * time.Hour),
+			WriteMiBps: 100},
+	}
+	causes, err := c.CorrelateCauses(rep.ObjectIDs[0], jobs, "zhuz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(causes) == 0 {
+		t.Fatal("no causes correlated")
+	}
+	found := false
+	for _, cause := range causes {
+		if cause.Finding.Operation != "write" {
+			continue
+		}
+		found = true
+		if !cause.To.After(cause.From) {
+			t.Errorf("bad window: %v .. %v", cause.From, cause.To)
+		}
+		if len(cause.Suspects) != 1 || cause.Suspects[0].Job.JobID != 500 {
+			t.Errorf("suspects = %+v, want only the burst writer", cause.Suspects)
+		}
+	}
+	if !found {
+		t.Error("write anomaly missing from causes")
+	}
+	if _, err := c.CorrelateCauses(999, jobs, ""); err == nil {
+		t.Error("missing knowledge should fail")
+	}
+}

@@ -1,0 +1,265 @@
+package darshan
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+)
+
+func sampleLog() *Log {
+	return &Log{
+		JobID:     4242,
+		UID:       1000,
+		NProcs:    80,
+		StartTime: 1657188000,
+		EndTime:   1657188060,
+		ExeName:   "ior",
+		Records: []Record{
+			{
+				Module:   ModulePOSIX,
+				Rank:     -1,
+				RecordID: 7,
+				FileName: "/scratch/fuchs/zhuz/test80",
+				Counters: map[string]int64{
+					CounterOpens:        6,
+					CounterWrites:       6400,
+					CounterBytesWritten: 13421772800,
+				},
+				FCounters: map[string]float64{FCounterWriteTime: 4.5},
+			},
+			{
+				Module:    ModuleMPIIO,
+				Rank:      0,
+				RecordID:  8,
+				FileName:  "/scratch/fuchs/zhuz/test80",
+				Counters:  map[string]int64{"MPIIO_INDEP_WRITES": 80},
+				FCounters: map[string]float64{},
+			},
+		},
+		DXT: []Segment{
+			{Module: ModulePOSIX, Rank: 0, Op: OpWrite, Offset: 0, Length: 2097152, StartSec: 0.1, EndSec: 0.15},
+			{Module: ModulePOSIX, Rank: 1, Op: OpRead, Offset: 2097152, Length: 2097152, StartSec: 0.2, EndSec: 0.22},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := sampleLog()
+	data, err := Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestEmptyLogRoundTrip(t *testing.T) {
+	l := &Log{JobID: 1, ExeName: ""}
+	data, err := Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != 1 || len(got.Records) != 0 || len(got.DXT) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data, _ := Marshal(sampleLog())
+	data[0] = 'X'
+	if _, err := Unmarshal(data); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("want magic error, got %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data, _ := Marshal(sampleLog())
+	data[4] = 99
+	if _, err := Unmarshal(data); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("want version error, got %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	data, _ := Marshal(sampleLog())
+	for _, n := range []int{0, 3, 7, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal(data[:n]); err == nil {
+			t.Errorf("truncation at %d bytes should fail", n)
+		}
+	}
+}
+
+func TestCorruptBody(t *testing.T) {
+	data, _ := Marshal(sampleLog())
+	// Flip bytes inside the compressed body.
+	for i := 10; i < len(data) && i < 30; i++ {
+		data[i] ^= 0xFF
+	}
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("corrupt body should fail")
+	}
+}
+
+func TestStringTooLong(t *testing.T) {
+	l := sampleLog()
+	l.ExeName = strings.Repeat("x", 70000)
+	if _, err := Marshal(l); err == nil {
+		t.Error("oversized string should fail to encode")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	a, err := Marshal(sampleLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(sampleLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("encoding of equal logs differs (map iteration leaked in)")
+	}
+}
+
+func TestTotalCounter(t *testing.T) {
+	l := sampleLog()
+	if got := l.TotalCounter(ModulePOSIX, CounterWrites); got != 6400 {
+		t.Errorf("TotalCounter = %d", got)
+	}
+	if got := l.TotalCounter(ModuleMPIIO, "MPIIO_INDEP_WRITES"); got != 80 {
+		t.Errorf("TotalCounter mpiio = %d", got)
+	}
+	if got := l.TotalCounter(ModuleSTDIO, CounterWrites); got != 0 {
+		t.Errorf("absent module should be 0, got %d", got)
+	}
+	if got := len(l.RecordsFor(ModulePOSIX)); got != 1 {
+		t.Errorf("RecordsFor = %d records", got)
+	}
+}
+
+// Property: arbitrary logs round-trip bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(jobID uint64, nprocs int32, names []string, vals []int64, fvals []float64) bool {
+		l := &Log{JobID: jobID, NProcs: nprocs, ExeName: "app"}
+		for i, name := range names {
+			if len(name) > 1000 {
+				name = name[:1000]
+			}
+			rec := Record{
+				Module:    ModulePOSIX,
+				Rank:      int32(i),
+				RecordID:  uint64(i),
+				FileName:  name,
+				Counters:  map[string]int64{},
+				FCounters: map[string]float64{},
+			}
+			if i < len(vals) {
+				rec.Counters["C"] = vals[i]
+			}
+			if i < len(fvals) {
+				rec.FCounters["F"] = fvals[i]
+			}
+			l.Records = append(l.Records, rec)
+		}
+		data, err := Marshal(l)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(l, got)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromIORRun(t *testing.T) {
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	r := &ior.Runner{Machine: cluster.FuchsCSC(), Seed: 12}
+	run, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := FromIORRun(run, 777)
+	if l.JobID != 777 || l.NProcs != 80 || l.ExeName != "ior" {
+		t.Errorf("header: %+v", l)
+	}
+	// File-per-process: one POSIX record per rank plus one MPI-IO record.
+	if got := len(l.RecordsFor(ModulePOSIX)); got != 80 {
+		t.Errorf("POSIX records = %d, want 80", got)
+	}
+	if got := len(l.RecordsFor(ModuleMPIIO)); got != 1 {
+		t.Errorf("MPI-IO records = %d, want 1", got)
+	}
+	// Total bytes written across records equals the benchmark's volume:
+	// 6 iterations × 80 tasks × 4 MiB × 40 segments.
+	want := int64(6) * 80 * 4 * (1 << 20) * 40
+	got := l.TotalCounter(ModulePOSIX, CounterBytesWritten)
+	if got < want*99/100 || got > want {
+		t.Errorf("bytes written = %d, want ~%d (integer division tolerance)", got, want)
+	}
+	if len(l.DXT) == 0 {
+		t.Fatal("no DXT segments")
+	}
+	for _, s := range l.DXT {
+		if s.EndSec <= s.StartSec || s.Length <= 0 {
+			t.Fatalf("bad segment %+v", s)
+		}
+	}
+	// Log must round-trip.
+	data, err := Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, back) {
+		t.Error("generated log does not round-trip")
+	}
+}
+
+func TestFromIORRunSharedFile(t *testing.T) {
+	cfg := ior.Default()
+	cfg.NumTasks = 8
+	cfg.TasksPerNode = 4
+	cfg.API = cluster.POSIX
+	r := &ior.Runner{Machine: cluster.FuchsCSC(), Seed: 13}
+	run, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := FromIORRun(run, 1)
+	recs := l.RecordsFor(ModulePOSIX)
+	if len(recs) != 1 || recs[0].Rank != -1 {
+		t.Errorf("shared file should yield one rank -1 record, got %+v", recs)
+	}
+	if len(l.RecordsFor(ModuleMPIIO)) != 0 {
+		t.Error("POSIX run should not have MPI-IO records")
+	}
+}

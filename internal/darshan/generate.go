@@ -1,0 +1,158 @@
+package darshan
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+)
+
+// FromIORRun synthesizes the Darshan log an instrumented IOR run would have
+// produced: per-rank POSIX records (or one shared record for a shared file),
+// an MPI-IO module record when the MPIIO API was used, and DXT segments for
+// the first few ranks (real DXT is typically bounded per rank).
+//
+// This is the generation-phase glue that lets the knowledge cycle treat
+// "application + Darshan" as one more data source, per the paper's §V-A.
+func FromIORRun(run *ior.Run, jobID uint64) *Log {
+	cfg := run.Config
+	l := &Log{
+		JobID:     jobID,
+		UID:       1000,
+		NProcs:    int32(run.Tasks),
+		StartTime: run.Began.Unix(),
+		EndTime:   run.Finished.Unix(),
+		ExeName:   "ior",
+	}
+	var wrSec, rdSec, openSec float64
+	var wrOps, rdOps, wrBytes, rdBytes int64
+	iterations := 0
+	for _, ir := range run.Results {
+		res := ir.Result
+		openSec += res.OpenSec + res.CloseSec
+		if ir.Op == cluster.Write {
+			wrSec += res.WrRdSec
+			wrOps += res.TotalOps
+			wrBytes += res.BytesMoved
+		} else {
+			rdSec += res.WrRdSec
+			rdOps += res.TotalOps
+			rdBytes += res.BytesMoved
+		}
+		if ir.Iter+1 > iterations {
+			iterations = ir.Iter + 1
+		}
+	}
+
+	mkCounters := func(scale float64) (map[string]int64, map[string]float64) {
+		c := map[string]int64{
+			CounterOpens:        int64(float64(iterations) * scale),
+			CounterWrites:       int64(float64(wrOps) * scale),
+			CounterReads:        int64(float64(rdOps) * scale),
+			CounterBytesWritten: int64(float64(wrBytes) * scale),
+			CounterBytesRead:    int64(float64(rdBytes) * scale),
+		}
+		f := map[string]float64{
+			FCounterWriteTime: wrSec * scale,
+			FCounterReadTime:  rdSec * scale,
+			FCounterMetaTime:  openSec * scale,
+		}
+		return c, f
+	}
+
+	if cfg.FilePerProc {
+		for rank := 0; rank < run.Tasks; rank++ {
+			name := fmt.Sprintf("%s.%08d", cfg.TestFile, rank)
+			c, f := mkCounters(1 / float64(run.Tasks))
+			l.Records = append(l.Records, Record{
+				Module:    ModulePOSIX,
+				Rank:      int32(rank),
+				RecordID:  hashName(name),
+				FileName:  name,
+				Counters:  c,
+				FCounters: f,
+			})
+		}
+	} else {
+		c, f := mkCounters(1)
+		l.Records = append(l.Records, Record{
+			Module:    ModulePOSIX,
+			Rank:      -1, // shared record
+			RecordID:  hashName(cfg.TestFile),
+			FileName:  cfg.TestFile,
+			Counters:  c,
+			FCounters: f,
+		})
+	}
+	if cfg.API == cluster.MPIIO {
+		c, f := mkCounters(1)
+		mc := map[string]int64{
+			"MPIIO_INDEP_WRITES":  c[CounterWrites],
+			"MPIIO_INDEP_READS":   c[CounterReads],
+			"MPIIO_BYTES_WRITTEN": c[CounterBytesWritten],
+			"MPIIO_BYTES_READ":    c[CounterBytesRead],
+		}
+		if cfg.Collective {
+			mc["MPIIO_COLL_WRITES"] = mc["MPIIO_INDEP_WRITES"]
+			mc["MPIIO_COLL_READS"] = mc["MPIIO_INDEP_READS"]
+			mc["MPIIO_INDEP_WRITES"] = 0
+			mc["MPIIO_INDEP_READS"] = 0
+		}
+		l.Records = append(l.Records, Record{
+			Module:    ModuleMPIIO,
+			Rank:      -1,
+			RecordID:  hashName(cfg.TestFile),
+			FileName:  cfg.TestFile,
+			Counters:  mc,
+			FCounters: map[string]float64{"MPIIO_F_WRITE_TIME": f[FCounterWriteTime], "MPIIO_F_READ_TIME": f[FCounterReadTime]},
+		})
+	}
+
+	// DXT: trace the first min(4, tasks) ranks of the first iteration.
+	tracedRanks := 4
+	if run.Tasks < tracedRanks {
+		tracedRanks = run.Tasks
+	}
+	for _, ir := range run.Results {
+		if ir.Iter != 0 {
+			continue
+		}
+		op := OpWrite
+		if ir.Op == cluster.Read {
+			op = OpRead
+		}
+		perRankOps := ir.Result.TotalOps / int64(run.Tasks)
+		if perRankOps > 16 {
+			perRankOps = 16 // DXT buffers are bounded per rank
+		}
+		opDur := ir.Result.WrRdSec / float64(perRankOps)
+		for rank := 0; rank < tracedRanks; rank++ {
+			for k := int64(0); k < perRankOps; k++ {
+				start := float64(k) * opDur
+				l.DXT = append(l.DXT, Segment{
+					Module:   ModulePOSIX,
+					Rank:     int32(rank),
+					Op:       op,
+					Offset:   k * cfg.TransferSize,
+					Length:   cfg.TransferSize,
+					StartSec: start,
+					EndSec:   start + opDur,
+				})
+			}
+		}
+	}
+	return l
+}
+
+func hashName(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,253 @@
+// Package dxt analyzes Darshan extended-tracing (DXT) segments the way
+// DXT Explorer does in the paper's related-work analysis (§II-A-2):
+// per-operation statistics, a bandwidth timeline, rank-imbalance and
+// straggler detection, small-I/O and overlap measures, and the
+// human-readable tuning insights that "narrow the gap between trace
+// analysis and actually applying tuning parameters".
+package dxt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/darshan"
+	"repro/internal/units"
+)
+
+// OpStats summarizes one operation kind across all traced segments.
+type OpStats struct {
+	Ops         int
+	Bytes       int64
+	MeanSize    float64
+	MeanLatency float64
+	MaxLatency  float64
+}
+
+// Bin is one slot of the bandwidth timeline.
+type Bin struct {
+	StartSec float64
+	EndSec   float64
+	// MiBps is the aggregate traced bandwidth inside the bin.
+	MiBps float64
+	Ops   int
+}
+
+// Analysis is the full decomposition of a DXT trace.
+type Analysis struct {
+	Ranks      int
+	Ops        int
+	TotalBytes int64
+	// StartSec/EndSec span the traced activity.
+	StartSec float64
+	EndSec   float64
+	ByOp     map[darshan.OpKind]OpStats
+	// BusySec maps rank -> summed segment time.
+	BusySec map[int32]float64
+	// Imbalance is max rank busy time over mean busy time (1 = balanced).
+	Imbalance float64
+	// Stragglers lists ranks whose busy time exceeds 1.5× the mean.
+	Stragglers []int32
+	// SmallIOFraction is the share of operations below SmallIOThreshold.
+	SmallIOFraction float64
+	Timeline        []Bin
+}
+
+// SmallIOThreshold classifies transfers as "small" (the classic tuning
+// target) below 256 KiB.
+const SmallIOThreshold = 256 * units.KiB
+
+// Analyze decomposes a DXT segment list into an Analysis with the given
+// number of timeline bins.
+func Analyze(segs []darshan.Segment, bins int) (*Analysis, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("dxt: no segments to analyze")
+	}
+	if bins <= 0 {
+		bins = 20
+	}
+	a := &Analysis{
+		ByOp:     map[darshan.OpKind]OpStats{},
+		BusySec:  map[int32]float64{},
+		StartSec: math.Inf(1),
+		EndSec:   math.Inf(-1),
+	}
+	ranks := map[int32]bool{}
+	small := 0
+	for _, s := range segs {
+		if s.EndSec < s.StartSec {
+			return nil, fmt.Errorf("dxt: segment with negative duration (rank %d)", s.Rank)
+		}
+		if s.Length < 0 {
+			return nil, fmt.Errorf("dxt: segment with negative length (rank %d)", s.Rank)
+		}
+		ranks[s.Rank] = true
+		a.Ops++
+		a.TotalBytes += s.Length
+		a.StartSec = math.Min(a.StartSec, s.StartSec)
+		a.EndSec = math.Max(a.EndSec, s.EndSec)
+		dur := s.EndSec - s.StartSec
+		a.BusySec[s.Rank] += dur
+		st := a.ByOp[s.Op]
+		st.Ops++
+		st.Bytes += s.Length
+		st.MeanSize += float64(s.Length)
+		st.MeanLatency += dur
+		if dur > st.MaxLatency {
+			st.MaxLatency = dur
+		}
+		a.ByOp[s.Op] = st
+		if s.Length < SmallIOThreshold {
+			small++
+		}
+	}
+	for op, st := range a.ByOp {
+		st.MeanSize /= float64(st.Ops)
+		st.MeanLatency /= float64(st.Ops)
+		a.ByOp[op] = st
+	}
+	a.Ranks = len(ranks)
+	a.SmallIOFraction = float64(small) / float64(a.Ops)
+
+	// Imbalance and stragglers.
+	var sum, maxBusy float64
+	for _, busy := range a.BusySec {
+		sum += busy
+		if busy > maxBusy {
+			maxBusy = busy
+		}
+	}
+	mean := sum / float64(len(a.BusySec))
+	if mean > 0 {
+		a.Imbalance = maxBusy / mean
+		for rank, busy := range a.BusySec {
+			if busy > 1.5*mean {
+				a.Stragglers = append(a.Stragglers, rank)
+			}
+		}
+		sort.Slice(a.Stragglers, func(i, j int) bool { return a.Stragglers[i] < a.Stragglers[j] })
+	}
+
+	// Timeline: distribute each segment's bytes across the bins it spans.
+	span := a.EndSec - a.StartSec
+	if span <= 0 {
+		span = 1e-9
+	}
+	a.Timeline = make([]Bin, bins)
+	width := span / float64(bins)
+	for i := range a.Timeline {
+		a.Timeline[i].StartSec = a.StartSec + float64(i)*width
+		a.Timeline[i].EndSec = a.Timeline[i].StartSec + width
+	}
+	for _, s := range segs {
+		dur := s.EndSec - s.StartSec
+		lo := int((s.StartSec - a.StartSec) / width)
+		hi := int((s.EndSec - a.StartSec) / width)
+		if hi >= bins {
+			hi = bins - 1
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		counted := false
+		for bi := lo; bi <= hi; bi++ {
+			b := &a.Timeline[bi]
+			overlap := math.Min(s.EndSec, b.EndSec) - math.Max(s.StartSec, b.StartSec)
+			if overlap <= 0 && dur > 0 {
+				continue
+			}
+			frac := 1.0
+			if dur > 0 {
+				frac = overlap / dur
+			}
+			bytes := float64(s.Length) * frac
+			b.MiBps += bytes / (1 << 20) / width
+			if !counted {
+				b.Ops++
+				counted = true
+			}
+		}
+	}
+	return a, nil
+}
+
+// Insight is one actionable observation with a suggested response.
+type Insight struct {
+	Observation string
+	Suggestion  string
+}
+
+// Insights derives DXT-Explorer-style tuning hints from the analysis.
+func (a *Analysis) Insights() []Insight {
+	var out []Insight
+	if a.SmallIOFraction > 0.5 {
+		out = append(out, Insight{
+			Observation: fmt.Sprintf("%.0f%% of traced operations are below %s", a.SmallIOFraction*100, units.HumanBytes(SmallIOThreshold)),
+			Suggestion:  "increase the transfer size or enable collective buffering to aggregate requests",
+		})
+	}
+	if a.Imbalance > 1.5 {
+		out = append(out, Insight{
+			Observation: fmt.Sprintf("rank imbalance %.1f× (stragglers: %v)", a.Imbalance, a.Stragglers),
+			Suggestion:  "rebalance the data decomposition or check the stragglers' nodes for degradation",
+		})
+	}
+	if wr, ok := a.ByOp[darshan.OpWrite]; ok {
+		if rd, ok2 := a.ByOp[darshan.OpRead]; ok2 && rd.MeanLatency > 0 && wr.MeanLatency > 3*rd.MeanLatency {
+			out = append(out, Insight{
+				Observation: fmt.Sprintf("write latency (%.1f ms) far exceeds read latency (%.1f ms)", wr.MeanLatency*1000, rd.MeanLatency*1000),
+				Suggestion:  "inspect write-path contention: striping width, fsync frequency, competing jobs",
+			})
+		}
+	}
+	// Bursty timeline: peak bin far above the median bin.
+	var rates []float64
+	for _, b := range a.Timeline {
+		if b.Ops > 0 {
+			rates = append(rates, b.MiBps)
+		}
+	}
+	if len(rates) >= 4 {
+		sorted := append([]float64(nil), rates...)
+		sort.Float64s(sorted)
+		median := sorted[len(sorted)/2]
+		peak := sorted[len(sorted)-1]
+		if median > 0 && peak > 4*median {
+			out = append(out, Insight{
+				Observation: fmt.Sprintf("bursty I/O: peak bin %.0f MiB/s vs median %.0f MiB/s", peak, median),
+				Suggestion:  "consider asynchronous I/O or burst buffering to smooth the demand",
+			})
+		}
+	}
+	return out
+}
+
+// Report renders the analysis as text.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DXT analysis: %d ops from %d rank(s), %s over %.3f s\n",
+		a.Ops, a.Ranks, units.HumanBytes(a.TotalBytes), a.EndSec-a.StartSec)
+	for _, op := range []darshan.OpKind{darshan.OpWrite, darshan.OpRead} {
+		st, ok := a.ByOp[op]
+		if !ok {
+			continue
+		}
+		name := "write"
+		if op == darshan.OpRead {
+			name = "read"
+		}
+		fmt.Fprintf(&b, "  %-5s %6d ops, %s, mean size %s, mean latency %.2f ms (max %.2f ms)\n",
+			name, st.Ops, units.HumanBytes(st.Bytes), units.HumanBytes(int64(st.MeanSize)),
+			st.MeanLatency*1000, st.MaxLatency*1000)
+	}
+	fmt.Fprintf(&b, "  imbalance %.2fx, small-I/O fraction %.0f%%\n", a.Imbalance, a.SmallIOFraction*100)
+	insights := a.Insights()
+	if len(insights) == 0 {
+		b.WriteString("  no tuning insights — access pattern looks healthy\n")
+	}
+	for _, in := range insights {
+		fmt.Fprintf(&b, "  insight: %s -> %s\n", in.Observation, in.Suggestion)
+	}
+	return b.String()
+}

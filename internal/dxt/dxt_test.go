@@ -1,0 +1,218 @@
+package dxt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/darshan"
+	"repro/internal/ior"
+	"repro/internal/units"
+)
+
+func seg(rank int32, op darshan.OpKind, length int64, start, end float64) darshan.Segment {
+	return darshan.Segment{Module: darshan.ModulePOSIX, Rank: rank, Op: op, Length: length, StartSec: start, EndSec: end}
+}
+
+func TestAnalyzeBasic(t *testing.T) {
+	segs := []darshan.Segment{
+		seg(0, darshan.OpWrite, 2*units.MiB, 0.0, 0.1),
+		seg(0, darshan.OpWrite, 2*units.MiB, 0.1, 0.2),
+		seg(1, darshan.OpWrite, 2*units.MiB, 0.0, 0.1),
+		seg(1, darshan.OpRead, 2*units.MiB, 0.3, 0.35),
+	}
+	a, err := Analyze(segs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ranks != 2 || a.Ops != 4 || a.TotalBytes != 8*units.MiB {
+		t.Errorf("analysis = %+v", a)
+	}
+	if a.StartSec != 0 || a.EndSec != 0.35 {
+		t.Errorf("span = [%v, %v]", a.StartSec, a.EndSec)
+	}
+	wr := a.ByOp[darshan.OpWrite]
+	if wr.Ops != 3 || wr.Bytes != 6*units.MiB {
+		t.Errorf("write stats = %+v", wr)
+	}
+	if math.Abs(wr.MeanLatency-0.1) > 1e-9 || wr.MaxLatency != 0.1 {
+		t.Errorf("write latency = %+v", wr)
+	}
+	rd := a.ByOp[darshan.OpRead]
+	if rd.Ops != 1 || math.Abs(rd.MeanLatency-0.05) > 1e-9 {
+		t.Errorf("read stats = %+v", rd)
+	}
+	if a.SmallIOFraction != 0 {
+		t.Errorf("small fraction = %v", a.SmallIOFraction)
+	}
+	// Rank 0 busy 0.2s, rank 1 busy 0.15s: imbalance = 0.2/0.175.
+	if math.Abs(a.Imbalance-0.2/0.175) > 1e-9 {
+		t.Errorf("imbalance = %v", a.Imbalance)
+	}
+	if len(a.Stragglers) != 0 {
+		t.Errorf("stragglers = %v", a.Stragglers)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, 10); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Analyze([]darshan.Segment{seg(0, darshan.OpWrite, 1, 1.0, 0.5)}, 10); err == nil {
+		t.Error("negative duration should fail")
+	}
+	if _, err := Analyze([]darshan.Segment{seg(0, darshan.OpWrite, -1, 0, 1)}, 10); err == nil {
+		t.Error("negative length should fail")
+	}
+}
+
+func TestTimelineConservesBytes(t *testing.T) {
+	segs := []darshan.Segment{
+		seg(0, darshan.OpWrite, 10*units.MiB, 0.0, 1.0),
+		seg(1, darshan.OpWrite, 10*units.MiB, 0.5, 1.5),
+	}
+	a, err := Analyze(segs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := (a.EndSec - a.StartSec) / float64(len(a.Timeline))
+	var total float64
+	for _, b := range a.Timeline {
+		total += b.MiBps * width
+	}
+	if math.Abs(total-20) > 0.01 {
+		t.Errorf("timeline accounts for %.2f MiB, want 20", total)
+	}
+}
+
+func TestSmallIOInsight(t *testing.T) {
+	var segs []darshan.Segment
+	for i := 0; i < 10; i++ {
+		segs = append(segs, seg(0, darshan.OpWrite, 4096, float64(i)*0.01, float64(i)*0.01+0.005))
+	}
+	a, err := Analyze(segs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SmallIOFraction != 1 {
+		t.Errorf("small fraction = %v", a.SmallIOFraction)
+	}
+	insights := a.Insights()
+	found := false
+	for _, in := range insights {
+		if strings.Contains(in.Suggestion, "collective buffering") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("small-I/O insight missing: %+v", insights)
+	}
+}
+
+func TestStragglerInsight(t *testing.T) {
+	segs := []darshan.Segment{
+		seg(0, darshan.OpWrite, units.MiB, 0, 0.1),
+		seg(1, darshan.OpWrite, units.MiB, 0, 0.1),
+		seg(2, darshan.OpWrite, units.MiB, 0, 0.1),
+		seg(3, darshan.OpWrite, units.MiB, 0, 1.0), // straggler
+	}
+	a, err := Analyze(segs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stragglers) != 1 || a.Stragglers[0] != 3 {
+		t.Errorf("stragglers = %v", a.Stragglers)
+	}
+	found := false
+	for _, in := range a.Insights() {
+		if strings.Contains(in.Observation, "imbalance") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("imbalance insight missing")
+	}
+}
+
+func TestWriteLatencyInsight(t *testing.T) {
+	segs := []darshan.Segment{
+		seg(0, darshan.OpWrite, units.MiB, 0, 0.4),
+		seg(0, darshan.OpRead, units.MiB, 0.5, 0.55),
+	}
+	a, err := Analyze(segs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range a.Insights() {
+		if strings.Contains(in.Observation, "write latency") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("write-latency insight missing: %+v", a.Insights())
+	}
+}
+
+func TestHealthyTraceNoInsights(t *testing.T) {
+	var segs []darshan.Segment
+	for r := int32(0); r < 4; r++ {
+		for i := 0; i < 8; i++ {
+			start := float64(i) * 0.1
+			segs = append(segs, seg(r, darshan.OpWrite, 2*units.MiB, start, start+0.09))
+		}
+	}
+	a, err := Analyze(segs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Insights(); len(got) != 0 {
+		t.Errorf("healthy trace produced insights: %+v", got)
+	}
+	if !strings.Contains(a.Report(), "looks healthy") {
+		t.Error("report should say healthy")
+	}
+}
+
+func TestAnalyzeRealDarshanLog(t *testing.T) {
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 2 -o /scratch/t -k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	run, err := (&ior.Runner{Machine: cluster.FuchsCSC(), Seed: 5}).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := darshan.FromIORRun(run, 1)
+	a, err := Analyze(l.DXT, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ranks != 4 { // DXT traces the first 4 ranks
+		t.Errorf("ranks = %d", a.Ranks)
+	}
+	if a.TotalBytes <= 0 || a.Ops <= 0 {
+		t.Errorf("analysis = %+v", a)
+	}
+	rep := a.Report()
+	if !strings.Contains(rep, "DXT analysis") || !strings.Contains(rep, "write") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestZeroDurationSegments(t *testing.T) {
+	segs := []darshan.Segment{
+		seg(0, darshan.OpWrite, units.MiB, 0.5, 0.5),
+		seg(0, darshan.OpWrite, units.MiB, 0.5, 0.5),
+	}
+	a, err := Analyze(segs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != 2 {
+		t.Errorf("ops = %d", a.Ops)
+	}
+}

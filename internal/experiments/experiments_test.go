@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bbox"
+	"repro/internal/io500"
+)
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	r, err := Fig5(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 iterations", len(r.Rows))
+	}
+	// Paper: other iterations average ~2850 MiB/s.
+	if r.WriteMeanOthers < 2850*0.85 || r.WriteMeanOthers > 2850*1.15 {
+		t.Errorf("mean write (others) = %.0f, want ~2850", r.WriteMeanOthers)
+	}
+	// Paper: iteration 2 at 1251 MiB/s, less than half the average.
+	if r.Ratio > 0.55 || r.Ratio < 0.30 {
+		t.Errorf("dip ratio = %.2f, want ~0.44", r.Ratio)
+	}
+	// The knowledge cycle must detect exactly this anomaly.
+	found := false
+	for _, f := range r.Findings {
+		if f.Operation == "write" && f.Iteration == r.AnomalyIteration {
+			found = true
+			if !f.Corroborated {
+				t.Error("anomaly should be corroborated by ops/time metrics")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("anomaly not detected: %+v", r.Findings)
+	}
+	rep := r.Report()
+	for _, want := range []string{"Fig. 5", "paper: 2850", "paper: 1251", "anomalie"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	r, err := Fig6(6, 3, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// Paper: write variance large, read variance small.
+	if r.ReadCV >= r.WriteCV {
+		t.Errorf("read CV %.4f should be below write CV %.4f", r.ReadCV, r.WriteCV)
+	}
+	// Paper: bad ior-easy read blamed on a broken node.
+	found := false
+	for _, d := range r.Diagnoses {
+		if d.Phase == io500.IorEasyRead && strings.Contains(d.Reason, "broken node") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("broken node not diagnosed: %+v", r.Diagnoses)
+	}
+	if !strings.Contains(r.Report(), "Fig. 6") {
+		t.Error("report header missing")
+	}
+	if _, err := Fig6(1, 1, 0.5); err == nil {
+		t.Error("fig6 with 1 run should error")
+	}
+}
+
+func TestFig3FactorsOrdered(t *testing.T) {
+	factors, err := Fig3(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(factors) != 5 {
+		t.Fatalf("factors = %d", len(factors))
+	}
+	byName := map[string]Fig3Factor{}
+	for _, f := range factors {
+		if f.Impact < 1 {
+			t.Errorf("%s impact = %.2f, must be >= 1", f.Factor, f.Impact)
+		}
+		byName[f.Factor] = f
+	}
+	// Transfer size and task count must be material factors (>1.2x).
+	if byName["transfer size"].Impact < 1.2 {
+		t.Errorf("transfer size impact = %.2f, want material", byName["transfer size"].Impact)
+	}
+	if byName["tasks"].Impact < 1.2 {
+		t.Errorf("tasks impact = %.2f, want material", byName["tasks"].Impact)
+	}
+	// Bandwidth grows with transfer size within the swept range.
+	ts := byName["transfer size"].MiBps
+	if ts[0] >= ts[len(ts)-1] {
+		t.Errorf("transfer-size sweep not increasing: %v", ts)
+	}
+	if !strings.Contains(Fig3Report(factors), "impact") {
+		t.Error("fig3 report missing")
+	}
+}
+
+func TestCycleExample(t *testing.T) {
+	r, err := CycleExample(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FirstID == r.SecondID {
+		t.Error("cycle did not create new knowledge")
+	}
+	if !strings.Contains(r.NewCommand, "-t 4m") || !strings.Contains(r.NewCommand, "-i 3") {
+		t.Errorf("new command = %q", r.NewCommand)
+	}
+	if r.FirstWrite <= 0 || r.SecondWrite <= 0 {
+		t.Errorf("bandwidths: %v / %v", r.FirstWrite, r.SecondWrite)
+	}
+	if !strings.Contains(r.Report(), "new knowledge generation") {
+		t.Error("report missing")
+	}
+}
+
+func TestPrediction(t *testing.T) {
+	r, err := Prediction(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainN != 8 || r.TestN != 3 {
+		t.Errorf("dataset sizes: train %d, test %d", r.TrainN, r.TestN)
+	}
+	if r.Model.R2 < 0.9 {
+		t.Errorf("R2 = %.3f, want a strong linear fit in the node-limited regime", r.Model.R2)
+	}
+	if r.TestErrors.MAPE > 0.15 {
+		t.Errorf("held-out MAPE = %.1f%%, want under 15%%", r.TestErrors.MAPE*100)
+	}
+	if !strings.Contains(r.Report(), "linear-regression") {
+		t.Error("report missing")
+	}
+}
+
+func TestBoundingBoxMapping(t *testing.T) {
+	box, placement, err := BoundingBoxMapping(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.WriteLow >= box.WriteHigh || box.ReadLow >= box.ReadHigh {
+		t.Errorf("box inverted: %+v", box)
+	}
+	// The Example-I run uses large aligned transfers: it should sit at or
+	// above the hard bound, not below the box.
+	if placement.Write == bbox.BelowBox {
+		t.Errorf("placement = %+v, tuned run should not fall below the box", placement)
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	mix, err := WorkloadMix(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.WriteFraction <= 0 || mix.WriteFraction >= 1 {
+		t.Errorf("write fraction = %v", mix.WriteFraction)
+	}
+	if mix.MeanTransfer <= 0 {
+		t.Errorf("mean transfer = %d", mix.MeanTransfer)
+	}
+	if len(mix.Commands) != 3 {
+		t.Errorf("commands = %v", mix.Commands)
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	a, err := Fig5(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig5(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestCauseCorrelation(t *testing.T) {
+	r, err := CauseCorrelation(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Causes) == 0 {
+		t.Fatal("no causes found")
+	}
+	found := false
+	for _, c := range r.Causes {
+		if c.Finding.Operation != "write" {
+			continue
+		}
+		found = true
+		if len(c.Suspects) == 0 {
+			t.Fatal("no suspects for the write anomaly")
+		}
+		if c.Suspects[0].Job.JobID != r.Injected {
+			t.Errorf("top suspect = %d, want planted burst writer %d", c.Suspects[0].Job.JobID, r.Injected)
+		}
+	}
+	if !found {
+		t.Error("write anomaly missing")
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "burst-writer") || !strings.Contains(rep, "window:") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestAutotune(t *testing.T) {
+	r, err := Autotune(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recommendation.Pattern != "large-burst" {
+		t.Errorf("pattern = %q", r.Recommendation.Pattern)
+	}
+	if r.Recommendation.Gain < 1.5 {
+		t.Errorf("grid headroom = %.2f, want substantial", r.Recommendation.Gain)
+	}
+	if r.TunedMiBps < r.DefaultMiBps*1.5 {
+		t.Errorf("tuned %.0f should clearly beat default %.0f", r.TunedMiBps, r.DefaultMiBps)
+	}
+	if !strings.Contains(r.Report(), "SCTuner + H5Tuner") {
+		t.Error("report missing")
+	}
+}

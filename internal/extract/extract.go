@@ -1,0 +1,484 @@
+// Package extract implements the knowledge extraction phase: it turns raw
+// generator output (IOR/IO500/HACC-IO text, Darshan binary logs) into
+// knowledge objects, optionally enriched with parallel file system settings
+// and /proc system statistics — the role of the paper's Python "knowledge
+// extractor". Extractors register in a registry keyed by source so the
+// workflow stays tool-agnostic: new generators plug in by implementing
+// Extractor and registering it.
+package extract
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/darshan"
+	"repro/internal/haccio"
+	"repro/internal/io500"
+	"repro/internal/ior"
+	"repro/internal/jube"
+	"repro/internal/knowledge"
+	"repro/internal/monitor"
+	"repro/internal/pfs"
+	"repro/internal/stats"
+	"repro/internal/sysinfo"
+)
+
+// Extraction is the result of extracting one output: exactly one of Object
+// or IO500 is set (the paper keeps IO500 knowledge separate from benchmark
+// knowledge).
+type Extraction struct {
+	Object *knowledge.Object
+	IO500  *knowledge.IO500Object
+}
+
+// Extractor converts one generator's raw output into knowledge.
+type Extractor interface {
+	// Name identifies the extractor ("ior", "io500", ...).
+	Name() string
+	// Sniff reports whether the data looks like this extractor's format.
+	Sniff(data []byte) bool
+	// Extract parses the data into knowledge.
+	Extract(data []byte) (*Extraction, error)
+}
+
+// Registry maps sources to extractors and auto-detects formats.
+type Registry struct {
+	extractors []Extractor
+}
+
+// NewRegistry returns a registry with all built-in extractors (IOR, IO500,
+// HACC-IO, Darshan, center-wide monitoring).
+func NewRegistry() *Registry {
+	return &Registry{extractors: []Extractor{
+		IORExtractor{},
+		IO500Extractor{},
+		HACCExtractor{},
+		DarshanExtractor{},
+		MonitorExtractor{},
+	}}
+}
+
+// Register appends a custom extractor; later registrations win ties in
+// Sniff order only if earlier ones do not match.
+func (r *Registry) Register(e Extractor) { r.extractors = append(r.extractors, e) }
+
+// Names lists registered extractor names.
+func (r *Registry) Names() []string {
+	var out []string
+	for _, e := range r.extractors {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+// Extract auto-detects the format and extracts knowledge.
+func (r *Registry) Extract(data []byte) (*Extraction, error) {
+	for _, e := range r.extractors {
+		if e.Sniff(data) {
+			ex, err := e.Extract(data)
+			if err != nil {
+				return nil, fmt.Errorf("extract: %s: %w", e.Name(), err)
+			}
+			return ex, nil
+		}
+	}
+	return nil, fmt.Errorf("extract: no extractor recognizes the input (%d bytes)", len(data))
+}
+
+// ExtractFile reads and extracts one file.
+func (r *Registry) ExtractFile(path string) (*Extraction, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("extract: read %s: %w", path, err)
+	}
+	return r.Extract(data)
+}
+
+// ScanWorkspace walks a JUBE workspace (the paper's default when no path
+// is given) and extracts every stdout it finds, skipping files no
+// extractor recognizes.
+func (r *Registry) ScanWorkspace(root string) ([]*Extraction, error) {
+	files, err := jube.FindOutputs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Extraction
+	for _, f := range files {
+		ex, err := r.ExtractFile(f)
+		if err != nil {
+			if strings.Contains(err.Error(), "no extractor recognizes") {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+// IORExtractor parses IOR-3.x text output.
+type IORExtractor struct{}
+
+// Name implements Extractor.
+func (IORExtractor) Name() string { return "ior" }
+
+// Sniff implements Extractor.
+func (IORExtractor) Sniff(data []byte) bool {
+	return bytes.Contains(data, []byte("IOR-")) && bytes.Contains(data, []byte("Command line"))
+}
+
+// Extract implements Extractor.
+func (IORExtractor) Extract(data []byte) (*Extraction, error) {
+	p, err := ior.ParseOutput(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	o := &knowledge.Object{
+		Source:   knowledge.SourceIOR,
+		Command:  p.CommandLine,
+		Began:    p.Began,
+		Finished: p.Finished,
+		Pattern:  map[string]string{},
+	}
+	// Pattern parameters from the Options block, normalized to the key
+	// names the schema indexes on.
+	rename := map[string]string{
+		"api":              "api",
+		"test filename":    "testFile",
+		"access":           "access",
+		"type":             "type",
+		"segments":         "segments",
+		"nodes":            "nodes",
+		"tasks":            "tasks",
+		"clients per node": "tasksPerNode",
+		"repetitions":      "repetitions",
+		"xfersize":         "transfersize",
+		"blocksize":        "blocksize",
+	}
+	for k, v := range p.Options {
+		if nk, ok := rename[k]; ok {
+			o.Pattern[nk] = v
+		}
+	}
+	if o.Pattern["access"] == "file-per-process" {
+		o.Pattern["filePerProc"] = "true"
+	}
+	for _, s := range p.Summaries {
+		o.Summaries = append(o.Summaries, knowledge.Summary{
+			Operation: s.Operation, API: s.API,
+			MaxMiBps: s.MaxMiB, MinMiBps: s.MinMiB, MeanMiBps: s.MeanMiB, StdDevMiB: s.StdDevMiB,
+			MaxOps: s.MaxOPs, MinOps: s.MinOPs, MeanOps: s.MeanOPs, StdDevOps: s.StdDevOPs,
+			MeanSec: s.MeanSec, Iterations: s.Reps,
+		})
+	}
+	for _, a := range p.Results {
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: a.Access, Iteration: a.Iter,
+			BwMiBps: a.BwMiBps, OpsPerSec: a.IOPS, LatencySec: a.LatencySec,
+			OpenSec: a.OpenSec, WrRdSec: a.WrRdSec, CloseSec: a.CloseSec, TotalSec: a.TotalSec,
+		})
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{Object: o}, nil
+}
+
+// IO500Extractor parses IO500 result-summary output.
+type IO500Extractor struct{}
+
+// Name implements Extractor.
+func (IO500Extractor) Name() string { return "io500" }
+
+// Sniff implements Extractor.
+func (IO500Extractor) Sniff(data []byte) bool {
+	return bytes.Contains(data, []byte("IO500 version")) || bytes.Contains(data, []byte("[RESULT]"))
+}
+
+// Extract implements Extractor.
+func (IO500Extractor) Extract(data []byte) (*Extraction, error) {
+	p, err := io500.ParseOutput(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	o := &knowledge.IO500Object{
+		Command:    "io500 --tasks " + strconv.Itoa(p.Tasks),
+		Began:      p.Began,
+		Finished:   p.Finished,
+		ScoreBW:    p.Score.BandwidthGiBps,
+		ScoreMD:    p.Score.IOPSk,
+		ScoreTotal: p.Score.Total,
+		Options: map[string]string{
+			"version":        p.Version,
+			"tasks":          strconv.Itoa(p.Tasks),
+			"tasks-per-node": strconv.Itoa(p.TPN),
+		},
+	}
+	for _, r := range p.Results {
+		unit := "kIOPS"
+		for _, b := range io500.BandwidthPhases {
+			if b == r.Phase {
+				unit = "GiB/s"
+			}
+		}
+		o.TestCases = append(o.TestCases, knowledge.TestCase{
+			Name: r.Phase, Value: r.Value, Unit: unit, Seconds: r.Seconds,
+		})
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{IO500: o}, nil
+}
+
+// HACCExtractor parses HACC-IO output.
+type HACCExtractor struct{}
+
+// Name implements Extractor.
+func (HACCExtractor) Name() string { return "haccio" }
+
+// Sniff implements Extractor.
+func (HACCExtractor) Sniff(data []byte) bool {
+	return bytes.Contains(data, []byte("HACC_IO"))
+}
+
+// Extract implements Extractor.
+func (HACCExtractor) Extract(data []byte) (*Extraction, error) {
+	p, err := haccio.ParseOutput(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	o := &knowledge.Object{
+		Source:   knowledge.SourceHACCIO,
+		Command:  fmt.Sprintf("hacc_io -n %d -a %s -m %s", p.Particles, strings.ToLower(p.API), p.Mode),
+		Began:    p.Began,
+		Finished: p.Finished,
+		Pattern: map[string]string{
+			"api":       p.API,
+			"mode":      p.Mode,
+			"tasks":     strconv.Itoa(p.Ranks),
+			"nodes":     strconv.Itoa(p.Nodes),
+			"particles": strconv.Itoa(p.Particles),
+			"testFile":  p.File,
+		},
+	}
+	for op, phase := range map[string]haccio.PhaseResult{"write": p.Checkpoint, "read": p.Restart} {
+		o.Summaries = append(o.Summaries, knowledge.Summary{
+			Operation: op, API: p.API,
+			MaxMiBps: phase.BandwidthMiBps, MinMiBps: phase.BandwidthMiBps,
+			MeanMiBps: phase.BandwidthMiBps, MeanSec: phase.Seconds, Iterations: 1,
+		})
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: op, Iteration: 0,
+			BwMiBps: phase.BandwidthMiBps, WrRdSec: phase.Seconds, TotalSec: phase.Seconds,
+		})
+	}
+	// Map iteration keeps summary order stable for write before read.
+	if len(o.Summaries) == 2 && o.Summaries[0].Operation != "write" {
+		o.Summaries[0], o.Summaries[1] = o.Summaries[1], o.Summaries[0]
+		o.Results[0], o.Results[1] = o.Results[1], o.Results[0]
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{Object: o}, nil
+}
+
+// DarshanExtractor parses binary Darshan-style logs (the PyDarshan role).
+type DarshanExtractor struct{}
+
+// Name implements Extractor.
+func (DarshanExtractor) Name() string { return "darshan" }
+
+// Sniff implements Extractor.
+func (DarshanExtractor) Sniff(data []byte) bool {
+	return len(data) >= 4 && bytes.Equal(data[:4], darshan.Magic[:])
+}
+
+// Extract implements Extractor.
+func (DarshanExtractor) Extract(data []byte) (*Extraction, error) {
+	l, err := darshan.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	wrBytes := l.TotalCounter(darshan.ModulePOSIX, darshan.CounterBytesWritten)
+	rdBytes := l.TotalCounter(darshan.ModulePOSIX, darshan.CounterBytesRead)
+	wrOps := l.TotalCounter(darshan.ModulePOSIX, darshan.CounterWrites)
+	rdOps := l.TotalCounter(darshan.ModulePOSIX, darshan.CounterReads)
+	var wrSec, rdSec float64
+	for _, rec := range l.RecordsFor(darshan.ModulePOSIX) {
+		wrSec += rec.FCounters[darshan.FCounterWriteTime]
+		rdSec += rec.FCounters[darshan.FCounterReadTime]
+	}
+	o := &knowledge.Object{
+		Source:   knowledge.SourceDarshan,
+		Command:  l.ExeName,
+		Began:    timeFromUnix(l.StartTime),
+		Finished: timeFromUnix(l.EndTime),
+		Pattern: map[string]string{
+			"jobid": strconv.FormatUint(l.JobID, 10),
+			"tasks": strconv.Itoa(int(l.NProcs)),
+			"files": strconv.Itoa(len(l.RecordsFor(darshan.ModulePOSIX))),
+		},
+	}
+	add := func(op string, bytes, ops int64, sec float64) {
+		if bytes == 0 && ops == 0 {
+			return
+		}
+		bw := 0.0
+		opsRate := 0.0
+		if sec > 0 {
+			bw = float64(bytes) / (1 << 20) / sec
+			opsRate = float64(ops) / sec
+		}
+		o.Summaries = append(o.Summaries, knowledge.Summary{
+			Operation: op, API: "POSIX",
+			MaxMiBps: bw, MinMiBps: bw, MeanMiBps: bw,
+			MaxOps: opsRate, MinOps: opsRate, MeanOps: opsRate,
+			MeanSec: sec, Iterations: 1,
+		})
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: op, Iteration: 0, BwMiBps: bw, OpsPerSec: opsRate, WrRdSec: sec, TotalSec: sec,
+		})
+	}
+	add("write", wrBytes, wrOps, wrSec)
+	add("read", rdBytes, rdOps, rdSec)
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{Object: o}, nil
+}
+
+// AttachFileSystem enriches a knowledge object with BeeGFS entry info
+// parsed from `beegfs-ctl --getentryinfo`-style text, plus the
+// RAID scheme when known.
+func AttachFileSystem(o *knowledge.Object, ctlOutput, fsType, raidScheme string) error {
+	e, err := pfs.ParseCtlOutput(ctlOutput)
+	if err != nil {
+		return err
+	}
+	o.FileSystem = &knowledge.FileSystemInfo{
+		Type:         fsType,
+		EntryType:    e.EntryType,
+		EntryID:      e.EntryID,
+		MetadataNode: e.MetadataNode,
+		Pattern:      string(e.Pattern),
+		ChunkSize:    e.ChunkSize,
+		NumTargets:   e.ActualTargets,
+		RAIDScheme:   raidScheme,
+		StoragePool:  e.StoragePool,
+	}
+	return nil
+}
+
+// MonitorExtractor lifts center-wide monitoring series (the paper's
+// "monitoring tools" data source) into knowledge: each sample becomes one
+// write and one read iteration result, so the same analysis-phase outlier
+// machinery that inspects benchmark iterations inspects the time series.
+type MonitorExtractor struct{}
+
+// Name implements Extractor.
+func (MonitorExtractor) Name() string { return "monitor" }
+
+// Sniff implements Extractor.
+func (MonitorExtractor) Sniff(data []byte) bool {
+	return bytes.HasPrefix(data, []byte("# iokc-monitor"))
+}
+
+// Extract implements Extractor.
+func (MonitorExtractor) Extract(data []byte) (*Extraction, error) {
+	s, err := monitor.Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	o := &knowledge.Object{
+		Source:   "monitor",
+		Command:  fmt.Sprintf("iokc-monitor host=%s interval=%s", s.Host, s.Interval),
+		Began:    s.Samples[0].Time,
+		Finished: s.Samples[len(s.Samples)-1].Time,
+		Pattern: map[string]string{
+			"host":     s.Host,
+			"interval": s.Interval.String(),
+			"samples":  strconv.Itoa(len(s.Samples)),
+		},
+	}
+	var wr, rd []float64
+	for i, smp := range s.Samples {
+		o.Results = append(o.Results,
+			knowledge.Result{Operation: "write", Iteration: i, BwMiBps: smp.WriteMiBps, OpsPerSec: smp.MetaOpsPS, TotalSec: s.Interval.Seconds()},
+			knowledge.Result{Operation: "read", Iteration: i, BwMiBps: smp.ReadMiBps, TotalSec: s.Interval.Seconds()})
+		wr = append(wr, smp.WriteMiBps)
+		rd = append(rd, smp.ReadMiBps)
+	}
+	for op, series := range map[string][]float64{"write": wr, "read": rd} {
+		sum, err := stats.Summarize(series)
+		if err != nil {
+			return nil, err
+		}
+		o.Summaries = append(o.Summaries, knowledge.Summary{
+			Operation: op, API: "monitor",
+			MaxMiBps: sum.Max, MinMiBps: sum.Min, MeanMiBps: sum.Mean, StdDevMiB: sum.StdDev,
+			MeanSec: s.Interval.Seconds(), Iterations: sum.N,
+		})
+	}
+	// Deterministic summary order: write first.
+	if o.Summaries[0].Operation != "write" {
+		o.Summaries[0], o.Summaries[1] = o.Summaries[1], o.Summaries[0]
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{Object: o}, nil
+}
+
+// AttachFileSystemAuto enriches a knowledge object from any supported
+// layout-tool output — BeeGFS beegfs-ctl, Lustre lfs getstripe, Spectrum
+// Scale mmlsattr, OrangeFS pvfs2-viewdist — detecting the format
+// automatically (the paper's outlook: "integrate further parallel file
+// systems for our extractor").
+func AttachFileSystemAuto(o *knowledge.Object, layoutOutput string) error {
+	e, err := pfs.DetectAndParse(layoutOutput)
+	if err != nil {
+		return err
+	}
+	o.FileSystem = &knowledge.FileSystemInfo{
+		Type:         string(e.Kind),
+		EntryType:    e.Extra["entry_type"],
+		EntryID:      e.Extra["entry_id"],
+		MetadataNode: e.Extra["metadata_node"],
+		Pattern:      e.Pattern,
+		ChunkSize:    e.StripeSize,
+		NumTargets:   e.StripeCount,
+		StoragePool:  e.Pool,
+	}
+	return nil
+}
+
+// AttachSystem enriches a knowledge object with /proc-derived statistics.
+func AttachSystem(o *knowledge.Object, info sysinfo.Info) {
+	o.System = &knowledge.SystemInfo{
+		Hostname:     info.Hostname,
+		Architecture: info.Architecture,
+		CPUModel:     info.CPUModel,
+		Cores:        info.Cores,
+		CPUMHz:       info.CPUMHz,
+		CacheKB:      info.CacheKB,
+		MemTotalKB:   info.MemTotalKB,
+		MemFreeKB:    info.MemFreeKB,
+	}
+}
+
+// AttachSystemIO500 enriches an IO500 knowledge object the same way.
+func AttachSystemIO500(o *knowledge.IO500Object, info sysinfo.Info) {
+	tmp := &knowledge.Object{}
+	AttachSystem(tmp, info)
+	o.System = tmp.System
+}
+
+func timeFromUnix(sec int64) time.Time {
+	return time.Unix(sec, 0).UTC()
+}

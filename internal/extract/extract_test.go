@@ -1,0 +1,338 @@
+package extract
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/darshan"
+	"repro/internal/haccio"
+	"repro/internal/io500"
+	"repro/internal/ior"
+	"repro/internal/knowledge"
+	"repro/internal/pfs"
+	"repro/internal/sysinfo"
+)
+
+func iorOutput(t *testing.T) []byte {
+	t.Helper()
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTasks = 80
+	cfg.TasksPerNode = 20
+	r := &ior.Runner{Machine: cluster.FuchsCSC(), Seed: 7}
+	run, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ior.WriteOutput(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func io500Output(t *testing.T) []byte {
+	t.Helper()
+	r := &io500.Runner{Machine: cluster.FuchsCSC(), Seed: 7}
+	run, err := r.Run(io500.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := io500.WriteOutput(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func haccOutput(t *testing.T) []byte {
+	t.Helper()
+	r := &haccio.Runner{Machine: cluster.FuchsCSC(), Seed: 7}
+	run, err := r.Run(haccio.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := haccio.WriteOutput(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func darshanLog(t *testing.T) []byte {
+	t.Helper()
+	cfg := ior.Default()
+	cfg.NumTasks = 8
+	cfg.TasksPerNode = 4
+	r := &ior.Runner{Machine: cluster.FuchsCSC(), Seed: 7}
+	run, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := darshan.Marshal(darshan.FromIORRun(run, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRegistryAutoDetect(t *testing.T) {
+	reg := NewRegistry()
+	if got := reg.Names(); len(got) != 5 {
+		t.Errorf("names = %v", got)
+	}
+	cases := []struct {
+		data []byte
+		kind string
+	}{
+		{iorOutput(t), "ior"},
+		{io500Output(t), "io500"},
+		{haccOutput(t), "haccio"},
+		{darshanLog(t), "darshan"},
+	}
+	for _, c := range cases {
+		ex, err := reg.Extract(c.data)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		switch c.kind {
+		case "io500":
+			if ex.IO500 == nil || ex.Object != nil {
+				t.Errorf("io500 extraction misfiled: %+v", ex)
+			}
+		default:
+			if ex.Object == nil || ex.IO500 != nil {
+				t.Fatalf("%s extraction misfiled: %+v", c.kind, ex)
+			}
+			if string(ex.Object.Source) != c.kind {
+				t.Errorf("source = %q, want %q", ex.Object.Source, c.kind)
+			}
+		}
+	}
+	if _, err := reg.Extract([]byte("nothing to see here")); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestIORExtractionDetail(t *testing.T) {
+	ex, err := NewRegistry().Extract(iorOutput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.Object
+	if o.Pattern["api"] != "MPIIO" || o.Pattern["tasks"] != "80" ||
+		o.Pattern["filePerProc"] != "true" || o.Pattern["testFile"] != "/scratch/fuchs/zhuz/test80" {
+		t.Errorf("pattern = %v", o.Pattern)
+	}
+	if o.Pattern["transfersize"] != "2.00 MiB" || o.Pattern["blocksize"] != "4.00 MiB" {
+		t.Errorf("sizes = %v", o.Pattern)
+	}
+	if len(o.Summaries) != 2 {
+		t.Fatalf("summaries = %d", len(o.Summaries))
+	}
+	if len(o.Results) != 12 {
+		t.Fatalf("results = %d", len(o.Results))
+	}
+	ws, _ := o.SummaryFor("write")
+	if ws.Iterations != 6 || ws.MeanMiBps <= 0 || ws.API != "MPIIO" {
+		t.Errorf("write summary = %+v", ws)
+	}
+	if o.Began.IsZero() || !o.Finished.After(o.Began) {
+		t.Error("timestamps missing")
+	}
+	if !strings.Contains(o.Command, "-b 4m") {
+		t.Errorf("command = %q", o.Command)
+	}
+}
+
+func TestIO500ExtractionDetail(t *testing.T) {
+	ex, err := NewRegistry().Extract(io500Output(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.IO500
+	if len(o.TestCases) != 12 {
+		t.Fatalf("test cases = %d", len(o.TestCases))
+	}
+	if o.ScoreTotal <= 0 || o.ScoreBW <= 0 || o.ScoreMD <= 0 {
+		t.Errorf("scores = %+v", o)
+	}
+	tc, ok := o.TestCaseFor("ior-easy-write")
+	if !ok || tc.Unit != "GiB/s" {
+		t.Errorf("ior-easy-write = %+v, %v", tc, ok)
+	}
+	tc, _ = o.TestCaseFor("mdtest-hard-stat")
+	if tc.Unit != "kIOPS" {
+		t.Errorf("mdtest unit = %q", tc.Unit)
+	}
+	if o.Options["tasks"] != "40" {
+		t.Errorf("options = %v", o.Options)
+	}
+}
+
+func TestHACCExtractionDetail(t *testing.T) {
+	ex, err := NewRegistry().Extract(haccOutput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.Object
+	if o.Pattern["mode"] != string(haccio.SingleSharedFile) || o.Pattern["particles"] != "2000000" {
+		t.Errorf("pattern = %v", o.Pattern)
+	}
+	if len(o.Summaries) != 2 || o.Summaries[0].Operation != "write" {
+		t.Errorf("summaries = %+v", o.Summaries)
+	}
+	rs := o.ResultsFor("read")
+	if len(rs) != 1 || rs[0].BwMiBps <= 0 {
+		t.Errorf("read results = %+v", rs)
+	}
+}
+
+func TestDarshanExtractionDetail(t *testing.T) {
+	ex, err := NewRegistry().Extract(darshanLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.Object
+	if o.Pattern["tasks"] != "8" || o.Pattern["jobid"] != "99" {
+		t.Errorf("pattern = %v", o.Pattern)
+	}
+	ws, ok := o.SummaryFor("write")
+	if !ok || ws.MeanMiBps <= 0 {
+		t.Errorf("write summary = %+v, %v", ws, ok)
+	}
+	if o.Command != "ior" {
+		t.Errorf("command = %q", o.Command)
+	}
+}
+
+func TestAttachFileSystemAndSystem(t *testing.T) {
+	m := cluster.FuchsCSC()
+	ex, _ := NewRegistry().Extract(iorOutput(t))
+	o := ex.Object
+	entry := m.FS.EntryInfoFor("/scratch/fuchs/zhuz/test80", "file")
+	if err := AttachFileSystem(o, entry.CtlOutput(), "beegfs", "RAID6"); err != nil {
+		t.Fatal(err)
+	}
+	if o.FileSystem == nil || o.FileSystem.Type != "beegfs" || o.FileSystem.EntryID != entry.EntryID ||
+		o.FileSystem.NumTargets != 4 || o.FileSystem.RAIDScheme != "RAID6" {
+		t.Errorf("filesystem = %+v", o.FileSystem)
+	}
+	if err := AttachFileSystem(o, "garbage", "beegfs", ""); err == nil {
+		t.Error("garbage ctl output should fail")
+	}
+	AttachSystem(o, sysinfo.ForMachine(m, 1))
+	if o.System == nil || o.System.Hostname != "fuchs01" || o.System.Cores != 20 {
+		t.Errorf("system = %+v", o.System)
+	}
+	io5 := &knowledge.IO500Object{}
+	AttachSystemIO500(io5, sysinfo.ForMachine(m, 2))
+	if io5.System == nil || io5.System.Hostname != "fuchs02" {
+		t.Errorf("io500 system = %+v", io5.System)
+	}
+}
+
+func TestExtractFileAndScanWorkspace(t *testing.T) {
+	dir := t.TempDir()
+	// Lay out a JUBE-like workspace: two recognizable outputs and one
+	// unknown file.
+	paths := []struct {
+		rel  string
+		data []byte
+	}{
+		{"bench_runs/000000/run_wp000000/work/stdout", iorOutput(t)},
+		{"bench_runs/000000/run_wp000001/work/stdout", io500Output(t)},
+		{"bench_runs/000000/other_wp000002/work/stdout", []byte("unrelated tool output")},
+	}
+	for _, p := range paths {
+		full := filepath.Join(dir, p.rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, p.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry()
+	ex, err := reg.ExtractFile(filepath.Join(dir, paths[0].rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Object == nil {
+		t.Error("file extraction failed")
+	}
+	if _, err := reg.ExtractFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+	all, err := reg.ScanWorkspace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("scan found %d extractions, want 2", len(all))
+	}
+}
+
+type fakeExtractor struct{}
+
+func (fakeExtractor) Name() string           { return "fake" }
+func (fakeExtractor) Sniff(data []byte) bool { return bytes.HasPrefix(data, []byte("FAKE")) }
+func (fakeExtractor) Extract(data []byte) (*Extraction, error) {
+	return &Extraction{Object: &knowledge.Object{
+		Source: "fake", Command: "fake",
+		Results: []knowledge.Result{{Operation: "write"}},
+	}}, nil
+}
+
+func TestCustomExtractorRegistration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(fakeExtractor{})
+	ex, err := reg.Extract([]byte("FAKE data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Object == nil || ex.Object.Source != "fake" {
+		t.Errorf("custom extraction = %+v", ex)
+	}
+	if got := reg.Names(); len(got) != 6 || got[5] != "fake" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestAttachFileSystemAuto(t *testing.T) {
+	ex, _ := NewRegistry().Extract(iorOutput(t))
+	o := ex.Object
+	// Lustre layout text auto-detected and mapped.
+	lustre := pfs.LustreGetstripeOutput("/lustre/f", 8, 1048576, 0)
+	if err := AttachFileSystemAuto(o, lustre); err != nil {
+		t.Fatal(err)
+	}
+	if o.FileSystem.Type != "lustre" || o.FileSystem.NumTargets != 8 || o.FileSystem.ChunkSize != 1048576 {
+		t.Errorf("lustre fs = %+v", o.FileSystem)
+	}
+	// BeeGFS keeps its entry metadata through the generic path.
+	fs := pfs.NewBeeGFS(pfs.Config{})
+	entry := fs.EntryInfoFor("/scratch/x", "file")
+	if err := AttachFileSystemAuto(o, entry.CtlOutput()); err != nil {
+		t.Fatal(err)
+	}
+	if o.FileSystem.Type != "beegfs" || o.FileSystem.EntryID != entry.EntryID || o.FileSystem.MetadataNode == "" {
+		t.Errorf("beegfs fs = %+v", o.FileSystem)
+	}
+	// GPFS pool lands in the pool field.
+	if err := AttachFileSystemAuto(o, pfs.GPFSAttrOutput("/g/f", "system", "root", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if o.FileSystem.Type != "gpfs" || o.FileSystem.StoragePool != "system" {
+		t.Errorf("gpfs fs = %+v", o.FileSystem)
+	}
+	if err := AttachFileSystemAuto(o, "unintelligible"); err == nil {
+		t.Error("unknown layout should fail")
+	}
+}

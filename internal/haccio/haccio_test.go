@@ -1,0 +1,159 @@
+package haccio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func runner(seed uint64) *Runner {
+	return &Runner{Machine: cluster.FuchsCSC(), Seed: seed}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{ParticlesPerRank: 1, Tasks: 0, API: cluster.POSIX, Mode: SingleSharedFile},
+		{ParticlesPerRank: 1, Tasks: 1, API: cluster.HDF5, Mode: SingleSharedFile},
+		{ParticlesPerRank: 1, Tasks: 1, API: cluster.POSIX, Mode: "weird"},
+		{ParticlesPerRank: 1, Tasks: 1, API: cluster.POSIX, Mode: FilePerGroup, GroupSize: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRunBothPhases(t *testing.T) {
+	run, err := runner(1).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(40) * 2_000_000 * BytesPerParticle
+	if run.Checkpoint.Bytes != wantBytes || run.Restart.Bytes != wantBytes {
+		t.Errorf("bytes = %d/%d, want %d", run.Checkpoint.Bytes, run.Restart.Bytes, wantBytes)
+	}
+	if run.Checkpoint.BandwidthMiBps <= 0 || run.Restart.BandwidthMiBps <= 0 {
+		t.Error("non-positive bandwidth")
+	}
+	if run.Restart.BandwidthMiBps <= run.Checkpoint.BandwidthMiBps {
+		t.Errorf("restart read (%.0f) should beat checkpoint write (%.0f)",
+			run.Restart.BandwidthMiBps, run.Checkpoint.BandwidthMiBps)
+	}
+	if run.Nodes != 2 {
+		t.Errorf("nodes = %d", run.Nodes)
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	results := map[FileMode]float64{}
+	for _, mode := range []FileMode{SingleSharedFile, FilePerProcess, FilePerGroup} {
+		c := Default()
+		c.Mode = mode
+		c.API = cluster.POSIX
+		run, err := runner(42).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[mode] = run.Checkpoint.BandwidthMiBps
+	}
+	// File-per-group should beat single-shared-file (less lock contention).
+	if results[FilePerGroup] <= results[SingleSharedFile] {
+		t.Errorf("file-per-group (%.0f) should beat single-shared-file (%.0f)",
+			results[FilePerGroup], results[SingleSharedFile])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := runner(7).Run(Default())
+	b, _ := runner(7).Run(Default())
+	if a.Checkpoint != b.Checkpoint || a.Restart != b.Restart {
+		t.Error("same-seed runs differ")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	nr := &Runner{}
+	if _, err := nr.Run(Default()); err == nil {
+		t.Error("want error for missing machine")
+	}
+	c := Default()
+	c.Tasks = -1
+	if _, err := runner(1).Run(c); err == nil {
+		t.Error("want error for invalid config")
+	}
+	c = Default()
+	c.Tasks = 10_000_000
+	if _, err := runner(1).Run(c); err == nil {
+		t.Error("want error for oversubscription")
+	}
+}
+
+func TestOutputParseRoundTrip(t *testing.T) {
+	run, err := runner(3).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOutput(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"HACC_IO-1.0: HACC checkpoint/restart I/O benchmark",
+		"API        : MPIIO",
+		"Mode       : single-shared-file",
+		"Ranks      : 40 (2 nodes)",
+		"Particles  : 2000000 per rank (38 bytes each)",
+		"Checkpoint :",
+		"Restart    :",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+	p, err := ParseOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != Version || p.API != "MPIIO" || p.Mode != string(SingleSharedFile) {
+		t.Errorf("header: %+v", p)
+	}
+	if p.Ranks != 40 || p.Nodes != 2 || p.Particles != 2000000 {
+		t.Errorf("shape: %+v", p)
+	}
+	if math.Abs(p.Checkpoint.BandwidthMiBps-run.Checkpoint.BandwidthMiBps) > 0.01 {
+		t.Errorf("checkpoint bw parsed %v, want %v", p.Checkpoint.BandwidthMiBps, run.Checkpoint.BandwidthMiBps)
+	}
+	if p.Restart.Bytes != run.Restart.Bytes {
+		t.Errorf("restart bytes parsed %d, want %d", p.Restart.Bytes, run.Restart.Bytes)
+	}
+	if p.Began.IsZero() || !p.Finished.After(p.Began) {
+		t.Error("timestamps not parsed")
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := ParseOutput(strings.NewReader("zzz\n")); err == nil {
+		t.Error("garbage should not parse")
+	}
+}
+
+func TestSmallBufferTransfer(t *testing.T) {
+	c := Default()
+	c.ParticlesPerRank = 10 // 380 bytes per rank: transfer shrinks to fit
+	run, err := runner(2).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Checkpoint.Bytes != int64(40)*10*BytesPerParticle {
+		t.Errorf("bytes = %d", run.Checkpoint.Bytes)
+	}
+}

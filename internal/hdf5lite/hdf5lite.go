@@ -1,0 +1,603 @@
+// Package hdf5lite is a miniature HDF5-like high-level I/O library: a
+// hierarchical container of groups, attributes, and chunked datasets with
+// a compact binary file format, a property list holding the cross-layer
+// tunables (alignment, chunking, collective I/O, striping), and a
+// simulated parallel write/read path through the modelled I/O stack.
+//
+// It reproduces the role high-level libraries play in the paper's Fig. 1
+// stack and in the analyzed related work: H5Tuner (§II-A-4) "dynamically
+// sets the parameters of different levels of the I/O stack through the
+// HDF5 initialization function" from an external configuration file —
+// ApplyTunerConfig does exactly that here — and SCTuner's pattern
+// extractor hooks the same property plumbing.
+package hdf5lite
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Magic is the container signature.
+var Magic = [4]byte{'H', '5', 'L', '1'}
+
+// Dataset is a typed, optionally chunked array.
+type Dataset struct {
+	Name string
+	// Dims are the array dimensions; ElemSize the bytes per element.
+	Dims     []int64
+	ElemSize int
+	// ChunkDims partition the dataset for I/O; empty means contiguous.
+	ChunkDims []int64
+	Attrs     map[string]string
+	// Data holds the raw elements (row-major).
+	Data []byte
+}
+
+// Bytes returns the dataset's logical size.
+func (d *Dataset) Bytes() int64 {
+	n := int64(d.ElemSize)
+	for _, dim := range d.Dims {
+		n *= dim
+	}
+	return n
+}
+
+// Alloc materializes the dataset's backing buffer (idempotent) and
+// returns it.
+func (d *Dataset) Alloc() []byte {
+	if d.Data == nil {
+		d.Data = make([]byte, d.Bytes())
+	}
+	return d.Data
+}
+
+// ChunkBytes returns the size of one chunk (or the whole dataset when
+// contiguous).
+func (d *Dataset) ChunkBytes() int64 {
+	if len(d.ChunkDims) == 0 {
+		return d.Bytes()
+	}
+	n := int64(d.ElemSize)
+	for _, dim := range d.ChunkDims {
+		n *= dim
+	}
+	return n
+}
+
+// Group is one node of the hierarchy.
+type Group struct {
+	Name     string
+	Attrs    map[string]string
+	Groups   []*Group
+	Datasets []*Dataset
+}
+
+// File is a container.
+type File struct {
+	Root  *Group
+	Props PropertyList
+	// tuner, when attached, adapts properties online per access.
+	tuner *OnlineTuner
+}
+
+// NewFile returns an empty container with default properties.
+func NewFile() *File {
+	return &File{Root: &Group{Name: "/", Attrs: map[string]string{}}, Props: DefaultProperties()}
+}
+
+// CreateGroup adds (or returns) a child group under parent.
+func (g *Group) CreateGroup(name string) *Group {
+	for _, c := range g.Groups {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := &Group{Name: name, Attrs: map[string]string{}}
+	g.Groups = append(g.Groups, c)
+	return c
+}
+
+// CreateDataset adds a dataset under the group.
+func (g *Group) CreateDataset(name string, dims []int64, elemSize int) (*Dataset, error) {
+	if len(dims) == 0 || elemSize <= 0 {
+		return nil, fmt.Errorf("hdf5lite: dataset %q needs dimensions and element size", name)
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("hdf5lite: dataset %q has non-positive dimension", name)
+		}
+	}
+	for _, d := range g.Datasets {
+		if d.Name == name {
+			return nil, fmt.Errorf("hdf5lite: dataset %q already exists", name)
+		}
+	}
+	// Data stays nil until Alloc: huge simulated datasets never touch
+	// memory, and real payloads allocate on demand.
+	ds := &Dataset{Name: name, Dims: append([]int64(nil), dims...), ElemSize: elemSize, Attrs: map[string]string{}}
+	g.Datasets = append(g.Datasets, ds)
+	return ds, nil
+}
+
+// Lookup resolves a slash path ("/checkpoint/particles") to a dataset.
+func (f *File) Lookup(path string) (*Dataset, error) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("hdf5lite: empty path")
+	}
+	g := f.Root
+	for _, p := range parts[:len(parts)-1] {
+		var next *Group
+		for _, c := range g.Groups {
+			if c.Name == p {
+				next = c
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("hdf5lite: no group %q in path %q", p, path)
+		}
+		g = next
+	}
+	for _, d := range g.Datasets {
+		if d.Name == parts[len(parts)-1] {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("hdf5lite: no dataset %q", path)
+}
+
+// PropertyList carries the cross-layer tunables the paper's Fig. 1 stack
+// exposes: library-level alignment and chunk cache, middleware-level
+// collective I/O, and file-system-level striping.
+type PropertyList struct {
+	Alignment    int64 `xml:"hdf5>alignment"`
+	ChunkBytes   int64 `xml:"hdf5>chunk_bytes"`
+	SieveBufSize int64 `xml:"hdf5>sieve_buf_size"`
+	Collective   bool  `xml:"mpiio>collective"`
+	StripeCount  int   `xml:"pfs>stripe_count"`
+}
+
+// DefaultProperties mirrors HDF5's famously conservative defaults: small
+// metadata-friendly chunks, independent MPI-IO, file system defaults.
+func DefaultProperties() PropertyList {
+	return PropertyList{
+		Alignment:    2048,
+		ChunkBytes:   64 * units.KiB,
+		SieveBufSize: 64 * units.KiB,
+		Collective:   false,
+		StripeCount:  0,
+	}
+}
+
+// tunerDoc is the H5Tuner-style XML configuration file layout.
+type tunerDoc struct {
+	XMLName xml.Name `xml:"tuner"`
+	HDF5    struct {
+		Alignment    int64 `xml:"alignment"`
+		ChunkBytes   int64 `xml:"chunk_bytes"`
+		SieveBufSize int64 `xml:"sieve_buf_size"`
+	} `xml:"hdf5"`
+	MPIIO struct {
+		Collective string `xml:"collective"`
+	} `xml:"mpiio"`
+	PFS struct {
+		StripeCount int `xml:"stripe_count"`
+	} `xml:"pfs"`
+}
+
+// ApplyTunerConfig parses an H5Tuner-style XML document and overlays its
+// settings onto the property list — the "dynamically set the parameters
+// of different levels of the I/O stack through the initialization
+// function" mechanism. Zero-valued fields leave the current setting.
+func (f *File) ApplyTunerConfig(r io.Reader) error {
+	var doc tunerDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("hdf5lite: tuner config: %w", err)
+	}
+	if doc.HDF5.Alignment > 0 {
+		f.Props.Alignment = doc.HDF5.Alignment
+	}
+	if doc.HDF5.ChunkBytes > 0 {
+		f.Props.ChunkBytes = doc.HDF5.ChunkBytes
+	}
+	if doc.HDF5.SieveBufSize > 0 {
+		f.Props.SieveBufSize = doc.HDF5.SieveBufSize
+	}
+	switch strings.ToLower(strings.TrimSpace(doc.MPIIO.Collective)) {
+	case "true", "enable", "enabled", "1", "yes":
+		f.Props.Collective = true
+	case "false", "disable", "disabled", "0", "no":
+		f.Props.Collective = false
+	case "":
+	default:
+		return fmt.Errorf("hdf5lite: tuner config: bad collective value %q", doc.MPIIO.Collective)
+	}
+	if doc.PFS.StripeCount > 0 {
+		f.Props.StripeCount = doc.PFS.StripeCount
+	}
+	return nil
+}
+
+// WriteDatasetParallel simulates tasks ranks collectively writing the
+// dataset through the modelled stack with the file's properties: the
+// chunk size becomes the transfer size, chunk-misalignment triggers the
+// shared-file penalty, and the middleware/PFS settings pass through.
+func (f *File) WriteDatasetParallel(m *cluster.Machine, path string, tasks, tasksPerNode int, src *rng.Source) (cluster.IOResult, error) {
+	return f.datasetIO(m, path, tasks, tasksPerNode, cluster.Write, src)
+}
+
+// ReadDatasetParallel simulates the matching parallel read (restart).
+func (f *File) ReadDatasetParallel(m *cluster.Machine, path string, tasks, tasksPerNode int, src *rng.Source) (cluster.IOResult, error) {
+	return f.datasetIO(m, path, tasks, tasksPerNode, cluster.Read, src)
+}
+
+func (f *File) datasetIO(m *cluster.Machine, path string, tasks, tasksPerNode int, op cluster.Op, src *rng.Source) (cluster.IOResult, error) {
+	if m == nil {
+		return cluster.IOResult{}, fmt.Errorf("hdf5lite: no machine")
+	}
+	ds, err := f.Lookup(path)
+	if err != nil {
+		return cluster.IOResult{}, err
+	}
+	if tasks <= 0 {
+		return cluster.IOResult{}, fmt.Errorf("hdf5lite: tasks must be positive")
+	}
+	perRank := ds.Bytes() / int64(tasks)
+	if perRank <= 0 {
+		return cluster.IOResult{}, fmt.Errorf("hdf5lite: dataset smaller than one byte per rank")
+	}
+	xfer := f.Props.ChunkBytes
+	if ds.ChunkBytes() < xfer {
+		xfer = ds.ChunkBytes()
+	}
+	if xfer <= 0 || xfer > perRank {
+		xfer = perRank
+	}
+	// Blocks must be transfer multiples; round the per-rank share down.
+	block := perRank - perRank%xfer
+	if block <= 0 {
+		block = xfer
+	}
+	req := cluster.IORequest{
+		Op:           op,
+		API:          cluster.HDF5,
+		Tasks:        tasks,
+		TasksPerNode: tasksPerNode,
+		TransferSize: xfer,
+		BlockSize:    block,
+		Segments:     1,
+		FilePerProc:  false, // HDF5 containers are shared by design
+		Collective:   f.Props.Collective,
+		StripeCount:  f.Props.StripeCount,
+		ReorderTasks: true,
+	}
+	return m.Simulate(req, src)
+}
+
+// --- binary codec -------------------------------------------------------
+
+// Encode writes the container: magic, then a zlib-compressed tree.
+func Encode(w io.Writer, f *File) error {
+	if _, err := w.Write(Magic[:]); err != nil {
+		return err
+	}
+	zw := zlib.NewWriter(w)
+	if err := encodeProps(zw, f.Props); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := encodeGroup(zw, f.Root); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// Decode reads a container written by Encode.
+func Decode(r io.Reader) (*File, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("hdf5lite: short header: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("hdf5lite: bad magic %q", magic[:])
+	}
+	zr, err := zlib.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("hdf5lite: corrupt body: %w", err)
+	}
+	defer zr.Close()
+	f := &File{}
+	if f.Props, err = decodeProps(zr); err != nil {
+		return nil, err
+	}
+	if f.Root, err = decodeGroup(zr); err != nil {
+		return nil, err
+	}
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("hdf5lite: corrupt trailer: %w", err)
+	}
+	return f, nil
+}
+
+var le = binary.LittleEndian
+
+func encodeProps(w io.Writer, p PropertyList) error {
+	coll := int64(0)
+	if p.Collective {
+		coll = 1
+	}
+	for _, v := range []int64{p.Alignment, p.ChunkBytes, p.SieveBufSize, coll, int64(p.StripeCount)} {
+		if err := binary.Write(w, le, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeProps(r io.Reader) (PropertyList, error) {
+	var vals [5]int64
+	for i := range vals {
+		if err := binary.Read(r, le, &vals[i]); err != nil {
+			return PropertyList{}, fmt.Errorf("hdf5lite: truncated properties: %w", err)
+		}
+	}
+	return PropertyList{
+		Alignment: vals[0], ChunkBytes: vals[1], SieveBufSize: vals[2],
+		Collective: vals[3] != 0, StripeCount: int(vals[4]),
+	}, nil
+}
+
+const maxItems = 1 << 20
+
+func encodeGroup(w io.Writer, g *Group) error {
+	if err := writeString(w, g.Name); err != nil {
+		return err
+	}
+	if err := writeAttrs(w, g.Attrs); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, uint32(len(g.Datasets))); err != nil {
+		return err
+	}
+	for _, d := range g.Datasets {
+		if err := encodeDataset(w, d); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, le, uint32(len(g.Groups))); err != nil {
+		return err
+	}
+	for _, c := range g.Groups {
+		if err := encodeGroup(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeGroup(r io.Reader) (*Group, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := readAttrs(r)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{Name: name, Attrs: attrs}
+	var nds uint32
+	if err := binary.Read(r, le, &nds); err != nil {
+		return nil, err
+	}
+	if nds > maxItems {
+		return nil, fmt.Errorf("hdf5lite: unreasonable dataset count %d", nds)
+	}
+	for i := uint32(0); i < nds; i++ {
+		d, err := decodeDataset(r)
+		if err != nil {
+			return nil, err
+		}
+		g.Datasets = append(g.Datasets, d)
+	}
+	var ngs uint32
+	if err := binary.Read(r, le, &ngs); err != nil {
+		return nil, err
+	}
+	if ngs > maxItems {
+		return nil, fmt.Errorf("hdf5lite: unreasonable group count %d", ngs)
+	}
+	for i := uint32(0); i < ngs; i++ {
+		c, err := decodeGroup(r)
+		if err != nil {
+			return nil, err
+		}
+		g.Groups = append(g.Groups, c)
+	}
+	return g, nil
+}
+
+func encodeDataset(w io.Writer, d *Dataset) error {
+	if err := writeString(w, d.Name); err != nil {
+		return err
+	}
+	if err := writeDims(w, d.Dims); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, int64(d.ElemSize)); err != nil {
+		return err
+	}
+	if err := writeDims(w, d.ChunkDims); err != nil {
+		return err
+	}
+	if err := writeAttrs(w, d.Attrs); err != nil {
+		return err
+	}
+	if err := binary.Write(w, le, uint64(len(d.Data))); err != nil {
+		return err
+	}
+	_, err := w.Write(d.Data)
+	return err
+}
+
+func decodeDataset(r io.Reader) (*Dataset, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := readDims(r)
+	if err != nil {
+		return nil, err
+	}
+	var elem int64
+	if err := binary.Read(r, le, &elem); err != nil {
+		return nil, err
+	}
+	chunks, err := readDims(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := readAttrs(r)
+	if err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<32 {
+		return nil, fmt.Errorf("hdf5lite: unreasonable data size %d", n)
+	}
+	// Zero-length data decodes to nil so unallocated datasets round-trip
+	// exactly.
+	var data []byte
+	if n > 0 {
+		data = make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("hdf5lite: truncated data: %w", err)
+		}
+	}
+	return &Dataset{Name: name, Dims: dims, ElemSize: int(elem), ChunkDims: chunks, Attrs: attrs, Data: data}, nil
+}
+
+func writeDims(w io.Writer, dims []int64) error {
+	if err := binary.Write(w, le, uint32(len(dims))); err != nil {
+		return err
+	}
+	for _, d := range dims {
+		if err := binary.Write(w, le, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readDims(r io.Reader) ([]int64, error) {
+	var n uint32
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("hdf5lite: unreasonable rank %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	dims := make([]int64, n)
+	for i := range dims {
+		if err := binary.Read(r, le, &dims[i]); err != nil {
+			return nil, err
+		}
+	}
+	return dims, nil
+}
+
+func writeAttrs(w io.Writer, attrs map[string]string) error {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := binary.Write(w, le, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := writeString(w, k); err != nil {
+			return err
+		}
+		if err := writeString(w, attrs[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAttrs(r io.Reader) (map[string]string, error) {
+	var n uint32
+	if err := binary.Read(r, le, &n); err != nil {
+		return nil, err
+	}
+	if n > maxItems {
+		return nil, fmt.Errorf("hdf5lite: unreasonable attribute count %d", n)
+	}
+	out := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("hdf5lite: string too long (%d)", len(s))
+	}
+	if err := binary.Write(w, le, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, le, &n); err != nil {
+		return "", fmt.Errorf("hdf5lite: truncated string: %w", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("hdf5lite: truncated string body: %w", err)
+	}
+	return string(buf), nil
+}
+
+// Marshal/Unmarshal are byte-slice conveniences.
+func Marshal(f *File) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a container from bytes.
+func Unmarshal(b []byte) (*File, error) {
+	return Decode(bytes.NewReader(b))
+}

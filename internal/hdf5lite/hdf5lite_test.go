@@ -1,0 +1,276 @@
+package hdf5lite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sctuner"
+	"repro/internal/units"
+)
+
+func sampleFile(t *testing.T) *File {
+	t.Helper()
+	f := NewFile()
+	f.Root.Attrs["creator"] = "iokc"
+	ckpt := f.Root.CreateGroup("checkpoint")
+	ckpt.Attrs["step"] = "42"
+	parts, err := ckpt.CreateDataset("particles", []int64{1000, 38}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts.ChunkDims = []int64{100, 38}
+	parts.Attrs["unit"] = "raw"
+	parts.Alloc()
+	for i := range parts.Data {
+		parts.Data[i] = byte(i)
+	}
+	if _, err := ckpt.CreateDataset("energies", []int64{1000}, 8); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHierarchyAndLookup(t *testing.T) {
+	f := sampleFile(t)
+	ds, err := f.Lookup("/checkpoint/particles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Bytes() != 38000 || ds.ChunkBytes() != 3800 {
+		t.Errorf("sizes: %d / %d", ds.Bytes(), ds.ChunkBytes())
+	}
+	if _, err := f.Lookup("/checkpoint/missing"); err == nil {
+		t.Error("missing dataset should fail")
+	}
+	if _, err := f.Lookup("/nope/particles"); err == nil {
+		t.Error("missing group should fail")
+	}
+	if _, err := f.Lookup(""); err == nil {
+		t.Error("empty path should fail")
+	}
+	// CreateGroup is idempotent.
+	if f.Root.CreateGroup("checkpoint") != f.Root.Groups[0] {
+		t.Error("CreateGroup duplicated a group")
+	}
+	// Duplicate dataset rejected.
+	if _, err := f.Root.Groups[0].CreateDataset("particles", []int64{1}, 1); err == nil {
+		t.Error("duplicate dataset should fail")
+	}
+	if _, err := f.Root.CreateDataset("bad", nil, 1); err == nil {
+		t.Error("no dims should fail")
+	}
+	if _, err := f.Root.CreateDataset("bad", []int64{0}, 1); err == nil {
+		t.Error("zero dim should fail")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := sampleFile(t)
+	f.Props.Collective = true
+	f.Props.StripeCount = 16
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Props, got.Props) {
+		t.Errorf("props: %+v vs %+v", got.Props, f.Props)
+	}
+	if !reflect.DeepEqual(f.Root, got.Root) {
+		t.Errorf("tree mismatch")
+	}
+	// Determinism.
+	again, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data, again) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestCodecCorruption(t *testing.T) {
+	data, _ := Marshal(sampleFile(t))
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	for _, n := range []int{0, 3, 8, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal(data[:n]); err == nil {
+			t.Errorf("truncation at %d should fail", n)
+		}
+	}
+}
+
+func TestApplyTunerConfig(t *testing.T) {
+	f := NewFile()
+	cfg := `<tuner>
+  <hdf5><alignment>1048576</alignment><chunk_bytes>2097152</chunk_bytes></hdf5>
+  <mpiio><collective>enable</collective></mpiio>
+  <pfs><stripe_count>16</stripe_count></pfs>
+</tuner>`
+	if err := f.ApplyTunerConfig(strings.NewReader(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Props.Alignment != units.MiB || f.Props.ChunkBytes != 2*units.MiB {
+		t.Errorf("hdf5 level not applied: %+v", f.Props)
+	}
+	if !f.Props.Collective {
+		t.Error("mpiio level not applied")
+	}
+	if f.Props.StripeCount != 16 {
+		t.Error("pfs level not applied")
+	}
+	// Unset fields keep existing values.
+	prev := f.Props
+	if err := f.ApplyTunerConfig(strings.NewReader("<tuner></tuner>")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Props != prev {
+		t.Errorf("empty config changed props: %+v", f.Props)
+	}
+	// Collective can be turned off again.
+	if err := f.ApplyTunerConfig(strings.NewReader("<tuner><mpiio><collective>disable</collective></mpiio></tuner>")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Props.Collective {
+		t.Error("collective not disabled")
+	}
+	if err := f.ApplyTunerConfig(strings.NewReader("<tuner><mpiio><collective>maybe</collective></mpiio></tuner>")); err == nil {
+		t.Error("bad collective value should fail")
+	}
+	if err := f.ApplyTunerConfig(strings.NewReader("<notxml")); err == nil {
+		t.Error("bad xml should fail")
+	}
+}
+
+func bigDatasetFile(t *testing.T) *File {
+	t.Helper()
+	f := NewFile()
+	g := f.Root.CreateGroup("checkpoint")
+	// 80 ranks × 64 MiB each = 5 GiB logical dataset; Data stays
+	// unallocated — the simulated I/O path never touches the bytes.
+	if _, err := g.CreateDataset("field", []int64{80, 64 * 1024}, 1024); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTunedWriteBeatsDefaults(t *testing.T) {
+	m := cluster.FuchsCSC()
+	src := rng.New(7)
+
+	f := bigDatasetFile(t)
+	def, err := f.WriteDatasetParallel(m, "/checkpoint/field", 80, 20, src.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tuned := bigDatasetFile(t)
+	cfg := `<tuner>
+  <hdf5><alignment>1048576</alignment><chunk_bytes>4194304</chunk_bytes></hdf5>
+  <mpiio><collective>enable</collective></mpiio>
+  <pfs><stripe_count>16</stripe_count></pfs>
+</tuner>`
+	if err := tuned.ApplyTunerConfig(strings.NewReader(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := tuned.WriteDatasetParallel(m, "/checkpoint/field", 80, 20, src.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The H5Tuner claim: external tuning of stack parameters improves the
+	// untouched application's I/O considerably.
+	if opt.BandwidthMiBps < def.BandwidthMiBps*1.5 {
+		t.Errorf("tuned write %.0f MiB/s should clearly beat default %.0f MiB/s",
+			opt.BandwidthMiBps, def.BandwidthMiBps)
+	}
+	// Reads work too.
+	rd, err := tuned.ReadDatasetParallel(m, "/checkpoint/field", 80, 20, src.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.BandwidthMiBps <= 0 {
+		t.Error("read produced no bandwidth")
+	}
+}
+
+func TestDatasetIOErrors(t *testing.T) {
+	m := cluster.FuchsCSC()
+	f := sampleFile(t)
+	src := rng.New(1)
+	if _, err := f.WriteDatasetParallel(nil, "/checkpoint/particles", 4, 2, src); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := f.WriteDatasetParallel(m, "/missing", 4, 2, src); err == nil {
+		t.Error("missing dataset should fail")
+	}
+	if _, err := f.WriteDatasetParallel(m, "/checkpoint/particles", 0, 2, src); err == nil {
+		t.Error("zero tasks should fail")
+	}
+	// More ranks than bytes.
+	if _, err := f.WriteDatasetParallel(m, "/checkpoint/particles", 1000000, 20, src); err == nil {
+		t.Error("oversubscribed dataset should fail")
+	}
+}
+
+func TestOnlineTuning(t *testing.T) {
+	m := cluster.FuchsCSC()
+	space := sctuner.DefaultSpace()
+	profile, err := sctuner.Build(m, space, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+
+	// Untuned defaults for reference.
+	plain := bigDatasetFile(t)
+	ref, err := plain.WriteDatasetParallelTuned(m, "/checkpoint/field", 80, 20, src.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tuned := bigDatasetFile(t)
+	tuner := &OnlineTuner{Profile: profile, Classes: space.Patterns}
+	if err := tuned.AttachTuner(tuner); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuned.WriteDatasetParallelTuned(m, "/checkpoint/field", 80, 20, src.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The online path should approach the offline-tuned performance with
+	// zero application changes.
+	if res.BandwidthMiBps < ref.BandwidthMiBps*1.5 {
+		t.Errorf("online-tuned write %.0f should clearly beat defaults %.0f",
+			res.BandwidthMiBps, ref.BandwidthMiBps)
+	}
+	// The decision trail records what was applied.
+	if len(tuner.Decisions) != 1 {
+		t.Fatalf("decisions = %d", len(tuner.Decisions))
+	}
+	d := tuner.Decisions[0]
+	if d.Dataset != "/checkpoint/field" || d.Pattern.Tasks != 80 {
+		t.Errorf("decision = %+v", d)
+	}
+	if d.Applied.TransferSize <= 64*units.KiB {
+		t.Errorf("tuner applied a tiny transfer: %+v", d.Applied)
+	}
+}
+
+func TestAttachTunerErrors(t *testing.T) {
+	f := NewFile()
+	if err := f.AttachTuner(nil); err == nil {
+		t.Error("nil tuner should fail")
+	}
+	if err := f.AttachTuner(&OnlineTuner{}); err == nil {
+		t.Error("tuner without profile should fail")
+	}
+}

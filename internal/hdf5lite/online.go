@@ -1,0 +1,75 @@
+package hdf5lite
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sctuner"
+)
+
+// OnlineTuner implements the paper's online optimization mode (§IV): an
+// I/O pattern extractor inside the high-level library observes each
+// parallel access, matches it against a profiled knowledge base (the
+// SCTuner statistical profile), and injects the best-known configuration
+// into the property list before the access is issued — no application
+// changes, exactly the SCTuner/H5Tuner integration the paper sketches for
+// its optimization module.
+type OnlineTuner struct {
+	Profile *sctuner.Profile
+	Classes []sctuner.PatternClass
+	// Decisions records what the tuner applied, newest last, so the
+	// knowledge cycle can persist the online decisions as new knowledge.
+	Decisions []TuningDecision
+}
+
+// TuningDecision is one online adjustment.
+type TuningDecision struct {
+	Dataset string
+	Pattern sctuner.Pattern
+	Applied sctuner.Config
+}
+
+// AttachTuner enables online tuning on the file. Subsequent
+// WriteDatasetParallel/ReadDatasetParallel calls consult the tuner first.
+func (f *File) AttachTuner(t *OnlineTuner) error {
+	if t == nil || t.Profile == nil || len(t.Classes) == 0 {
+		return fmt.Errorf("hdf5lite: tuner needs a profile and pattern classes")
+	}
+	f.tuner = t
+	return nil
+}
+
+// tune extracts the access pattern and overlays the recommended
+// configuration onto the property list.
+func (t *OnlineTuner) tune(f *File, path string, tasks int, perRank int64) error {
+	pat := sctuner.Pattern{Tasks: tasks, BurstSize: perRank}
+	rec, err := t.Profile.Recommend(t.Classes, pat)
+	if err != nil {
+		return fmt.Errorf("hdf5lite: online tuning: %w", err)
+	}
+	f.Props.ChunkBytes = rec.Config.TransferSize
+	f.Props.Collective = rec.Config.Collective
+	f.Props.StripeCount = rec.Config.StripeCount
+	t.Decisions = append(t.Decisions, TuningDecision{Dataset: path, Pattern: pat, Applied: rec.Config})
+	return nil
+}
+
+// WriteDatasetParallelTuned is WriteDatasetParallel with the attached
+// online tuner consulted first; without a tuner it behaves identically.
+func (f *File) WriteDatasetParallelTuned(m *cluster.Machine, path string, tasks, tasksPerNode int, src *rng.Source) (cluster.IOResult, error) {
+	if f.tuner != nil {
+		ds, err := f.Lookup(path)
+		if err != nil {
+			return cluster.IOResult{}, err
+		}
+		if tasks > 0 {
+			if perRank := ds.Bytes() / int64(tasks); perRank > 0 {
+				if err := f.tuner.tune(f, path, tasks, perRank); err != nil {
+					return cluster.IOResult{}, err
+				}
+			}
+		}
+	}
+	return f.WriteDatasetParallel(m, path, tasks, tasksPerNode, src)
+}

@@ -1,0 +1,494 @@
+// Package io500 reimplements the IO500 benchmark as a simulator. IO500
+// combines IOR and mdtest "easy" and "hard" boundary test cases plus a
+// parallel find into bandwidth, metadata, and total scores (geometric
+// means). The paper integrates IO500 as a second knowledge generator and
+// bases its bounding-box anomaly detection (after Liem et al.) on the four
+// ior boundary cases; this package provides those runs, the scoring, and
+// an output writer/parser in the IO500 result-summary format.
+package io500
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+	"repro/internal/mdtest"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Version is the emitted IO500 release string.
+const Version = "io500-sc22"
+
+// Phase names in schedule order. The "timestamp" phase of the real harness
+// is a no-op and is not scored.
+const (
+	IorEasyWrite     = "ior-easy-write"
+	MdtestEasyWrite  = "mdtest-easy-write"
+	IorHardWrite     = "ior-hard-write"
+	MdtestHardWrite  = "mdtest-hard-write"
+	Find             = "find"
+	IorEasyRead      = "ior-easy-read"
+	MdtestEasyStat   = "mdtest-easy-stat"
+	IorHardRead      = "ior-hard-read"
+	MdtestHardStat   = "mdtest-hard-stat"
+	MdtestEasyDelete = "mdtest-easy-delete"
+	MdtestHardRead   = "mdtest-hard-read"
+	MdtestHardDelete = "mdtest-hard-delete"
+)
+
+// BandwidthPhases are the four boundary cases scored in GiB/s; they are
+// also the axes of the Liem et al. bounding box used in the paper's Fig. 6.
+var BandwidthPhases = []string{IorEasyWrite, IorHardWrite, IorEasyRead, IorHardRead}
+
+// MetadataPhases are the eight cases scored in kIOPS.
+var MetadataPhases = []string{
+	MdtestEasyWrite, MdtestHardWrite, Find, MdtestEasyStat,
+	MdtestHardStat, MdtestEasyDelete, MdtestHardRead, MdtestHardDelete,
+}
+
+// ScheduleOrder is the execution order of all scored phases.
+var ScheduleOrder = []string{
+	IorEasyWrite, MdtestEasyWrite, IorHardWrite, MdtestHardWrite, Find,
+	IorEasyRead, MdtestEasyStat, IorHardRead, MdtestHardStat,
+	MdtestEasyDelete, MdtestHardRead, MdtestHardDelete,
+}
+
+// Config describes one IO500 execution.
+type Config struct {
+	Tasks        int
+	TasksPerNode int
+	// EasyBlockPerProc is the per-process data volume of ior-easy.
+	EasyBlockPerProc int64
+	// HardSegments is the number of 47008-byte segments per process in
+	// ior-hard.
+	HardSegments int
+	// EasyFilesPerProc / HardFilesPerProc are the mdtest item counts.
+	EasyFilesPerProc int
+	HardFilesPerProc int
+	ResultDir        string
+}
+
+// HardTransfer is ior-hard's fixed, deliberately awkward transfer size.
+const HardTransfer = 47008
+
+// Default returns an IO500 configuration sized like the paper's 40-core
+// FUCHS-CSC run.
+func Default() Config {
+	return Config{
+		Tasks:            40,
+		TasksPerNode:     20,
+		EasyBlockPerProc: 512 * units.MiB,
+		HardSegments:     6000,
+		EasyFilesPerProc: 10000,
+		HardFilesPerProc: 2000,
+		ResultDir:        "/scratch/io500",
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Tasks <= 0 {
+		return fmt.Errorf("io500: tasks must be positive")
+	}
+	if c.EasyBlockPerProc <= 0 || c.HardSegments <= 0 {
+		return fmt.Errorf("io500: ior phase sizes must be positive")
+	}
+	if c.EasyFilesPerProc <= 0 || c.HardFilesPerProc <= 0 {
+		return fmt.Errorf("io500: mdtest item counts must be positive")
+	}
+	return nil
+}
+
+// PhaseResult is one scored phase.
+type PhaseResult struct {
+	Phase string
+	// Value is GiB/s for bandwidth phases, kIOPS for metadata phases.
+	Value   float64
+	Seconds float64
+}
+
+// Scores holds the three IO500 scores.
+type Scores struct {
+	BandwidthGiBps float64
+	IOPSk          float64
+	Total          float64
+}
+
+// Run is one complete IO500 execution.
+type Run struct {
+	Config   Config
+	Began    time.Time
+	Finished time.Time
+	Results  []PhaseResult
+	Score    Scores
+}
+
+// Result returns the named phase result, or false when absent.
+func (r *Run) Result(phase string) (PhaseResult, bool) {
+	for _, p := range r.Results {
+		if p.Phase == phase {
+			return p, true
+		}
+	}
+	return PhaseResult{}, false
+}
+
+// Runner executes IO500 on a modelled machine.
+type Runner struct {
+	Machine *cluster.Machine
+	Seed    uint64
+	Clock   time.Time
+	// BeforePhase, when non-nil, runs before each scored phase;
+	// experiments use it for fault injection.
+	BeforePhase func(phase string, m *cluster.Machine)
+}
+
+var referenceClock = time.Date(2022, 7, 8, 9, 0, 0, 0, time.UTC)
+
+// Run executes the full IO500 schedule and computes the scores.
+func (r *Runner) Run(cfg Config) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Machine == nil {
+		return nil, fmt.Errorf("io500: runner has no machine")
+	}
+	clock := r.Clock
+	if clock.IsZero() {
+		clock = referenceClock
+	}
+	src := rng.New(r.Seed)
+	run := &Run{Config: cfg, Began: clock}
+	elapsed := 0.0
+
+	iorPhase := func(phase string, op cluster.Op, hard bool) error {
+		if r.BeforePhase != nil {
+			r.BeforePhase(phase, r.Machine)
+		}
+		req := cluster.IORequest{
+			Op:           op,
+			API:          cluster.POSIX,
+			Tasks:        cfg.Tasks,
+			TasksPerNode: cfg.TasksPerNode,
+			ReorderTasks: true, // the harness defeats caching by design
+		}
+		if hard {
+			req.TransferSize = HardTransfer
+			req.BlockSize = HardTransfer
+			req.Segments = cfg.HardSegments
+			req.FilePerProc = false
+		} else {
+			req.TransferSize = 2 * units.MiB
+			req.BlockSize = cfg.EasyBlockPerProc
+			req.Segments = 1
+			req.FilePerProc = true
+		}
+		res, err := r.Machine.Simulate(req, src.Fork())
+		if err != nil {
+			return fmt.Errorf("io500: %s: %w", phase, err)
+		}
+		run.Results = append(run.Results, PhaseResult{
+			Phase:   phase,
+			Value:   res.BandwidthMiBps / 1024,
+			Seconds: res.TotalSec,
+		})
+		elapsed += res.TotalSec
+		return nil
+	}
+
+	mdPhase := func(phase string, kind cluster.MetaKind, hard bool) error {
+		if r.BeforePhase != nil {
+			r.BeforePhase(phase, r.Machine)
+		}
+		req := cluster.MetaRequest{
+			Kind:         kind,
+			Tasks:        cfg.Tasks,
+			ItemsPerTask: cfg.EasyFilesPerProc,
+			SharedDir:    false,
+		}
+		if hard {
+			req.ItemsPerTask = cfg.HardFilesPerProc
+			req.SharedDir = true
+			req.WriteBytes = 3901
+		}
+		res, err := r.Machine.SimulateMeta(req, src.Fork())
+		if err != nil {
+			return fmt.Errorf("io500: %s: %w", phase, err)
+		}
+		run.Results = append(run.Results, PhaseResult{
+			Phase:   phase,
+			Value:   res.OpsPerSec / 1000,
+			Seconds: res.TotalSec,
+		})
+		elapsed += res.TotalSec
+		return nil
+	}
+
+	findPhase := func() error {
+		if r.BeforePhase != nil {
+			r.BeforePhase(Find, r.Machine)
+		}
+		items := int64(cfg.Tasks) * int64(cfg.EasyFilesPerProc+cfg.HardFilesPerProc)
+		// A parallel namespace walk batches stats, scanning faster than
+		// individual stat RPCs.
+		rate := r.Machine.FS.MetaRate("stat") * 3.2
+		rate = src.Fork().Perturb(rate, 0.08)
+		sec := float64(items) / rate
+		run.Results = append(run.Results, PhaseResult{Phase: Find, Value: rate / 1000, Seconds: sec})
+		elapsed += sec
+		return nil
+	}
+
+	steps := []func() error{
+		func() error { return iorPhase(IorEasyWrite, cluster.Write, false) },
+		func() error { return mdPhase(MdtestEasyWrite, cluster.MetaCreate, false) },
+		func() error { return iorPhase(IorHardWrite, cluster.Write, true) },
+		func() error { return mdPhase(MdtestHardWrite, cluster.MetaCreate, true) },
+		findPhase,
+		func() error { return iorPhase(IorEasyRead, cluster.Read, false) },
+		func() error { return mdPhase(MdtestEasyStat, cluster.MetaStat, false) },
+		func() error { return iorPhase(IorHardRead, cluster.Read, true) },
+		func() error { return mdPhase(MdtestHardStat, cluster.MetaStat, true) },
+		func() error { return mdPhase(MdtestEasyDelete, cluster.MetaRemove, false) },
+		func() error { return mdPhase(MdtestHardRead, cluster.MetaRead, true) },
+		func() error { return mdPhase(MdtestHardDelete, cluster.MetaRemove, true) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	score, err := ComputeScores(run.Results)
+	if err != nil {
+		return nil, err
+	}
+	run.Score = score
+	run.Finished = run.Began.Add(time.Duration(elapsed * float64(time.Second)))
+	return run, nil
+}
+
+// ComputeScores derives the IO500 scores from phase results: geometric mean
+// of the bandwidth phases (GiB/s), geometric mean of the metadata phases
+// (kIOPS), and total = sqrt(bw × iops).
+func ComputeScores(results []PhaseResult) (Scores, error) {
+	byName := map[string]float64{}
+	for _, p := range results {
+		byName[p.Phase] = p.Value
+	}
+	var bws, mds []float64
+	for _, p := range BandwidthPhases {
+		v, ok := byName[p]
+		if !ok {
+			return Scores{}, fmt.Errorf("io500: missing phase %s", p)
+		}
+		bws = append(bws, v)
+	}
+	for _, p := range MetadataPhases {
+		v, ok := byName[p]
+		if !ok {
+			return Scores{}, fmt.Errorf("io500: missing phase %s", p)
+		}
+		mds = append(mds, v)
+	}
+	bw, err := stats.GeoMean(bws)
+	if err != nil {
+		return Scores{}, fmt.Errorf("io500: bandwidth score: %w", err)
+	}
+	md, err := stats.GeoMean(mds)
+	if err != nil {
+		return Scores{}, fmt.Errorf("io500: metadata score: %w", err)
+	}
+	total := sqrt(bw * md)
+	return Scores{BandwidthGiBps: bw, IOPSk: md, Total: total}, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations; avoids importing math for one call and stays
+	// precise to double rounding for the score's two printed decimals.
+	z := x
+	for i := 0; i < 64; i++ {
+		nz := (z + x/z) / 2
+		if nz == z {
+			break
+		}
+		z = nz
+	}
+	return z
+}
+
+const stampLayout = "2006-01-02 15:04:05"
+
+// WriteOutput renders the run in IO500 result-summary form.
+func WriteOutput(w io.Writer, run *Run) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IO500 version %s\n", Version)
+	fmt.Fprintf(&b, "[System] tasks %d tasks-per-node %d result-dir %s\n",
+		run.Config.Tasks, run.Config.TasksPerNode, run.Config.ResultDir)
+	fmt.Fprintf(&b, "[Began] %s\n", run.Began.Format(stampLayout))
+	for _, p := range run.Results {
+		unit := "kIOPS"
+		if isBandwidth(p.Phase) {
+			unit = "GiB/s"
+		}
+		fmt.Fprintf(&b, "[RESULT] %20s %15.6f %s : time %.3f seconds\n", p.Phase, p.Value, unit, p.Seconds)
+	}
+	fmt.Fprintf(&b, "[SCORE ] Bandwidth %f GiB/s : IOPS %f kiops : TOTAL %f\n",
+		run.Score.BandwidthGiBps, run.Score.IOPSk, run.Score.Total)
+	fmt.Fprintf(&b, "[Finished] %s\n", run.Finished.Format(stampLayout))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func isBandwidth(phase string) bool {
+	for _, p := range BandwidthPhases {
+		if p == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// ParsedRun is IO500 output decoded back into structured data.
+type ParsedRun struct {
+	Version  string
+	Tasks    int
+	TPN      int
+	Began    time.Time
+	Finished time.Time
+	Results  []PhaseResult
+	Score    Scores
+	HasScore bool
+}
+
+// Result returns the named parsed phase, or false when absent.
+func (p *ParsedRun) Result(phase string) (PhaseResult, bool) {
+	for _, r := range p.Results {
+		if r.Phase == phase {
+			return r, true
+		}
+	}
+	return PhaseResult{}, false
+}
+
+// ParseOutput decodes IO500 result-summary text.
+func ParseOutput(r io.Reader) (*ParsedRun, error) {
+	sc := bufio.NewScanner(r)
+	p := &ParsedRun{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "IO500 version"):
+			p.Version = strings.TrimSpace(strings.TrimPrefix(line, "IO500 version"))
+		case strings.HasPrefix(line, "[System]"):
+			f := strings.Fields(line)
+			for i := 0; i+1 < len(f); i++ {
+				switch f[i] {
+				case "tasks":
+					p.Tasks, _ = strconv.Atoi(f[i+1])
+				case "tasks-per-node":
+					p.TPN, _ = strconv.Atoi(f[i+1])
+				}
+			}
+		case strings.HasPrefix(line, "[Began]"):
+			p.Began = parseStamp(strings.TrimSpace(strings.TrimPrefix(line, "[Began]")))
+		case strings.HasPrefix(line, "[Finished]"):
+			p.Finished = parseStamp(strings.TrimSpace(strings.TrimPrefix(line, "[Finished]")))
+		case strings.HasPrefix(line, "[RESULT]"):
+			f := strings.Fields(line)
+			// [RESULT] <phase> <value> <unit> : time <sec> seconds
+			if len(f) < 8 {
+				continue
+			}
+			v, err1 := strconv.ParseFloat(f[2], 64)
+			sec, err2 := strconv.ParseFloat(f[6], 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			p.Results = append(p.Results, PhaseResult{Phase: f[1], Value: v, Seconds: sec})
+		case strings.HasPrefix(line, "[SCORE"):
+			f := strings.Fields(line)
+			for i := 0; i+1 < len(f); i++ {
+				switch f[i] {
+				case "Bandwidth":
+					p.Score.BandwidthGiBps, _ = strconv.ParseFloat(f[i+1], 64)
+				case "IOPS":
+					p.Score.IOPSk, _ = strconv.ParseFloat(f[i+1], 64)
+				case "TOTAL":
+					p.Score.Total, _ = strconv.ParseFloat(f[i+1], 64)
+				}
+			}
+			p.HasScore = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Version == "" && len(p.Results) == 0 {
+		return nil, fmt.Errorf("io500: input does not look like IO500 output")
+	}
+	return p, nil
+}
+
+func parseStamp(s string) time.Time {
+	t, err := time.Parse(stampLayout, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// ReuseIOR builds an ior.Config equivalent to one of the IO500 ior phases,
+// letting the workload generator emit stand-alone reproductions of a
+// boundary case.
+func (c Config) ReuseIOR(phase string) (ior.Config, error) {
+	cfg := ior.Default()
+	cfg.API = cluster.POSIX
+	cfg.NumTasks = c.Tasks
+	cfg.TasksPerNode = c.TasksPerNode
+	cfg.ReorderTasks = true
+	switch phase {
+	case IorEasyWrite, IorEasyRead:
+		cfg.TransferSize = 2 * units.MiB
+		cfg.BlockSize = c.EasyBlockPerProc
+		cfg.Segments = 1
+		cfg.FilePerProc = true
+	case IorHardWrite, IorHardRead:
+		cfg.TransferSize = HardTransfer
+		cfg.BlockSize = HardTransfer
+		cfg.Segments = c.HardSegments
+	default:
+		return cfg, fmt.Errorf("io500: %s is not an ior phase", phase)
+	}
+	cfg.WriteFile = phase == IorEasyWrite || phase == IorHardWrite
+	cfg.ReadFile = !cfg.WriteFile
+	cfg.TestFile = c.ResultDir + "/" + phase
+	return cfg, nil
+}
+
+// MdtestConfig builds an mdtest.Config equivalent to the easy or hard
+// namespace of an IO500 run.
+func (c Config) MdtestConfig(hard bool) mdtest.Config {
+	m := mdtest.Default()
+	m.Tasks = c.Tasks
+	m.TasksPerNode = c.TasksPerNode
+	m.Dir = c.ResultDir + "/mdtest"
+	if hard {
+		m.NumFiles = c.HardFilesPerProc
+		m.UniqueDir = false
+		m.WriteBytes = 3901
+	} else {
+		m.NumFiles = c.EasyFilesPerProc
+		m.UniqueDir = true
+	}
+	return m
+}

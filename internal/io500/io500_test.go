@@ -1,0 +1,302 @@
+package io500
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+)
+
+func runner(seed uint64) *Runner {
+	return &Runner{Machine: cluster.FuchsCSC(), Seed: seed}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Tasks: 40},
+		{Tasks: 40, EasyBlockPerProc: 1, HardSegments: 1},
+		{Tasks: 40, EasyBlockPerProc: 1, HardSegments: 1, EasyFilesPerProc: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRunCompleteSchedule(t *testing.T) {
+	run, err := runner(1).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 12 {
+		t.Fatalf("results = %d, want 12", len(run.Results))
+	}
+	for i, phase := range ScheduleOrder {
+		if run.Results[i].Phase != phase {
+			t.Errorf("phase %d = %s, want %s", i, run.Results[i].Phase, phase)
+		}
+		if run.Results[i].Value <= 0 || run.Results[i].Seconds <= 0 {
+			t.Errorf("%s: non-positive result %+v", phase, run.Results[i])
+		}
+	}
+	if !run.Finished.After(run.Began) {
+		t.Error("Finished should be after Began")
+	}
+}
+
+func TestBoundaryOrdering(t *testing.T) {
+	run, err := runner(2).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(p string) float64 {
+		r, ok := run.Result(p)
+		if !ok {
+			t.Fatalf("missing %s", p)
+		}
+		return r.Value
+	}
+	// The defining shape of the boundary cases: easy beats hard for both
+	// bandwidth and metadata, read beats write for easy I/O.
+	if get(IorEasyWrite) <= get(IorHardWrite) {
+		t.Errorf("ior-easy-write (%.2f) should beat ior-hard-write (%.2f)", get(IorEasyWrite), get(IorHardWrite))
+	}
+	if get(IorEasyRead) <= get(IorHardRead) {
+		t.Errorf("ior-easy-read should beat ior-hard-read")
+	}
+	if get(IorEasyRead) <= get(IorEasyWrite) {
+		t.Errorf("ior-easy-read (%.2f) should beat ior-easy-write (%.2f)", get(IorEasyRead), get(IorEasyWrite))
+	}
+	if get(MdtestEasyWrite) <= get(MdtestHardWrite) {
+		t.Errorf("mdtest-easy-write should beat mdtest-hard-write")
+	}
+	if get(MdtestEasyStat) <= get(MdtestEasyWrite) {
+		t.Errorf("stat should beat create")
+	}
+	// ior-hard write suffers more than ior-hard read (read-modify-write).
+	hardWR := get(IorHardWrite) / get(IorEasyWrite)
+	hardRR := get(IorHardRead) / get(IorEasyRead)
+	if hardWR >= hardRR {
+		t.Errorf("hard/easy write ratio (%.3f) should be below read ratio (%.3f)", hardWR, hardRR)
+	}
+}
+
+func TestScores(t *testing.T) {
+	run, err := runner(3).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.Score
+	if s.BandwidthGiBps <= 0 || s.IOPSk <= 0 || s.Total <= 0 {
+		t.Fatalf("scores: %+v", s)
+	}
+	want := math.Sqrt(s.BandwidthGiBps * s.IOPSk)
+	if math.Abs(s.Total-want) > 1e-6*want {
+		t.Errorf("total = %v, want sqrt(bw*iops) = %v", s.Total, want)
+	}
+	// Recompute from phase results.
+	again, err := ComputeScores(run.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(again.Total-s.Total) > 1e-9 {
+		t.Error("ComputeScores disagrees with run score")
+	}
+}
+
+func TestComputeScoresMissingPhase(t *testing.T) {
+	run, _ := runner(4).Run(Default())
+	if _, err := ComputeScores(run.Results[:5]); err == nil {
+		t.Error("want error for missing phases")
+	}
+	// Zero-valued phase breaks the geometric mean.
+	broken := append([]PhaseResult(nil), run.Results...)
+	broken[0].Value = 0
+	if _, err := ComputeScores(broken); err == nil {
+		t.Error("want error for zero phase value")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := runner(9).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runner(9).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Errorf("same-seed scores differ: %+v vs %+v", a.Score, b.Score)
+	}
+}
+
+func TestBeforePhaseInjection(t *testing.T) {
+	base, err := runner(5).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runner(5)
+	r.BeforePhase = func(phase string, m *cluster.Machine) {
+		m.ClearFaults()
+		if phase == IorEasyRead {
+			m.SetNodeFactor(1, 1, 0.45) // broken node during easy read
+		}
+	}
+	faulty, err := r.Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := base.Result(IorEasyRead)
+	f, _ := faulty.Result(IorEasyRead)
+	if ratio := f.Value / b.Value; ratio > 0.65 {
+		t.Errorf("broken node should depress ior-easy-read, ratio = %.2f", ratio)
+	}
+	// Hard read should be essentially unaffected (fault cleared).
+	bh, _ := base.Result(IorHardRead)
+	fh, _ := faulty.Result(IorHardRead)
+	if ratio := fh.Value / bh.Value; ratio < 0.8 {
+		t.Errorf("ior-hard-read should be unaffected, ratio = %.2f", ratio)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	nr := &Runner{}
+	if _, err := nr.Run(Default()); err == nil {
+		t.Error("want error for missing machine")
+	}
+	r := runner(1)
+	c := Default()
+	c.Tasks = 0
+	if _, err := r.Run(c); err == nil {
+		t.Error("want error for invalid config")
+	}
+	c = Default()
+	c.Tasks = 1000000
+	c.TasksPerNode = 20
+	if _, err := r.Run(c); err == nil {
+		t.Error("want error for oversubscription")
+	}
+}
+
+func TestOutputParseRoundTrip(t *testing.T) {
+	run, err := runner(6).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOutput(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"IO500 version io500-sc22",
+		"[RESULT]",
+		"ior-easy-write",
+		"mdtest-hard-delete",
+		"GiB/s : time",
+		"kIOPS : time",
+		"[SCORE ] Bandwidth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	p, err := ParseOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != Version || p.Tasks != 40 || p.TPN != 20 {
+		t.Errorf("header: %+v", p)
+	}
+	if len(p.Results) != 12 {
+		t.Fatalf("parsed %d results", len(p.Results))
+	}
+	if !p.HasScore {
+		t.Fatal("score not parsed")
+	}
+	if math.Abs(p.Score.Total-run.Score.Total) > 1e-4 {
+		t.Errorf("score total parsed %v, want %v", p.Score.Total, run.Score.Total)
+	}
+	pr, ok := p.Result(IorEasyWrite)
+	rr, _ := run.Result(IorEasyWrite)
+	if !ok || math.Abs(pr.Value-rr.Value) > 1e-4 {
+		t.Errorf("ior-easy-write parsed %v, want %v", pr.Value, rr.Value)
+	}
+	if p.Began.IsZero() || !p.Finished.After(p.Began) {
+		t.Error("timestamps not parsed")
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := ParseOutput(strings.NewReader("nothing here\n")); err == nil {
+		t.Error("garbage should not parse")
+	}
+}
+
+func TestReuseIOR(t *testing.T) {
+	c := Default()
+	easy, err := c.ReuseIOR(IorEasyWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !easy.FilePerProc || !easy.WriteFile || easy.ReadFile {
+		t.Errorf("easy write config: %+v", easy)
+	}
+	hard, err := c.ReuseIOR(IorHardRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.FilePerProc || hard.TransferSize != HardTransfer || !hard.ReadFile || hard.WriteFile {
+		t.Errorf("hard read config: %+v", hard)
+	}
+	if _, err := c.ReuseIOR(Find); err == nil {
+		t.Error("find is not an ior phase")
+	}
+}
+
+func TestMdtestConfig(t *testing.T) {
+	c := Default()
+	easy := c.MdtestConfig(false)
+	if !easy.UniqueDir || easy.WriteBytes != 0 || easy.NumFiles != c.EasyFilesPerProc {
+		t.Errorf("easy mdtest: %+v", easy)
+	}
+	hard := c.MdtestConfig(true)
+	if hard.UniqueDir || hard.WriteBytes != 3901 || hard.NumFiles != c.HardFilesPerProc {
+		t.Errorf("hard mdtest: %+v", hard)
+	}
+}
+
+// Property: scaling any single phase up never lowers the total score
+// (geometric-mean monotonicity).
+func TestScoreMonotonicityProperty(t *testing.T) {
+	base, err := runner(8).Run(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := ComputeScores(base.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(which uint8, boost uint8) bool {
+		scaled := append([]PhaseResult(nil), base.Results...)
+		i := int(which) % len(scaled)
+		scaled[i].Value *= 1 + float64(boost%100)/100
+		s1, err := ComputeScores(scaled)
+		if err != nil {
+			return false
+		}
+		return s1.Total >= s0.Total-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

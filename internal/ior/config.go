@@ -1,0 +1,338 @@
+// Package ior reimplements the IOR parallel I/O benchmark as a simulator:
+// it accepts IOR's command-line options, executes the described access
+// pattern against a cluster.Machine, and emits (and parses back) output in
+// the IOR-3.x text format. The knowledge cycle's generation phase runs this
+// engine, and the extraction phase parses its output — exactly the two
+// touch points the paper's prototype has with the real IOR.
+package ior
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+// Config mirrors the subset of IOR options the paper's experiments use,
+// plus the common tuning flags (collective I/O, stripe hints, unique dirs).
+type Config struct {
+	API          cluster.API // -a
+	BlockSize    int64       // -b
+	TransferSize int64       // -t
+	Segments     int         // -s
+	Repetitions  int         // -i
+	TestFile     string      // -o
+	NumTasks     int         // -N (0 = caller decides)
+	TasksPerNode int         // simulation placement; IOR infers from MPI
+
+	FilePerProc    bool // -F
+	ReorderTasks   bool // -C (reorderTasksConstant)
+	TaskOffset     int  // -Q
+	Fsync          bool // -e
+	KeepFile       bool // -k
+	Collective     bool // -c
+	WriteFile      bool // -w
+	ReadFile       bool // -r
+	UniqueDir      bool // -u
+	RandomOffset   bool // -z
+	DirectIO       bool // -B (O_DIRECT)
+	Deadline       int  // -D: stonewalling deadline in seconds (0 = off)
+	InterTestDelay int  // -d seconds
+
+	StripeCount int // simulation hint (PFS striping for the target file)
+}
+
+// Default returns IOR's defaults for the supported options.
+func Default() Config {
+	return Config{
+		API:          cluster.POSIX,
+		BlockSize:    units.MiB,
+		TransferSize: 256 * units.KiB,
+		Segments:     1,
+		Repetitions:  1,
+		TestFile:     "testFile",
+		TaskOffset:   1,
+		WriteFile:    true,
+		ReadFile:     true,
+	}
+}
+
+// normalizeDashes maps the unicode dashes that survive PDF copy-paste (the
+// paper's own command line uses en-dashes) back to ASCII hyphens.
+func normalizeDashes(s string) string {
+	r := strings.NewReplacer("–", "-", "—", "-", "−", "-")
+	return r.Replace(s)
+}
+
+// ParseCommandLine splits a full "ior ..." command string and parses it.
+func ParseCommandLine(cmd string) (Config, error) {
+	fields := strings.Fields(normalizeDashes(cmd))
+	if len(fields) > 0 && (fields[0] == "ior" || strings.HasSuffix(fields[0], "/ior")) {
+		fields = fields[1:]
+	}
+	return ParseArgs(fields)
+}
+
+// ParseArgs parses IOR-style arguments, e.g.
+// ["-a","mpiio","-b","4m","-t","2m","-s","40","-F","-C","-e","-i","6","-o","/scratch/t","-k"].
+func ParseArgs(args []string) (Config, error) {
+	cfg := Default()
+	// If any read/write selector appears, only the selected ops run;
+	// otherwise IOR performs both write and read.
+	cfg.WriteFile, cfg.ReadFile = false, false
+	explicitOp := false
+
+	need := func(i int, flag string) (string, error) {
+		if i+1 >= len(args) {
+			return "", fmt.Errorf("ior: flag %s requires a value", flag)
+		}
+		return args[i+1], nil
+	}
+	for i := 0; i < len(args); i++ {
+		a := normalizeDashes(args[i])
+		switch a {
+		case "-a":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			switch strings.ToUpper(v) {
+			case "POSIX":
+				cfg.API = cluster.POSIX
+			case "MPIIO":
+				cfg.API = cluster.MPIIO
+			case "HDF5":
+				cfg.API = cluster.HDF5
+			default:
+				return cfg, fmt.Errorf("ior: unsupported api %q", v)
+			}
+			i++
+		case "-b":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := units.ParseSize(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -b: %v", err)
+			}
+			cfg.BlockSize = n
+			i++
+		case "-t":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := units.ParseSize(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -t: %v", err)
+			}
+			cfg.TransferSize = n
+			i++
+		case "-s":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -s: %v", err)
+			}
+			cfg.Segments = n
+			i++
+		case "-i":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -i: %v", err)
+			}
+			cfg.Repetitions = n
+			i++
+		case "-o":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.TestFile = v
+			i++
+		case "-N":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -N: %v", err)
+			}
+			cfg.NumTasks = n
+			i++
+		case "-Q":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -Q: %v", err)
+			}
+			cfg.TaskOffset = n
+			i++
+		case "-d":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -d: %v", err)
+			}
+			cfg.InterTestDelay = n
+			i++
+		case "-D":
+			v, err := need(i, a)
+			if err != nil {
+				return cfg, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return cfg, fmt.Errorf("ior: -D: %v", err)
+			}
+			if n < 0 {
+				return cfg, fmt.Errorf("ior: -D must be non-negative")
+			}
+			cfg.Deadline = n
+			i++
+		case "-F":
+			cfg.FilePerProc = true
+		case "-C":
+			cfg.ReorderTasks = true
+		case "-e":
+			cfg.Fsync = true
+		case "-k":
+			cfg.KeepFile = true
+		case "-c":
+			cfg.Collective = true
+		case "-u":
+			cfg.UniqueDir = true
+		case "-z":
+			cfg.RandomOffset = true
+		case "-B":
+			cfg.DirectIO = true
+		case "-w":
+			cfg.WriteFile = true
+			explicitOp = true
+		case "-r":
+			cfg.ReadFile = true
+			explicitOp = true
+		case "-v", "-vv", "-vvv":
+			// verbosity: accepted, no effect on the simulation
+		default:
+			return cfg, fmt.Errorf("ior: unknown flag %q", a)
+		}
+	}
+	if !explicitOp {
+		cfg.WriteFile, cfg.ReadFile = true, true
+	}
+	return cfg, cfg.Validate()
+}
+
+// Validate reports configuration errors IOR itself would reject.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 || c.TransferSize <= 0 {
+		return fmt.Errorf("ior: block and transfer sizes must be positive")
+	}
+	if c.BlockSize%c.TransferSize != 0 {
+		return fmt.Errorf("ior: block size %d must be a multiple of transfer size %d", c.BlockSize, c.TransferSize)
+	}
+	if c.Segments <= 0 {
+		return fmt.Errorf("ior: segment count must be positive")
+	}
+	if c.Repetitions <= 0 {
+		return fmt.Errorf("ior: repetitions must be positive")
+	}
+	if !c.WriteFile && !c.ReadFile {
+		return fmt.Errorf("ior: nothing to do (neither write nor read)")
+	}
+	if c.TestFile == "" {
+		return fmt.Errorf("ior: test file name must not be empty")
+	}
+	return nil
+}
+
+// CommandLine renders the configuration back into an equivalent ior
+// invocation, used by the knowledge object and by the explorer's
+// "create configuration" feature.
+func (c Config) CommandLine() string {
+	var b strings.Builder
+	b.WriteString("ior")
+	fmt.Fprintf(&b, " -a %s", strings.ToLower(string(c.API)))
+	fmt.Fprintf(&b, " -b %s", units.FormatSize(c.BlockSize))
+	fmt.Fprintf(&b, " -t %s", units.FormatSize(c.TransferSize))
+	fmt.Fprintf(&b, " -s %d", c.Segments)
+	if c.NumTasks > 0 {
+		fmt.Fprintf(&b, " -N %d", c.NumTasks)
+	}
+	if c.FilePerProc {
+		b.WriteString(" -F")
+	}
+	if c.ReorderTasks {
+		b.WriteString(" -C")
+	}
+	if c.Fsync {
+		b.WriteString(" -e")
+	}
+	if c.Collective {
+		b.WriteString(" -c")
+	}
+	if c.UniqueDir {
+		b.WriteString(" -u")
+	}
+	if c.RandomOffset {
+		b.WriteString(" -z")
+	}
+	if c.DirectIO {
+		b.WriteString(" -B")
+	}
+	if c.Deadline > 0 {
+		fmt.Fprintf(&b, " -D %d", c.Deadline)
+	}
+	fmt.Fprintf(&b, " -i %d", c.Repetitions)
+	fmt.Fprintf(&b, " -o %s", c.TestFile)
+	if c.KeepFile {
+		b.WriteString(" -k")
+	}
+	if c.WriteFile && !c.ReadFile {
+		b.WriteString(" -w")
+	}
+	if c.ReadFile && !c.WriteFile {
+		b.WriteString(" -r")
+	}
+	return b.String()
+}
+
+// AccessMode returns IOR's "access" option string.
+func (c Config) AccessMode() string {
+	if c.FilePerProc {
+		return "file-per-process"
+	}
+	return "single-shared-file"
+}
+
+// TypeMode returns IOR's "type" option string.
+func (c Config) TypeMode() string {
+	if c.Collective {
+		return "collective"
+	}
+	return "independent"
+}
+
+// AggregateFileSize returns the bytes moved per operation per repetition
+// for ntasks ranks.
+func (c Config) AggregateFileSize(ntasks int) int64 {
+	return int64(ntasks) * c.BlockSize * int64(c.Segments)
+}

@@ -1,0 +1,133 @@
+package ior
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Version is the IOR release whose output format this simulator emits.
+const Version = "IOR-3.3.0"
+
+const timeLayout = "Mon Jan  2 15:04:05 2006"
+
+// WriteOutput renders the run in IOR-3.3 text form: banner, options block,
+// per-iteration results table, max lines, and the "Summary of all tests"
+// table. The knowledge extractor parses exactly this format.
+func WriteOutput(w io.Writer, run *Run) error {
+	cfg := run.Config
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "%s: MPI Coordinated Test of Parallel I/O\n", Version)
+	fmt.Fprintf(&b, "Began               : %s\n", run.Began.Format(timeLayout))
+	fmt.Fprintf(&b, "Command line        : %s\n", cfg.CommandLine())
+	fmt.Fprintf(&b, "Machine             : %s\n", run.Machine)
+	fmt.Fprintf(&b, "TestID              : 0\n")
+	fmt.Fprintf(&b, "StartTime           : %s\n", run.Began.Format(timeLayout))
+	fmt.Fprintf(&b, "\nOptions: \n")
+	fmt.Fprintf(&b, "api                 : %s\n", cfg.API)
+	fmt.Fprintf(&b, "apiVersion          : \n")
+	fmt.Fprintf(&b, "test filename       : %s\n", cfg.TestFile)
+	fmt.Fprintf(&b, "access              : %s\n", cfg.AccessMode())
+	fmt.Fprintf(&b, "type                : %s\n", cfg.TypeMode())
+	fmt.Fprintf(&b, "segments            : %d\n", cfg.Segments)
+	fmt.Fprintf(&b, "ordering in a file  : %s\n", orderingInFile(cfg))
+	fmt.Fprintf(&b, "ordering inter file : %s\n", orderingInterFile(cfg))
+	if cfg.ReorderTasks {
+		fmt.Fprintf(&b, "task offset         : %d\n", cfg.TaskOffset)
+	}
+	fmt.Fprintf(&b, "nodes               : %d\n", run.Nodes)
+	fmt.Fprintf(&b, "tasks               : %d\n", run.Tasks)
+	fmt.Fprintf(&b, "clients per node    : %d\n", run.TPN)
+	fmt.Fprintf(&b, "repetitions         : %d\n", cfg.Repetitions)
+	fmt.Fprintf(&b, "xfersize            : %s\n", units.HumanBytes(cfg.TransferSize))
+	fmt.Fprintf(&b, "blocksize           : %s\n", units.HumanBytes(cfg.BlockSize))
+	fmt.Fprintf(&b, "aggregate filesize  : %s\n", units.HumanBytes(cfg.AggregateFileSize(run.Tasks)))
+	fmt.Fprintf(&b, "\nResults: \n\n")
+	fmt.Fprintf(&b, "access    bw(MiB/s)  IOPS       Latency(s)  block(KiB) xfer(KiB)  open(s)    wr/rd(s)   close(s)   total(s)   iter\n")
+	fmt.Fprintf(&b, "------    ---------  ----       ----------  ---------- ---------  --------   --------   --------   --------   ----\n")
+	for _, ir := range run.Results {
+		res := ir.Result
+		fmt.Fprintf(&b, "%-9s %-10.2f %-10.2f %-11.6f %-10.0f %-10.2f %-10.6f %-10.6f %-10.6f %-10.6f %d\n",
+			ir.Op.String(), res.BandwidthMiBps, res.OpsPerSec, res.LatencySec,
+			float64(cfg.BlockSize)/1024, float64(cfg.TransferSize)/1024,
+			res.OpenSec, res.WrRdSec, res.CloseSec, res.TotalSec, ir.Iter)
+	}
+	b.WriteString("\n")
+	for _, op := range []cluster.Op{cluster.Write, cluster.Read} {
+		bws := run.Bandwidths(op)
+		if len(bws) == 0 {
+			continue
+		}
+		mx, _ := stats.Max(bws)
+		label := "Max Write:"
+		if op == cluster.Read {
+			label = "Max Read: "
+		}
+		fmt.Fprintf(&b, "%s %.2f MiB/sec (%.2f MB/sec)\n", label, mx, mx*1048576/1e6)
+	}
+	fmt.Fprintf(&b, "\nSummary of all tests:\n")
+	fmt.Fprintf(&b, "Operation   Max(MiB)   Min(MiB)  Mean(MiB)     StdDev   Max(OPs)   Min(OPs)  Mean(OPs)     StdDev    Mean(s) Stonewall(s) Stonewall(MiB) Test# #Tasks tPN reps fPP reord reordoff reordrand seed segcnt   blksiz    xsize aggs(MiB)   API RefNum\n")
+	for _, op := range []cluster.Op{cluster.Write, cluster.Read} {
+		irs := run.OpResults(op)
+		if len(irs) == 0 {
+			continue
+		}
+		var bws, ops, secs []float64
+		for _, ir := range irs {
+			bws = append(bws, ir.Result.BandwidthMiBps)
+			ops = append(ops, ir.Result.OpsPerSec)
+			secs = append(secs, ir.Result.TotalSec)
+		}
+		sb, _ := stats.Summarize(bws)
+		so, _ := stats.Summarize(ops)
+		sm, _ := stats.Mean(secs)
+		swSec, swMiB := "NA", "NA"
+		var walled []float64
+		for _, ir := range irs {
+			if ir.Stonewalled {
+				walled = append(walled, ir.StonewallMiB)
+			}
+		}
+		if len(walled) > 0 {
+			mn, _ := stats.Min(walled)
+			swSec = fmt.Sprintf("%.2f", float64(cfg.Deadline))
+			swMiB = fmt.Sprintf("%.2f", mn)
+		}
+		fmt.Fprintf(&b, "%-9s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %10.5f %12s %14s %5d %6d %3d %4d %3d %5d %8d %9d %4d %6d %8d %8d %9.1f %5s %6d\n",
+			op.String(), sb.Max, sb.Min, sb.Mean, sb.StdDev,
+			so.Max, so.Min, so.Mean, so.StdDev, sm,
+			swSec, swMiB, 0, run.Tasks, run.TPN, cfg.Repetitions,
+			boolInt(cfg.FilePerProc), boolInt(cfg.ReorderTasks), cfg.TaskOffset, 0, 0,
+			cfg.Segments, cfg.BlockSize, cfg.TransferSize,
+			float64(cfg.AggregateFileSize(run.Tasks))/(1<<20), cfg.API, 0)
+	}
+	fmt.Fprintf(&b, "Finished            : %s\n", run.Finished.Format(timeLayout))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func orderingInFile(cfg Config) string {
+	if cfg.RandomOffset {
+		return "random"
+	}
+	return "sequential"
+}
+
+func orderingInterFile(cfg Config) string {
+	if cfg.ReorderTasks {
+		return "constant task offset"
+	}
+	return "no tasks offsets"
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

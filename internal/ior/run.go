@@ -1,0 +1,165 @@
+package ior
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+)
+
+// IterationResult is one access (write or read) of one repetition.
+type IterationResult struct {
+	Iter   int
+	Op     cluster.Op
+	Result cluster.IOResult
+	// Stonewalled marks a phase cut short by the -D deadline;
+	// StonewallMiB is the volume actually moved before the wall.
+	Stonewalled  bool
+	StonewallMiB float64
+}
+
+// Run is the outcome of executing a Config on a machine: everything the
+// output writer needs to produce an IOR-style report.
+type Run struct {
+	Config   Config
+	Machine  string
+	Tasks    int
+	Nodes    int
+	TPN      int
+	Began    time.Time
+	Finished time.Time
+	Results  []IterationResult
+}
+
+// Runner executes IOR configurations on a modelled machine.
+type Runner struct {
+	Machine *cluster.Machine
+	// Seed drives all stochastic behaviour; equal seeds reproduce runs.
+	Seed uint64
+	// Clock is the synthetic start time stamped into the output. A zero
+	// Clock uses a fixed reference date so runs stay byte-deterministic.
+	Clock time.Time
+	// BeforeIteration, when non-nil, is invoked before each repetition
+	// with the zero-based iteration index. Experiments use it to inject
+	// faults into the machine mid-run (e.g. congest the write path during
+	// iteration 2 only, as in the paper's Fig. 5).
+	BeforeIteration func(iter int, m *cluster.Machine)
+}
+
+// referenceClock is the deterministic default start timestamp.
+var referenceClock = time.Date(2022, 7, 7, 10, 0, 0, 0, time.UTC)
+
+// Run executes cfg and returns the per-iteration results. The number of
+// tasks comes from cfg.NumTasks; placement density from cfg.TasksPerNode
+// (0 packs nodes at the machine's cores-per-node).
+func (r *Runner) Run(cfg Config) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Machine == nil {
+		return nil, fmt.Errorf("ior: runner has no machine")
+	}
+	tasks := cfg.NumTasks
+	if tasks <= 0 {
+		return nil, fmt.Errorf("ior: number of tasks not set (use -N or Config.NumTasks)")
+	}
+	tpn := cfg.TasksPerNode
+	if tpn <= 0 {
+		tpn = r.Machine.CoresPerNode
+	}
+	clock := r.Clock
+	if clock.IsZero() {
+		clock = referenceClock
+	}
+	src := rng.New(r.Seed)
+	run := &Run{
+		Config:  cfg,
+		Machine: "Linux " + r.Machine.Name,
+		Tasks:   tasks,
+		TPN:     tpn,
+		Began:   clock,
+	}
+	elapsed := 0.0
+	for iter := 0; iter < cfg.Repetitions; iter++ {
+		if r.BeforeIteration != nil {
+			r.BeforeIteration(iter, r.Machine)
+		}
+		for _, op := range []cluster.Op{cluster.Write, cluster.Read} {
+			if op == cluster.Write && !cfg.WriteFile {
+				continue
+			}
+			if op == cluster.Read && !cfg.ReadFile {
+				continue
+			}
+			req := cluster.IORequest{
+				Op:            op,
+				API:           cfg.API,
+				Tasks:         tasks,
+				TasksPerNode:  tpn,
+				TransferSize:  cfg.TransferSize,
+				BlockSize:     cfg.BlockSize,
+				Segments:      cfg.Segments,
+				FilePerProc:   cfg.FilePerProc,
+				Collective:    cfg.Collective,
+				Fsync:         cfg.Fsync,
+				ReorderTasks:  cfg.ReorderTasks,
+				RandomOffsets: cfg.RandomOffset,
+				DirectIO:      cfg.DirectIO,
+				StripeCount:   cfg.StripeCount,
+				// A read in the same repetition re-reads data just
+				// written, so it is cache-hot unless -C reorders ranks.
+				CacheHot: cfg.WriteFile,
+			}
+			res, err := r.Machine.Simulate(req, src.Fork())
+			if err != nil {
+				return nil, fmt.Errorf("ior: iteration %d %v: %w", iter, op, err)
+			}
+			ir := IterationResult{Iter: iter, Op: op, Result: res}
+			// Stonewalling (-D): the data phase stops at the deadline;
+			// only the bytes moved by then count. The sustainable rate is
+			// unchanged, but volume, ops, and times shrink.
+			if cfg.Deadline > 0 && res.WrRdSec > float64(cfg.Deadline) {
+				frac := float64(cfg.Deadline) / res.WrRdSec
+				ir.Stonewalled = true
+				res.WrRdSec = float64(cfg.Deadline)
+				res.BytesMoved = int64(float64(res.BytesMoved) * frac)
+				res.TotalOps = int64(float64(res.TotalOps) * frac)
+				res.TotalSec = res.OpenSec + res.WrRdSec + res.CloseSec
+				res.BandwidthMiBps = float64(res.BytesMoved) / (1 << 20) / res.TotalSec
+				if res.TotalSec > 0 {
+					res.OpsPerSec = float64(res.TotalOps) / res.TotalSec
+				}
+				ir.Result = res
+			}
+			ir.StonewallMiB = float64(res.BytesMoved) / (1 << 20)
+			run.Results = append(run.Results, ir)
+			elapsed += res.TotalSec
+		}
+		elapsed += float64(cfg.InterTestDelay)
+	}
+	run.Nodes = (tasks + tpn - 1) / tpn
+	run.Finished = run.Began.Add(time.Duration(elapsed * float64(time.Second)))
+	return run, nil
+}
+
+// OpResults returns the per-iteration results for one operation, in
+// iteration order.
+func (run *Run) OpResults(op cluster.Op) []IterationResult {
+	var out []IterationResult
+	for _, ir := range run.Results {
+		if ir.Op == op {
+			out = append(out, ir)
+		}
+	}
+	return out
+}
+
+// Bandwidths returns the bandwidth series (MiB/s) for one operation.
+func (run *Run) Bandwidths(op cluster.Op) []float64 {
+	var out []float64
+	for _, ir := range run.OpResults(op) {
+		out = append(out, ir.Result.BandwidthMiBps)
+	}
+	return out
+}

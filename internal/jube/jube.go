@@ -1,0 +1,443 @@
+// Package jube reimplements the core of JUBE, the Jülich benchmarking
+// environment the paper uses to drive its generation phase: an XML
+// configuration describing parameter sets, steps with commands, analysers
+// with regex patterns, and result tables. Running a benchmark expands the
+// parameter space (cartesian product), creates one workpackage directory
+// per combination, executes the step commands through a pluggable command
+// runner (the knowledge cycle plugs the benchmark simulators in here),
+// captures stdout per workpackage, and applies the analyse patterns.
+package jube
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Parameter is one JUBE parameter: a name and a comma-separated value list.
+type Parameter struct {
+	Name      string `xml:"name,attr"`
+	Type      string `xml:"type,attr"`
+	Separator string `xml:"separator,attr"`
+	Value     string `xml:",chardata"`
+}
+
+// Values splits the parameter into its expansion values.
+func (p Parameter) Values() []string {
+	sep := p.Separator
+	if sep == "" {
+		sep = ","
+	}
+	parts := strings.Split(p.Value, sep)
+	out := make([]string, 0, len(parts))
+	for _, s := range parts {
+		out = append(out, strings.TrimSpace(s))
+	}
+	return out
+}
+
+// ParameterSet groups parameters under a name referenced by steps.
+type ParameterSet struct {
+	Name       string      `xml:"name,attr"`
+	Parameters []Parameter `xml:"parameter"`
+}
+
+// Step is one executable stage: it uses parameter sets and runs commands.
+type Step struct {
+	Name string   `xml:"name,attr"`
+	Use  []string `xml:"use"`
+	Do   []string `xml:"do"`
+}
+
+// Pattern extracts one metric from step output. The JUBE placeholders
+// $jube_pat_fp, $jube_pat_int and $jube_pat_wrd are supported.
+type Pattern struct {
+	Name  string `xml:"name,attr"`
+	Type  string `xml:"type,attr"`
+	Regex string `xml:",chardata"`
+}
+
+// Analyse binds patterns to a step's output.
+type Analyse struct {
+	Step     string    `xml:"step,attr"`
+	Patterns []Pattern `xml:"pattern"`
+}
+
+// Analyser groups analyse blocks.
+type Analyser struct {
+	Name    string    `xml:"name,attr"`
+	Analyse []Analyse `xml:"analyse"`
+}
+
+// Column is one result table column (a parameter or pattern name).
+type Column struct {
+	Title string `xml:"title,attr"`
+	Name  string `xml:",chardata"`
+}
+
+// Table is one result table definition.
+type Table struct {
+	Name    string   `xml:"name,attr"`
+	Columns []Column `xml:"column"`
+}
+
+// Result wraps the result tables.
+type Result struct {
+	Tables []Table `xml:"table"`
+}
+
+// Benchmark is one <benchmark> block.
+type Benchmark struct {
+	Name          string         `xml:"name,attr"`
+	OutPath       string         `xml:"outpath,attr"`
+	Comment       string         `xml:"comment"`
+	ParameterSets []ParameterSet `xml:"parameterset"`
+	Steps         []Step         `xml:"step"`
+	Analysers     []Analyser     `xml:"analyser"`
+	Result        Result         `xml:"result"`
+}
+
+// Config is the root <jube> document.
+type Config struct {
+	XMLName    xml.Name    `xml:"jube"`
+	Benchmarks []Benchmark `xml:"benchmark"`
+}
+
+// ParseConfig decodes a JUBE XML document.
+func ParseConfig(r io.Reader) (*Config, error) {
+	var cfg Config
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("jube: parse config: %w", err)
+	}
+	if len(cfg.Benchmarks) == 0 {
+		return nil, fmt.Errorf("jube: config contains no benchmark")
+	}
+	for _, b := range cfg.Benchmarks {
+		if len(b.Steps) == 0 {
+			return nil, fmt.Errorf("jube: benchmark %q has no steps", b.Name)
+		}
+	}
+	return &cfg, nil
+}
+
+// paramSet looks up a parameter set by name.
+func (b *Benchmark) paramSet(name string) (*ParameterSet, error) {
+	for i := range b.ParameterSets {
+		if b.ParameterSets[i].Name == name {
+			return &b.ParameterSets[i], nil
+		}
+	}
+	return nil, fmt.Errorf("jube: unknown parameterset %q", name)
+}
+
+// ExpandStep computes the cartesian product of all parameters used by the
+// step, in a deterministic order (parameters expand in declaration order,
+// first parameter varying slowest).
+func (b *Benchmark) ExpandStep(step *Step) ([]map[string]string, error) {
+	type pv struct {
+		name   string
+		values []string
+	}
+	var params []pv
+	for _, use := range step.Use {
+		ps, err := b.paramSet(strings.TrimSpace(use))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ps.Parameters {
+			if p.Name == "" {
+				return nil, fmt.Errorf("jube: parameterset %q has a parameter without name", ps.Name)
+			}
+			params = append(params, pv{p.Name, p.Values()})
+		}
+	}
+	combos := []map[string]string{{}}
+	for _, p := range params {
+		var next []map[string]string
+		for _, c := range combos {
+			for _, v := range p.values {
+				m := make(map[string]string, len(c)+1)
+				for k, vv := range c {
+					m[k] = vv
+				}
+				m[p.name] = v
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	// Resolve parameter-in-parameter references ($name) with a bounded
+	// number of passes.
+	for _, c := range combos {
+		for pass := 0; pass < 4; pass++ {
+			changed := false
+			for k, v := range c {
+				nv := Substitute(v, c)
+				if nv != v {
+					c[k] = nv
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return combos, nil
+}
+
+var subRe = regexp.MustCompile(`\$\{?([A-Za-z_][A-Za-z0-9_]*)\}?`)
+
+// Substitute replaces $name and ${name} references with parameter values.
+// Unknown names are left untouched (JUBE defers them to later passes).
+func Substitute(s string, params map[string]string) string {
+	return subRe.ReplaceAllStringFunc(s, func(match string) string {
+		name := strings.Trim(match[1:], "{}")
+		if v, ok := params[name]; ok {
+			return v
+		}
+		return match
+	})
+}
+
+// CommandFunc executes one command inside a workpackage directory and
+// returns its stdout. The knowledge cycle installs a dispatcher here that
+// routes "ior ...", "io500 ...", "mdtest ..." invocations to the simulators.
+type CommandFunc func(workdir, command string) (string, error)
+
+// Workpackage is one executed parameter combination of one step.
+type Workpackage struct {
+	ID      int
+	Step    string
+	Params  map[string]string
+	Dir     string
+	Output  string
+	Metrics map[string]string
+}
+
+// RunResult is the outcome of running one benchmark.
+type RunResult struct {
+	Benchmark    *Benchmark
+	RunDir       string
+	Workpackages []Workpackage
+}
+
+// Runner executes JUBE benchmarks.
+type Runner struct {
+	// Exec runs step commands; it must be non-nil.
+	Exec CommandFunc
+	// BaseDir overrides where the benchmark's outpath tree is created.
+	// Empty means the process working directory.
+	BaseDir string
+}
+
+// Run expands and executes every step of the benchmark, writes each
+// workpackage's stdout under <outpath>/<runid>/<step>_wp<id>/work/stdout
+// (the layout the paper's extractor scans for), and applies all analysers.
+func (r *Runner) Run(b *Benchmark) (*RunResult, error) {
+	if r.Exec == nil {
+		return nil, fmt.Errorf("jube: runner has no Exec function")
+	}
+	out := b.OutPath
+	if out == "" {
+		out = "bench_runs"
+	}
+	base := filepath.Join(r.BaseDir, out)
+	runDir, err := nextRunDir(base)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Benchmark: b, RunDir: runDir}
+	id := 0
+	for si := range b.Steps {
+		step := &b.Steps[si]
+		combos, err := b.ExpandStep(step)
+		if err != nil {
+			return nil, err
+		}
+		for _, params := range combos {
+			wpDir := filepath.Join(runDir, fmt.Sprintf("%s_wp%06d", step.Name, id), "work")
+			if err := os.MkdirAll(wpDir, 0o755); err != nil {
+				return nil, fmt.Errorf("jube: create workpackage dir: %w", err)
+			}
+			var output strings.Builder
+			for _, do := range step.Do {
+				cmd := strings.TrimSpace(Substitute(do, params))
+				if cmd == "" {
+					continue
+				}
+				o, err := r.Exec(wpDir, cmd)
+				if err != nil {
+					return nil, fmt.Errorf("jube: step %s wp%d: %q: %w", step.Name, id, cmd, err)
+				}
+				output.WriteString(o)
+			}
+			if err := os.WriteFile(filepath.Join(wpDir, "stdout"), []byte(output.String()), 0o644); err != nil {
+				return nil, fmt.Errorf("jube: write stdout: %w", err)
+			}
+			res.Workpackages = append(res.Workpackages, Workpackage{
+				ID:     id,
+				Step:   step.Name,
+				Params: params,
+				Dir:    wpDir,
+				Output: output.String(),
+			})
+			id++
+		}
+	}
+	if err := res.analyse(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func nextRunDir(base string) (string, error) {
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return "", fmt.Errorf("jube: create outpath: %w", err)
+	}
+	for i := 0; ; i++ {
+		dir := filepath.Join(base, fmt.Sprintf("%06d", i))
+		if _, err := os.Stat(dir); os.IsNotExist(err) {
+			return dir, os.MkdirAll(dir, 0o755)
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+// jubePatterns are JUBE's built-in regex placeholders.
+var jubePatterns = strings.NewReplacer(
+	"$jube_pat_fp", `([-+]?\d*\.?\d+(?:[eE][-+]?\d+)?)`,
+	"$jube_pat_int", `([-+]?\d+)`,
+	"$jube_pat_wrd", `(\S+)`,
+)
+
+// CompilePattern translates a JUBE pattern into a Go regexp.
+func CompilePattern(p Pattern) (*regexp.Regexp, error) {
+	expr := jubePatterns.Replace(strings.TrimSpace(p.Regex))
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("jube: pattern %q: %w", p.Name, err)
+	}
+	if re.NumSubexp() < 1 {
+		return nil, fmt.Errorf("jube: pattern %q captures nothing", p.Name)
+	}
+	return re, nil
+}
+
+func (res *RunResult) analyse() error {
+	for _, an := range res.Benchmark.Analysers {
+		for _, a := range an.Analyse {
+			for _, p := range a.Patterns {
+				re, err := CompilePattern(p)
+				if err != nil {
+					return err
+				}
+				for i := range res.Workpackages {
+					wp := &res.Workpackages[i]
+					if wp.Step != a.Step {
+						continue
+					}
+					if wp.Metrics == nil {
+						wp.Metrics = map[string]string{}
+					}
+					if m := re.FindStringSubmatch(wp.Output); m != nil {
+						wp.Metrics[p.Name] = m[1]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Table renders the named result table as aligned ASCII text with one row
+// per workpackage; columns resolve from workpackage parameters first, then
+// analysed metrics.
+func (res *RunResult) Table(name string) (string, error) {
+	var tbl *Table
+	for i := range res.Benchmark.Result.Tables {
+		if res.Benchmark.Result.Tables[i].Name == name {
+			tbl = &res.Benchmark.Result.Tables[i]
+		}
+	}
+	if tbl == nil {
+		return "", fmt.Errorf("jube: unknown table %q", name)
+	}
+	headers := make([]string, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		headers[i] = strings.TrimSpace(c.Name)
+		if c.Title != "" {
+			headers[i] = c.Title
+		}
+	}
+	rows := [][]string{headers}
+	for _, wp := range res.Workpackages {
+		row := make([]string, len(tbl.Columns))
+		for i, c := range tbl.Columns {
+			key := strings.TrimSpace(c.Name)
+			if v, ok := wp.Params[key]; ok {
+				row[i] = v
+			} else if v, ok := wp.Metrics[key]; ok {
+				row[i] = v
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i := range row {
+				if i > 0 {
+					b.WriteString("-+-")
+				}
+				b.WriteString(strings.Repeat("-", widths[i]))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// FindOutputs walks a JUBE workspace tree and returns all stdout files,
+// supporting the paper's "if the path is not specified, the tool
+// automatically searches the JUBE workspace for available benchmark
+// results" behaviour.
+func FindOutputs(root string) ([]string, error) {
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && info.Name() == "stdout" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("jube: scan workspace: %w", err)
+	}
+	sort.Strings(files)
+	return files, nil
+}

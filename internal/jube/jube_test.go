@@ -1,0 +1,268 @@
+package jube
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleXML = `<?xml version="1.0"?>
+<jube>
+  <benchmark name="ior-knowledge" outpath="bench_runs">
+    <comment>IOR parameter sweep for the knowledge cycle</comment>
+    <parameterset name="ioParams">
+      <parameter name="transfersize">1m, 2m</parameter>
+      <parameter name="tasks" type="int">40,80</parameter>
+      <parameter name="blocksize">4m</parameter>
+      <parameter name="testfile">/scratch/test$tasks</parameter>
+    </parameterset>
+    <step name="run">
+      <use>ioParams</use>
+      <do>ior -a mpiio -b $blocksize -t $transfersize -N ${tasks} -o $testfile</do>
+    </step>
+    <analyser name="extract">
+      <analyse step="run">
+        <pattern name="max_write" type="float">Max Write: $jube_pat_fp MiB/sec</pattern>
+        <pattern name="ranks" type="int">ranks=$jube_pat_int</pattern>
+      </analyse>
+    </analyser>
+    <result>
+      <table name="results">
+        <column>tasks</column>
+        <column>transfersize</column>
+        <column title="write">max_write</column>
+      </table>
+    </result>
+  </benchmark>
+</jube>`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cfg.Benchmarks[0]
+	if b.Name != "ior-knowledge" || b.OutPath != "bench_runs" {
+		t.Errorf("benchmark header: %+v", b)
+	}
+	if len(b.ParameterSets) != 1 || len(b.ParameterSets[0].Parameters) != 4 {
+		t.Errorf("parametersets: %+v", b.ParameterSets)
+	}
+	if len(b.Steps) != 1 || b.Steps[0].Name != "run" {
+		t.Errorf("steps: %+v", b.Steps)
+	}
+	if len(b.Analysers) != 1 || len(b.Analysers[0].Analyse[0].Patterns) != 2 {
+		t.Errorf("analysers: %+v", b.Analysers)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	if _, err := ParseConfig(strings.NewReader("<notxml")); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := ParseConfig(strings.NewReader("<jube></jube>")); err == nil {
+		t.Error("want no-benchmark error")
+	}
+	if _, err := ParseConfig(strings.NewReader(`<jube><benchmark name="x"></benchmark></jube>`)); err == nil {
+		t.Error("want no-steps error")
+	}
+}
+
+func TestExpandStep(t *testing.T) {
+	cfg, _ := ParseConfig(strings.NewReader(sampleXML))
+	b := &cfg.Benchmarks[0]
+	combos, err := b.ExpandStep(&b.Steps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 4 { // 2 transfer sizes × 2 task counts
+		t.Fatalf("combos = %d, want 4", len(combos))
+	}
+	seen := map[string]bool{}
+	for _, c := range combos {
+		seen[c["transfersize"]+"/"+c["tasks"]] = true
+		if c["blocksize"] != "4m" {
+			t.Errorf("blocksize = %q", c["blocksize"])
+		}
+		// Dependent parameter resolves $tasks.
+		if want := "/scratch/test" + c["tasks"]; c["testfile"] != want {
+			t.Errorf("testfile = %q, want %q", c["testfile"], want)
+		}
+	}
+	for _, want := range []string{"1m/40", "1m/80", "2m/40", "2m/80"} {
+		if !seen[want] {
+			t.Errorf("missing combination %s", want)
+		}
+	}
+}
+
+func TestExpandUnknownSet(t *testing.T) {
+	b := &Benchmark{Steps: []Step{{Name: "s", Use: []string{"nope"}}}}
+	if _, err := b.ExpandStep(&b.Steps[0]); err == nil {
+		t.Error("want unknown parameterset error")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	params := map[string]string{"a": "1", "bc": "2"}
+	cases := []struct{ in, want string }{
+		{"$a", "1"},
+		{"${a}", "1"},
+		{"x$a y$bc", "x1 y2"},
+		{"$unknown", "$unknown"},
+		{"$a$bc", "12"},
+		{"no refs", "no refs"},
+	}
+	for _, c := range cases {
+		if got := Substitute(c.in, params); got != c.want {
+			t.Errorf("Substitute(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: substitution is idempotent when values contain no references.
+func TestSubstituteIdempotentProperty(t *testing.T) {
+	f := func(key uint8, val uint16) bool {
+		params := map[string]string{fmt.Sprintf("p%d", key): fmt.Sprintf("%d", val)}
+		s := fmt.Sprintf("cmd -x $p%d", key)
+		once := Substitute(s, params)
+		twice := Substitute(once, params)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompilePattern(t *testing.T) {
+	re, err := CompilePattern(Pattern{Name: "bw", Regex: `Max Write: $jube_pat_fp MiB/sec`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := re.FindStringSubmatch("Max Write: 2853.29 MiB/sec (2991.80 MB/sec)")
+	if m == nil || m[1] != "2853.29" {
+		t.Errorf("match = %v", m)
+	}
+	if _, err := CompilePattern(Pattern{Name: "bad", Regex: "("}); err == nil {
+		t.Error("want compile error")
+	}
+	if _, err := CompilePattern(Pattern{Name: "nocap", Regex: "plain"}); err == nil {
+		t.Error("want no-capture error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cfg, _ := ParseConfig(strings.NewReader(sampleXML))
+	b := &cfg.Benchmarks[0]
+	tmp := t.TempDir()
+	var commands []string
+	r := &Runner{
+		BaseDir: tmp,
+		Exec: func(workdir, command string) (string, error) {
+			commands = append(commands, command)
+			// Fake benchmark output keyed on the -N value.
+			var tasks int
+			fmt.Sscanf(command[strings.Index(command, "-N"):], "-N %d", &tasks)
+			return fmt.Sprintf("ranks=%d\nMax Write: %d.50 MiB/sec\n", tasks, tasks*30), nil
+		},
+	}
+	res, err := r.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workpackages) != 4 {
+		t.Fatalf("workpackages = %d", len(res.Workpackages))
+	}
+	if len(commands) != 4 {
+		t.Fatalf("commands = %d", len(commands))
+	}
+	for _, c := range commands {
+		if strings.Contains(c, "$") {
+			t.Errorf("unsubstituted command: %q", c)
+		}
+	}
+	// stdout files exist in the workspace layout.
+	for _, wp := range res.Workpackages {
+		data, err := os.ReadFile(filepath.Join(wp.Dir, "stdout"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != wp.Output {
+			t.Error("stdout file does not match captured output")
+		}
+		// Analysis populated metrics.
+		if wp.Metrics["ranks"] != wp.Params["tasks"] {
+			t.Errorf("wp%d: ranks metric = %q, want %q", wp.ID, wp.Metrics["ranks"], wp.Params["tasks"])
+		}
+		if wp.Metrics["max_write"] == "" {
+			t.Errorf("wp%d: max_write not extracted", wp.ID)
+		}
+	}
+	// Result table renders.
+	tbl, err := res.Table("results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl, "tasks") || !strings.Contains(tbl, "write") {
+		t.Errorf("table headers missing:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "2400.50") { // 80 tasks × 30
+		t.Errorf("table rows missing:\n%s", tbl)
+	}
+	if _, err := res.Table("nope"); err == nil {
+		t.Error("want unknown-table error")
+	}
+	// Workspace scan finds all four outputs.
+	files, err := FindOutputs(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Errorf("FindOutputs = %d files", len(files))
+	}
+}
+
+func TestRunSecondRunGetsNewDir(t *testing.T) {
+	cfg, _ := ParseConfig(strings.NewReader(sampleXML))
+	b := &cfg.Benchmarks[0]
+	tmp := t.TempDir()
+	r := &Runner{BaseDir: tmp, Exec: func(_, _ string) (string, error) { return "ok", nil }}
+	r1, err := r.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RunDir == r2.RunDir {
+		t.Error("second run reused the run directory")
+	}
+	if !strings.HasSuffix(r1.RunDir, "000000") || !strings.HasSuffix(r2.RunDir, "000001") {
+		t.Errorf("run dirs: %s, %s", r1.RunDir, r2.RunDir)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg, _ := ParseConfig(strings.NewReader(sampleXML))
+	b := &cfg.Benchmarks[0]
+	r := &Runner{BaseDir: t.TempDir()}
+	if _, err := r.Run(b); err == nil {
+		t.Error("want missing-Exec error")
+	}
+	r.Exec = func(_, _ string) (string, error) { return "", fmt.Errorf("boom") }
+	if _, err := r.Run(b); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("want command error, got %v", err)
+	}
+}
+
+func TestParameterSeparator(t *testing.T) {
+	p := Parameter{Value: "a;b;c", Separator: ";"}
+	got := p.Values()
+	if len(got) != 3 || got[1] != "b" {
+		t.Errorf("Values = %v", got)
+	}
+}

@@ -1,0 +1,139 @@
+package kdb
+
+// ColType is a column's declared type.
+type ColType int
+
+// Supported column types.
+const (
+	TInteger ColType = iota
+	TReal
+	TText
+)
+
+// String returns the SQL name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TInteger:
+		return "INTEGER"
+	case TReal:
+		return "REAL"
+	default:
+		return "TEXT"
+	}
+}
+
+// ColumnDef is one column in a CREATE TABLE statement.
+type ColumnDef struct {
+	Name       string
+	Type       ColType
+	PrimaryKey bool
+}
+
+// createStmt is CREATE TABLE.
+type createStmt struct {
+	Table       string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// insertStmt is INSERT INTO.
+type insertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]expr
+}
+
+// selectItem is one projection: a column ref, *, or an aggregate.
+type selectItem struct {
+	Star  bool
+	Agg   string // "", "COUNT", "MIN", "MAX", "AVG", "SUM"
+	Col   colRef // for COUNT(*), Col.Name == "*"
+	Alias string
+}
+
+// colRef is a possibly table-qualified column reference.
+type colRef struct {
+	Table string
+	Name  string
+}
+
+func (c colRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// joinClause is INNER JOIN table ON a = b.
+type joinClause struct {
+	Table string
+	Left  colRef
+	Right colRef
+}
+
+// orderClause is ORDER BY col [DESC].
+type orderClause struct {
+	Col  colRef
+	Desc bool
+}
+
+// selectStmt is SELECT.
+type selectStmt struct {
+	Items    []selectItem
+	Distinct bool
+	Table    string
+	Joins    []joinClause
+	Where    expr
+	GroupBy  []colRef
+	OrderBy  []orderClause
+	Limit    int // -1 = none
+}
+
+// updateStmt is UPDATE.
+type updateStmt struct {
+	Table string
+	Sets  []struct {
+		Col string
+		Val expr
+	}
+	Where expr
+}
+
+// deleteStmt is DELETE FROM.
+type deleteStmt struct {
+	Table string
+	Where expr
+}
+
+// dropStmt is DROP TABLE.
+type dropStmt struct {
+	Table    string
+	IfExists bool
+}
+
+// expr is a WHERE/value expression node.
+type expr interface{ isExpr() }
+
+// litExpr is a literal value (int64, float64, string, or nil).
+type litExpr struct{ Val any }
+
+// phExpr is a ? placeholder, numbered left to right from 0.
+type phExpr struct{ Index int }
+
+// colExpr references a column.
+type colExpr struct{ Ref colRef }
+
+// binExpr is a binary operation: comparisons, AND, OR, LIKE.
+type binExpr struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">=", "AND", "OR", "LIKE"
+	L, R expr
+}
+
+// notExpr is NOT <expr>.
+type notExpr struct{ E expr }
+
+func (litExpr) isExpr() {}
+func (phExpr) isExpr()  {}
+func (colExpr) isExpr() {}
+func (binExpr) isExpr() {}
+func (notExpr) isExpr() {}

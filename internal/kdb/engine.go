@@ -1,0 +1,1095 @@
+package kdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table is one relation.
+type Table struct {
+	Name    string
+	Columns []ColumnDef
+	Rows    [][]any
+	autoID  int64
+	pkIndex int // index of the INTEGER PRIMARY KEY column, -1 if none
+}
+
+func (t *Table) colIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB is an embedded database. Use Open to create one; the zero value is not
+// usable. All methods are safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	wal    *wal
+	path   string
+}
+
+// Result reports the outcome of a mutation.
+type Result struct {
+	LastInsertID int64
+	RowsAffected int
+}
+
+// Rows is a forward-only result set.
+type Rows struct {
+	Columns []string
+	rows    [][]any
+	idx     int
+}
+
+// Next advances to the next row; it must be called before the first Row.
+func (r *Rows) Next() bool {
+	if r.idx >= len(r.rows) {
+		return false
+	}
+	r.idx++
+	return true
+}
+
+// Row returns the current row's values.
+func (r *Rows) Row() []any { return r.rows[r.idx-1] }
+
+// Len returns the total number of rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// All returns every row; convenient for small result sets.
+func (r *Rows) All() [][]any { return r.rows }
+
+// Open opens (or creates) a database. An empty path opens an in-memory
+// database; otherwise the JSON-lines log at path is replayed and future
+// mutations are appended to it.
+func Open(path string) (*DB, error) {
+	db := &DB{tables: map[string]*Table{}, path: path}
+	if path == "" {
+		return db, nil
+	}
+	w, entries, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		if _, err := db.exec(e.SQL, e.Args, false); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("kdb: replay entry %d (%q): %w", i, e.SQL, err)
+		}
+	}
+	db.wal = w
+	return db, nil
+}
+
+// Close releases the log file handle.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		err := db.wal.Close()
+		db.wal = nil
+		return err
+	}
+	return nil
+}
+
+// Tables returns the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns a copy of the named table's column definitions.
+func (db *DB) Schema(table string) ([]ColumnDef, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("kdb: no such table %q", table)
+	}
+	return append([]ColumnDef(nil), t.Columns...), nil
+}
+
+// Exec runs a mutation statement (CREATE, INSERT, UPDATE, DELETE, DROP).
+func (db *DB) Exec(query string, args ...any) (Result, error) {
+	return db.exec(query, args, true)
+}
+
+func (db *DB) exec(query string, args []any, log bool) (Result, error) {
+	stmt, err := parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var res Result
+	switch s := stmt.(type) {
+	case *createStmt:
+		res, err = db.execCreate(s)
+	case *insertStmt:
+		res, err = db.execInsert(s, args)
+	case *updateStmt:
+		res, err = db.execUpdate(s, args)
+	case *deleteStmt:
+		res, err = db.execDelete(s, args)
+	case *dropStmt:
+		res, err = db.execDrop(s)
+	case *selectStmt:
+		return Result{}, fmt.Errorf("kdb: use Query for SELECT")
+	default:
+		return Result{}, fmt.Errorf("kdb: unsupported statement")
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if log && db.wal != nil {
+		if err := db.wal.Append(query, args); err != nil {
+			return Result{}, fmt.Errorf("kdb: write log: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Query runs a SELECT statement.
+func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	stmt, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("kdb: Query requires SELECT")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.execSelect(sel, args)
+}
+
+// QueryRow runs a SELECT and returns its single row, erroring on zero rows.
+func (db *DB) QueryRow(query string, args ...any) ([]any, error) {
+	rows, err := db.Query(query, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !rows.Next() {
+		return nil, fmt.Errorf("kdb: no rows")
+	}
+	return rows.Row(), nil
+}
+
+func (db *DB) execCreate(s *createStmt) (Result, error) {
+	key := strings.ToLower(s.Table)
+	if _, exists := db.tables[key]; exists {
+		if s.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("kdb: table %q already exists", s.Table)
+	}
+	seen := map[string]bool{}
+	pk := -1
+	for i, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return Result{}, fmt.Errorf("kdb: duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+		if c.PrimaryKey {
+			if pk >= 0 {
+				return Result{}, fmt.Errorf("kdb: multiple primary keys")
+			}
+			if c.Type != TInteger {
+				return Result{}, fmt.Errorf("kdb: primary key must be INTEGER")
+			}
+			pk = i
+		}
+	}
+	db.tables[key] = &Table{Name: s.Table, Columns: s.Columns, pkIndex: pk}
+	return Result{}, nil
+}
+
+func (db *DB) execInsert(s *insertStmt, args []any) (Result, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		idx := t.colIndex(c)
+		if idx < 0 {
+			return Result{}, fmt.Errorf("kdb: table %q has no column %q", s.Table, c)
+		}
+		idxs[i] = idx
+	}
+	var res Result
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return Result{}, fmt.Errorf("kdb: %d values for %d columns", len(exprRow), len(cols))
+		}
+		row := make([]any, len(t.Columns))
+		for i, e := range exprRow {
+			v, err := evalValue(e, args)
+			if err != nil {
+				return Result{}, err
+			}
+			cv, err := coerce(v, t.Columns[idxs[i]].Type)
+			if err != nil {
+				return Result{}, fmt.Errorf("kdb: column %q: %w", cols[i], err)
+			}
+			row[idxs[i]] = cv
+		}
+		if t.pkIndex >= 0 {
+			if row[t.pkIndex] == nil {
+				t.autoID++
+				row[t.pkIndex] = t.autoID
+			} else if id, ok := row[t.pkIndex].(int64); ok && id > t.autoID {
+				t.autoID = id
+			}
+			res.LastInsertID = row[t.pkIndex].(int64)
+		}
+		t.Rows = append(t.Rows, row)
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (db *DB) execUpdate(s *updateStmt, args []any) (Result, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+	}
+	type setOp struct {
+		idx int
+		val expr
+	}
+	var sets []setOp
+	for _, set := range s.Sets {
+		idx := t.colIndex(set.Col)
+		if idx < 0 {
+			return Result{}, fmt.Errorf("kdb: table %q has no column %q", s.Table, set.Col)
+		}
+		sets = append(sets, setOp{idx, set.Val})
+	}
+	env := singleTableEnv(t)
+	var res Result
+	for _, row := range t.Rows {
+		match, err := matchWhere(s.Where, env, row, args)
+		if err != nil {
+			return Result{}, err
+		}
+		if !match {
+			continue
+		}
+		for _, set := range sets {
+			v, err := evalValue(set.val, args)
+			if err != nil {
+				return Result{}, err
+			}
+			cv, err := coerce(v, t.Columns[set.idx].Type)
+			if err != nil {
+				return Result{}, err
+			}
+			row[set.idx] = cv
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (db *DB) execDelete(s *deleteStmt, args []any) (Result, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+	}
+	env := singleTableEnv(t)
+	kept := t.Rows[:0]
+	var res Result
+	for _, row := range t.Rows {
+		match, err := matchWhere(s.Where, env, row, args)
+		if err != nil {
+			return Result{}, err
+		}
+		if match {
+			res.RowsAffected++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.Rows = kept
+	return res, nil
+}
+
+func (db *DB) execDrop(s *dropStmt) (Result, error) {
+	key := strings.ToLower(s.Table)
+	if _, ok := db.tables[key]; !ok {
+		if s.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+	}
+	delete(db.tables, key)
+	return Result{}, nil
+}
+
+// env maps qualified and unqualified column references to positions in the
+// (possibly joined) row.
+type env struct {
+	// byQualified maps "table.col" to index; byName maps "col" to index,
+	// with -2 marking ambiguous unqualified names.
+	byQualified map[string]int
+	byName      map[string]int
+	width       int
+}
+
+func singleTableEnv(t *Table) *env {
+	e := &env{byQualified: map[string]int{}, byName: map[string]int{}, width: len(t.Columns)}
+	for i, c := range t.Columns {
+		e.byQualified[strings.ToLower(t.Name)+"."+strings.ToLower(c.Name)] = i
+		e.byName[strings.ToLower(c.Name)] = i
+	}
+	return e
+}
+
+func (e *env) extend(t *Table) *env {
+	ne := &env{byQualified: map[string]int{}, byName: map[string]int{}, width: e.width + len(t.Columns)}
+	for k, v := range e.byQualified {
+		ne.byQualified[k] = v
+	}
+	for k, v := range e.byName {
+		ne.byName[k] = v
+	}
+	for i, c := range t.Columns {
+		ne.byQualified[strings.ToLower(t.Name)+"."+strings.ToLower(c.Name)] = e.width + i
+		lc := strings.ToLower(c.Name)
+		if _, dup := ne.byName[lc]; dup {
+			ne.byName[lc] = -2
+		} else {
+			ne.byName[lc] = e.width + i
+		}
+	}
+	return ne
+}
+
+func (e *env) resolve(ref colRef) (int, error) {
+	if ref.Table != "" {
+		idx, ok := e.byQualified[strings.ToLower(ref.Table)+"."+strings.ToLower(ref.Name)]
+		if !ok {
+			return 0, fmt.Errorf("kdb: unknown column %s", ref)
+		}
+		return idx, nil
+	}
+	idx, ok := e.byName[strings.ToLower(ref.Name)]
+	if !ok {
+		return 0, fmt.Errorf("kdb: unknown column %s", ref)
+	}
+	if idx == -2 {
+		return 0, fmt.Errorf("kdb: ambiguous column %s", ref)
+	}
+	return idx, nil
+}
+
+func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
+	base, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("kdb: no such table %q", s.Table)
+	}
+	e := singleTableEnv(base)
+	rows := base.Rows
+	// Inner joins: nested loop with equality predicate.
+	for _, j := range s.Joins {
+		jt, ok := db.tables[strings.ToLower(j.Table)]
+		if !ok {
+			return nil, fmt.Errorf("kdb: no such table %q", j.Table)
+		}
+		ne := e.extend(jt)
+		li, err := ne.resolve(j.Left)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := ne.resolve(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		var joined [][]any
+		for _, lrow := range rows {
+			for _, rrow := range jt.Rows {
+				combined := make([]any, 0, len(lrow)+len(rrow))
+				combined = append(combined, lrow...)
+				combined = append(combined, rrow...)
+				eq, err := compareEq(combined[li], combined[ri])
+				if err != nil {
+					return nil, err
+				}
+				if eq {
+					joined = append(joined, combined)
+				}
+			}
+		}
+		rows = joined
+		e = ne
+	}
+	// WHERE filter.
+	var filtered [][]any
+	for _, row := range rows {
+		match, err := matchWhere(s.Where, e, row, args)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			filtered = append(filtered, row)
+		}
+	}
+	// Grouped aggregation?
+	if len(s.GroupBy) > 0 {
+		return evalGrouped(s, e, filtered)
+	}
+	// Aggregates?
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return evalAggregates(s, e, filtered)
+	}
+	// ORDER BY.
+	if len(s.OrderBy) > 0 {
+		type key struct {
+			idx  int
+			desc bool
+		}
+		var keys []key
+		for _, oc := range s.OrderBy {
+			idx, err := e.resolve(oc.Col)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, key{idx, oc.Desc})
+		}
+		sort.SliceStable(filtered, func(a, b int) bool {
+			for _, k := range keys {
+				c := compareOrder(filtered[a][k.idx], filtered[b][k.idx])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	// Projection.
+	var colNames []string
+	var colIdx []int
+	for _, it := range s.Items {
+		if it.Star {
+			for _, p := range orderedCols(e, base, s) {
+				colNames = append(colNames, p.name)
+				colIdx = append(colIdx, p.idx)
+			}
+			continue
+		}
+		idx, err := e.resolve(it.Col)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Col.Name
+		if it.Alias != "" {
+			name = it.Alias
+		}
+		colNames = append(colNames, name)
+		colIdx = append(colIdx, idx)
+	}
+	out := &Rows{Columns: colNames}
+	seen := map[string]bool{}
+	for _, row := range filtered {
+		proj := make([]any, len(colIdx))
+		for i, idx := range colIdx {
+			proj[i] = row[idx]
+		}
+		if s.Distinct {
+			k := fmt.Sprint(proj...)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out.rows = append(out.rows, proj)
+		if s.Limit >= 0 && len(out.rows) >= s.Limit {
+			break
+		}
+	}
+	if s.Limit == 0 {
+		out.rows = nil
+	}
+	return out, nil
+}
+
+type colPair struct {
+	name string
+	idx  int
+}
+
+func orderedCols(e *env, base *Table, s *selectStmt) []colPair {
+	var out []colPair
+	for i, c := range base.Columns {
+		out = append(out, colPair{c.Name, i})
+	}
+	width := len(base.Columns)
+	for _, j := range s.Joins {
+		// Qualified names resolve positions; widths accumulate in join
+		// order, matching env.extend.
+		for name, idx := range e.byQualified {
+			if strings.HasPrefix(name, strings.ToLower(j.Table)+".") && idx >= width {
+				out = append(out, colPair{name, idx})
+			}
+		}
+		// width advance is approximate for multi-joins of same table name;
+		// schema avoids that case.
+	}
+	sort.Slice(out[len(base.Columns):], func(a, b int) bool {
+		rest := out[len(base.Columns):]
+		return rest[a].idx < rest[b].idx
+	})
+	return out
+}
+
+// evalGrouped implements GROUP BY: plain select items must be grouping
+// columns; aggregates run per group. Groups emit in ascending key order
+// for determinism; LIMIT applies to the grouped output.
+func evalGrouped(s *selectStmt, e *env, rows [][]any) (*Rows, error) {
+	keyIdx := make([]int, len(s.GroupBy))
+	for i, ref := range s.GroupBy {
+		idx, err := e.resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx[i] = idx
+	}
+	isGroupCol := func(ref colRef) (int, bool) {
+		for i, g := range s.GroupBy {
+			if strings.EqualFold(g.Name, ref.Name) && (ref.Table == "" || strings.EqualFold(g.Table, ref.Table)) {
+				return keyIdx[i], true
+			}
+		}
+		return 0, false
+	}
+	// Validate projection and pre-resolve per-item behaviour.
+	type proj struct {
+		agg    string
+		srcIdx int  // group column or aggregate argument index
+		star   bool // COUNT(*)
+	}
+	var projs []proj
+	out := &Rows{}
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("kdb: SELECT * is not valid with GROUP BY")
+		}
+		name := it.Alias
+		if it.Agg == "" {
+			idx, ok := isGroupCol(it.Col)
+			if !ok {
+				return nil, fmt.Errorf("kdb: column %s must appear in GROUP BY or an aggregate", it.Col)
+			}
+			if name == "" {
+				name = it.Col.Name
+			}
+			out.Columns = append(out.Columns, name)
+			projs = append(projs, proj{srcIdx: idx})
+			continue
+		}
+		if name == "" {
+			name = strings.ToLower(it.Agg) + "(" + it.Col.String() + ")"
+		}
+		out.Columns = append(out.Columns, name)
+		if it.Agg == "COUNT" && it.Col.Name == "*" {
+			projs = append(projs, proj{agg: "COUNT", star: true})
+			continue
+		}
+		idx, err := e.resolve(it.Col)
+		if err != nil {
+			return nil, err
+		}
+		projs = append(projs, proj{agg: it.Agg, srcIdx: idx})
+	}
+	// Partition rows into groups keyed by the grouping tuple.
+	type group struct {
+		key  []any
+		rows [][]any
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		key := make([]any, len(keyIdx))
+		for i, idx := range keyIdx {
+			key[i] = row[idx]
+		}
+		ks := fmt.Sprint(key...)
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Deterministic group order: sort by key tuple.
+	sort.SliceStable(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		for i := range ga.key {
+			if c := compareOrder(ga.key[i], gb.key[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, ks := range order {
+		g := groups[ks]
+		row := make([]any, len(projs))
+		for pi, p := range projs {
+			if p.agg == "" {
+				row[pi] = g.rows[0][p.srcIdx]
+				continue
+			}
+			if p.star {
+				row[pi] = int64(len(g.rows))
+				continue
+			}
+			var vals []float64
+			var count int64
+			for _, r := range g.rows {
+				v := r[p.srcIdx]
+				if v == nil {
+					continue
+				}
+				count++
+				if f, ok := toFloat(v); ok {
+					vals = append(vals, f)
+				}
+			}
+			switch p.agg {
+			case "COUNT":
+				row[pi] = count
+			default:
+				if len(vals) == 0 {
+					row[pi] = nil
+					continue
+				}
+				agg := vals[0]
+				var sum float64
+				for _, v := range vals {
+					sum += v
+					switch p.agg {
+					case "MIN":
+						if v < agg {
+							agg = v
+						}
+					case "MAX":
+						if v > agg {
+							agg = v
+						}
+					}
+				}
+				switch p.agg {
+				case "AVG":
+					row[pi] = sum / float64(len(vals))
+				case "SUM":
+					row[pi] = sum
+				default:
+					row[pi] = agg
+				}
+			}
+		}
+		out.rows = append(out.rows, row)
+		if s.Limit >= 0 && len(out.rows) >= s.Limit {
+			break
+		}
+	}
+	if s.Limit == 0 {
+		out.rows = nil
+	}
+	return out, nil
+}
+
+func evalAggregates(s *selectStmt, e *env, rows [][]any) (*Rows, error) {
+	out := &Rows{}
+	result := make([]any, len(s.Items))
+	for i, it := range s.Items {
+		if it.Agg == "" {
+			return nil, fmt.Errorf("kdb: mixing aggregates and plain columns requires GROUP BY (unsupported)")
+		}
+		name := it.Alias
+		if name == "" {
+			name = strings.ToLower(it.Agg) + "(" + it.Col.String() + ")"
+		}
+		out.Columns = append(out.Columns, name)
+		if it.Agg == "COUNT" && it.Col.Name == "*" {
+			result[i] = int64(len(rows))
+			continue
+		}
+		idx, err := e.resolve(it.Col)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		var count int64
+		for _, row := range rows {
+			v := row[idx]
+			if v == nil {
+				continue
+			}
+			count++
+			f, ok := toFloat(v)
+			if ok {
+				vals = append(vals, f)
+			}
+		}
+		switch it.Agg {
+		case "COUNT":
+			result[i] = count
+		case "MIN", "MAX", "AVG", "SUM":
+			if len(vals) == 0 {
+				result[i] = nil
+				continue
+			}
+			agg := vals[0]
+			var sum float64
+			for _, v := range vals {
+				sum += v
+				switch it.Agg {
+				case "MIN":
+					if v < agg {
+						agg = v
+					}
+				case "MAX":
+					if v > agg {
+						agg = v
+					}
+				}
+			}
+			switch it.Agg {
+			case "AVG":
+				result[i] = sum / float64(len(vals))
+			case "SUM":
+				result[i] = sum
+			default:
+				result[i] = agg
+			}
+		}
+	}
+	out.rows = [][]any{result}
+	return out, nil
+}
+
+func matchWhere(w expr, e *env, row []any, args []any) (bool, error) {
+	if w == nil {
+		return true, nil
+	}
+	v, err := evalExpr(w, e, row, args)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("kdb: WHERE clause is not boolean")
+	}
+	return b, nil
+}
+
+func evalExpr(ex expr, e *env, row []any, args []any) (any, error) {
+	switch x := ex.(type) {
+	case litExpr:
+		return x.Val, nil
+	case phExpr:
+		if x.Index >= len(args) {
+			return nil, fmt.Errorf("kdb: placeholder %d out of range (%d args)", x.Index+1, len(args))
+		}
+		return normalizeArg(args[x.Index])
+	case colExpr:
+		idx, err := e.resolve(x.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return row[idx], nil
+	case notExpr:
+		v, err := evalExpr(x.E, e, row, args)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("kdb: NOT of non-boolean")
+		}
+		return !b, nil
+	case binExpr:
+		switch x.Op {
+		case "AND", "OR":
+			lv, err := evalExpr(x.L, e, row, args)
+			if err != nil {
+				return nil, err
+			}
+			lb, ok := lv.(bool)
+			if !ok {
+				return nil, fmt.Errorf("kdb: %s of non-boolean", x.Op)
+			}
+			if x.Op == "AND" && !lb {
+				return false, nil
+			}
+			if x.Op == "OR" && lb {
+				return true, nil
+			}
+			rv, err := evalExpr(x.R, e, row, args)
+			if err != nil {
+				return nil, err
+			}
+			rb, ok := rv.(bool)
+			if !ok {
+				return nil, fmt.Errorf("kdb: %s of non-boolean", x.Op)
+			}
+			return rb, nil
+		}
+		lv, err := evalExpr(x.L, e, row, args)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := evalExpr(x.R, e, row, args)
+		if err != nil {
+			return nil, err
+		}
+		return applyComparison(x.Op, lv, rv)
+	}
+	return nil, fmt.Errorf("kdb: unsupported expression")
+}
+
+func evalValue(ex expr, args []any) (any, error) {
+	switch x := ex.(type) {
+	case litExpr:
+		return x.Val, nil
+	case phExpr:
+		if x.Index >= len(args) {
+			return nil, fmt.Errorf("kdb: placeholder %d out of range (%d args)", x.Index+1, len(args))
+		}
+		return normalizeArg(args[x.Index])
+	}
+	return nil, fmt.Errorf("kdb: expected a literal or placeholder value")
+}
+
+func applyComparison(op string, l, r any) (any, error) {
+	if op == "LIKE" {
+		ls, lok := l.(string)
+		rs, rok := r.(string)
+		if !lok || !rok {
+			return nil, fmt.Errorf("kdb: LIKE requires text operands")
+		}
+		return likeMatch(ls, rs), nil
+	}
+	if l == nil || r == nil {
+		// SQL three-valued logic simplified: comparisons with NULL are
+		// false except equality of two NULLs.
+		if op == "=" {
+			return l == nil && r == nil, nil
+		}
+		if op == "!=" {
+			return (l == nil) != (r == nil), nil
+		}
+		return false, nil
+	}
+	c, err := compareValues(l, r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "=":
+		return c == 0, nil
+	case "!=":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	}
+	return nil, fmt.Errorf("kdb: unknown operator %q", op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one char),
+// case-insensitively as SQLite does for ASCII.
+func likeMatch(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	var match func(si, pi int) bool
+	match = func(si, pi int) bool {
+		for pi < len(pattern) {
+			switch pattern[pi] {
+			case '%':
+				for k := si; k <= len(s); k++ {
+					if match(k, pi+1) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			default:
+				if si >= len(s) || s[si] != pattern[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return match(0, 0)
+}
+
+func compareEq(l, r any) (bool, error) {
+	v, err := applyComparison("=", l, r)
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
+}
+
+// compareValues orders two non-nil values: numerics numerically, text
+// lexicographically. Mixing text and numerics is an error.
+func compareValues(l, r any) (int, error) {
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if lok && rok {
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	ls, lok2 := l.(string)
+	rs, rok2 := r.(string)
+	if lok2 && rok2 {
+		return strings.Compare(ls, rs), nil
+	}
+	return 0, fmt.Errorf("kdb: cannot compare %T with %T", l, r)
+}
+
+// compareOrder orders values for ORDER BY, placing NULLs first.
+func compareOrder(l, r any) int {
+	if l == nil && r == nil {
+		return 0
+	}
+	if l == nil {
+		return -1
+	}
+	if r == nil {
+		return 1
+	}
+	c, err := compareValues(l, r)
+	if err != nil {
+		// Mixed types order by type name to stay deterministic.
+		return strings.Compare(fmt.Sprintf("%T", l), fmt.Sprintf("%T", r))
+	}
+	return c
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// normalizeArg converts caller-supplied Go values into the engine's value
+// set (int64, float64, string, bool, nil).
+func normalizeArg(v any) (any, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case int:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case int64:
+		return x, nil
+	case uint64:
+		return int64(x), nil
+	case float32:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	case string:
+		return x, nil
+	case bool:
+		if x {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	}
+	return nil, fmt.Errorf("kdb: unsupported argument type %T", v)
+}
+
+// coerce converts a value to the declared column type.
+func coerce(v any, t ColType) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case TInteger:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			if x == float64(int64(x)) {
+				return int64(x), nil
+			}
+			return nil, fmt.Errorf("value %v is not an integer", x)
+		}
+		return nil, fmt.Errorf("cannot store %T in INTEGER column", v)
+	case TReal:
+		if f, ok := toFloat(v); ok {
+			return f, nil
+		}
+		return nil, fmt.Errorf("cannot store %T in REAL column", v)
+	default:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+		return nil, fmt.Errorf("cannot store %T in TEXT column", v)
+	}
+}

@@ -1,0 +1,198 @@
+// Package kdb is a small embedded relational database with a SQL subset,
+// standing in for the SQLite + DB-API 2.0 layer of the paper's persistence
+// phase. It supports CREATE TABLE, INSERT (with ? placeholders and
+// auto-incrementing INTEGER PRIMARY KEY columns), SELECT with WHERE /
+// ORDER BY / LIMIT / INNER JOIN / aggregates, UPDATE, DELETE and DROP
+// TABLE, and persists committed mutations to a JSON-lines write-ahead log
+// so a database file re-opens with its full contents.
+package kdb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+	tokPlaceholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "IF": true, "NOT": true, "EXISTS": true,
+	"PRIMARY": true, "KEY": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "JOIN": true, "ON": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "DROP": true,
+	"AND": true, "OR": true, "LIKE": true, "NULL": true,
+	"INTEGER": true, "REAL": true, "TEXT": true,
+	"COUNT": true, "MIN": true, "MAX": true, "AVG": true, "SUM": true,
+	"AS": true, "DISTINCT": true, "INNER": true, "GROUP": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '?':
+			l.emit(tokPlaceholder, "?")
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) && l.numberContext()):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.tokens, nil
+}
+
+// numberContext reports whether a '-' here begins a negative literal (i.e.
+// the previous token is not a value), keeping "a-b" out of scope since the
+// subset has no arithmetic.
+func (l *lexer) numberContext() bool {
+	if len(l.tokens) == 0 {
+		return true
+	}
+	prev := l.tokens[len(l.tokens)-1]
+	switch prev.kind {
+	case tokNumber, tokIdent, tokString, tokPlaceholder:
+		return false
+	}
+	if prev.kind == tokSymbol && prev.text == ")" {
+		return false
+	}
+	return true
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: l.pos})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// Doubled quote is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("kdb: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && !seenExp {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && !seenExp {
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.tokens = append(l.tokens, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.tokens = append(l.tokens, token{kind: tokIdent, text: word, pos: start})
+	}
+}
+
+func (l *lexer) lexSymbol() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.emit(tokSymbol, two)
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '=', '<', '>', '.', ';':
+		l.emit(tokSymbol, string(c))
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("kdb: unexpected character %q at offset %d", c, l.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

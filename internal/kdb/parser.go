@@ -1,0 +1,596 @@
+package kdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks   []token
+	pos    int
+	nextPH int
+	src    string
+}
+
+func parse(src string) (any, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.cur().kind == tokSymbol && p.cur().text == ";" {
+		p.pos++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("kdb: parse error near offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+// ident also accepts keywords used as identifiers in identifier positions
+// (e.g. a column literally named "key" is out of scope; schema names here
+// avoid keywords, so plain identifiers suffice).
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	name := p.cur().text
+	p.advance()
+	return name, nil
+}
+
+func (p *parser) statement() (any, error) {
+	switch {
+	case p.acceptKeyword("CREATE"):
+		return p.createStatement()
+	case p.acceptKeyword("INSERT"):
+		return p.insertStatement()
+	case p.acceptKeyword("SELECT"):
+		return p.selectStatement()
+	case p.acceptKeyword("UPDATE"):
+		return p.updateStatement()
+	case p.acceptKeyword("DELETE"):
+		return p.deleteStatement()
+	case p.acceptKeyword("DROP"):
+		return p.dropStatement()
+	}
+	return nil, p.errf("expected a statement, got %q", p.cur().text)
+}
+
+func (p *parser) createStatement() (any, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &createStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var typ ColType
+		switch {
+		case p.acceptKeyword("INTEGER"):
+			typ = TInteger
+		case p.acceptKeyword("REAL"):
+			typ = TReal
+		case p.acceptKeyword("TEXT"):
+			typ = TText
+		default:
+			return nil, p.errf("expected column type for %q, got %q", col, p.cur().text)
+		}
+		def := ColumnDef{Name: col, Type: typ}
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			def.PrimaryKey = true
+		}
+		st.Columns = append(st.Columns, def)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) insertStatement() (any, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	st := &insertStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []expr
+		for {
+			e, err := p.primaryValue()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) selectStatement() (any, error) {
+	st := &selectStmt{Limit: -1}
+	st.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		j := joinClause{}
+		if j.Table, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if j.Left, err = p.colRef(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		if j.Right, err = p.colRef(); err != nil {
+			return nil, err
+		}
+		st.Joins = append(st.Joins, j)
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, ref)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			oc := orderClause{Col: ref}
+			if p.acceptKeyword("DESC") {
+				oc.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, oc)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected LIMIT count, got %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", p.cur().text)
+		}
+		st.Limit = n
+		p.advance()
+	}
+	return st, nil
+}
+
+func (p *parser) selectItem() (selectItem, error) {
+	if p.acceptSymbol("*") {
+		return selectItem{Star: true}, nil
+	}
+	if p.cur().kind == tokKeyword {
+		switch p.cur().text {
+		case "COUNT", "MIN", "MAX", "AVG", "SUM":
+			agg := p.cur().text
+			p.advance()
+			if err := p.expectSymbol("("); err != nil {
+				return selectItem{}, err
+			}
+			var ref colRef
+			if p.acceptSymbol("*") {
+				if agg != "COUNT" {
+					return selectItem{}, p.errf("%s(*) is not supported", agg)
+				}
+				ref = colRef{Name: "*"}
+			} else {
+				var err error
+				if ref, err = p.colRef(); err != nil {
+					return selectItem{}, err
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return selectItem{}, err
+			}
+			item := selectItem{Agg: agg, Col: ref}
+			if p.acceptKeyword("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return selectItem{}, err
+				}
+				item.Alias = alias
+			}
+			return item, nil
+		}
+	}
+	ref, err := p.colRef()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{Col: ref}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return selectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) colRef() (colRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return colRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.ident()
+		if err != nil {
+			return colRef{}, err
+		}
+		return colRef{Table: first, Name: second}, nil
+	}
+	return colRef{Name: first}, nil
+}
+
+func (p *parser) updateStatement() (any, error) {
+	st := &updateStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.primaryValue()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, struct {
+			Col string
+			Val expr
+		}{col, val})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStatement() (any, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	st := &deleteStmt{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKeyword("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) dropStatement() (any, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &dropStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	return st, nil
+}
+
+// orExpr := andExpr (OR andExpr)*
+func (p *parser) orExpr() (expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+// andExpr := unaryExpr (AND unaryExpr)*
+func (p *parser) andExpr() (expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+// unaryExpr := NOT unaryExpr | comparison | ( orExpr )
+func (p *parser) unaryExpr() (expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{E: e}, nil
+	}
+	if p.acceptSymbol("(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.comparison()
+}
+
+// comparison := primaryValue (op primaryValue)?
+func (p *parser) comparison() (expr, error) {
+	left, err := p.primaryValue()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch {
+	case p.cur().kind == tokSymbol:
+		switch p.cur().text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			op = p.cur().text
+			if op == "<>" {
+				op = "!="
+			}
+			p.advance()
+		}
+	case p.cur().kind == tokKeyword && p.cur().text == "LIKE":
+		op = "LIKE"
+		p.advance()
+	}
+	if op == "" {
+		return left, nil
+	}
+	right, err := p.primaryValue()
+	if err != nil {
+		return nil, err
+	}
+	return binExpr{Op: op, L: left, R: right}, nil
+}
+
+// primaryValue := literal | placeholder | column ref | ( value )
+func (p *parser) primaryValue() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return litExpr{Val: f}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return litExpr{Val: i}, nil
+	case tokString:
+		p.advance()
+		return litExpr{Val: t.text}, nil
+	case tokPlaceholder:
+		p.advance()
+		e := phExpr{Index: p.nextPH}
+		p.nextPH++
+		return e, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.advance()
+			return litExpr{Val: nil}, nil
+		}
+	case tokIdent:
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return colExpr{Ref: ref}, nil
+	}
+	return nil, p.errf("expected a value, got %q", t.text)
+}

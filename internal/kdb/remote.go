@@ -1,0 +1,238 @@
+package kdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The paper's persistence phase stores knowledge "either directly as a
+// local SQLite database or by specifying a SQL connection URL remotely"
+// (§V-C). This file provides that remote path: a line-delimited JSON
+// protocol exposing Exec/Query over TCP, a Server wrapping a local DB, and
+// a Remote client satisfying the same Conn interface as *DB, so the
+// knowledge store works identically against either.
+
+// Conn is the database surface the persistence layer programs against;
+// *DB (local) and *Remote (network) both implement it.
+type Conn interface {
+	Exec(query string, args ...any) (Result, error)
+	Query(query string, args ...any) (*Rows, error)
+	QueryRow(query string, args ...any) ([]any, error)
+	Tables() []string
+	Close() error
+}
+
+var (
+	_ Conn = (*DB)(nil)
+	_ Conn = (*Remote)(nil)
+)
+
+// wireRequest is one client->server message.
+type wireRequest struct {
+	Op   string   `json:"op"` // "exec", "query", "tables"
+	SQL  string   `json:"sql,omitempty"`
+	Args []walArg `json:"args,omitempty"`
+}
+
+// wireResponse is one server->client message.
+type wireResponse struct {
+	Err          string     `json:"err,omitempty"`
+	LastInsertID int64      `json:"last_id,omitempty"`
+	RowsAffected int        `json:"affected,omitempty"`
+	Columns      []string   `json:"cols,omitempty"`
+	Rows         [][]walArg `json:"rows,omitempty"`
+	Tables       []string   `json:"tables,omitempty"`
+}
+
+// Server exposes a local database over the wire protocol.
+type Server struct {
+	DB *DB
+}
+
+// Serve accepts connections until the listener closes. Each connection
+// handles requests sequentially; connections are served concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req wireRequest) wireResponse {
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		return wireResponse{Err: err.Error()}
+	}
+	switch req.Op {
+	case "exec":
+		res, err := s.DB.Exec(req.SQL, args...)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{LastInsertID: res.LastInsertID, RowsAffected: res.RowsAffected}
+	case "query":
+		rows, err := s.DB.Query(req.SQL, args...)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		resp := wireResponse{Columns: rows.Columns}
+		for _, row := range rows.All() {
+			wr, err := encodeArgs(row)
+			if err != nil {
+				return wireResponse{Err: err.Error()}
+			}
+			resp.Rows = append(resp.Rows, wr)
+		}
+		return resp
+	case "tables":
+		return wireResponse{Tables: s.DB.Tables()}
+	}
+	return wireResponse{Err: fmt.Sprintf("kdb: unknown wire op %q", req.Op)}
+}
+
+// ListenAndServe serves the database on addr until the process exits or
+// the listener fails. It returns the bound listener so callers can learn
+// the ephemeral port and close it for shutdown.
+func (s *Server) Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: listen %s: %w", addr, err)
+	}
+	go s.Serve(l) //nolint:errcheck — Serve exits when l closes
+	return l, nil
+}
+
+// Remote is a client for a served database. It is safe for concurrent use;
+// requests are serialized over one connection.
+type Remote struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a kdb server. The address accepts an optional kdb://
+// scheme prefix — the paper's "SQL connection URL".
+func Dial(addr string) (*Remote, error) {
+	hostport := addr
+	if len(hostport) > 6 && hostport[:6] == "kdb://" {
+		hostport = hostport[6:]
+	}
+	conn, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: dial %s: %w", addr, err)
+	}
+	return &Remote{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+func (r *Remote) roundTrip(req wireRequest) (wireResponse, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return wireResponse{}, fmt.Errorf("kdb: remote connection closed")
+	}
+	if err := r.enc.Encode(req); err != nil {
+		return wireResponse{}, fmt.Errorf("kdb: send: %w", err)
+	}
+	var resp wireResponse
+	if err := r.dec.Decode(&resp); err != nil {
+		return wireResponse{}, fmt.Errorf("kdb: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return wireResponse{}, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Exec implements Conn.
+func (r *Remote) Exec(query string, args ...any) (Result, error) {
+	wa, err := encodeArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := r.roundTrip(wireRequest{Op: "exec", SQL: query, Args: wa})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{LastInsertID: resp.LastInsertID, RowsAffected: resp.RowsAffected}, nil
+}
+
+// Query implements Conn.
+func (r *Remote) Query(query string, args ...any) (*Rows, error) {
+	wa, err := encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.roundTrip(wireRequest{Op: "query", SQL: query, Args: wa})
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Columns: resp.Columns}
+	for _, wr := range resp.Rows {
+		vals, err := decodeArgs(wr)
+		if err != nil {
+			return nil, err
+		}
+		rows.rows = append(rows.rows, vals)
+	}
+	return rows, nil
+}
+
+// QueryRow implements Conn.
+func (r *Remote) QueryRow(query string, args ...any) ([]any, error) {
+	rows, err := r.Query(query, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !rows.Next() {
+		return nil, fmt.Errorf("kdb: no rows")
+	}
+	return rows.Row(), nil
+}
+
+// Tables implements Conn.
+func (r *Remote) Tables() []string {
+	resp, err := r.roundTrip(wireRequest{Op: "tables"})
+	if err != nil {
+		return nil
+	}
+	return resp.Tables
+}
+
+// Close implements Conn.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}

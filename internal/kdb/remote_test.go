@@ -1,0 +1,155 @@
+package kdb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startServer serves an in-memory DB on an ephemeral port and returns the
+// dial address.
+func startServer(t *testing.T) (*DB, string) {
+	t.Helper()
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{DB: db}
+	l, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return db, l.Addr().String()
+}
+
+func TestRemoteExecQuery(t *testing.T) {
+	_, addr := startServer(t)
+	r, err := Dial("kdb://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT, v REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Exec("INSERT INTO t (s, v) VALUES (?, ?)", "hello", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastInsertID != 1 || res.RowsAffected != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if _, err := r.Exec("INSERT INTO t (s, v) VALUES (?, ?)", "world", 3.5); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Query("SELECT id, s, v FROM t WHERE v > ? ORDER BY id", 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Columns[1] != "s" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	rows.Next()
+	got := rows.Row()
+	if got[0] != int64(2) || got[1] != "world" || got[2] != 3.5 {
+		t.Errorf("row = %v", got)
+	}
+	row, err := r.QueryRow("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(2) {
+		t.Errorf("count = %v", row[0])
+	}
+	// NULL values survive the wire.
+	if _, err := r.Exec("INSERT INTO t (s, v) VALUES (NULL, NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	row, err = r.QueryRow("SELECT s, v FROM t WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != nil || row[1] != nil {
+		t.Errorf("nulls = %v", row)
+	}
+	// Tables round-trips.
+	if tables := r.Tables(); len(tables) != 1 || tables[0] != "t" {
+		t.Errorf("tables = %v", tables)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	_, addr := startServer(t)
+	r, err := Dial(addr) // bare host:port also accepted
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Exec("BOGUS SQL"); err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("want remote parse error, got %v", err)
+	}
+	if _, err := r.Query("SELECT * FROM missing"); err == nil {
+		t.Error("missing table should error remotely")
+	}
+	if _, err := r.QueryRow("SELECT 1 FROM missing"); err == nil {
+		t.Error("queryrow on missing table should error")
+	}
+	// After Close, calls fail cleanly.
+	r.Close()
+	if _, err := r.Exec("SELECT 1"); err == nil {
+		t.Error("closed remote should fail")
+	}
+	if r.Tables() != nil {
+		t.Error("closed remote Tables should be nil")
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRemoteConcurrentClients(t *testing.T) {
+	db, addr := startServer(t)
+	if _, err := db.Exec("CREATE TABLE c (id INTEGER PRIMARY KEY, n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer r.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := r.Exec("INSERT INTO c (n) VALUES (?)", g*1000+i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	row, err := db.QueryRow("SELECT COUNT(*) FROM c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(200) {
+		t.Errorf("count = %v, want 200", row[0])
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("kdb://127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+}

@@ -1,0 +1,239 @@
+package kdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// walEntry is one logged mutation: the SQL text plus its arguments with
+// explicit type tags (JSON alone cannot distinguish int64 from float64).
+type walEntry struct {
+	SQL  string   `json:"sql"`
+	Args []walArg `json:"args,omitempty"`
+}
+
+type walArg struct {
+	Kind  string `json:"k"` // "i", "r", "t", "n"
+	Value string `json:"v,omitempty"`
+}
+
+func encodeArgs(args []any) ([]walArg, error) {
+	out := make([]walArg, len(args))
+	for i, a := range args {
+		n, err := normalizeArg(a)
+		if err != nil {
+			return nil, err
+		}
+		switch x := n.(type) {
+		case nil:
+			out[i] = walArg{Kind: "n"}
+		case int64:
+			out[i] = walArg{Kind: "i", Value: strconv.FormatInt(x, 10)}
+		case float64:
+			out[i] = walArg{Kind: "r", Value: strconv.FormatFloat(x, 'g', -1, 64)}
+		case string:
+			out[i] = walArg{Kind: "t", Value: x}
+		default:
+			return nil, fmt.Errorf("kdb: cannot log argument of type %T", a)
+		}
+	}
+	return out, nil
+}
+
+func decodeArgs(in []walArg) ([]any, error) {
+	out := make([]any, len(in))
+	for i, a := range in {
+		switch a.Kind {
+		case "n":
+			out[i] = nil
+		case "i":
+			v, err := strconv.ParseInt(a.Value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("kdb: corrupt log integer %q", a.Value)
+			}
+			out[i] = v
+		case "r":
+			v, err := strconv.ParseFloat(a.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("kdb: corrupt log real %q", a.Value)
+			}
+			out[i] = v
+		case "t":
+			out[i] = a.Value
+		default:
+			return nil, fmt.Errorf("kdb: corrupt log argument kind %q", a.Kind)
+		}
+	}
+	return out, nil
+}
+
+type replayEntry struct {
+	SQL  string
+	Args []any
+}
+
+// wal is the append-only mutation log.
+type wal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openWAL opens or creates the log and returns the decoded entries for
+// replay.
+func openWAL(path string) (*wal, []replayEntry, error) {
+	var entries []replayEntry
+	if data, err := os.ReadFile(path); err == nil {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for dec.More() {
+			var e walEntry
+			if err := dec.Decode(&e); err != nil {
+				return nil, nil, fmt.Errorf("kdb: corrupt log %s: %w", path, err)
+			}
+			args, err := decodeArgs(e.Args)
+			if err != nil {
+				return nil, nil, err
+			}
+			entries = append(entries, replayEntry{SQL: e.SQL, Args: args})
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("kdb: open log: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kdb: open log for append: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f)}, entries, nil
+}
+
+// Append logs one mutation and flushes it to the OS.
+func (w *wal) Append(sql string, args []any) error {
+	ea, err := encodeArgs(args)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(walEntry{SQL: sql, Args: ea})
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Close flushes and closes the log file.
+func (w *wal) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Compact rewrites the database file as a minimal snapshot: CREATE TABLE
+// statements followed by one INSERT per row. It is the paper-ablation
+// alternative to the ever-growing append log and also the mechanism for
+// exporting a database to a fresh file.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.path == "" {
+		return fmt.Errorf("kdb: in-memory database has no file to compact")
+	}
+	tmp := db.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	writeEntry := func(sql string, args []any) error {
+		ea, err := encodeArgs(args)
+		if err != nil {
+			return err
+		}
+		data, err := json.Marshal(walEntry{SQL: sql, Args: ea})
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	}
+	for _, name := range db.tablesSorted() {
+		t := db.tables[name]
+		sql := "CREATE TABLE " + t.Name + " ("
+		for i, c := range t.Columns {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += c.Name + " " + c.Type.String()
+			if c.PrimaryKey {
+				sql += " PRIMARY KEY"
+			}
+		}
+		sql += ")"
+		if err := writeEntry(sql, nil); err != nil {
+			f.Close()
+			return err
+		}
+		if len(t.Rows) == 0 {
+			continue
+		}
+		ins := "INSERT INTO " + t.Name + " VALUES ("
+		for i := range t.Columns {
+			if i > 0 {
+				ins += ", "
+			}
+			ins += "?"
+		}
+		ins += ")"
+		for _, row := range t.Rows {
+			if err := writeEntry(ins, row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Swap the log under the open handle: close, rename, reopen.
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, db.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	db.wal = &wal{f: nf, w: bufio.NewWriter(nf)}
+	return nil
+}
+
+func (db *DB) tablesSorted() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

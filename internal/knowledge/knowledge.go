@@ -1,0 +1,275 @@
+// Package knowledge defines the knowledge object — the structured artifact
+// produced by the extraction phase and consumed by every later phase of the
+// I/O knowledge cycle. Following the paper's §V-B/§V-C, a benchmark
+// knowledge object carries the I/O pattern parameters, per-iteration
+// results, per-operation summaries, file-system settings, and system
+// statistics; IO500 knowledge is kept as a separate object with its own
+// score and test-case layout.
+package knowledge
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Source identifies which generator produced a knowledge object.
+type Source string
+
+// Known knowledge sources.
+const (
+	SourceIOR     Source = "ior"
+	SourceIO500   Source = "io500"
+	SourceHACCIO  Source = "haccio"
+	SourceDarshan Source = "darshan"
+)
+
+// Summary is the per-operation statistics block of a knowledge object,
+// mirroring the paper's "summaries" table (max/mean/min bandwidth and
+// operation rates over the configured iterations).
+type Summary struct {
+	Operation  string  `json:"operation"` // "write" or "read"
+	API        string  `json:"api"`
+	MaxMiBps   float64 `json:"max_mib"`
+	MinMiBps   float64 `json:"min_mib"`
+	MeanMiBps  float64 `json:"mean_mib"`
+	StdDevMiB  float64 `json:"stddev_mib"`
+	MaxOps     float64 `json:"max_ops"`
+	MinOps     float64 `json:"min_ops"`
+	MeanOps    float64 `json:"mean_ops"`
+	StdDevOps  float64 `json:"stddev_ops"`
+	MeanSec    float64 `json:"mean_sec"`
+	Iterations int     `json:"iterations"`
+}
+
+// Result is one individual iteration measurement; the paper stores
+// individual results (not only summaries) to keep the rich visualization
+// options of the explorer.
+type Result struct {
+	Operation  string  `json:"operation"`
+	Iteration  int     `json:"iteration"`
+	BwMiBps    float64 `json:"bw_mib"`
+	OpsPerSec  float64 `json:"ops"`
+	LatencySec float64 `json:"latency_sec"`
+	OpenSec    float64 `json:"open_sec"`
+	WrRdSec    float64 `json:"wrrd_sec"`
+	CloseSec   float64 `json:"close_sec"`
+	TotalSec   float64 `json:"total_sec"`
+}
+
+// FileSystemInfo is the user-level parallel file system information the
+// extractor collects (for BeeGFS: entry type, EntryID, metadata node,
+// stripe pattern details, and, when available, chunk size, target count,
+// RAID scheme, and storage pool).
+type FileSystemInfo struct {
+	Type         string `json:"type"` // e.g. "beegfs"
+	EntryType    string `json:"entry_type"`
+	EntryID      string `json:"entry_id"`
+	MetadataNode string `json:"metadata_node"`
+	Pattern      string `json:"stripe_pattern"`
+	ChunkSize    int64  `json:"chunk_size"`
+	NumTargets   int    `json:"num_targets"`
+	RAIDScheme   string `json:"raid_scheme"`
+	StoragePool  string `json:"storage_pool"`
+}
+
+// SystemInfo is the /proc-derived system statistics block.
+type SystemInfo struct {
+	Hostname     string  `json:"hostname"`
+	Architecture string  `json:"architecture"`
+	CPUModel     string  `json:"cpu_model"`
+	Cores        int     `json:"cores"`
+	CPUMHz       float64 `json:"cpu_mhz"`
+	CacheKB      int     `json:"cache_kb"`
+	MemTotalKB   int64   `json:"mem_total_kb"`
+	MemFreeKB    int64   `json:"mem_free_kb"`
+}
+
+// Object is a benchmark knowledge object (IOR, HACC-IO, Darshan-derived).
+type Object struct {
+	ID       int64     `json:"id,omitempty"` // assigned at persistence
+	Source   Source    `json:"source"`
+	Command  string    `json:"command"`
+	Began    time.Time `json:"began"`
+	Finished time.Time `json:"finished"`
+	// Pattern holds the I/O pattern parameters (api, blocksize,
+	// transfersize, segments, filePerProc, tasks, ...), keyed by the
+	// benchmark's own option names so heterogeneous tools coexist.
+	Pattern    map[string]string `json:"pattern"`
+	Summaries  []Summary         `json:"summaries"`
+	Results    []Result          `json:"results"`
+	FileSystem *FileSystemInfo   `json:"filesystem,omitempty"`
+	System     *SystemInfo       `json:"system,omitempty"`
+}
+
+// SummaryFor returns the summary of one operation, or false when absent.
+func (o *Object) SummaryFor(op string) (Summary, bool) {
+	for _, s := range o.Summaries {
+		if s.Operation == op {
+			return s, true
+		}
+	}
+	return Summary{}, false
+}
+
+// ResultsFor returns the iteration series for one operation.
+func (o *Object) ResultsFor(op string) []Result {
+	var out []Result
+	for _, r := range o.Results {
+		if r.Operation == op {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Bandwidths returns the per-iteration bandwidth series for one operation.
+func (o *Object) Bandwidths(op string) []float64 {
+	var out []float64
+	for _, r := range o.ResultsFor(op) {
+		out = append(out, r.BwMiBps)
+	}
+	return out
+}
+
+// Validate reports structural problems that would corrupt later phases.
+func (o *Object) Validate() error {
+	if o.Source == "" {
+		return fmt.Errorf("knowledge: object has no source")
+	}
+	if o.Command == "" {
+		return fmt.Errorf("knowledge: object has no command")
+	}
+	if len(o.Summaries) == 0 && len(o.Results) == 0 {
+		return fmt.Errorf("knowledge: object carries no measurements")
+	}
+	for _, r := range o.Results {
+		if r.Operation == "" {
+			return fmt.Errorf("knowledge: result without operation")
+		}
+		if r.Iteration < 0 {
+			return fmt.Errorf("knowledge: negative iteration %d", r.Iteration)
+		}
+	}
+	return nil
+}
+
+// TestCase is one IO500 phase result inside an IO500 knowledge object.
+type TestCase struct {
+	Name    string  `json:"name"`
+	Value   float64 `json:"value"`
+	Unit    string  `json:"unit"` // "GiB/s" or "kIOPS"
+	Seconds float64 `json:"seconds"`
+}
+
+// IO500Object is the separate knowledge object the paper uses for IO500
+// runs: scores, the executed test cases, the options used, and system
+// information.
+type IO500Object struct {
+	ID         int64             `json:"id,omitempty"`
+	Command    string            `json:"command"`
+	Began      time.Time         `json:"began"`
+	Finished   time.Time         `json:"finished"`
+	ScoreBW    float64           `json:"score_bw_gib"`
+	ScoreMD    float64           `json:"score_md_kiops"`
+	ScoreTotal float64           `json:"score_total"`
+	TestCases  []TestCase        `json:"testcases"`
+	Options    map[string]string `json:"options"`
+	System     *SystemInfo       `json:"system,omitempty"`
+}
+
+// TestCaseFor returns the named test case, or false when absent.
+func (o *IO500Object) TestCaseFor(name string) (TestCase, bool) {
+	for _, tc := range o.TestCases {
+		if tc.Name == name {
+			return tc, true
+		}
+	}
+	return TestCase{}, false
+}
+
+// Validate reports structural problems.
+func (o *IO500Object) Validate() error {
+	if len(o.TestCases) == 0 {
+		return fmt.Errorf("knowledge: io500 object has no test cases")
+	}
+	if o.ScoreTotal <= 0 {
+		return fmt.Errorf("knowledge: io500 object has no score")
+	}
+	return nil
+}
+
+// MarshalJSON-friendly encode/decode helpers for interchange files.
+
+// EncodeJSON writes the object as indented JSON.
+func (o *Object) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+// DecodeJSON reads an object written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Object, error) {
+	var o Object
+	if err := json.NewDecoder(r).Decode(&o); err != nil {
+		return nil, fmt.Errorf("knowledge: decode: %w", err)
+	}
+	return &o, nil
+}
+
+// WriteResultsCSV exports the per-iteration results as CSV — the paper's
+// alternative persistence format next to the database.
+func (o *Object) WriteResultsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"operation", "iteration", "bw_mib", "ops", "latency_sec", "open_sec", "wrrd_sec", "close_sec", "total_sec"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	for _, r := range o.Results {
+		rec := []string{r.Operation, strconv.Itoa(r.Iteration), f(r.BwMiBps), f(r.OpsPerSec), f(r.LatencySec), f(r.OpenSec), f(r.WrRdSec), f(r.CloseSec), f(r.TotalSec)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadResultsCSV parses a CSV written by WriteResultsCSV.
+func ReadResultsCSV(r io.Reader) ([]Result, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("knowledge: csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("knowledge: empty csv")
+	}
+	var out []Result
+	for i, rec := range records[1:] {
+		if len(rec) != 9 {
+			return nil, fmt.Errorf("knowledge: csv row %d has %d fields, want 9", i+2, len(rec))
+		}
+		iter, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("knowledge: csv row %d: %v", i+2, err)
+		}
+		vals := make([]float64, 7)
+		for j := 0; j < 7; j++ {
+			v, err := strconv.ParseFloat(rec[j+2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("knowledge: csv row %d col %d: %v", i+2, j+3, err)
+			}
+			vals[j] = v
+		}
+		out = append(out, Result{
+			Operation: rec[0], Iteration: iter,
+			BwMiBps: vals[0], OpsPerSec: vals[1], LatencySec: vals[2],
+			OpenSec: vals[3], WrRdSec: vals[4], CloseSec: vals[5], TotalSec: vals[6],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package knowledge
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleObject() *Object {
+	return &Object{
+		Source:   SourceIOR,
+		Command:  "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k",
+		Began:    time.Date(2022, 7, 7, 10, 0, 0, 0, time.UTC),
+		Finished: time.Date(2022, 7, 7, 10, 1, 0, 0, time.UTC),
+		Pattern:  map[string]string{"api": "MPIIO", "blocksize": "4m", "transfersize": "2m", "tasks": "80"},
+		Summaries: []Summary{
+			{Operation: "write", API: "MPIIO", MaxMiBps: 2913, MinMiBps: 1251, MeanMiBps: 2583, Iterations: 6},
+			{Operation: "read", API: "MPIIO", MaxMiBps: 3750, MinMiBps: 3690, MeanMiBps: 3720, Iterations: 6},
+		},
+		Results: []Result{
+			{Operation: "write", Iteration: 0, BwMiBps: 2850, OpsPerSec: 1425, TotalSec: 4.5},
+			{Operation: "write", Iteration: 1, BwMiBps: 1251, OpsPerSec: 625, TotalSec: 10.2},
+			{Operation: "read", Iteration: 0, BwMiBps: 3720, OpsPerSec: 1860, TotalSec: 3.4},
+		},
+		FileSystem: &FileSystemInfo{Type: "beegfs", EntryID: "AB-CD-1", MetadataNode: "meta01", Pattern: "RAID0", ChunkSize: 524288, NumTargets: 4, StoragePool: "Default"},
+		System:     &SystemInfo{Hostname: "fuchs01", Cores: 20, CPUMHz: 2500, MemTotalKB: 134217728},
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	o := sampleObject()
+	s, ok := o.SummaryFor("write")
+	if !ok || s.MeanMiBps != 2583 {
+		t.Errorf("SummaryFor(write) = %+v, %v", s, ok)
+	}
+	if _, ok := o.SummaryFor("trim"); ok {
+		t.Error("absent summary should be false")
+	}
+	if got := len(o.ResultsFor("write")); got != 2 {
+		t.Errorf("ResultsFor(write) = %d", got)
+	}
+	bws := o.Bandwidths("write")
+	if !reflect.DeepEqual(bws, []float64{2850, 1251}) {
+		t.Errorf("Bandwidths = %v", bws)
+	}
+	if got := o.Bandwidths("nothing"); got != nil {
+		t.Errorf("absent op bandwidths = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleObject().Validate(); err != nil {
+		t.Errorf("sample rejected: %v", err)
+	}
+	bad := []*Object{
+		{},
+		{Source: SourceIOR},
+		{Source: SourceIOR, Command: "x"},
+		{Source: SourceIOR, Command: "x", Results: []Result{{}}},
+		{Source: SourceIOR, Command: "x", Results: []Result{{Operation: "write", Iteration: -1}}},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	o := sampleObject()
+	var buf bytes.Buffer
+	if err := o.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, o)
+	}
+}
+
+func TestDecodeJSONError(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	o := sampleObject()
+	var buf bytes.Buffer
+	if err := o.WriteResultsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o.Results, got) {
+		t.Errorf("csv round trip mismatch:\n got %+v\nwant %+v", got, o.Results)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadResultsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should error")
+	}
+	if _, err := ReadResultsCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("wrong arity should error")
+	}
+	hdr := "operation,iteration,bw_mib,ops,latency_sec,open_sec,wrrd_sec,close_sec,total_sec\n"
+	if _, err := ReadResultsCSV(strings.NewReader(hdr + "write,x,1,2,3,4,5,6,7\n")); err == nil {
+		t.Error("bad iteration should error")
+	}
+	if _, err := ReadResultsCSV(strings.NewReader(hdr + "write,1,x,2,3,4,5,6,7\n")); err == nil {
+		t.Error("bad float should error")
+	}
+}
+
+func TestIO500Object(t *testing.T) {
+	o := &IO500Object{
+		Command:    "io500 config.ini",
+		ScoreBW:    1.23,
+		ScoreMD:    30.9,
+		ScoreTotal: 6.17,
+		TestCases: []TestCase{
+			{Name: "ior-easy-write", Value: 1.45, Unit: "GiB/s", Seconds: 300},
+			{Name: "mdtest-easy-write", Value: 40.2, Unit: "kIOPS", Seconds: 280},
+		},
+		Options: map[string]string{"tasks": "40"},
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("valid io500 object rejected: %v", err)
+	}
+	tc, ok := o.TestCaseFor("ior-easy-write")
+	if !ok || tc.Value != 1.45 {
+		t.Errorf("TestCaseFor = %+v, %v", tc, ok)
+	}
+	if _, ok := o.TestCaseFor("nope"); ok {
+		t.Error("absent testcase should be false")
+	}
+	if err := (&IO500Object{ScoreTotal: 1}).Validate(); err == nil {
+		t.Error("no test cases should fail")
+	}
+	if err := (&IO500Object{TestCases: []TestCase{{}}}).Validate(); err == nil {
+		t.Error("no score should fail")
+	}
+}

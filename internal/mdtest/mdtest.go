@@ -1,0 +1,282 @@
+// Package mdtest reimplements the mdtest metadata benchmark as a simulator.
+// mdtest hammers a file system with file create/stat/read/removal phases;
+// IO500 uses it for its mdtest-easy (unique directory per task, empty
+// files) and mdtest-hard (one shared directory, 3901-byte files) boundary
+// test cases. The simulator executes phases against a cluster.Machine and
+// emits/parses mdtest-3.x-style output.
+package mdtest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Version is the mdtest release whose output format the simulator emits.
+const Version = "mdtest-3.3.0"
+
+// Config describes one mdtest invocation.
+type Config struct {
+	NumFiles     int   // -n: items per task
+	Tasks        int   // MPI ranks
+	TasksPerNode int   // placement density (0 = pack)
+	UniqueDir    bool  // -u: unique working directory per task (mdtest-easy)
+	WriteBytes   int64 // -w: bytes written to each created file (mdtest-hard: 3901)
+	ReadBytes    int64 // -e: bytes read back per file
+	Iterations   int   // -i
+	Dir          string
+}
+
+// Default returns mdtest defaults: one iteration, empty files.
+func Default() Config {
+	return Config{NumFiles: 1000, Iterations: 1, Dir: "/scratch/mdtest"}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumFiles <= 0 {
+		return fmt.Errorf("mdtest: items per task must be positive")
+	}
+	if c.Tasks <= 0 {
+		return fmt.Errorf("mdtest: tasks must be positive")
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("mdtest: iterations must be positive")
+	}
+	return nil
+}
+
+// Phase names, in mdtest's SUMMARY order.
+const (
+	PhaseCreation = "File creation"
+	PhaseStat     = "File stat"
+	PhaseRead     = "File read"
+	PhaseRemoval  = "File removal"
+)
+
+// Phases lists the simulated phases in output order.
+var Phases = []string{PhaseCreation, PhaseStat, PhaseRead, PhaseRemoval}
+
+// IterationRates holds one iteration's op/s per phase.
+type IterationRates map[string]float64
+
+// Run is the outcome of executing mdtest.
+type Run struct {
+	Config     Config
+	Nodes      int
+	Began      time.Time
+	Finished   time.Time
+	Iterations []IterationRates
+}
+
+// Rates returns the per-iteration series for one phase.
+func (r *Run) Rates(phase string) []float64 {
+	var out []float64
+	for _, it := range r.Iterations {
+		out = append(out, it[phase])
+	}
+	return out
+}
+
+// Runner executes mdtest configurations on a modelled machine.
+type Runner struct {
+	Machine *cluster.Machine
+	Seed    uint64
+	Clock   time.Time
+}
+
+var referenceClock = time.Date(2022, 7, 7, 11, 0, 0, 0, time.UTC)
+
+func kindFor(phase string) cluster.MetaKind {
+	switch phase {
+	case PhaseCreation:
+		return cluster.MetaCreate
+	case PhaseStat:
+		return cluster.MetaStat
+	case PhaseRead:
+		return cluster.MetaRead
+	default:
+		return cluster.MetaRemove
+	}
+}
+
+// Run executes cfg and returns per-iteration, per-phase rates.
+func (r *Runner) Run(cfg Config) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Machine == nil {
+		return nil, fmt.Errorf("mdtest: runner has no machine")
+	}
+	clock := r.Clock
+	if clock.IsZero() {
+		clock = referenceClock
+	}
+	src := rng.New(r.Seed)
+	tpn := cfg.TasksPerNode
+	if tpn <= 0 {
+		tpn = r.Machine.CoresPerNode
+	}
+	run := &Run{Config: cfg, Began: clock, Nodes: (cfg.Tasks + tpn - 1) / tpn}
+	elapsed := 0.0
+	for i := 0; i < cfg.Iterations; i++ {
+		rates := IterationRates{}
+		for _, phase := range Phases {
+			// The read phase only happens when files have content to read.
+			if phase == PhaseRead && cfg.WriteBytes == 0 && cfg.ReadBytes == 0 {
+				rates[phase] = 0
+				continue
+			}
+			bytes := cfg.WriteBytes
+			if phase == PhaseRead && cfg.ReadBytes > 0 {
+				bytes = cfg.ReadBytes
+			}
+			res, err := r.Machine.SimulateMeta(cluster.MetaRequest{
+				Kind:         kindFor(phase),
+				Tasks:        cfg.Tasks,
+				ItemsPerTask: cfg.NumFiles,
+				SharedDir:    !cfg.UniqueDir,
+				WriteBytes:   bytes,
+			}, src.Fork())
+			if err != nil {
+				return nil, fmt.Errorf("mdtest: %s: %w", phase, err)
+			}
+			rates[phase] = res.OpsPerSec
+			elapsed += res.TotalSec
+		}
+		run.Iterations = append(run.Iterations, rates)
+	}
+	run.Finished = run.Began.Add(time.Duration(elapsed * float64(time.Second)))
+	return run, nil
+}
+
+const stampLayout = "01/02/2006 15:04:05"
+
+// WriteOutput renders the run in mdtest-3.x text form.
+func WriteOutput(w io.Writer, run *Run) error {
+	cfg := run.Config
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- started at %s --\n\n", run.Began.Format(stampLayout))
+	fmt.Fprintf(&b, "%s was launched with %d total task(s) on %d node(s)\n", Version, cfg.Tasks, run.Nodes)
+	fmt.Fprintf(&b, "Command line used: %s\n", CommandLine(cfg))
+	fmt.Fprintf(&b, "Nodemap: compact\n")
+	fmt.Fprintf(&b, "%d tasks, %d files\n\n", cfg.Tasks, cfg.Tasks*cfg.NumFiles)
+	fmt.Fprintf(&b, "SUMMARY rate: (of %d iterations)\n", cfg.Iterations)
+	fmt.Fprintf(&b, "   Operation                      Max            Min           Mean        Std Dev\n")
+	fmt.Fprintf(&b, "   ---------                      ---            ---           ----        -------\n")
+	for _, phase := range Phases {
+		s, err := stats.Summarize(run.Rates(phase))
+		if err != nil {
+			return fmt.Errorf("mdtest: summarize %s: %w", phase, err)
+		}
+		fmt.Fprintf(&b, "   %-22s    :  %14.3f %14.3f %14.3f %14.3f\n", phase, s.Max, s.Min, s.Mean, s.StdDev)
+	}
+	fmt.Fprintf(&b, "\n-- finished at %s --\n", run.Finished.Format(stampLayout))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CommandLine renders an equivalent mdtest invocation.
+func CommandLine(c Config) string {
+	var b strings.Builder
+	b.WriteString("mdtest")
+	fmt.Fprintf(&b, " -n %d", c.NumFiles)
+	if c.UniqueDir {
+		b.WriteString(" -u")
+	}
+	if c.WriteBytes > 0 {
+		fmt.Fprintf(&b, " -w %d", c.WriteBytes)
+	}
+	if c.ReadBytes > 0 {
+		fmt.Fprintf(&b, " -e %d", c.ReadBytes)
+	}
+	if c.Iterations > 1 {
+		fmt.Fprintf(&b, " -i %d", c.Iterations)
+	}
+	fmt.Fprintf(&b, " -d %s", c.Dir)
+	return b.String()
+}
+
+// PhaseSummary is one parsed SUMMARY line.
+type PhaseSummary struct {
+	Operation string
+	Max, Min  float64
+	Mean      float64
+	StdDev    float64
+}
+
+// ParsedRun is mdtest output decoded back into structured data.
+type ParsedRun struct {
+	Version     string
+	CommandLine string
+	Tasks       int
+	Nodes       int
+	Began       time.Time
+	Finished    time.Time
+	Summary     []PhaseSummary
+}
+
+// ParseOutput decodes mdtest text output.
+func ParseOutput(r io.Reader) (*ParsedRun, error) {
+	sc := bufio.NewScanner(r)
+	p := &ParsedRun{}
+	inSummary := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "-- started at "):
+			p.Began = parseStamp(strings.TrimSuffix(strings.TrimPrefix(line, "-- started at "), " --"))
+		case strings.HasPrefix(line, "-- finished at "):
+			p.Finished = parseStamp(strings.TrimSuffix(strings.TrimPrefix(line, "-- finished at "), " --"))
+		case strings.Contains(line, "was launched with"):
+			p.Version = strings.Fields(line)[0]
+			fmt.Sscanf(line[strings.Index(line, "with"):], "with %d total task(s) on %d node(s)", &p.Tasks, &p.Nodes)
+		case strings.HasPrefix(line, "Command line used:"):
+			p.CommandLine = strings.TrimSpace(strings.TrimPrefix(line, "Command line used:"))
+		case strings.HasPrefix(line, "SUMMARY rate:"):
+			inSummary = true
+		case inSummary && strings.Contains(line, ":"):
+			i := strings.Index(line, ":")
+			op := strings.TrimSpace(line[:i])
+			f := strings.Fields(line[i+1:])
+			if len(f) != 4 {
+				continue
+			}
+			vals := make([]float64, 4)
+			ok := true
+			for j, s := range f {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					ok = false
+					break
+				}
+				vals[j] = v
+			}
+			if ok {
+				p.Summary = append(p.Summary, PhaseSummary{Operation: op, Max: vals[0], Min: vals[1], Mean: vals[2], StdDev: vals[3]})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Version == "" && len(p.Summary) == 0 {
+		return nil, fmt.Errorf("mdtest: input does not look like mdtest output")
+	}
+	return p, nil
+}
+
+func parseStamp(s string) time.Time {
+	t, err := time.Parse(stampLayout, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}

@@ -1,0 +1,195 @@
+package mdtest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func runner(seed uint64) *Runner {
+	return &Runner{Machine: cluster.FuchsCSC(), Seed: seed}
+}
+
+func easyConfig() Config {
+	c := Default()
+	c.Tasks = 40
+	c.TasksPerNode = 20
+	c.UniqueDir = true
+	return c
+}
+
+func hardConfig() Config {
+	c := Default()
+	c.Tasks = 40
+	c.TasksPerNode = 20
+	c.UniqueDir = false
+	c.WriteBytes = 3901
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{NumFiles: 0, Tasks: 1, Iterations: 1},
+		{NumFiles: 1, Tasks: 0, Iterations: 1},
+		{NumFiles: 1, Tasks: 1, Iterations: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if err := easyConfig().Validate(); err != nil {
+		t.Errorf("easy config rejected: %v", err)
+	}
+}
+
+func TestEasyBeatsHard(t *testing.T) {
+	r := runner(1)
+	easy, err := r.Run(easyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := r.Run(hardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{PhaseCreation, PhaseStat, PhaseRemoval} {
+		e := easy.Rates(phase)[0]
+		h := hard.Rates(phase)[0]
+		if h >= e {
+			t.Errorf("%s: hard (%.0f op/s) should be slower than easy (%.0f op/s)", phase, h, e)
+		}
+	}
+}
+
+func TestEmptyFilesSkipRead(t *testing.T) {
+	r := runner(2)
+	run, err := r.Run(easyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Rates(PhaseRead)[0]; got != 0 {
+		t.Errorf("read rate for empty files = %v, want 0", got)
+	}
+	hard, err := r.Run(hardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hard.Rates(PhaseRead)[0]; got <= 0 {
+		t.Errorf("read rate for 3901-byte files = %v, want > 0", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := runner(7).Run(easyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runner(7).Run(easyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range Phases {
+		if a.Rates(phase)[0] != b.Rates(phase)[0] {
+			t.Errorf("%s differs across same-seed runs", phase)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	nr := &Runner{}
+	if _, err := nr.Run(easyConfig()); err == nil {
+		t.Error("want error for missing machine")
+	}
+	r := runner(1)
+	c := easyConfig()
+	c.NumFiles = -1
+	if _, err := r.Run(c); err == nil {
+		t.Error("want error for invalid config")
+	}
+}
+
+func TestMultipleIterations(t *testing.T) {
+	c := easyConfig()
+	c.Iterations = 3
+	run, err := runner(3).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Iterations) != 3 {
+		t.Fatalf("iterations = %d", len(run.Iterations))
+	}
+	series := run.Rates(PhaseCreation)
+	if len(series) != 3 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0] == series[1] && series[1] == series[2] {
+		t.Error("iterations should vary under noise")
+	}
+}
+
+func TestOutputParseRoundTrip(t *testing.T) {
+	c := hardConfig()
+	c.Iterations = 2
+	run, err := runner(5).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOutput(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mdtest-3.3.0 was launched with 40 total task(s) on 2 node(s)",
+		"SUMMARY rate: (of 2 iterations)",
+		"File creation",
+		"File removal",
+		"-- started at ",
+		"-- finished at ",
+		"Command line used: mdtest -n 1000 -w 3901 -i 2 -d /scratch/mdtest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+	p, err := ParseOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tasks != 40 || p.Nodes != 2 || p.Version != Version {
+		t.Errorf("parsed header: %+v", p)
+	}
+	if len(p.Summary) != 4 {
+		t.Fatalf("parsed %d summary lines, want 4", len(p.Summary))
+	}
+	for _, s := range p.Summary {
+		if s.Max < s.Mean || s.Mean < s.Min {
+			t.Errorf("%s: inconsistent stats %+v", s.Operation, s)
+		}
+	}
+	if p.Began.IsZero() || !p.Finished.After(p.Began) {
+		t.Errorf("timestamps: %v .. %v", p.Began, p.Finished)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := ParseOutput(strings.NewReader("not mdtest\n")); err == nil {
+		t.Error("garbage should not parse")
+	}
+}
+
+func TestCommandLineEasy(t *testing.T) {
+	got := CommandLine(easyConfig())
+	if got != "mdtest -n 1000 -u -d /scratch/mdtest" {
+		t.Errorf("CommandLine = %q", got)
+	}
+	c := easyConfig()
+	c.ReadBytes = 4096
+	if !strings.Contains(CommandLine(c), "-e 4096") {
+		t.Error("missing -e")
+	}
+}

@@ -1,0 +1,215 @@
+// Package monitor implements the monitoring-tool data source the paper's
+// generation phase names alongside benchmarks ("for example via benchmarks
+// or simulations, but also via monitoring tools") — a PIKA-style
+// center-wide file system monitor. The collector samples the modelled
+// cluster's aggregate I/O load (driven by the accounting jobs active at
+// each instant), emits a CSV time series, and a parser turns the series
+// back into structured samples that the extractor can lift into a
+// knowledge object.
+package monitor
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/slurm"
+)
+
+// Sample is one monitoring instant: the file system's aggregate load.
+type Sample struct {
+	Time       time.Time
+	WriteMiBps float64
+	ReadMiBps  float64
+	MetaOpsPS  float64
+	ActiveJobs int
+}
+
+// Series is a collected monitoring window.
+type Series struct {
+	Host     string
+	Interval time.Duration
+	Samples  []Sample
+}
+
+// Collector samples a machine under a job mix.
+type Collector struct {
+	Machine *cluster.Machine
+	// ReadFraction estimates how much read demand accompanies each job's
+	// accounted write demand (default 0.6).
+	ReadFraction float64
+	// MetaPerJob is the metadata op rate each active job contributes
+	// (default 800 op/s).
+	MetaPerJob float64
+}
+
+// Collect samples the window [from, to] at the given interval: each
+// sample sums the I/O demand of the accounting jobs active at that
+// instant, caps it at the file system's aggregate capability, and applies
+// measurement noise.
+func (c Collector) Collect(jobs []slurm.Job, from, to time.Time, interval time.Duration, src *rng.Source) (*Series, error) {
+	if c.Machine == nil {
+		return nil, fmt.Errorf("monitor: collector has no machine")
+	}
+	if !to.After(from) {
+		return nil, fmt.Errorf("monitor: empty window")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("monitor: interval must be positive")
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+	readFrac := c.ReadFraction
+	if readFrac <= 0 {
+		readFrac = 0.6
+	}
+	metaPerJob := c.MetaPerJob
+	if metaPerJob <= 0 {
+		metaPerJob = 800
+	}
+	maxWrite := c.Machine.FS.AggregateWriteMiBps(0)
+	maxRead := c.Machine.FS.AggregateReadMiBps(0)
+	maxMeta := c.Machine.FS.MetaRate("stat")
+	s := &Series{Host: c.Machine.Name, Interval: interval}
+	for t := from; !t.After(to); t = t.Add(interval) {
+		var wr float64
+		active := 0
+		for _, j := range jobs {
+			if j.Active(t) {
+				active++
+				wr += j.WriteMiBps
+			}
+		}
+		rd := wr * readFrac
+		meta := float64(active) * metaPerJob
+		wr = clamp(src.Perturb(wr+1, 0.08)-1, 0, maxWrite)
+		rd = clamp(src.Perturb(rd+1, 0.08)-1, 0, maxRead)
+		meta = clamp(src.Perturb(meta+1, 0.10)-1, 0, maxMeta)
+		s.Samples = append(s.Samples, Sample{
+			Time: t, WriteMiBps: wr, ReadMiBps: rd, MetaOpsPS: meta, ActiveJobs: active,
+		})
+	}
+	return s, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+const timeLayout = time.RFC3339
+
+// header is the CSV schema of the monitoring export.
+var header = []string{"timestamp", "write_mibps", "read_mibps", "meta_ops", "active_jobs"}
+
+// Write renders the series as CSV preceded by a '#' host/interval banner.
+func Write(w io.Writer, s *Series) error {
+	if _, err := fmt.Fprintf(w, "# iokc-monitor host=%s interval=%s\n", s.Host, s.Interval); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		rec := []string{
+			smp.Time.UTC().Format(timeLayout),
+			strconv.FormatFloat(smp.WriteMiBps, 'f', 3, 64),
+			strconv.FormatFloat(smp.ReadMiBps, 'f', 3, 64),
+			strconv.FormatFloat(smp.MetaOpsPS, 'f', 3, 64),
+			strconv.Itoa(smp.ActiveJobs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Parse decodes a CSV monitoring export written by Write.
+func Parse(r io.Reader) (*Series, error) {
+	// Peel the banner line.
+	banner := make([]byte, 0, 128)
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if buf[0] == '\n' {
+				break
+			}
+			banner = append(banner, buf[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("monitor: truncated banner: %w", err)
+		}
+	}
+	s := &Series{}
+	var intervalStr string
+	if _, err := fmt.Sscanf(string(banner), "# iokc-monitor host=%s interval=%s", &s.Host, &intervalStr); err != nil {
+		return nil, fmt.Errorf("monitor: bad banner %q", banner)
+	}
+	d, err := time.ParseDuration(intervalStr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: bad interval %q: %v", intervalStr, err)
+	}
+	s.Interval = d
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("monitor: csv: %w", err)
+	}
+	if len(records) == 0 || len(records[0]) != len(header) {
+		return nil, fmt.Errorf("monitor: missing csv header")
+	}
+	for i, rec := range records[1:] {
+		t, err := time.Parse(timeLayout, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("monitor: row %d timestamp: %v", i+1, err)
+		}
+		vals := make([]float64, 3)
+		for j := 0; j < 3; j++ {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("monitor: row %d col %d: %v", i+1, j+2, err)
+			}
+			vals[j] = v
+		}
+		active, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("monitor: row %d active jobs: %v", i+1, err)
+		}
+		s.Samples = append(s.Samples, Sample{
+			Time: t, WriteMiBps: vals[0], ReadMiBps: vals[1], MetaOpsPS: vals[2], ActiveJobs: active,
+		})
+	}
+	if len(s.Samples) == 0 {
+		return nil, fmt.Errorf("monitor: series has no samples")
+	}
+	return s, nil
+}
+
+// PeakWindow returns the interval with the highest combined I/O load and
+// its value, for capacity reports.
+func (s *Series) PeakWindow() (Sample, error) {
+	if len(s.Samples) == 0 {
+		return Sample{}, fmt.Errorf("monitor: empty series")
+	}
+	best := s.Samples[0]
+	for _, smp := range s.Samples[1:] {
+		if smp.WriteMiBps+smp.ReadMiBps > best.WriteMiBps+best.ReadMiBps {
+			best = smp
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,192 @@
+package monitor_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/cluster"
+	"repro/internal/extract"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/slurm"
+)
+
+func window() (time.Time, time.Time) {
+	from := time.Date(2022, 7, 7, 8, 0, 0, 0, time.UTC)
+	return from, from.Add(time.Hour)
+}
+
+func testJobs(from time.Time) []slurm.Job {
+	return []slurm.Job{
+		{JobID: 1, Name: "steady", User: "a", Nodes: 4, NodeList: "fuchs[001-004]",
+			State: slurm.StateCompleted, Start: from, End: from.Add(time.Hour), WriteMiBps: 1200},
+		{JobID: 2, Name: "burst", User: "b", Nodes: 8, NodeList: "fuchs[010-017]",
+			State: slurm.StateCompleted, Start: from.Add(20 * time.Minute), End: from.Add(30 * time.Minute), WriteMiBps: 6000},
+	}
+}
+
+func TestCollect(t *testing.T) {
+	from, to := window()
+	c := monitor.Collector{Machine: cluster.FuchsCSC()}
+	s, err := c.Collect(testJobs(from), from, to, time.Minute, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples) != 61 {
+		t.Fatalf("samples = %d, want 61", len(s.Samples))
+	}
+	if s.Host != "FUCHS-CSC" || s.Interval != time.Minute {
+		t.Errorf("series header: %+v", s)
+	}
+	// The burst window must show elevated write load and 2 active jobs.
+	var inBurst, outBurst float64
+	for _, smp := range s.Samples {
+		mins := smp.Time.Sub(from).Minutes()
+		if mins > 21 && mins < 29 {
+			inBurst += smp.WriteMiBps
+			if smp.ActiveJobs != 2 {
+				t.Errorf("burst sample at %v has %d active jobs", smp.Time, smp.ActiveJobs)
+			}
+		} else if mins > 35 && mins < 55 {
+			outBurst += smp.WriteMiBps
+		}
+	}
+	if inBurst <= outBurst {
+		t.Errorf("burst window (%.0f) should exceed steady window (%.0f)", inBurst, outBurst)
+	}
+	// Capacity cap holds.
+	maxWrite := c.Machine.FS.AggregateWriteMiBps(0)
+	for _, smp := range s.Samples {
+		if smp.WriteMiBps > maxWrite {
+			t.Errorf("sample exceeds FS capability: %v", smp.WriteMiBps)
+		}
+		if smp.WriteMiBps < 0 || smp.ReadMiBps < 0 || smp.MetaOpsPS < 0 {
+			t.Errorf("negative sample: %+v", smp)
+		}
+	}
+	// Peak detection lands in the burst.
+	peak, err := s.PeakWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := peak.Time.Sub(from).Minutes()
+	if mins < 19 || mins > 31 {
+		t.Errorf("peak at minute %.0f, want inside the burst", mins)
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	from, to := window()
+	if _, err := (monitor.Collector{}).Collect(nil, from, to, time.Minute, nil); err == nil {
+		t.Error("missing machine should fail")
+	}
+	c := monitor.Collector{Machine: cluster.FuchsCSC()}
+	if _, err := c.Collect(nil, to, from, time.Minute, nil); err == nil {
+		t.Error("inverted window should fail")
+	}
+	if _, err := c.Collect(nil, from, to, 0, nil); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := (&monitor.Series{}).PeakWindow(); err == nil {
+		t.Error("empty series peak should fail")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	from, to := window()
+	c := monitor.Collector{Machine: cluster.FuchsCSC()}
+	s, err := c.Collect(testJobs(from), from, to, 5*time.Minute, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := monitor.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := monitor.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != s.Host || got.Interval != s.Interval || len(got.Samples) != len(s.Samples) {
+		t.Fatalf("round trip header mismatch: %+v vs %+v", got, s)
+	}
+	for i := range s.Samples {
+		a, b := s.Samples[i], got.Samples[i]
+		if !a.Time.Equal(b.Time) || a.ActiveJobs != b.ActiveJobs ||
+			math.Abs(a.WriteMiBps-b.WriteMiBps) > 0.001 ||
+			math.Abs(a.ReadMiBps-b.ReadMiBps) > 0.001 {
+			t.Fatalf("sample %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage\n",
+		"# iokc-monitor host=x interval=notaduration\n",
+		"# iokc-monitor host=x interval=1m\n",
+		"# iokc-monitor host=x interval=1m\nwrongheader\n",
+		"# iokc-monitor host=x interval=1m\ntimestamp,write_mibps,read_mibps,meta_ops,active_jobs\nnotatime,1,2,3,4\n",
+		"# iokc-monitor host=x interval=1m\ntimestamp,write_mibps,read_mibps,meta_ops,active_jobs\n2022-07-07T08:00:00Z,x,2,3,4\n",
+		"# iokc-monitor host=x interval=1m\ntimestamp,write_mibps,read_mibps,meta_ops,active_jobs\n2022-07-07T08:00:00Z,1,2,3,x\n",
+	}
+	for i, in := range cases {
+		if _, err := monitor.Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestMonitorExtractionIntoKnowledge(t *testing.T) {
+	from, to := window()
+	c := monitor.Collector{Machine: cluster.FuchsCSC()}
+	s, err := c.Collect(testJobs(from), from, to, time.Minute, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := monitor.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := extract.NewRegistry().Extract(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.Object
+	if o == nil || o.Source != "monitor" {
+		t.Fatalf("extraction = %+v", ex)
+	}
+	if o.Pattern["samples"] != "61" || o.Pattern["host"] != "FUCHS-CSC" {
+		t.Errorf("pattern = %v", o.Pattern)
+	}
+	if len(o.ResultsFor("write")) != 61 || len(o.ResultsFor("read")) != 61 {
+		t.Errorf("results: %d/%d", len(o.ResultsFor("write")), len(o.ResultsFor("read")))
+	}
+	ws, ok := o.SummaryFor("write")
+	if !ok || ws.Iterations != 61 || ws.MaxMiBps <= ws.MinMiBps {
+		t.Errorf("write summary = %+v", ws)
+	}
+	// The burst surfaces as time-series anomalies through the exact same
+	// analysis machinery used for benchmark iterations.
+	findings, err := anomaly.DetectObject(o, anomaly.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstFound := false
+	for _, f := range findings {
+		if f.Operation == "write" && f.Ratio > 1.5 {
+			mins := float64(f.Iteration) // one sample per minute
+			if mins >= 20 && mins <= 30 {
+				burstFound = true
+			}
+		}
+	}
+	if !burstFound {
+		t.Errorf("burst not detected in monitoring series: %+v", findings)
+	}
+}

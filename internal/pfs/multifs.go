@@ -1,0 +1,250 @@
+package pfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// The paper's outlook plans extractor support for further parallel file
+// systems — Lustre, IBM Spectrum Scale (GPFS), and OrangeFS — so the
+// knowledge cycle can compare the performance impact of different PFSes.
+// This file implements the user-level stripe/attribute formats of those
+// systems: a renderer (playing the role of the real `lfs getstripe`,
+// `mmlsattr -L`, and `pvfs2-viewdist` tools on the modelled system) and a
+// parser for each, plus format auto-detection.
+
+// Kind names a parallel file system family.
+type Kind string
+
+// Supported file system kinds.
+const (
+	KindBeeGFS   Kind = "beegfs"
+	KindLustre   Kind = "lustre"
+	KindGPFS     Kind = "gpfs"
+	KindOrangeFS Kind = "orangefs"
+)
+
+// GenericEntry is the file-system-agnostic subset of per-file layout
+// information the knowledge extractor stores: enough to reason about
+// striping and placement on any of the supported systems.
+type GenericEntry struct {
+	Kind        Kind
+	Path        string
+	StripeCount int
+	StripeSize  int64
+	Pattern     string
+	Pool        string
+	// Extra keeps system-specific fields (replication, fileset, servers).
+	Extra map[string]string
+}
+
+// LustreGetstripeOutput renders `lfs getstripe <path>`-style text for a
+// file striped count-wide with the given stripe size, starting at OST
+// offset.
+func LustreGetstripeOutput(path string, count int, size int64, offset int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", path)
+	fmt.Fprintf(&b, "lmm_stripe_count:  %d\n", count)
+	fmt.Fprintf(&b, "lmm_stripe_size:   %d\n", size)
+	fmt.Fprintf(&b, "lmm_pattern:       raid0\n")
+	fmt.Fprintf(&b, "lmm_layout_gen:    0\n")
+	fmt.Fprintf(&b, "lmm_stripe_offset: %d\n", offset)
+	fmt.Fprintf(&b, "\tobdidx\t\t objid\t\t objid\t\t group\n")
+	for i := 0; i < count; i++ {
+		obd := (offset + i) % max(count, 1)
+		objid := 100000 + i
+		fmt.Fprintf(&b, "\t%6d\t%14d\t%#14x\t%9d\n", obd, objid, objid, 0)
+	}
+	return b.String()
+}
+
+// ParseLustreGetstripe parses `lfs getstripe` text.
+func ParseLustreGetstripe(s string) (GenericEntry, error) {
+	e := GenericEntry{Kind: KindLustre, Pattern: "raid0", Extra: map[string]string{}}
+	seen := false
+	for _, raw := range strings.Split(s, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "lmm_stripe_count:"):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "lmm_stripe_count:")))
+			if err != nil {
+				return e, fmt.Errorf("pfs: lustre stripe count: %v", err)
+			}
+			e.StripeCount = v
+			seen = true
+		case strings.HasPrefix(line, "lmm_stripe_size:"):
+			v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, "lmm_stripe_size:")), 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("pfs: lustre stripe size: %v", err)
+			}
+			e.StripeSize = v
+		case strings.HasPrefix(line, "lmm_pattern:"):
+			e.Pattern = strings.TrimSpace(strings.TrimPrefix(line, "lmm_pattern:"))
+		case strings.HasPrefix(line, "lmm_stripe_offset:"):
+			e.Extra["stripe_offset"] = strings.TrimSpace(strings.TrimPrefix(line, "lmm_stripe_offset:"))
+		case line != "" && !strings.Contains(line, ":") && !strings.HasPrefix(line, "obdidx") && e.Path == "":
+			// The first bare line is the path.
+			if !strings.ContainsAny(line, "\t") && !isNumericRow(line) {
+				e.Path = line
+			}
+		}
+	}
+	if !seen {
+		return e, fmt.Errorf("pfs: no lustre stripe information found")
+	}
+	return e, nil
+}
+
+func isNumericRow(s string) bool {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return false
+	}
+	for _, w := range f {
+		if _, err := strconv.ParseInt(strings.TrimPrefix(w, "0x"), 0, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// GPFSAttrOutput renders `mmlsattr -L <path>`-style text. Spectrum Scale
+// has no per-file striping; the interesting fields are the storage pool,
+// replication factors, and fileset.
+func GPFSAttrOutput(path, pool, fileset string, dataReplicas, metaReplicas int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "file name:            %s\n", path)
+	fmt.Fprintf(&b, "metadata replication: %d max 2\n", metaReplicas)
+	fmt.Fprintf(&b, "data replication:     %d max 2\n", dataReplicas)
+	fmt.Fprintf(&b, "immutable:            no\n")
+	fmt.Fprintf(&b, "appendOnly:           no\n")
+	fmt.Fprintf(&b, "storage pool name:    %s\n", pool)
+	fmt.Fprintf(&b, "fileset name:         %s\n", fileset)
+	fmt.Fprintf(&b, "snapshot name:        \n")
+	fmt.Fprintf(&b, "Encrypted:            no\n")
+	return b.String()
+}
+
+// ParseGPFSAttr parses `mmlsattr -L` text.
+func ParseGPFSAttr(s string) (GenericEntry, error) {
+	e := GenericEntry{Kind: KindGPFS, Pattern: "wide-striping", Extra: map[string]string{}}
+	seen := false
+	for _, raw := range strings.Split(s, "\n") {
+		line := strings.TrimSpace(raw)
+		i := strings.Index(line, ":")
+		if i < 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:i])
+		val := strings.TrimSpace(line[i+1:])
+		switch key {
+		case "file name":
+			e.Path = val
+			seen = true
+		case "storage pool name":
+			e.Pool = val
+		case "fileset name":
+			e.Extra["fileset"] = val
+		case "data replication":
+			e.Extra["data_replication"] = strings.Fields(val)[0]
+		case "metadata replication":
+			e.Extra["metadata_replication"] = strings.Fields(val)[0]
+		}
+	}
+	if !seen {
+		return e, fmt.Errorf("pfs: no gpfs attributes found")
+	}
+	return e, nil
+}
+
+// OrangeFSDistOutput renders `pvfs2-viewdist -f <path>`-style text.
+func OrangeFSDistOutput(path string, servers int, stripeSize int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist_name = simple_stripe\n")
+	fmt.Fprintf(&b, "dist_params:\nstrip_size:%d\n", stripeSize)
+	fmt.Fprintf(&b, "Number of datafiles/servers = %d\n", servers)
+	fmt.Fprintf(&b, "file: %s\n", path)
+	return b.String()
+}
+
+// ParseOrangeFSDist parses `pvfs2-viewdist` text.
+func ParseOrangeFSDist(s string) (GenericEntry, error) {
+	e := GenericEntry{Kind: KindOrangeFS, Extra: map[string]string{}}
+	seen := false
+	for _, raw := range strings.Split(s, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "dist_name"):
+			if i := strings.Index(line, "="); i >= 0 {
+				e.Pattern = strings.TrimSpace(line[i+1:])
+			}
+			seen = true
+		case strings.HasPrefix(line, "strip_size:"):
+			v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, "strip_size:")), 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("pfs: orangefs strip size: %v", err)
+			}
+			e.StripeSize = v
+		case strings.HasPrefix(line, "Number of datafiles/servers"):
+			if i := strings.Index(line, "="); i >= 0 {
+				v, err := strconv.Atoi(strings.TrimSpace(line[i+1:]))
+				if err != nil {
+					return e, fmt.Errorf("pfs: orangefs server count: %v", err)
+				}
+				e.StripeCount = v
+			}
+		case strings.HasPrefix(line, "file:"):
+			e.Path = strings.TrimSpace(strings.TrimPrefix(line, "file:"))
+		}
+	}
+	if !seen {
+		return e, fmt.Errorf("pfs: no orangefs distribution found")
+	}
+	return e, nil
+}
+
+// beegfsToGeneric lifts a BeeGFS EntryInfo into the generic form.
+func beegfsToGeneric(e EntryInfo) GenericEntry {
+	return GenericEntry{
+		Kind:        KindBeeGFS,
+		Path:        e.Path,
+		StripeCount: e.ActualTargets,
+		StripeSize:  e.ChunkSize,
+		Pattern:     string(e.Pattern),
+		Pool:        e.StoragePool,
+		Extra: map[string]string{
+			"entry_id":      e.EntryID,
+			"entry_type":    e.EntryType,
+			"metadata_node": e.MetadataNode,
+		},
+	}
+}
+
+// DetectAndParse sniffs which file system produced the layout text and
+// parses it, covering all four supported systems. This is the unified
+// entry point the extractor uses, keeping phase II tool-agnostic.
+func DetectAndParse(s string) (GenericEntry, error) {
+	switch {
+	case strings.Contains(s, "lmm_stripe_count"):
+		return ParseLustreGetstripe(s)
+	case strings.Contains(s, "storage pool name"):
+		return ParseGPFSAttr(s)
+	case strings.Contains(s, "dist_name"):
+		return ParseOrangeFSDist(s)
+	case strings.Contains(s, "EntryID") || strings.Contains(s, "Stripe pattern details"):
+		e, err := ParseCtlOutput(s)
+		if err != nil {
+			return GenericEntry{}, err
+		}
+		return beegfsToGeneric(e), nil
+	}
+	return GenericEntry{}, fmt.Errorf("pfs: unrecognized file system layout output")
+}
+
+// HumanStripeSize renders the stripe size compactly for reports.
+func (e GenericEntry) HumanStripeSize() string {
+	return units.HumanBytes(e.StripeSize)
+}

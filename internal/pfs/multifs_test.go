@@ -1,0 +1,132 @@
+package pfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestLustreRoundTrip(t *testing.T) {
+	out := LustreGetstripeOutput("/lustre/scratch/file", 4, units.MiB, 2)
+	for _, want := range []string{"lmm_stripe_count:  4", "lmm_stripe_size:   1048576", "lmm_pattern:       raid0", "obdidx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	e, err := ParseLustreGetstripe(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindLustre || e.StripeCount != 4 || e.StripeSize != units.MiB {
+		t.Errorf("parsed %+v", e)
+	}
+	if e.Path != "/lustre/scratch/file" {
+		t.Errorf("path = %q", e.Path)
+	}
+	if e.Extra["stripe_offset"] != "2" {
+		t.Errorf("extra = %v", e.Extra)
+	}
+}
+
+func TestLustreParseErrors(t *testing.T) {
+	if _, err := ParseLustreGetstripe("nothing"); err == nil {
+		t.Error("want error")
+	}
+	if _, err := ParseLustreGetstripe("lmm_stripe_count: abc\n"); err == nil {
+		t.Error("want count error")
+	}
+	if _, err := ParseLustreGetstripe("lmm_stripe_count: 4\nlmm_stripe_size: x\n"); err == nil {
+		t.Error("want size error")
+	}
+}
+
+func TestGPFSRoundTrip(t *testing.T) {
+	out := GPFSAttrOutput("/gpfs/work/file", "system", "root", 1, 2)
+	e, err := ParseGPFSAttr(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindGPFS || e.Path != "/gpfs/work/file" || e.Pool != "system" {
+		t.Errorf("parsed %+v", e)
+	}
+	if e.Extra["fileset"] != "root" || e.Extra["data_replication"] != "1" || e.Extra["metadata_replication"] != "2" {
+		t.Errorf("extra = %v", e.Extra)
+	}
+	if _, err := ParseGPFSAttr("garbage"); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestOrangeFSRoundTrip(t *testing.T) {
+	out := OrangeFSDistOutput("/pvfs/file", 8, 65536)
+	e, err := ParseOrangeFSDist(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindOrangeFS || e.StripeCount != 8 || e.StripeSize != 65536 {
+		t.Errorf("parsed %+v", e)
+	}
+	if e.Pattern != "simple_stripe" || e.Path != "/pvfs/file" {
+		t.Errorf("parsed %+v", e)
+	}
+	if _, err := ParseOrangeFSDist("garbage"); err == nil {
+		t.Error("want error")
+	}
+	if _, err := ParseOrangeFSDist("dist_name = x\nstrip_size:bad\n"); err == nil {
+		t.Error("want strip size error")
+	}
+}
+
+func TestDetectAndParseAllKinds(t *testing.T) {
+	fs := NewBeeGFS(Config{})
+	cases := []struct {
+		text string
+		kind Kind
+	}{
+		{LustreGetstripeOutput("/l/f", 4, units.MiB, 0), KindLustre},
+		{GPFSAttrOutput("/g/f", "system", "root", 1, 1), KindGPFS},
+		{OrangeFSDistOutput("/o/f", 4, 65536), KindOrangeFS},
+		{fs.EntryInfoFor("/scratch/f", "file").CtlOutput(), KindBeeGFS},
+	}
+	for _, c := range cases {
+		e, err := DetectAndParse(c.text)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if e.Kind != c.kind {
+			t.Errorf("detected %s, want %s", e.Kind, c.kind)
+		}
+		if e.Kind == KindBeeGFS {
+			if e.StripeCount != 4 || e.StripeSize != 512*units.KiB || e.Extra["metadata_node"] == "" {
+				t.Errorf("beegfs generic = %+v", e)
+			}
+		}
+	}
+	if _, err := DetectAndParse("what is this"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestHumanStripeSize(t *testing.T) {
+	e := GenericEntry{StripeSize: units.MiB}
+	if got := e.HumanStripeSize(); got != "1.00 MiB" {
+		t.Errorf("HumanStripeSize = %q", got)
+	}
+}
+
+// Property: Lustre output round-trips stripe geometry for arbitrary
+// counts and power-of-two sizes.
+func TestLustreRoundTripProperty(t *testing.T) {
+	f := func(count uint8, sizeExp uint8, offset uint8) bool {
+		c := int(count%32) + 1
+		size := int64(1) << (12 + sizeExp%12) // 4 KiB .. 8 MiB
+		out := LustreGetstripeOutput("/l/p", c, size, int(offset%16))
+		e, err := ParseLustreGetstripe(out)
+		return err == nil && e.StripeCount == c && e.StripeSize == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package pfs models a BeeGFS-style parallel file system: metadata servers,
+// storage targets grouped into pools, and per-file striping (chunk size,
+// stripe count, pattern). It is the storage substrate the benchmark
+// simulators run against, and it also generates and parses the
+// `beegfs-ctl --getentryinfo` style text that the paper's knowledge
+// extractor collects in phase II (Entry type, EntryID, Metadata node,
+// Stripe pattern details).
+package pfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// StripePattern names a BeeGFS striping scheme.
+type StripePattern string
+
+// Supported stripe patterns.
+const (
+	RAID0       StripePattern = "RAID0"
+	BuddyMirror StripePattern = "Buddy Mirror"
+)
+
+// Target is one storage target (an OST-equivalent): a RAID volume exported
+// by a storage server.
+type Target struct {
+	ID   int
+	Pool string
+	// WriteMiBps and ReadMiBps are the target's nominal streaming rates.
+	WriteMiBps float64
+	ReadMiBps  float64
+	// WriteFactor and ReadFactor scale the nominal rates; 1 means healthy.
+	// Fault injection (e.g. a RAID rebuild congesting the write path)
+	// lowers them.
+	WriteFactor float64
+	ReadFactor  float64
+}
+
+// MetaServer is one metadata server with its sustainable operation rates.
+type MetaServer struct {
+	ID           int
+	Name         string
+	CreatePerSec float64
+	StatPerSec   float64
+	DeletePerSec float64
+	Factor       float64 // health multiplier; 1 means nominal
+}
+
+// FileSystem is a parallel file system instance.
+type FileSystem struct {
+	Name               string
+	Type               string // e.g. "beegfs"
+	ChunkSize          int64
+	DefaultStripeCount int
+	RAIDScheme         string // backing RAID of each target, e.g. "RAID6"
+	Targets            []Target
+	MetaServers        []MetaServer
+	// MountPoint is where clients see the file system, e.g. "/scratch".
+	MountPoint string
+}
+
+// Config parameterizes NewBeeGFS.
+type Config struct {
+	Targets            int
+	MetaServers        int
+	ChunkSize          int64
+	DefaultStripeCount int
+	TargetWriteMiBps   float64
+	TargetReadMiBps    float64
+	MetaCreatePerSec   float64
+	MetaStatPerSec     float64
+	MetaDeletePerSec   float64
+	MountPoint         string
+}
+
+// DefaultConfig returns a BeeGFS deployment sized like the paper's
+// FUCHS-CSC scratch file system: 24 targets whose aggregate read bandwidth
+// is about 27 GB/s over InfiniBand FDR.
+func DefaultConfig() Config {
+	return Config{
+		Targets:            24,
+		MetaServers:        2,
+		ChunkSize:          512 * units.KiB,
+		DefaultStripeCount: 4,
+		TargetWriteMiBps:   900,
+		TargetReadMiBps:    1150, // 24 * 1150 MiB/s ~ 27 GB/s aggregate
+		MetaCreatePerSec:   21000,
+		MetaStatPerSec:     65000,
+		MetaDeletePerSec:   18000,
+		MountPoint:         "/scratch",
+	}
+}
+
+// NewBeeGFS builds a healthy BeeGFS file system from cfg. Zero-valued
+// fields fall back to DefaultConfig values.
+func NewBeeGFS(cfg Config) *FileSystem {
+	def := DefaultConfig()
+	if cfg.Targets <= 0 {
+		cfg.Targets = def.Targets
+	}
+	if cfg.MetaServers <= 0 {
+		cfg.MetaServers = def.MetaServers
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = def.ChunkSize
+	}
+	if cfg.DefaultStripeCount <= 0 {
+		cfg.DefaultStripeCount = def.DefaultStripeCount
+	}
+	if cfg.TargetWriteMiBps <= 0 {
+		cfg.TargetWriteMiBps = def.TargetWriteMiBps
+	}
+	if cfg.TargetReadMiBps <= 0 {
+		cfg.TargetReadMiBps = def.TargetReadMiBps
+	}
+	if cfg.MetaCreatePerSec <= 0 {
+		cfg.MetaCreatePerSec = def.MetaCreatePerSec
+	}
+	if cfg.MetaStatPerSec <= 0 {
+		cfg.MetaStatPerSec = def.MetaStatPerSec
+	}
+	if cfg.MetaDeletePerSec <= 0 {
+		cfg.MetaDeletePerSec = def.MetaDeletePerSec
+	}
+	if cfg.MountPoint == "" {
+		cfg.MountPoint = def.MountPoint
+	}
+	fs := &FileSystem{
+		Name:               "scratch",
+		Type:               "beegfs",
+		ChunkSize:          cfg.ChunkSize,
+		DefaultStripeCount: cfg.DefaultStripeCount,
+		RAIDScheme:         "RAID6",
+		MountPoint:         cfg.MountPoint,
+	}
+	for i := 0; i < cfg.Targets; i++ {
+		fs.Targets = append(fs.Targets, Target{
+			ID:          i + 1,
+			Pool:        "Default",
+			WriteMiBps:  cfg.TargetWriteMiBps,
+			ReadMiBps:   cfg.TargetReadMiBps,
+			WriteFactor: 1,
+			ReadFactor:  1,
+		})
+	}
+	for i := 0; i < cfg.MetaServers; i++ {
+		fs.MetaServers = append(fs.MetaServers, MetaServer{
+			ID:           i + 1,
+			Name:         fmt.Sprintf("meta%02d", i+1),
+			CreatePerSec: cfg.MetaCreatePerSec,
+			StatPerSec:   cfg.MetaStatPerSec,
+			DeletePerSec: cfg.MetaDeletePerSec,
+			Factor:       1,
+		})
+	}
+	return fs
+}
+
+// StripeCountFor clamps a requested stripe count to the available targets.
+// A non-positive request selects the file-system default.
+func (fs *FileSystem) StripeCountFor(requested int) int {
+	n := requested
+	if n <= 0 {
+		n = fs.DefaultStripeCount
+	}
+	if n > len(fs.Targets) {
+		n = len(fs.Targets)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AggregateWriteMiBps returns the combined effective write bandwidth of the
+// nTargets least-loaded targets (in ID order), honoring health factors.
+func (fs *FileSystem) AggregateWriteMiBps(nTargets int) float64 {
+	return fs.aggregate(nTargets, func(t Target) float64 { return t.WriteMiBps * t.WriteFactor })
+}
+
+// AggregateReadMiBps returns the combined effective read bandwidth of the
+// first nTargets targets, honoring health factors.
+func (fs *FileSystem) AggregateReadMiBps(nTargets int) float64 {
+	return fs.aggregate(nTargets, func(t Target) float64 { return t.ReadMiBps * t.ReadFactor })
+}
+
+func (fs *FileSystem) aggregate(n int, rate func(Target) float64) float64 {
+	if n <= 0 || n > len(fs.Targets) {
+		n = len(fs.Targets)
+	}
+	var sum float64
+	for _, t := range fs.Targets[:n] {
+		sum += rate(t)
+	}
+	return sum
+}
+
+// MetaRate returns the combined metadata rate for op ("create", "stat",
+// "delete", or anything else treated as stat-like), honoring health factors.
+func (fs *FileSystem) MetaRate(op string) float64 {
+	var sum float64
+	for _, m := range fs.MetaServers {
+		var r float64
+		switch op {
+		case "create", "mkdir", "write": // file creation paths
+			r = m.CreatePerSec
+		case "delete", "rmdir", "unlink":
+			r = m.DeletePerSec
+		default:
+			r = m.StatPerSec
+		}
+		sum += r * m.Factor
+	}
+	return sum
+}
+
+// SetTargetWriteFactor injects a write-path degradation on target id
+// (factor 1 = healthy, 0.3 = severely congested). Unknown ids are ignored.
+func (fs *FileSystem) SetTargetWriteFactor(id int, factor float64) {
+	for i := range fs.Targets {
+		if fs.Targets[i].ID == id {
+			fs.Targets[i].WriteFactor = factor
+		}
+	}
+}
+
+// SetTargetReadFactor injects a read-path degradation on target id.
+func (fs *FileSystem) SetTargetReadFactor(id int, factor float64) {
+	for i := range fs.Targets {
+		if fs.Targets[i].ID == id {
+			fs.Targets[i].ReadFactor = factor
+		}
+	}
+}
+
+// ClearFaults restores all targets and metadata servers to health factor 1.
+func (fs *FileSystem) ClearFaults() {
+	for i := range fs.Targets {
+		fs.Targets[i].WriteFactor = 1
+		fs.Targets[i].ReadFactor = 1
+	}
+	for i := range fs.MetaServers {
+		fs.MetaServers[i].Factor = 1
+	}
+}
+
+// EntryInfo mirrors the fields of `beegfs-ctl --getentryinfo <path>` that
+// the knowledge extractor records: entry type, entry ID, owning metadata
+// node, and the stripe pattern details.
+type EntryInfo struct {
+	Path           string
+	EntryType      string // "file" or "directory"
+	EntryID        string
+	MetadataNode   string
+	MetadataNodeID int
+	Pattern        StripePattern
+	ChunkSize      int64
+	DesiredTargets int
+	ActualTargets  int
+	StoragePool    string
+	StoragePoolID  int
+}
+
+// EntryInfoFor derives a deterministic EntryInfo for path: the entry ID is a
+// stable hash of the path, and the metadata node is chosen by hashing the
+// path across the metadata servers (BeeGFS hashes the parent directory; a
+// path hash preserves the observable behaviour that different files may live
+// on different metadata nodes).
+func (fs *FileSystem) EntryInfoFor(path string, entryType string) EntryInfo {
+	if entryType == "" {
+		entryType = "file"
+	}
+	h := fnv64(path)
+	ms := fs.MetaServers[int(h%uint64(max(1, len(fs.MetaServers))))]
+	return EntryInfo{
+		Path:           path,
+		EntryType:      entryType,
+		EntryID:        fmt.Sprintf("%X-%X-1", uint32(h>>32), uint32(h)),
+		MetadataNode:   ms.Name,
+		MetadataNodeID: ms.ID,
+		Pattern:        RAID0,
+		ChunkSize:      fs.ChunkSize,
+		DesiredTargets: fs.DefaultStripeCount,
+		ActualTargets:  fs.StripeCountFor(fs.DefaultStripeCount),
+		StoragePool:    "Default",
+		StoragePoolID:  1,
+	}
+}
+
+// CtlOutput renders the entry in `beegfs-ctl --getentryinfo` text form.
+func (e EntryInfo) CtlOutput() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Entry type: %s\n", e.EntryType)
+	fmt.Fprintf(&b, "EntryID: %s\n", e.EntryID)
+	fmt.Fprintf(&b, "Metadata node: %s [ID: %d]\n", e.MetadataNode, e.MetadataNodeID)
+	fmt.Fprintf(&b, "Stripe pattern details:\n")
+	fmt.Fprintf(&b, "+ Type: %s\n", e.Pattern)
+	fmt.Fprintf(&b, "+ Chunksize: %s\n", strings.ToUpper(units.FormatSize(e.ChunkSize)))
+	fmt.Fprintf(&b, "+ Number of storage targets: desired: %d; actual: %d\n", e.DesiredTargets, e.ActualTargets)
+	fmt.Fprintf(&b, "+ Storage Pool: %d (%s)\n", e.StoragePoolID, e.StoragePool)
+	return b.String()
+}
+
+// ParseCtlOutput parses text in the format produced by CtlOutput (and by
+// real `beegfs-ctl --getentryinfo`). Unknown lines are ignored so the parser
+// tolerates version drift.
+func ParseCtlOutput(s string) (EntryInfo, error) {
+	var e EntryInfo
+	seen := false
+	for _, raw := range strings.Split(s, "\n") {
+		line := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(raw), "+"))
+		switch {
+		case strings.HasPrefix(line, "Entry type:"):
+			e.EntryType = strings.TrimSpace(strings.TrimPrefix(line, "Entry type:"))
+			seen = true
+		case strings.HasPrefix(line, "EntryID:"):
+			e.EntryID = strings.TrimSpace(strings.TrimPrefix(line, "EntryID:"))
+			seen = true
+		case strings.HasPrefix(line, "Metadata node:"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "Metadata node:"))
+			if i := strings.Index(rest, "[ID:"); i >= 0 {
+				e.MetadataNode = strings.TrimSpace(rest[:i])
+				idPart := strings.TrimSpace(strings.TrimSuffix(rest[i+len("[ID:"):], "]"))
+				fmt.Sscanf(idPart, "%d", &e.MetadataNodeID)
+			} else {
+				e.MetadataNode = rest
+			}
+			seen = true
+		case strings.HasPrefix(line, "Type:"):
+			e.Pattern = StripePattern(strings.TrimSpace(strings.TrimPrefix(line, "Type:")))
+		case strings.HasPrefix(line, "Chunksize:"):
+			v, err := units.ParseSize(strings.TrimSpace(strings.TrimPrefix(line, "Chunksize:")))
+			if err != nil {
+				return e, fmt.Errorf("pfs: bad chunksize: %v", err)
+			}
+			e.ChunkSize = v
+		case strings.HasPrefix(line, "Number of storage targets:"):
+			rest := strings.TrimPrefix(line, "Number of storage targets:")
+			fmt.Sscanf(strings.ReplaceAll(rest, ";", " "), " desired: %d actual: %d", &e.DesiredTargets, &e.ActualTargets)
+		case strings.HasPrefix(line, "Storage Pool:"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "Storage Pool:"))
+			var id int
+			var name string
+			if n, _ := fmt.Sscanf(rest, "%d (%s", &id, &name); n >= 1 {
+				e.StoragePoolID = id
+				e.StoragePool = strings.TrimSuffix(name, ")")
+			}
+		}
+	}
+	if !seen {
+		return e, fmt.Errorf("pfs: no entry info found in input")
+	}
+	return e, nil
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

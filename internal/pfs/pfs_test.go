@@ -1,0 +1,182 @@
+package pfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestNewBeeGFSDefaults(t *testing.T) {
+	fs := NewBeeGFS(Config{})
+	if len(fs.Targets) != 24 {
+		t.Errorf("targets = %d, want 24", len(fs.Targets))
+	}
+	if len(fs.MetaServers) != 2 {
+		t.Errorf("meta servers = %d, want 2", len(fs.MetaServers))
+	}
+	if fs.ChunkSize != 512*units.KiB {
+		t.Errorf("chunk size = %d", fs.ChunkSize)
+	}
+	// FUCHS-CSC-calibrated aggregate: ~27 GB/s read.
+	agg := fs.AggregateReadMiBps(0)
+	if agg < 25000 || agg > 30000 {
+		t.Errorf("aggregate read = %v MiB/s, want ~27000", agg)
+	}
+}
+
+func TestStripeCountFor(t *testing.T) {
+	fs := NewBeeGFS(Config{Targets: 8, DefaultStripeCount: 4})
+	cases := []struct{ req, want int }{
+		{0, 4}, {-3, 4}, {2, 2}, {8, 8}, {100, 8}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := fs.StripeCountFor(c.req); got != c.want {
+			t.Errorf("StripeCountFor(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+}
+
+func TestAggregateScalesWithTargets(t *testing.T) {
+	fs := NewBeeGFS(Config{Targets: 10, TargetWriteMiBps: 100, TargetReadMiBps: 200})
+	if got := fs.AggregateWriteMiBps(4); got != 400 {
+		t.Errorf("write agg(4) = %v", got)
+	}
+	if got := fs.AggregateReadMiBps(4); got != 800 {
+		t.Errorf("read agg(4) = %v", got)
+	}
+	if got := fs.AggregateWriteMiBps(0); got != 1000 {
+		t.Errorf("write agg(all) = %v", got)
+	}
+	if got := fs.AggregateWriteMiBps(99); got != 1000 {
+		t.Errorf("write agg(over) = %v", got)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	fs := NewBeeGFS(Config{Targets: 4, TargetWriteMiBps: 100, TargetReadMiBps: 100})
+	fs.SetTargetWriteFactor(2, 0.5)
+	if got := fs.AggregateWriteMiBps(0); got != 350 {
+		t.Errorf("degraded write agg = %v, want 350", got)
+	}
+	if got := fs.AggregateReadMiBps(0); got != 400 {
+		t.Errorf("read agg should be unaffected, got %v", got)
+	}
+	fs.SetTargetReadFactor(1, 0)
+	if got := fs.AggregateReadMiBps(0); got != 300 {
+		t.Errorf("degraded read agg = %v, want 300", got)
+	}
+	fs.ClearFaults()
+	if fs.AggregateWriteMiBps(0) != 400 || fs.AggregateReadMiBps(0) != 400 {
+		t.Error("ClearFaults did not restore rates")
+	}
+	// Unknown target id is a no-op.
+	fs.SetTargetWriteFactor(99, 0)
+	if fs.AggregateWriteMiBps(0) != 400 {
+		t.Error("unknown target id changed rates")
+	}
+}
+
+func TestMetaRate(t *testing.T) {
+	fs := NewBeeGFS(Config{MetaServers: 2, MetaCreatePerSec: 10, MetaStatPerSec: 30, MetaDeletePerSec: 5})
+	if got := fs.MetaRate("create"); got != 20 {
+		t.Errorf("create rate = %v", got)
+	}
+	if got := fs.MetaRate("stat"); got != 60 {
+		t.Errorf("stat rate = %v", got)
+	}
+	if got := fs.MetaRate("delete"); got != 10 {
+		t.Errorf("delete rate = %v", got)
+	}
+	if got := fs.MetaRate("readdir"); got != 60 {
+		t.Errorf("stat-like rate = %v", got)
+	}
+	fs.MetaServers[0].Factor = 0
+	if got := fs.MetaRate("create"); got != 10 {
+		t.Errorf("degraded create rate = %v", got)
+	}
+}
+
+func TestEntryInfoDeterministic(t *testing.T) {
+	fs := NewBeeGFS(Config{})
+	a := fs.EntryInfoFor("/scratch/fuchs/zhuz/test80", "file")
+	b := fs.EntryInfoFor("/scratch/fuchs/zhuz/test80", "file")
+	if a != b {
+		t.Errorf("EntryInfoFor not deterministic: %+v vs %+v", a, b)
+	}
+	c := fs.EntryInfoFor("/scratch/other", "file")
+	if c.EntryID == a.EntryID {
+		t.Error("different paths share an EntryID")
+	}
+	d := fs.EntryInfoFor("/scratch/x", "")
+	if d.EntryType != "file" {
+		t.Errorf("default entry type = %q", d.EntryType)
+	}
+}
+
+func TestCtlOutputRoundTrip(t *testing.T) {
+	fs := NewBeeGFS(Config{})
+	e := fs.EntryInfoFor("/scratch/fuchs/zhuz/test80", "file")
+	out := e.CtlOutput()
+	for _, want := range []string{"Entry type: file", "EntryID: ", "Metadata node: meta", "+ Type: RAID0", "+ Chunksize: 512K", "desired: 4; actual: 4", "Storage Pool: 1 (Default)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CtlOutput missing %q in:\n%s", want, out)
+		}
+	}
+	p, err := ParseCtlOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EntryType != e.EntryType || p.EntryID != e.EntryID ||
+		p.MetadataNode != e.MetadataNode || p.MetadataNodeID != e.MetadataNodeID ||
+		p.Pattern != e.Pattern || p.ChunkSize != e.ChunkSize ||
+		p.DesiredTargets != e.DesiredTargets || p.ActualTargets != e.ActualTargets ||
+		p.StoragePoolID != e.StoragePoolID || p.StoragePool != e.StoragePool {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", p, e)
+	}
+}
+
+func TestParseCtlOutputErrors(t *testing.T) {
+	if _, err := ParseCtlOutput("no such content"); err == nil {
+		t.Error("want error for unrelated input")
+	}
+	if _, err := ParseCtlOutput(""); err == nil {
+		t.Error("want error for empty input")
+	}
+	bad := "EntryID: X\n+ Chunksize: notasize\n"
+	if _, err := ParseCtlOutput(bad); err == nil {
+		t.Error("want error for bad chunksize")
+	}
+}
+
+func TestParseCtlOutputTolerant(t *testing.T) {
+	in := "some banner line\nEntry type: directory\nEntryID: root\nunknown: field\n"
+	e, err := ParseCtlOutput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.EntryType != "directory" || e.EntryID != "root" {
+		t.Errorf("parsed %+v", e)
+	}
+}
+
+// Property: any generated entry info round-trips through the text format.
+func TestEntryInfoRoundTripProperty(t *testing.T) {
+	fs := NewBeeGFS(Config{})
+	f := func(suffix uint32, dir bool) bool {
+		typ := "file"
+		if dir {
+			typ = "directory"
+		}
+		e := fs.EntryInfoFor("/scratch/p/"+units.FormatSize(int64(suffix)), typ)
+		p, err := ParseCtlOutput(e.CtlOutput())
+		if err != nil {
+			return false
+		}
+		return p.EntryID == e.EntryID && p.ChunkSize == e.ChunkSize && p.EntryType == e.EntryType
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package predict implements the I/O performance prediction use case the
+// paper names in its outlook: ordinary-least-squares linear regression
+// (simple and multiple) trained on knowledge objects, predicting bandwidth
+// from I/O pattern features. The generic workflow produces representative,
+// reproducible training sets; this module turns them into a predictive
+// model with an in/out-of-sample error report.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/knowledge"
+)
+
+// Model is a fitted linear model y = intercept + Σ coef_i · x_i.
+type Model struct {
+	FeatureNames []string
+	Intercept    float64
+	Coef         []float64
+	// R2 is the coefficient of determination on the training set.
+	R2 float64
+	N  int
+}
+
+// Fit performs OLS on the design matrix X (rows = samples) against y using
+// normal equations solved by Gaussian elimination with partial pivoting.
+func Fit(features []string, X [][]float64, y []float64) (*Model, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("predict: no samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("predict: %d samples but %d targets", n, len(y))
+	}
+	k := len(features)
+	for i, row := range X {
+		if len(row) != k {
+			return nil, fmt.Errorf("predict: sample %d has %d features, want %d", i, len(row), k)
+		}
+	}
+	if n < k+1 {
+		return nil, fmt.Errorf("predict: %d samples cannot fit %d coefficients", n, k+1)
+	}
+	// Augment with the intercept column.
+	d := k + 1
+	// Normal equations: (A^T A) beta = A^T y, with A = [1 | X].
+	ata := make([][]float64, d)
+	aty := make([]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	row := make([]float64, d)
+	for s := 0; s < n; s++ {
+		row[0] = 1
+		copy(row[1:], X[s])
+		for i := 0; i < d; i++ {
+			aty[i] += row[i] * y[s]
+			for j := 0; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	beta, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{FeatureNames: features, Intercept: beta[0], Coef: beta[1:], N: n}
+	// R².
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+	var ssTot, ssRes float64
+	for s := 0; s < n; s++ {
+		pred := m.Predict(X[s])
+		ssRes += (y[s] - pred) * (y[s] - pred)
+		ssTot += (y[s] - meanY) * (y[s] - meanY)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("predict: singular design matrix (collinear or constant features)")
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+// Predict evaluates the model at one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	y := m.Intercept
+	for i, c := range m.Coef {
+		if i < len(x) {
+			y += c * x[i]
+		}
+	}
+	return y
+}
+
+// String renders the fitted equation.
+func (m *Model) String() string {
+	s := fmt.Sprintf("y = %.4g", m.Intercept)
+	for i, c := range m.Coef {
+		s += fmt.Sprintf(" + %.4g·%s", c, m.FeatureNames[i])
+	}
+	return s + fmt.Sprintf("  (R²=%.3f, n=%d)", m.R2, m.N)
+}
+
+// FeatureExtractor maps a knowledge object to a feature vector.
+type FeatureExtractor func(*knowledge.Object) ([]float64, bool)
+
+// PatternFeatures builds an extractor over numeric pattern keys (e.g.
+// "tasks", "segments"); objects missing a key are skipped.
+func PatternFeatures(keys ...string) FeatureExtractor {
+	return func(o *knowledge.Object) ([]float64, bool) {
+		out := make([]float64, len(keys))
+		for i, k := range keys {
+			var v float64
+			if _, err := fmt.Sscanf(o.Pattern[k], "%f", &v); err != nil {
+				return nil, false
+			}
+			out[i] = v
+		}
+		return out, true
+	}
+}
+
+// Dataset pairs features with targets extracted from knowledge objects.
+type Dataset struct {
+	Features []string
+	X        [][]float64
+	Y        []float64
+}
+
+// BuildDataset extracts (features, mean bandwidth of op) rows from
+// knowledge objects, skipping objects lacking the features or the summary.
+func BuildDataset(objs []*knowledge.Object, fx FeatureExtractor, featureNames []string, op string) Dataset {
+	ds := Dataset{Features: featureNames}
+	for _, o := range objs {
+		x, ok := fx(o)
+		if !ok {
+			continue
+		}
+		s, ok := o.SummaryFor(op)
+		if !ok {
+			continue
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, s.MeanMiBps)
+	}
+	return ds
+}
+
+// Errors summarizes prediction error over a labelled set.
+type Errors struct {
+	N    int
+	MAE  float64 // mean absolute error
+	MAPE float64 // mean absolute percentage error (targets of 0 skipped)
+	RMSE float64
+}
+
+// Evaluate computes error metrics of the model over a labelled set.
+func (m *Model) Evaluate(X [][]float64, y []float64) (Errors, error) {
+	if len(X) != len(y) || len(X) == 0 {
+		return Errors{}, fmt.Errorf("predict: bad evaluation set (%d×%d)", len(X), len(y))
+	}
+	var e Errors
+	var sumAbs, sumPct, sumSq float64
+	pctN := 0
+	for i := range X {
+		p := m.Predict(X[i])
+		d := p - y[i]
+		sumAbs += math.Abs(d)
+		sumSq += d * d
+		if y[i] != 0 {
+			sumPct += math.Abs(d / y[i])
+			pctN++
+		}
+	}
+	e.N = len(X)
+	e.MAE = sumAbs / float64(e.N)
+	e.RMSE = math.Sqrt(sumSq / float64(e.N))
+	if pctN > 0 {
+		e.MAPE = sumPct / float64(pctN)
+	}
+	return e, nil
+}

@@ -1,0 +1,183 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/knowledge"
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitExactLine(t *testing.T) {
+	// y = 3 + 2x, no noise.
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 7, 9, 11}
+	m, err := Fit([]string{"x"}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Intercept, 3, 1e-9) || !almost(m.Coef[0], 2, 1e-9) {
+		t.Errorf("fit = %+v", m)
+	}
+	if !almost(m.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", m.R2)
+	}
+	if !strings.Contains(m.String(), "R²=1.000") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestFitMultiple(t *testing.T) {
+	// y = 1 + 2a - 3b.
+	X := [][]float64{{1, 1}, {2, 1}, {1, 2}, {3, 2}, {2, 3}, {4, 1}}
+	var y []float64
+	for _, r := range X {
+		y = append(y, 1+2*r[0]-3*r[1])
+	}
+	m, err := Fit([]string{"a", "b"}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Intercept, 1, 1e-9) || !almost(m.Coef[0], 2, 1e-9) || !almost(m.Coef[1], -3, 1e-9) {
+		t.Errorf("fit = %+v", m)
+	}
+	if got := m.Predict([]float64{10, 5}); !almost(got, 1+20-15, 1e-9) {
+		t.Errorf("predict = %v", got)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	src := rng.New(9)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := src.Range(1, 100)
+		X = append(X, []float64{x})
+		y = append(y, 50+7*x+src.Normal(0, 5))
+	}
+	m, err := Fit([]string{"x"}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Coef[0], 7, 0.2) || !almost(m.Intercept, 50, 5) {
+		t.Errorf("noisy fit = %+v", m)
+	}
+	if m.R2 < 0.99 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+	e, err := m.Evaluate(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MAE > 8 || e.RMSE > 10 || e.MAPE > 0.2 {
+		t.Errorf("errors = %+v", e)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]string{"x"}, nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Fit([]string{"x"}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Fit([]string{"x"}, [][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged X should fail")
+	}
+	if _, err := Fit([]string{"x"}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("underdetermined should fail")
+	}
+	// Constant feature -> singular matrix.
+	if _, err := Fit([]string{"x"}, [][]float64{{2}, {2}, {2}}, []float64{1, 2, 3}); err == nil {
+		t.Error("singular should fail")
+	}
+	m, _ := Fit([]string{"x"}, [][]float64{{1}, {2}, {3}}, []float64{1, 2, 3})
+	if _, err := m.Evaluate(nil, nil); err == nil {
+		t.Error("empty evaluation should fail")
+	}
+}
+
+// Property: fitting exact linear data recovers predictions at unseen points.
+func TestFitRecoversLineProperty(t *testing.T) {
+	f := func(a8, b8 int8, probe uint8) bool {
+		a, b := float64(a8), float64(b8)
+		X := [][]float64{{0}, {1}, {2}, {5}}
+		var y []float64
+		for _, r := range X {
+			y = append(y, a+b*r[0])
+		}
+		m, err := Fit([]string{"x"}, X, y)
+		if err != nil {
+			return false
+		}
+		p := float64(probe % 50)
+		return almost(m.Predict([]float64{p}), a+b*p, 1e-6*(1+math.Abs(a)+math.Abs(b)*p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkObj(tasks, segments int, bw float64) *knowledge.Object {
+	return &knowledge.Object{
+		Source: knowledge.SourceIOR, Command: "x",
+		Pattern: map[string]string{
+			"tasks":    intStr(tasks),
+			"segments": intStr(segments),
+		},
+		Summaries: []knowledge.Summary{{Operation: "write", MeanMiBps: bw}},
+	}
+}
+
+func intStr(v int) string {
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func TestBuildDatasetAndPatternFeatures(t *testing.T) {
+	objs := []*knowledge.Object{
+		mkObj(10, 5, 1000),
+		mkObj(20, 5, 1900),
+		mkObj(40, 5, 3600),
+		{Source: knowledge.SourceIOR, Command: "x", Pattern: map[string]string{"tasks": "nope"}},                // skipped: bad feature
+		{Source: knowledge.SourceIOR, Command: "x", Pattern: map[string]string{"tasks": "10", "segments": "5"}}, // skipped: no summary
+	}
+	fx := PatternFeatures("tasks", "segments")
+	ds := BuildDataset(objs, fx, []string{"tasks", "segments"}, "write")
+	if len(ds.X) != 3 || len(ds.Y) != 3 {
+		t.Fatalf("dataset = %d×%d", len(ds.X), len(ds.Y))
+	}
+	if ds.X[0][0] != 10 || ds.X[2][0] != 40 {
+		t.Errorf("features = %v", ds.X)
+	}
+	if ds.Y[1] != 1900 {
+		t.Errorf("targets = %v", ds.Y)
+	}
+}
+
+func TestEndToEndPredictionFromKnowledge(t *testing.T) {
+	// Bandwidth scales with tasks in the node-limited regime; the model
+	// trained on knowledge objects should capture it.
+	src := rng.New(4)
+	var objs []*knowledge.Object
+	for _, tasks := range []int{10, 20, 30, 40, 50, 60, 70, 80} {
+		bw := 45*float64(tasks) + src.Normal(0, 20)
+		objs = append(objs, mkObj(tasks, 40, bw))
+	}
+	fx := PatternFeatures("tasks")
+	ds := BuildDataset(objs, fx, []string{"tasks"}, "write")
+	m, err := Fit(ds.Features, ds.X, ds.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.98 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+	pred := m.Predict([]float64{90})
+	if pred < 45*90*0.9 || pred > 45*90*1.1 {
+		t.Errorf("extrapolated prediction = %v, want ~%v", pred, 45.0*90)
+	}
+}

@@ -1,0 +1,178 @@
+// Package recommend implements the offline recommendation module sketched
+// in the paper's usage phase and outlook: given a knowledge object (and
+// optionally the population of previous knowledge), it suggests concrete
+// tuning actions — transfer size, file layout, collective I/O, striping,
+// task-reordering — with the rationale attached, so a user without I/O
+// expertise can apply them manually to the next run.
+package recommend
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/knowledge"
+	"repro/internal/units"
+)
+
+// Recommendation is one suggested tuning action.
+type Recommendation struct {
+	Option    string // the knob, e.g. "transfersize"
+	Suggested string // the suggested setting
+	Rationale string
+}
+
+// String renders the recommendation.
+func (r Recommendation) String() string {
+	return fmt.Sprintf("set %s to %s — %s", r.Option, r.Suggested, r.Rationale)
+}
+
+// Advisor generates recommendations from knowledge.
+type Advisor struct {
+	// ChunkSize is the PFS chunk size to align against; 0 uses 512 KiB.
+	ChunkSize int64
+	// SmallTransfer is the threshold below which transfers are considered
+	// overhead-bound; 0 uses 1 MiB.
+	SmallTransfer int64
+	// ManyTasksPerTarget triggers the striping advice; 0 uses 8.
+	ManyTasksPerTarget int
+}
+
+// ForObject derives recommendations for one knowledge object.
+func (a Advisor) ForObject(o *knowledge.Object) []Recommendation {
+	chunk := a.ChunkSize
+	if chunk <= 0 {
+		chunk = 512 * units.KiB
+	}
+	small := a.SmallTransfer
+	if small <= 0 {
+		small = units.MiB
+	}
+	manyPerTarget := a.ManyTasksPerTarget
+	if manyPerTarget <= 0 {
+		manyPerTarget = 8
+	}
+	var out []Recommendation
+	xfer, xferOK := parseSizePattern(o.Pattern, "transfersize")
+	tasks := parseIntPattern(o.Pattern, "tasks")
+	fpp := o.Pattern["filePerProc"] == "true" || o.Pattern["access"] == "file-per-process"
+	collective := o.Pattern["type"] == "collective"
+	api := strings.ToUpper(o.Pattern["api"])
+
+	if xferOK && xfer < small {
+		out = append(out, Recommendation{
+			Option:    "transfersize",
+			Suggested: units.FormatSize(small * 2),
+			Rationale: fmt.Sprintf("transfers of %s are overhead-bound; larger sequential transfers amortize per-call cost", units.FormatSize(xfer)),
+		})
+		if api == "MPIIO" && !collective {
+			out = append(out, Recommendation{
+				Option:    "collective I/O (-c)",
+				Suggested: "enable",
+				Rationale: "collective buffering aggregates small transfers into chunk-sized requests at the aggregators",
+			})
+		}
+	}
+	if xferOK && !fpp && xfer%chunk != 0 {
+		out = append(out, Recommendation{
+			Option:    "transfersize",
+			Suggested: units.FormatSize(alignUp(xfer, chunk)),
+			Rationale: fmt.Sprintf("shared-file transfers of %s are not aligned to the %s chunk size, causing read-modify-write across clients", units.FormatSize(xfer), units.FormatSize(chunk)),
+		})
+	}
+	if fs := o.FileSystem; fs != nil && !fpp && tasks > 0 && fs.NumTargets > 0 &&
+		tasks > fs.NumTargets*manyPerTarget {
+		out = append(out, Recommendation{
+			Option:    "stripe count",
+			Suggested: fmt.Sprintf("%d", minInt(tasks/4, 24)),
+			Rationale: fmt.Sprintf("%d tasks share %d stripe targets; widening the stripe spreads load over more servers", tasks, fs.NumTargets),
+		})
+	}
+	if !fpp && tasks >= 64 {
+		out = append(out, Recommendation{
+			Option:    "file layout (-F)",
+			Suggested: "file-per-process",
+			Rationale: "large shared-file runs serialize on file locks; per-process files remove the contention (at a metadata cost)",
+		})
+	}
+	// Read-back caching trap: reads far above writes without -C usually
+	// measure the page cache, not the file system.
+	ws, okW := o.SummaryFor("write")
+	rs, okR := o.SummaryFor("read")
+	reorder := strings.Contains(o.Pattern["orderingInterFile"], "offset") || strings.Contains(o.Command, "-C")
+	if okW && okR && !reorder && rs.MeanMiBps > 2.5*ws.MeanMiBps {
+		out = append(out, Recommendation{
+			Option:    "task reordering (-C)",
+			Suggested: "enable",
+			Rationale: fmt.Sprintf("read bandwidth (%.0f MiB/s) is %.1f× write; without reordering, reads are likely served from the page cache and do not measure the file system", rs.MeanMiBps, rs.MeanMiBps/ws.MeanMiBps),
+		})
+	}
+	if api == "POSIX" && tasks >= 32 && !fpp {
+		out = append(out, Recommendation{
+			Option:    "api",
+			Suggested: "MPIIO",
+			Rationale: "MPI-IO exposes collective optimizations and hints unavailable through raw POSIX on shared files",
+		})
+	}
+	return out
+}
+
+// Report renders recommendations as a human-readable block.
+func Report(recs []Recommendation) string {
+	if len(recs) == 0 {
+		return "configuration looks reasonable; no recommendations\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d recommendation(s):\n", len(recs))
+	for _, r := range recs {
+		fmt.Fprintf(&b, "  - %s\n", r)
+	}
+	return b.String()
+}
+
+func parseSizePattern(p map[string]string, key string) (int64, bool) {
+	v, ok := p[key]
+	if !ok {
+		return 0, false
+	}
+	// Accept both IOR option style ("2m") and output style ("2.00 MiB").
+	if n, err := units.ParseSize(strings.TrimSpace(v)); err == nil {
+		return n, true
+	}
+	var f float64
+	var unit string
+	if _, err := fmt.Sscanf(v, "%f %s", &f, &unit); err == nil {
+		mult := int64(1)
+		switch strings.ToLower(unit) {
+		case "kib", "kb":
+			mult = units.KiB
+		case "mib", "mb":
+			mult = units.MiB
+		case "gib", "gb":
+			mult = units.GiB
+		case "tib", "tb":
+			mult = units.TiB
+		}
+		return int64(f * float64(mult)), true
+	}
+	return 0, false
+}
+
+func parseIntPattern(p map[string]string, key string) int {
+	var v int
+	fmt.Sscanf(p[key], "%d", &v)
+	return v
+}
+
+func alignUp(v, m int64) int64 {
+	if r := v % m; r != 0 {
+		return v + m - r
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/knowledge"
+)
+
+func baseObject() *knowledge.Object {
+	return &knowledge.Object{
+		Source:  knowledge.SourceIOR,
+		Command: "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k",
+		Pattern: map[string]string{
+			"api": "MPIIO", "transfersize": "2m", "blocksize": "4m",
+			"tasks": "80", "filePerProc": "true", "type": "independent",
+		},
+		Summaries: []knowledge.Summary{
+			{Operation: "write", MeanMiBps: 2850},
+			{Operation: "read", MeanMiBps: 3700},
+		},
+	}
+}
+
+func hasOption(recs []Recommendation, opt string) bool {
+	for _, r := range recs {
+		if r.Option == opt {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWellTunedRunGetsNoAdvice(t *testing.T) {
+	recs := Advisor{}.ForObject(baseObject())
+	if len(recs) != 0 {
+		t.Errorf("well-tuned run got advice: %+v", recs)
+	}
+	if !strings.Contains(Report(recs), "no recommendations") {
+		t.Error("report should state a clean bill")
+	}
+}
+
+func TestSmallTransfersAdvice(t *testing.T) {
+	o := baseObject()
+	o.Pattern["transfersize"] = "64k"
+	recs := Advisor{}.ForObject(o)
+	if !hasOption(recs, "transfersize") {
+		t.Errorf("no transfer size advice: %+v", recs)
+	}
+	if !hasOption(recs, "collective I/O (-c)") {
+		t.Errorf("MPIIO small transfers should suggest collective: %+v", recs)
+	}
+	// Already collective: no collective advice.
+	o.Pattern["type"] = "collective"
+	recs = Advisor{}.ForObject(o)
+	if hasOption(recs, "collective I/O (-c)") {
+		t.Errorf("collective already on: %+v", recs)
+	}
+}
+
+func TestMisalignedSharedFileAdvice(t *testing.T) {
+	o := baseObject()
+	delete(o.Pattern, "filePerProc")
+	o.Pattern["access"] = "single-shared-file"
+	o.Pattern["transfersize"] = "47008" // the IO500 ior-hard pattern
+	o.Pattern["tasks"] = "40"
+	recs := Advisor{}.ForObject(o)
+	found := false
+	for _, r := range recs {
+		if r.Option == "transfersize" && strings.Contains(r.Rationale, "read-modify-write") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no alignment advice: %+v", recs)
+	}
+}
+
+func TestSharedFileManyTasksAdvice(t *testing.T) {
+	o := baseObject()
+	delete(o.Pattern, "filePerProc")
+	o.Pattern["access"] = "single-shared-file"
+	o.Pattern["tasks"] = "80"
+	o.FileSystem = &knowledge.FileSystemInfo{NumTargets: 4}
+	recs := Advisor{}.ForObject(o)
+	if !hasOption(recs, "stripe count") {
+		t.Errorf("no striping advice: %+v", recs)
+	}
+	if !hasOption(recs, "file layout (-F)") {
+		t.Errorf("no file-per-process advice: %+v", recs)
+	}
+}
+
+func TestPageCacheTrapAdvice(t *testing.T) {
+	o := baseObject()
+	o.Command = "ior -a mpiio -b 4m -t 2m -s 40 -F -e -i 6 -o /scratch/t" // no -C
+	o.Summaries = []knowledge.Summary{
+		{Operation: "write", MeanMiBps: 2850},
+		{Operation: "read", MeanMiBps: 11000}, // suspiciously fast
+	}
+	recs := Advisor{}.ForObject(o)
+	if !hasOption(recs, "task reordering (-C)") {
+		t.Errorf("cache trap not flagged: %+v", recs)
+	}
+	// With -C in the command the advice disappears.
+	o.Command += " -C"
+	recs = Advisor{}.ForObject(o)
+	if hasOption(recs, "task reordering (-C)") {
+		t.Errorf("reordered run flagged: %+v", recs)
+	}
+}
+
+func TestPosixSharedFileAdvice(t *testing.T) {
+	o := baseObject()
+	o.Pattern["api"] = "POSIX"
+	delete(o.Pattern, "filePerProc")
+	o.Pattern["access"] = "single-shared-file"
+	o.Pattern["tasks"] = "40"
+	recs := Advisor{}.ForObject(o)
+	if !hasOption(recs, "api") {
+		t.Errorf("no MPI-IO advice: %+v", recs)
+	}
+}
+
+func TestOutputStyleSizesParsed(t *testing.T) {
+	o := baseObject()
+	o.Pattern["transfersize"] = "64.00 KiB" // extractor's normalized form
+	recs := Advisor{}.ForObject(o)
+	if !hasOption(recs, "transfersize") {
+		t.Errorf("output-style size not parsed: %+v", recs)
+	}
+}
+
+func TestReportLists(t *testing.T) {
+	o := baseObject()
+	o.Pattern["transfersize"] = "16k"
+	recs := Advisor{}.ForObject(o)
+	rep := Report(recs)
+	if !strings.Contains(rep, "recommendation(s):") || !strings.Contains(rep, "set transfersize") {
+		t.Errorf("report = %q", rep)
+	}
+}

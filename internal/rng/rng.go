@@ -1,0 +1,86 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used by the cluster and benchmark simulators. Reproducibility
+// of generated knowledge (the paper's "verified environment" requirement in
+// the generation phase) demands that every stochastic component be driven by
+// an explicit seed, so this package exposes seeded generators only and never
+// consults global state or the wall clock.
+package rng
+
+import "math"
+
+// Source is a deterministic 64-bit PRNG based on SplitMix64. The zero value
+// is a valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value (SplitMix64 step).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi). If hi <= lo it returns lo.
+func (s *Source) Range(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box–Muller transform.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	// Avoid log(0) by nudging u1 away from zero.
+	u1 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed value whose underlying normal
+// has parameters mu and sigma. Useful for modeling long-tailed I/O latency.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Perturb returns v scaled by a normal multiplicative noise factor with the
+// given relative standard deviation, clamped to stay strictly positive.
+// Perturb(v, 0.05) models ~5% run-to-run system noise.
+func (s *Source) Perturb(v, relStddev float64) float64 {
+	f := s.Normal(1, relStddev)
+	if f < 0.05 {
+		f = 0.05
+	}
+	return v * f
+}
+
+// Fork derives an independent child generator from the current state. Two
+// generators forked at different points produce uncorrelated streams, which
+// lets each simulated node or task own a private stream derived from the
+// experiment seed.
+func (s *Source) Fork() *Source {
+	return &Source{state: s.Uint64() ^ 0xd1b54a32d192ed03}
+}

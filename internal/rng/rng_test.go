@@ -1,0 +1,166 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := New(seed).Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[s.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10) bucket %d count %d far from uniform 1000", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+	if got := s.Range(5, 5); got != 5 {
+		t.Errorf("degenerate Range = %v, want 5", got)
+	}
+	if got := s.Range(9, 2); got != 9 {
+		t.Errorf("inverted Range = %v, want lo", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(100, 15)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-100) > 0.5 {
+		t.Errorf("Normal mean = %v, want ~100", mean)
+	}
+	if math.Abs(std-15) > 0.5 {
+		t.Errorf("Normal stddev = %v, want ~15", std)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestPerturbPositiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			if s.Perturb(100, 0.5) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturbCentered(t *testing.T) {
+	s := New(17)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Perturb(100, 0.05)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("Perturb mean = %v, want ~100", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("forked children produced %d identical draws", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	_ = s.Uint64()
+	if v := s.Float64(); v < 0 || v >= 1 {
+		t.Errorf("zero-value Float64 out of range: %v", v)
+	}
+}

@@ -1,0 +1,505 @@
+// Package schema implements the persistence phase: the paper's relational
+// schema (tables performances, summaries, results, filesystems, and the
+// IO500 family IOFHsRuns, IOFHsScores, IOFHsTestcases, IOFHsOptions,
+// IOFHsResults, plus systeminfos) on top of the kdb engine, and a Store
+// with save/load/list/query operations for knowledge objects.
+//
+// Relationships follow the paper exactly: a summary belongs to a knowledge
+// object via performance_id, a result belongs to a summary via
+// summaries_id, file system info extends a knowledge object, and IO500
+// artifacts hang off IOFH_id.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/kdb"
+	"repro/internal/knowledge"
+)
+
+// Store wraps a kdb connection (local database file, in-memory database,
+// or remote kdb:// server) with the knowledge-cycle schema.
+type Store struct {
+	DB kdb.Conn
+}
+
+// ddl is the schema exactly as the paper lays it out (§V-C).
+var ddl = []string{
+	`CREATE TABLE IF NOT EXISTS performances (
+		id INTEGER PRIMARY KEY,
+		source TEXT,
+		command TEXT,
+		api TEXT,
+		test_file TEXT,
+		file_per_proc INTEGER,
+		tasks INTEGER,
+		pattern_json TEXT,
+		began TEXT,
+		finished TEXT
+	)`,
+	`CREATE TABLE IF NOT EXISTS summaries (
+		id INTEGER PRIMARY KEY,
+		performance_id INTEGER,
+		operation TEXT,
+		api TEXT,
+		max_mib REAL,
+		min_mib REAL,
+		mean_mib REAL,
+		stddev_mib REAL,
+		max_ops REAL,
+		min_ops REAL,
+		mean_ops REAL,
+		stddev_ops REAL,
+		mean_sec REAL,
+		iterations INTEGER
+	)`,
+	`CREATE TABLE IF NOT EXISTS results (
+		id INTEGER PRIMARY KEY,
+		summaries_id INTEGER,
+		iteration INTEGER,
+		bw_mib REAL,
+		ops REAL,
+		latency_sec REAL,
+		open_sec REAL,
+		wrrd_sec REAL,
+		close_sec REAL,
+		total_sec REAL
+	)`,
+	`CREATE TABLE IF NOT EXISTS filesystems (
+		id INTEGER PRIMARY KEY,
+		performance_id INTEGER,
+		fstype TEXT,
+		entry_type TEXT,
+		entry_id TEXT,
+		metadata_node TEXT,
+		stripe_pattern TEXT,
+		chunk_size INTEGER,
+		num_targets INTEGER,
+		raid_scheme TEXT,
+		storage_pool TEXT
+	)`,
+	`CREATE TABLE IF NOT EXISTS systeminfos (
+		id INTEGER PRIMARY KEY,
+		performance_id INTEGER,
+		iofh_id INTEGER,
+		hostname TEXT,
+		architecture TEXT,
+		cpu_model TEXT,
+		cores INTEGER,
+		cpu_mhz REAL,
+		cache_kb INTEGER,
+		mem_total_kb INTEGER,
+		mem_free_kb INTEGER
+	)`,
+	`CREATE TABLE IF NOT EXISTS IOFHsRuns (
+		id INTEGER PRIMARY KEY,
+		command TEXT,
+		began TEXT,
+		finished TEXT
+	)`,
+	`CREATE TABLE IF NOT EXISTS IOFHsScores (
+		id INTEGER PRIMARY KEY,
+		IOFH_id INTEGER,
+		bw_gib REAL,
+		md_kiops REAL,
+		total REAL
+	)`,
+	`CREATE TABLE IF NOT EXISTS IOFHsTestcases (
+		id INTEGER PRIMARY KEY,
+		IOFH_id INTEGER,
+		name TEXT
+	)`,
+	`CREATE TABLE IF NOT EXISTS IOFHsOptions (
+		id INTEGER PRIMARY KEY,
+		IOFH_id INTEGER,
+		testcase_id INTEGER,
+		optkey TEXT,
+		optvalue TEXT
+	)`,
+	`CREATE TABLE IF NOT EXISTS IOFHsResults (
+		id INTEGER PRIMARY KEY,
+		testcase_id INTEGER,
+		value REAL,
+		unit TEXT,
+		seconds REAL
+	)`,
+}
+
+// Open opens (or creates) a knowledge store. An empty path keeps
+// everything in memory; a plain path appends to a local database file; a
+// "kdb://host:port" URL connects to a remote knowledge database — the
+// paper's local/remote persistence split (§IV, §V-C).
+func Open(path string) (*Store, error) {
+	var db kdb.Conn
+	var err error
+	if strings.HasPrefix(path, "kdb://") {
+		db, err = kdb.Dial(path)
+	} else {
+		db, err = kdb.Open(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{DB: db}
+	for _, stmt := range ddl {
+		if _, err := db.Exec(stmt); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("schema: create tables: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Close closes the underlying database.
+func (s *Store) Close() error { return s.DB.Close() }
+
+const timeLayout = time.RFC3339
+
+// SaveObject persists a benchmark knowledge object across performances,
+// summaries, results, filesystems, and systeminfos, returning the new
+// knowledge id.
+func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	patternJSON, err := json.Marshal(o.Pattern)
+	if err != nil {
+		return 0, fmt.Errorf("schema: encode pattern: %w", err)
+	}
+	fpp := 0
+	if o.Pattern["filePerProc"] == "true" || o.Pattern["access"] == "file-per-process" {
+		fpp = 1
+	}
+	tasks := 0
+	fmt.Sscanf(o.Pattern["tasks"], "%d", &tasks)
+	res, err := s.DB.Exec(
+		`INSERT INTO performances (source, command, api, test_file, file_per_proc, tasks, pattern_json, began, finished)
+		 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		string(o.Source), o.Command, o.Pattern["api"], o.Pattern["testFile"],
+		fpp, tasks, string(patternJSON),
+		o.Began.UTC().Format(timeLayout), o.Finished.UTC().Format(timeLayout))
+	if err != nil {
+		return 0, err
+	}
+	perfID := res.LastInsertID
+
+	// Summaries, and results keyed to the matching summary.
+	sumIDs := map[string]int64{}
+	for _, sm := range o.Summaries {
+		r, err := s.DB.Exec(
+			`INSERT INTO summaries (performance_id, operation, api, max_mib, min_mib, mean_mib, stddev_mib,
+				max_ops, min_ops, mean_ops, stddev_ops, mean_sec, iterations)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			perfID, sm.Operation, sm.API, sm.MaxMiBps, sm.MinMiBps, sm.MeanMiBps, sm.StdDevMiB,
+			sm.MaxOps, sm.MinOps, sm.MeanOps, sm.StdDevOps, sm.MeanSec, sm.Iterations)
+		if err != nil {
+			return 0, err
+		}
+		sumIDs[sm.Operation] = r.LastInsertID
+	}
+	for _, rr := range o.Results {
+		sid, ok := sumIDs[rr.Operation]
+		if !ok {
+			return 0, fmt.Errorf("schema: result operation %q has no summary", rr.Operation)
+		}
+		if _, err := s.DB.Exec(
+			`INSERT INTO results (summaries_id, iteration, bw_mib, ops, latency_sec, open_sec, wrrd_sec, close_sec, total_sec)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			sid, rr.Iteration, rr.BwMiBps, rr.OpsPerSec, rr.LatencySec, rr.OpenSec, rr.WrRdSec, rr.CloseSec, rr.TotalSec); err != nil {
+			return 0, err
+		}
+	}
+	if fs := o.FileSystem; fs != nil {
+		if _, err := s.DB.Exec(
+			`INSERT INTO filesystems (performance_id, fstype, entry_type, entry_id, metadata_node, stripe_pattern, chunk_size, num_targets, raid_scheme, storage_pool)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			perfID, fs.Type, fs.EntryType, fs.EntryID, fs.MetadataNode, fs.Pattern, fs.ChunkSize, fs.NumTargets, fs.RAIDScheme, fs.StoragePool); err != nil {
+			return 0, err
+		}
+	}
+	if sys := o.System; sys != nil {
+		if err := s.saveSystem(sys, perfID, 0); err != nil {
+			return 0, err
+		}
+	}
+	return perfID, nil
+}
+
+func (s *Store) saveSystem(sys *knowledge.SystemInfo, perfID, iofhID int64) error {
+	_, err := s.DB.Exec(
+		`INSERT INTO systeminfos (performance_id, iofh_id, hostname, architecture, cpu_model, cores, cpu_mhz, cache_kb, mem_total_kb, mem_free_kb)
+		 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		perfID, iofhID, sys.Hostname, sys.Architecture, sys.CPUModel, sys.Cores, sys.CPUMHz, sys.CacheKB, sys.MemTotalKB, sys.MemFreeKB)
+	return err
+}
+
+// LoadObject reconstructs a knowledge object by id.
+func (s *Store) LoadObject(id int64) (*knowledge.Object, error) {
+	row, err := s.DB.QueryRow(
+		"SELECT source, command, api, pattern_json, began, finished FROM performances WHERE id = ?", id)
+	if err != nil {
+		return nil, fmt.Errorf("schema: knowledge object %d not found", id)
+	}
+	o := &knowledge.Object{
+		ID:      id,
+		Source:  knowledge.Source(asString(row[0])),
+		Command: asString(row[1]),
+	}
+	if err := json.Unmarshal([]byte(asString(row[3])), &o.Pattern); err != nil {
+		return nil, fmt.Errorf("schema: decode pattern: %w", err)
+	}
+	o.Began, _ = time.Parse(timeLayout, asString(row[4]))
+	o.Finished, _ = time.Parse(timeLayout, asString(row[5]))
+
+	sums, err := s.DB.Query(
+		`SELECT id, operation, api, max_mib, min_mib, mean_mib, stddev_mib, max_ops, min_ops, mean_ops, stddev_ops, mean_sec, iterations
+		 FROM summaries WHERE performance_id = ? ORDER BY id`, id)
+	if err != nil {
+		return nil, err
+	}
+	for sums.Next() {
+		r := sums.Row()
+		sm := knowledge.Summary{
+			Operation: asString(r[1]), API: asString(r[2]),
+			MaxMiBps: asFloat(r[3]), MinMiBps: asFloat(r[4]), MeanMiBps: asFloat(r[5]), StdDevMiB: asFloat(r[6]),
+			MaxOps: asFloat(r[7]), MinOps: asFloat(r[8]), MeanOps: asFloat(r[9]), StdDevOps: asFloat(r[10]),
+			MeanSec: asFloat(r[11]), Iterations: int(asInt(r[12])),
+		}
+		o.Summaries = append(o.Summaries, sm)
+		res, err := s.DB.Query(
+			`SELECT iteration, bw_mib, ops, latency_sec, open_sec, wrrd_sec, close_sec, total_sec
+			 FROM results WHERE summaries_id = ? ORDER BY iteration`, asInt(r[0]))
+		if err != nil {
+			return nil, err
+		}
+		for res.Next() {
+			rr := res.Row()
+			o.Results = append(o.Results, knowledge.Result{
+				Operation: sm.Operation, Iteration: int(asInt(rr[0])),
+				BwMiBps: asFloat(rr[1]), OpsPerSec: asFloat(rr[2]), LatencySec: asFloat(rr[3]),
+				OpenSec: asFloat(rr[4]), WrRdSec: asFloat(rr[5]), CloseSec: asFloat(rr[6]), TotalSec: asFloat(rr[7]),
+			})
+		}
+	}
+	if fsRows, err := s.DB.Query(
+		`SELECT fstype, entry_type, entry_id, metadata_node, stripe_pattern, chunk_size, num_targets, raid_scheme, storage_pool
+		 FROM filesystems WHERE performance_id = ?`, id); err == nil && fsRows.Next() {
+		r := fsRows.Row()
+		o.FileSystem = &knowledge.FileSystemInfo{
+			Type: asString(r[0]), EntryType: asString(r[1]), EntryID: asString(r[2]),
+			MetadataNode: asString(r[3]), Pattern: asString(r[4]), ChunkSize: asInt(r[5]),
+			NumTargets: int(asInt(r[6])), RAIDScheme: asString(r[7]), StoragePool: asString(r[8]),
+		}
+	}
+	if sysRows, err := s.DB.Query(
+		`SELECT hostname, architecture, cpu_model, cores, cpu_mhz, cache_kb, mem_total_kb, mem_free_kb
+		 FROM systeminfos WHERE performance_id = ?`, id); err == nil && sysRows.Next() {
+		o.System = scanSystem(sysRows.Row())
+	}
+	return o, nil
+}
+
+func scanSystem(r []any) *knowledge.SystemInfo {
+	return &knowledge.SystemInfo{
+		Hostname: asString(r[0]), Architecture: asString(r[1]), CPUModel: asString(r[2]),
+		Cores: int(asInt(r[3])), CPUMHz: asFloat(r[4]), CacheKB: int(asInt(r[5])),
+		MemTotalKB: asInt(r[6]), MemFreeKB: asInt(r[7]),
+	}
+}
+
+// Meta is a knowledge object listing entry.
+type Meta struct {
+	ID      int64
+	Source  string
+	Command string
+	Began   time.Time
+}
+
+// ListObjects lists stored benchmark knowledge objects, newest first.
+func (s *Store) ListObjects() ([]Meta, error) {
+	rows, err := s.DB.Query("SELECT id, source, command, began FROM performances ORDER BY id DESC")
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for rows.Next() {
+		r := rows.Row()
+		began, _ := time.Parse(timeLayout, asString(r[3]))
+		out = append(out, Meta{ID: asInt(r[0]), Source: asString(r[1]), Command: asString(r[2]), Began: began})
+	}
+	return out, nil
+}
+
+// SaveIO500 persists an IO500 knowledge object across the IOFHs* tables.
+func (s *Store) SaveIO500(o *knowledge.IO500Object) (int64, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	res, err := s.DB.Exec(
+		"INSERT INTO IOFHsRuns (command, began, finished) VALUES (?, ?, ?)",
+		o.Command, o.Began.UTC().Format(timeLayout), o.Finished.UTC().Format(timeLayout))
+	if err != nil {
+		return 0, err
+	}
+	runID := res.LastInsertID
+	if _, err := s.DB.Exec(
+		"INSERT INTO IOFHsScores (IOFH_id, bw_gib, md_kiops, total) VALUES (?, ?, ?, ?)",
+		runID, o.ScoreBW, o.ScoreMD, o.ScoreTotal); err != nil {
+		return 0, err
+	}
+	for _, tc := range o.TestCases {
+		r, err := s.DB.Exec("INSERT INTO IOFHsTestcases (IOFH_id, name) VALUES (?, ?)", runID, tc.Name)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := s.DB.Exec(
+			"INSERT INTO IOFHsResults (testcase_id, value, unit, seconds) VALUES (?, ?, ?, ?)",
+			r.LastInsertID, tc.Value, tc.Unit, tc.Seconds); err != nil {
+			return 0, err
+		}
+	}
+	for k, v := range o.Options {
+		if _, err := s.DB.Exec(
+			"INSERT INTO IOFHsOptions (IOFH_id, testcase_id, optkey, optvalue) VALUES (?, NULL, ?, ?)",
+			runID, k, v); err != nil {
+			return 0, err
+		}
+	}
+	if o.System != nil {
+		if err := s.saveSystem(o.System, 0, runID); err != nil {
+			return 0, err
+		}
+	}
+	return runID, nil
+}
+
+// LoadIO500 reconstructs an IO500 knowledge object by run id.
+func (s *Store) LoadIO500(id int64) (*knowledge.IO500Object, error) {
+	row, err := s.DB.QueryRow("SELECT command, began, finished FROM IOFHsRuns WHERE id = ?", id)
+	if err != nil {
+		return nil, fmt.Errorf("schema: io500 run %d not found", id)
+	}
+	o := &knowledge.IO500Object{ID: id, Command: asString(row[0]), Options: map[string]string{}}
+	o.Began, _ = time.Parse(timeLayout, asString(row[1]))
+	o.Finished, _ = time.Parse(timeLayout, asString(row[2]))
+	if sr, err := s.DB.QueryRow("SELECT bw_gib, md_kiops, total FROM IOFHsScores WHERE IOFH_id = ?", id); err == nil {
+		o.ScoreBW, o.ScoreMD, o.ScoreTotal = asFloat(sr[0]), asFloat(sr[1]), asFloat(sr[2])
+	}
+	tcs, err := s.DB.Query(
+		`SELECT IOFHsTestcases.name, IOFHsResults.value, IOFHsResults.unit, IOFHsResults.seconds
+		 FROM IOFHsTestcases JOIN IOFHsResults ON IOFHsTestcases.id = IOFHsResults.testcase_id
+		 WHERE IOFHsTestcases.IOFH_id = ? ORDER BY IOFHsTestcases.id`, id)
+	if err != nil {
+		return nil, err
+	}
+	for tcs.Next() {
+		r := tcs.Row()
+		o.TestCases = append(o.TestCases, knowledge.TestCase{
+			Name: asString(r[0]), Value: asFloat(r[1]), Unit: asString(r[2]), Seconds: asFloat(r[3]),
+		})
+	}
+	opts, err := s.DB.Query("SELECT optkey, optvalue FROM IOFHsOptions WHERE IOFH_id = ?", id)
+	if err != nil {
+		return nil, err
+	}
+	for opts.Next() {
+		r := opts.Row()
+		o.Options[asString(r[0])] = asString(r[1])
+	}
+	if sysRows, err := s.DB.Query(
+		`SELECT hostname, architecture, cpu_model, cores, cpu_mhz, cache_kb, mem_total_kb, mem_free_kb
+		 FROM systeminfos WHERE iofh_id = ?`, id); err == nil && sysRows.Next() {
+		o.System = scanSystem(sysRows.Row())
+	}
+	return o, nil
+}
+
+// ListIO500 lists stored IO500 runs, newest first.
+func (s *Store) ListIO500() ([]Meta, error) {
+	rows, err := s.DB.Query("SELECT id, command, began FROM IOFHsRuns ORDER BY id DESC")
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for rows.Next() {
+		r := rows.Row()
+		began, _ := time.Parse(timeLayout, asString(r[2]))
+		out = append(out, Meta{ID: asInt(r[0]), Source: "io500", Command: asString(r[1]), Began: began})
+	}
+	return out, nil
+}
+
+// MeanBandwidth returns the stored mean bandwidth of one operation of one
+// knowledge object — the kind of point query the explorer's comparison
+// view issues.
+func (s *Store) MeanBandwidth(perfID int64, op string) (float64, error) {
+	row, err := s.DB.QueryRow(
+		"SELECT mean_mib FROM summaries WHERE performance_id = ? AND operation = ?", perfID, op)
+	if err != nil {
+		return 0, fmt.Errorf("schema: no %s summary for knowledge %d", op, perfID)
+	}
+	return asFloat(row[0]), nil
+}
+
+// OpAverage is one row of the per-operation aggregate view.
+type OpAverage struct {
+	Operation string
+	Runs      int64
+	MeanMiBps float64
+	MaxMiBps  float64
+	MinMiBps  float64
+}
+
+// OperationAverages aggregates all stored summaries per operation — the
+// population view the explorer's comparison and the prediction training
+// set start from. It runs as a single GROUP BY in the engine.
+func (s *Store) OperationAverages() ([]OpAverage, error) {
+	rows, err := s.DB.Query(
+		`SELECT operation, COUNT(*), AVG(mean_mib), MAX(max_mib), MIN(min_mib)
+		 FROM summaries GROUP BY operation`)
+	if err != nil {
+		return nil, err
+	}
+	var out []OpAverage
+	for rows.Next() {
+		r := rows.Row()
+		out = append(out, OpAverage{
+			Operation: asString(r[0]),
+			Runs:      asInt(r[1]),
+			MeanMiBps: asFloat(r[2]),
+			MaxMiBps:  asFloat(r[3]),
+			MinMiBps:  asFloat(r[4]),
+		})
+	}
+	return out, nil
+}
+
+func asString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func asFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+func asInt(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	}
+	return 0
+}

@@ -1,0 +1,317 @@
+package schema
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/kdb"
+	"repro/internal/knowledge"
+)
+
+func sampleObject() *knowledge.Object {
+	return &knowledge.Object{
+		Source:   knowledge.SourceIOR,
+		Command:  "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k",
+		Began:    time.Date(2022, 7, 7, 10, 0, 0, 0, time.UTC),
+		Finished: time.Date(2022, 7, 7, 10, 1, 0, 0, time.UTC),
+		Pattern: map[string]string{
+			"api": "MPIIO", "blocksize": "4m", "transfersize": "2m",
+			"tasks": "80", "filePerProc": "true", "testFile": "/scratch/t",
+		},
+		Summaries: []knowledge.Summary{
+			{Operation: "write", API: "MPIIO", MaxMiBps: 2913, MinMiBps: 1251, MeanMiBps: 2583, StdDevMiB: 601, MaxOps: 1456, MinOps: 625, MeanOps: 1291, StdDevOps: 300, MeanSec: 4.95, Iterations: 6},
+			{Operation: "read", API: "MPIIO", MaxMiBps: 3750, MinMiBps: 3690, MeanMiBps: 3720, StdDevMiB: 20, MeanSec: 3.44, Iterations: 6},
+		},
+		Results: []knowledge.Result{
+			{Operation: "write", Iteration: 0, BwMiBps: 2850, OpsPerSec: 1425, LatencySec: 0.056, OpenSec: 0.01, WrRdSec: 4.4, CloseSec: 0.05, TotalSec: 4.46},
+			{Operation: "write", Iteration: 1, BwMiBps: 1251, OpsPerSec: 625, LatencySec: 0.12, OpenSec: 0.01, WrRdSec: 10.1, CloseSec: 0.05, TotalSec: 10.16},
+			{Operation: "read", Iteration: 0, BwMiBps: 3720, OpsPerSec: 1860, LatencySec: 0.04, OpenSec: 0.004, WrRdSec: 3.4, CloseSec: 0.002, TotalSec: 3.41},
+		},
+		FileSystem: &knowledge.FileSystemInfo{
+			Type: "beegfs", EntryType: "file", EntryID: "AB-CD-1", MetadataNode: "meta01",
+			Pattern: "RAID0", ChunkSize: 524288, NumTargets: 4, RAIDScheme: "RAID6", StoragePool: "Default",
+		},
+		System: &knowledge.SystemInfo{
+			Hostname: "fuchs01", Architecture: "x86_64",
+			CPUModel: "Intel(R) Xeon(R) CPU E5-2670 v2 @ 2.50GHz",
+			Cores:    20, CPUMHz: 2500, CacheKB: 25600, MemTotalKB: 134217728, MemFreeKB: 120795955,
+		},
+	}
+}
+
+func sampleIO500() *knowledge.IO500Object {
+	return &knowledge.IO500Object{
+		Command:    "io500 --tasks 40",
+		Began:      time.Date(2022, 7, 8, 9, 0, 0, 0, time.UTC),
+		Finished:   time.Date(2022, 7, 8, 10, 0, 0, 0, time.UTC),
+		ScoreBW:    1.23,
+		ScoreMD:    30.94,
+		ScoreTotal: 6.17,
+		TestCases: []knowledge.TestCase{
+			{Name: "ior-easy-write", Value: 1.45, Unit: "GiB/s", Seconds: 312},
+			{Name: "ior-hard-write", Value: 0.22, Unit: "GiB/s", Seconds: 410},
+			{Name: "mdtest-easy-write", Value: 41.2, Unit: "kIOPS", Seconds: 290},
+		},
+		Options: map[string]string{"tasks": "40", "tasks-per-node": "20"},
+		System:  &knowledge.SystemInfo{Hostname: "fuchs05", Cores: 20},
+	}
+}
+
+func TestSchemaTablesCreated(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := []string{"iofhsoptions", "iofhsresults", "iofhsruns", "iofhsscores", "iofhstestcases", "filesystems", "performances", "results", "summaries", "systeminfos"}
+	got := s.DB.Tables()
+	if len(got) != len(want) {
+		t.Errorf("tables = %v", got)
+	}
+}
+
+func TestSaveLoadObjectRoundTrip(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	o := sampleObject()
+	id, err := s.SaveObject(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id = %d", id)
+	}
+	got, err := s.LoadObject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleObject()
+	want.ID = id
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSaveObjectValidates(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	if _, err := s.SaveObject(&knowledge.Object{}); err == nil {
+		t.Error("invalid object should fail to save")
+	}
+	// A result whose operation has no summary is a structural error.
+	o := sampleObject()
+	o.Results = append(o.Results, knowledge.Result{Operation: "trim", Iteration: 0})
+	if _, err := s.SaveObject(o); err == nil {
+		t.Error("orphan result should fail")
+	}
+}
+
+func TestLoadObjectMissing(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	if _, err := s.LoadObject(99); err == nil {
+		t.Error("missing object should fail")
+	}
+}
+
+func TestListObjects(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := s.SaveObject(sampleObject()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := s.ListObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 3 {
+		t.Fatalf("metas = %d", len(metas))
+	}
+	// Newest first.
+	if metas[0].ID != 3 || metas[2].ID != 1 {
+		t.Errorf("order: %+v", metas)
+	}
+	if metas[0].Source != "ior" || metas[0].Began.IsZero() {
+		t.Errorf("meta = %+v", metas[0])
+	}
+}
+
+func TestSaveLoadIO500RoundTrip(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	id, err := s.SaveIO500(sampleIO500())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadIO500(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleIO500()
+	want.ID = id
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("io500 round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	metas, err := s.ListIO500()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Source != "io500" {
+		t.Errorf("io500 metas = %+v", metas)
+	}
+	if _, err := s.LoadIO500(42); err == nil {
+		t.Error("missing io500 should fail")
+	}
+	if _, err := s.SaveIO500(&knowledge.IO500Object{}); err == nil {
+		t.Error("invalid io500 should fail to save")
+	}
+}
+
+func TestMeanBandwidth(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	id, _ := s.SaveObject(sampleObject())
+	bw, err := s.MeanBandwidth(id, "write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 2583 {
+		t.Errorf("mean write = %v", bw)
+	}
+	if _, err := s.MeanBandwidth(id, "trim"); err == nil {
+		t.Error("missing op should fail")
+	}
+}
+
+func TestPersistenceOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "knowledge.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.SaveObject(sampleObject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid, err := s.SaveIO500(sampleIO500())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.LoadObject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != sampleObject().Command || len(got.Results) != 3 {
+		t.Errorf("reloaded object: %+v", got)
+	}
+	io5, err := s2.LoadIO500(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io5.ScoreTotal != 6.17 || len(io5.TestCases) != 3 {
+		t.Errorf("reloaded io500: %+v", io5)
+	}
+}
+
+func TestOperationAverages(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := s.SaveObject(sampleObject()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avgs, err := s.OperationAverages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avgs) != 2 {
+		t.Fatalf("operations = %d, want 2", len(avgs))
+	}
+	byOp := map[string]OpAverage{}
+	for _, a := range avgs {
+		byOp[a.Operation] = a
+	}
+	w := byOp["write"]
+	if w.Runs != 3 || w.MeanMiBps != 2583 || w.MaxMiBps != 2913 || w.MinMiBps != 1251 {
+		t.Errorf("write aggregate = %+v", w)
+	}
+	r := byOp["read"]
+	if r.Runs != 3 || r.MeanMiBps != 3720 {
+		t.Errorf("read aggregate = %+v", r)
+	}
+}
+
+// The paper's global/remote database path: the same Store API works over a
+// kdb:// connection URL (Fig. 4's local vs public database split).
+func TestRemoteKnowledgeStore(t *testing.T) {
+	backing, err := kdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &kdb.Server{DB: backing}
+	l, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	s, err := Open("kdb://" + l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id, err := s.SaveObject(sampleObject())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadObject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleObject()
+	want.ID = id
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("remote round trip mismatch")
+	}
+	iid, err := s.SaveIO500(sampleIO500())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadIO500(iid); err != nil {
+		t.Fatal(err)
+	}
+	// A second client (another user sharing knowledge) sees the data.
+	s2, err := Open("kdb://" + l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	metas, err := s2.ListObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 {
+		t.Errorf("second client sees %d objects", len(metas))
+	}
+	// Unreachable URL fails cleanly.
+	if _, err := Open("kdb://127.0.0.1:1"); err == nil {
+		t.Error("unreachable server should fail")
+	}
+}

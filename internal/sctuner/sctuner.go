@@ -1,0 +1,305 @@
+// Package sctuner implements the statistical-benchmarking autotuning
+// approach the paper analyzes as related work (§II-A-3, SCTuner): a group
+// of IOR benchmark experiments is conducted over a grid of tuning
+// parameters (transfer size, collective I/O, file layout, stripe count)
+// for a set of I/O pattern classes; the results are normalized so every
+// configuration maps to a *relative* performance per pattern; at runtime,
+// an extracted I/O pattern is matched to its class and the best-known
+// configuration is returned. The profile is serializable, so it can live
+// in the knowledge base and be shared — which is exactly the gap the
+// knowledge cycle closes.
+package sctuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Config is one candidate tuning configuration.
+type Config struct {
+	TransferSize int64 `json:"transfer_size"`
+	Collective   bool  `json:"collective"`
+	FilePerProc  bool  `json:"file_per_proc"`
+	StripeCount  int   `json:"stripe_count"`
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	parts := []string{"xfer=" + units.FormatSize(c.TransferSize)}
+	if c.Collective {
+		parts = append(parts, "collective")
+	}
+	if c.FilePerProc {
+		parts = append(parts, "fpp")
+	} else {
+		parts = append(parts, "shared")
+	}
+	if c.StripeCount > 0 {
+		parts = append(parts, fmt.Sprintf("stripe=%d", c.StripeCount))
+	}
+	return strings.Join(parts, ",")
+}
+
+// PatternClass describes the workload dimension of the grid: how much
+// data each rank moves per burst and how many ranks participate.
+type PatternClass struct {
+	Name      string `json:"name"`
+	Tasks     int    `json:"tasks"`
+	BurstSize int64  `json:"burst_size"` // bytes per rank per segment
+	Segments  int    `json:"segments"`
+}
+
+// Space is the experiment grid.
+type Space struct {
+	TransferSizes []int64
+	Collectives   []bool
+	Layouts       []bool // FilePerProc values
+	StripeCounts  []int
+	Patterns      []PatternClass
+}
+
+// DefaultSpace returns a compact grid spanning the tunables SCTuner names
+// (burst size, aggregators/collective, layout, striping) around the
+// paper's workloads.
+func DefaultSpace() Space {
+	return Space{
+		TransferSizes: []int64{64 * units.KiB, 512 * units.KiB, 2 * units.MiB},
+		Collectives:   []bool{false, true},
+		Layouts:       []bool{false, true},
+		StripeCounts:  []int{4, 16},
+		Patterns: []PatternClass{
+			{Name: "small-burst", Tasks: 40, BurstSize: units.MiB, Segments: 16},
+			{Name: "large-burst", Tasks: 80, BurstSize: 8 * units.MiB, Segments: 8},
+		},
+	}
+}
+
+// Configs expands the tunable grid (without patterns).
+func (s Space) Configs() []Config {
+	var out []Config
+	for _, t := range s.TransferSizes {
+		for _, c := range s.Collectives {
+			for _, l := range s.Layouts {
+				for _, sc := range s.StripeCounts {
+					out = append(out, Config{TransferSize: t, Collective: c, FilePerProc: l, StripeCount: sc})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Entry is one profiled cell: a configuration's relative performance for
+// one pattern class (1.0 = best configuration for that class).
+type Entry struct {
+	Config   Config  `json:"config"`
+	Pattern  string  `json:"pattern"`
+	MiBps    float64 `json:"mib_per_s"`
+	Relative float64 `json:"relative"`
+}
+
+// Profile is the trained lookup: normalized performance per (pattern,
+// config), as SCTuner's statistical benchmarking produces.
+type Profile struct {
+	Machine string  `json:"machine"`
+	Entries []Entry `json:"entries"`
+}
+
+// Build runs the full experiment grid on the machine (reps repetitions
+// per cell, write phase) and normalizes each pattern class to its best
+// configuration.
+func Build(m *cluster.Machine, space Space, reps int, seed uint64) (*Profile, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sctuner: no machine")
+	}
+	if len(space.Patterns) == 0 {
+		return nil, fmt.Errorf("sctuner: space has no pattern classes")
+	}
+	configs := space.Configs()
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("sctuner: space has no configurations")
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	src := rng.New(seed)
+	p := &Profile{Machine: m.Name}
+	for _, pat := range space.Patterns {
+		best := 0.0
+		start := len(p.Entries)
+		for _, cfg := range configs {
+			iorCfg, err := configFor(pat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for r := 0; r < reps; r++ {
+				runner := &ior.Runner{Machine: m, Seed: src.Uint64()}
+				run, err := runner.Run(iorCfg)
+				if err != nil {
+					return nil, fmt.Errorf("sctuner: %s/%s: %w", pat.Name, cfg, err)
+				}
+				bws := run.Bandwidths(cluster.Write)
+				for _, bw := range bws {
+					sum += bw
+				}
+			}
+			mean := sum / float64(reps)
+			p.Entries = append(p.Entries, Entry{Config: cfg, Pattern: pat.Name, MiBps: mean})
+			if mean > best {
+				best = mean
+			}
+		}
+		if best <= 0 {
+			return nil, fmt.Errorf("sctuner: pattern %s produced no bandwidth", pat.Name)
+		}
+		for i := start; i < len(p.Entries); i++ {
+			p.Entries[i].Relative = p.Entries[i].MiBps / best
+		}
+	}
+	return p, nil
+}
+
+// configFor builds the IOR configuration of one grid cell. Block size is
+// the burst size; transfer size must divide it, so undersized bursts clamp
+// the transfer.
+func configFor(pat PatternClass, cfg Config) (ior.Config, error) {
+	xfer := cfg.TransferSize
+	if xfer > pat.BurstSize {
+		xfer = pat.BurstSize
+	}
+	if pat.BurstSize%xfer != 0 {
+		return ior.Config{}, fmt.Errorf("sctuner: burst %d not a multiple of transfer %d", pat.BurstSize, xfer)
+	}
+	c := ior.Default()
+	c.API = cluster.MPIIO
+	c.BlockSize = pat.BurstSize
+	c.TransferSize = xfer
+	c.Segments = pat.Segments
+	c.Repetitions = 1
+	c.NumTasks = pat.Tasks
+	c.TasksPerNode = 20
+	c.WriteFile = true
+	c.ReadFile = false
+	c.Collective = cfg.Collective
+	c.FilePerProc = cfg.FilePerProc
+	c.StripeCount = cfg.StripeCount
+	c.ReorderTasks = true
+	c.TestFile = "/scratch/sctuner/" + pat.Name
+	return c, nil
+}
+
+// Pattern is a runtime-extracted I/O pattern (what SCTuner's HDF5 pattern
+// extractor produces: burst size, ranks, total size).
+type Pattern struct {
+	Tasks     int
+	BurstSize int64
+}
+
+// classify matches a runtime pattern to the nearest profiled class by
+// log-distance on burst size, then task count.
+func (p *Profile) classify(space []PatternClass, pat Pattern) (PatternClass, error) {
+	if len(space) == 0 {
+		return PatternClass{}, fmt.Errorf("sctuner: no classes to match")
+	}
+	best := space[0]
+	bestScore := patternDistance(best, pat)
+	for _, c := range space[1:] {
+		if s := patternDistance(c, pat); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best, nil
+}
+
+func patternDistance(c PatternClass, p Pattern) float64 {
+	d := 0.0
+	if c.BurstSize > p.BurstSize {
+		d += float64(c.BurstSize) / float64(max64(p.BurstSize, 1))
+	} else {
+		d += float64(p.BurstSize) / float64(max64(c.BurstSize, 1))
+	}
+	if c.Tasks > p.Tasks {
+		d += float64(c.Tasks) / float64(maxInt(p.Tasks, 1))
+	} else {
+		d += float64(p.Tasks) / float64(maxInt(c.Tasks, 1))
+	}
+	return d
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Recommendation is the tuner's answer for one runtime pattern.
+type Recommendation struct {
+	Pattern  string
+	Config   Config
+	Relative float64
+	// Gain is the expected speedup over the worst profiled configuration
+	// of the same class.
+	Gain float64
+}
+
+// Recommend returns the best-known configuration for the runtime pattern,
+// using the profiled classes in space.
+func (p *Profile) Recommend(space []PatternClass, pat Pattern) (Recommendation, error) {
+	class, err := p.classify(space, pat)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	var entries []Entry
+	for _, e := range p.Entries {
+		if e.Pattern == class.Name {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return Recommendation{}, fmt.Errorf("sctuner: profile has no entries for class %s", class.Name)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Relative > entries[j].Relative })
+	best := entries[0]
+	worst := entries[len(entries)-1]
+	rec := Recommendation{Pattern: class.Name, Config: best.Config, Relative: best.Relative}
+	if worst.MiBps > 0 {
+		rec.Gain = best.MiBps / worst.MiBps
+	}
+	return rec, nil
+}
+
+// Encode serializes the profile as JSON (for the knowledge base).
+func (p *Profile) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// Decode reads a profile written by Encode.
+func Decode(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("sctuner: decode: %w", err)
+	}
+	if len(p.Entries) == 0 {
+		return nil, fmt.Errorf("sctuner: profile has no entries")
+	}
+	return &p, nil
+}

@@ -1,0 +1,207 @@
+package sctuner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+	"repro/internal/units"
+)
+
+func smallSpace() Space {
+	return Space{
+		TransferSizes: []int64{64 * units.KiB, 2 * units.MiB},
+		Collectives:   []bool{false, true},
+		Layouts:       []bool{false, true},
+		StripeCounts:  []int{4},
+		Patterns: []PatternClass{
+			{Name: "small-burst", Tasks: 40, BurstSize: units.MiB, Segments: 8},
+			{Name: "large-burst", Tasks: 80, BurstSize: 8 * units.MiB, Segments: 4},
+		},
+	}
+}
+
+func TestConfigsExpansion(t *testing.T) {
+	s := smallSpace()
+	if got := len(s.Configs()); got != 8 {
+		t.Errorf("configs = %d, want 8", got)
+	}
+	if got := len(DefaultSpace().Configs()); got != 24 {
+		t.Errorf("default configs = %d, want 24", got)
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	m := cluster.FuchsCSC()
+	p, err := Build(m, smallSpace(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine != "FUCHS-CSC" {
+		t.Errorf("machine = %q", p.Machine)
+	}
+	if len(p.Entries) != 16 { // 8 configs × 2 patterns
+		t.Fatalf("entries = %d, want 16", len(p.Entries))
+	}
+	// Normalization: each pattern class has exactly one 1.0 entry and no
+	// entry above 1.0.
+	tops := map[string]int{}
+	for _, e := range p.Entries {
+		if e.Relative > 1.000001 || e.Relative <= 0 {
+			t.Errorf("relative out of (0,1]: %+v", e)
+		}
+		if e.Relative > 0.999999 {
+			tops[e.Pattern]++
+		}
+		if e.MiBps <= 0 {
+			t.Errorf("non-positive bandwidth: %+v", e)
+		}
+	}
+	for pat, n := range tops {
+		if n < 1 {
+			t.Errorf("pattern %s has no best entry", pat)
+		}
+	}
+	if len(tops) != 2 {
+		t.Errorf("patterns with top entries = %d", len(tops))
+	}
+}
+
+func TestRecommendPicksWinningConfig(t *testing.T) {
+	m := cluster.FuchsCSC()
+	space := smallSpace()
+	p, err := Build(m, space, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large-burst-like runtime pattern.
+	rec, err := p.Recommend(space.Patterns, Pattern{Tasks: 80, BurstSize: 8 * units.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pattern != "large-burst" {
+		t.Errorf("classified as %q", rec.Pattern)
+	}
+	if rec.Gain < 1.1 {
+		t.Errorf("gain = %.2f, tuner should find real headroom", rec.Gain)
+	}
+	// The tuner must not recommend the known-bad combination (tiny
+	// transfers, independent, shared file) for large bursts.
+	if rec.Config.TransferSize == 64*units.KiB && !rec.Config.Collective && !rec.Config.FilePerProc {
+		t.Errorf("recommended the worst cell: %+v", rec.Config)
+	}
+	// Applying the recommendation beats the naive config in simulation.
+	naive := Config{TransferSize: 64 * units.KiB, Collective: false, FilePerProc: false, StripeCount: 4}
+	bwRec := measure(t, m, space.Patterns[1], rec.Config)
+	bwNaive := measure(t, m, space.Patterns[1], naive)
+	if bwRec <= bwNaive {
+		t.Errorf("recommended config (%.0f MiB/s) should beat naive (%.0f MiB/s)", bwRec, bwNaive)
+	}
+}
+
+func measure(t *testing.T, m *cluster.Machine, pat PatternClass, cfg Config) float64 {
+	t.Helper()
+	iorCfg, err := configFor(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const reps = 5
+	for seed := uint64(0); seed < reps; seed++ {
+		run, err := (&ior.Runner{Machine: m, Seed: 1000 + seed}).Run(iorCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bw := range run.Bandwidths(cluster.Write) {
+			sum += bw
+		}
+	}
+	return sum / reps
+}
+
+func TestSmallBurstClampsTransfer(t *testing.T) {
+	pat := PatternClass{Name: "tiny", Tasks: 4, BurstSize: 256 * units.KiB, Segments: 2}
+	cfg, err := configFor(pat, Config{TransferSize: 2 * units.MiB, StripeCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TransferSize != 256*units.KiB {
+		t.Errorf("transfer = %d, want clamped to burst", cfg.TransferSize)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, smallSpace(), 1, 1); err == nil {
+		t.Error("nil machine should fail")
+	}
+	m := cluster.FuchsCSC()
+	if _, err := Build(m, Space{}, 1, 1); err == nil {
+		t.Error("empty space should fail")
+	}
+	s := smallSpace()
+	s.TransferSizes = nil
+	if _, err := Build(m, s, 1, 1); err == nil {
+		t.Error("no configs should fail")
+	}
+	// Non-divisible burst.
+	bad := smallSpace()
+	bad.Patterns = []PatternClass{{Name: "odd", Tasks: 4, BurstSize: 3 * units.MiB, Segments: 1}}
+	bad.TransferSizes = []int64{2 * units.MiB}
+	if _, err := Build(m, bad, 1, 1); err == nil {
+		t.Error("non-divisible burst should fail")
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	p := &Profile{}
+	if _, err := p.Recommend(nil, Pattern{}); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := p.Recommend([]PatternClass{{Name: "x"}}, Pattern{Tasks: 1, BurstSize: 1}); err == nil {
+		t.Error("empty profile should fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := cluster.FuchsCSC()
+	space := smallSpace()
+	p, err := Build(m, space, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != p.Machine || len(got.Entries) != len(p.Entries) {
+		t.Errorf("round trip: %+v", got)
+	}
+	// The decoded profile recommends identically.
+	a, _ := p.Recommend(space.Patterns, Pattern{Tasks: 40, BurstSize: units.MiB})
+	b, _ := got.Recommend(space.Patterns, Pattern{Tasks: 40, BurstSize: units.MiB})
+	if a.Config != b.Config {
+		t.Errorf("decoded profile recommends differently: %+v vs %+v", a, b)
+	}
+	if _, err := Decode(strings.NewReader("{bad")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := Decode(strings.NewReader("{}")); err == nil {
+		t.Error("empty profile should fail")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{TransferSize: 2 * units.MiB, Collective: true, FilePerProc: false, StripeCount: 16}
+	s := c.String()
+	for _, want := range []string{"xfer=2m", "collective", "shared", "stripe=16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package siox reimplements the essence of SIOX from the paper's related
+// work (§II-A-1): capture system activities "from all abstraction levels"
+// of the I/O stack through standardized interfaces, compress and store
+// them permanently, and analyze the captured data by correlating observed
+// access patterns with performance — including following the causal chain
+// of a slow operation down the stack.
+//
+// Activities form a forest: a library-level call (e.g. an HDF5 or IOR
+// block write) causes middleware-level MPI-IO operations, which cause
+// file-system-level POSIX transfers. Each activity carries its level,
+// rank, interval, and volume, plus the ID of the causing activity.
+package siox
+
+import (
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+	"repro/internal/units"
+)
+
+// Level is the abstraction level an activity was captured at.
+type Level uint8
+
+// The captured stack levels, top to bottom.
+const (
+	LevelLibrary    Level = 0 // high-level library call
+	LevelMiddleware Level = 1 // MPI-IO operation
+	LevelFS         Level = 2 // POSIX/file-system transfer
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelLibrary:
+		return "library"
+	case LevelMiddleware:
+		return "middleware"
+	case LevelFS:
+		return "filesystem"
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// Activity is one captured operation.
+type Activity struct {
+	ID       uint64
+	Cause    uint64 // ID of the causing activity; 0 for roots
+	Level    Level
+	Name     string
+	Rank     int32
+	StartSec float64
+	EndSec   float64
+	Bytes    int64
+}
+
+// Trace is a captured activity set for one application run.
+type Trace struct {
+	App        string
+	Activities []Activity
+}
+
+// CaptureIOR synthesizes the activity capture an instrumented IOR run
+// would have produced: per iteration and operation, one library-level
+// block access per traced rank, decomposed into middleware transfers and
+// file-system chunk I/O. tracedRanks bounds the capture (SIOX compresses
+// aggressively for exactly this reason).
+func CaptureIOR(run *ior.Run, tracedRanks int) (*Trace, error) {
+	if run == nil || len(run.Results) == 0 {
+		return nil, fmt.Errorf("siox: empty run")
+	}
+	if tracedRanks <= 0 {
+		tracedRanks = 2
+	}
+	if tracedRanks > run.Tasks {
+		tracedRanks = run.Tasks
+	}
+	cfg := run.Config
+	t := &Trace{App: "ior"}
+	var id uint64
+	next := func() uint64 { id++; return id }
+	elapsed := 0.0
+	for _, ir := range run.Results {
+		res := ir.Result
+		opName := "write"
+		mwName := "MPI_File_write_at"
+		fsName := "pwrite"
+		if ir.Op == cluster.Read {
+			opName = "read"
+			mwName = "MPI_File_read_at"
+			fsName = "pread"
+		}
+		// One library call per rank per iteration covering the block;
+		// each spawns block/transfer middleware ops; each of those spawns
+		// transfer/chunk fs ops (at least one).
+		perRankSec := res.WrRdSec
+		mwOps := cfg.BlockSize / cfg.TransferSize
+		if mwOps < 1 {
+			mwOps = 1
+		}
+		chunk := int64(512 * units.KiB)
+		fsOps := cfg.TransferSize / chunk
+		if fsOps < 1 {
+			fsOps = 1
+		}
+		mwDur := perRankSec / float64(mwOps)
+		for rank := 0; rank < tracedRanks; rank++ {
+			lib := Activity{
+				ID: next(), Level: LevelLibrary,
+				Name: fmt.Sprintf("ior_%s_block", opName), Rank: int32(rank),
+				StartSec: elapsed, EndSec: elapsed + perRankSec,
+				Bytes: cfg.BlockSize,
+			}
+			t.Activities = append(t.Activities, lib)
+			for m := int64(0); m < mwOps; m++ {
+				mw := Activity{
+					ID: next(), Cause: lib.ID, Level: LevelMiddleware,
+					Name: mwName, Rank: int32(rank),
+					StartSec: lib.StartSec + float64(m)*mwDur,
+					EndSec:   lib.StartSec + float64(m+1)*mwDur,
+					Bytes:    cfg.TransferSize,
+				}
+				t.Activities = append(t.Activities, mw)
+				fsDur := mwDur / float64(fsOps)
+				for fop := int64(0); fop < fsOps; fop++ {
+					t.Activities = append(t.Activities, Activity{
+						ID: next(), Cause: mw.ID, Level: LevelFS,
+						Name: fsName, Rank: int32(rank),
+						StartSec: mw.StartSec + float64(fop)*fsDur,
+						EndSec:   mw.StartSec + float64(fop+1)*fsDur,
+						Bytes:    min64(chunk, cfg.TransferSize),
+					})
+				}
+			}
+		}
+		elapsed += res.TotalSec
+	}
+	return t, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Validate checks structural invariants: unique IDs, existing causes,
+// levels strictly descending along causal edges, children contained in
+// their cause's interval.
+func (t *Trace) Validate() error {
+	byID := make(map[uint64]Activity, len(t.Activities))
+	for _, a := range t.Activities {
+		if a.ID == 0 {
+			return fmt.Errorf("siox: activity with zero ID")
+		}
+		if _, dup := byID[a.ID]; dup {
+			return fmt.Errorf("siox: duplicate activity ID %d", a.ID)
+		}
+		if a.EndSec < a.StartSec {
+			return fmt.Errorf("siox: activity %d has negative duration", a.ID)
+		}
+		byID[a.ID] = a
+	}
+	const eps = 1e-9
+	for _, a := range t.Activities {
+		if a.Cause == 0 {
+			continue
+		}
+		cause, ok := byID[a.Cause]
+		if !ok {
+			return fmt.Errorf("siox: activity %d references missing cause %d", a.ID, a.Cause)
+		}
+		if cause.Level >= a.Level {
+			return fmt.Errorf("siox: cause %d (%s) not above activity %d (%s)", cause.ID, cause.Level, a.ID, a.Level)
+		}
+		if a.StartSec < cause.StartSec-eps || a.EndSec > cause.EndSec+eps {
+			return fmt.Errorf("siox: activity %d escapes its cause's interval", a.ID)
+		}
+	}
+	return nil
+}
+
+// LevelStats summarizes one abstraction level.
+type LevelStats struct {
+	Activities int
+	Bytes      int64
+	BusySec    float64
+}
+
+// Breakdown aggregates per level.
+func (t *Trace) Breakdown() map[Level]LevelStats {
+	out := map[Level]LevelStats{}
+	for _, a := range t.Activities {
+		st := out[a.Level]
+		st.Activities++
+		st.Bytes += a.Bytes
+		st.BusySec += a.EndSec - a.StartSec
+		out[a.Level] = st
+	}
+	return out
+}
+
+// SlowestChain returns the causal chain (root first) ending at the
+// longest-running file-system activity — "correlating performance data
+// with observed access patterns to gain knowledge about causal
+// relationships".
+func (t *Trace) SlowestChain() ([]Activity, error) {
+	byID := make(map[uint64]Activity, len(t.Activities))
+	var slow *Activity
+	for i, a := range t.Activities {
+		byID[a.ID] = a
+		if a.Level != LevelFS {
+			continue
+		}
+		if slow == nil || a.EndSec-a.StartSec > slow.EndSec-slow.StartSec {
+			slow = &t.Activities[i]
+		}
+	}
+	if slow == nil {
+		return nil, fmt.Errorf("siox: trace has no file-system activities")
+	}
+	var chain []Activity
+	for cur := *slow; ; {
+		chain = append([]Activity{cur}, chain...)
+		if cur.Cause == 0 {
+			break
+		}
+		next, ok := byID[cur.Cause]
+		if !ok {
+			return nil, fmt.Errorf("siox: broken causal chain at %d", cur.Cause)
+		}
+		cur = next
+	}
+	return chain, nil
+}
+
+// Report renders the trace analysis.
+func (t *Trace) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SIOX capture: %d activities (%s)\n", len(t.Activities), t.App)
+	bd := t.Breakdown()
+	var levels []Level
+	for l := range bd {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	for _, l := range levels {
+		st := bd[l]
+		fmt.Fprintf(&b, "  %-11s %6d activities, %s, busy %.3f s\n",
+			l, st.Activities, units.HumanBytes(st.Bytes), st.BusySec)
+	}
+	if chain, err := t.SlowestChain(); err == nil {
+		b.WriteString("  slowest causal chain:\n")
+		for _, a := range chain {
+			fmt.Fprintf(&b, "    %s %s (rank %d, %.4f s, %s)\n",
+				a.Level, a.Name, a.Rank, a.EndSec-a.StartSec, units.HumanBytes(a.Bytes))
+		}
+	}
+	return b.String()
+}
+
+// --- compressed permanent storage ---------------------------------------
+
+// Magic is the trace file signature.
+var Magic = [4]byte{'S', 'I', 'O', 'X'}
+
+var le = binary.LittleEndian
+
+// Write stores the trace: magic, then a zlib-compressed record stream —
+// SIOX's "data is compressed and stored permanently".
+func Write(w io.Writer, t *Trace) error {
+	if _, err := w.Write(Magic[:]); err != nil {
+		return err
+	}
+	zw := zlib.NewWriter(w)
+	if err := writeString(zw, t.App); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := binary.Write(zw, le, uint32(len(t.Activities))); err != nil {
+		zw.Close()
+		return err
+	}
+	for _, a := range t.Activities {
+		if err := writeString(zw, a.Name); err != nil {
+			zw.Close()
+			return err
+		}
+		for _, v := range []any{a.ID, a.Cause, a.Level, a.Rank, a.StartSec, a.EndSec, a.Bytes} {
+			if err := binary.Write(zw, le, v); err != nil {
+				zw.Close()
+				return err
+			}
+		}
+	}
+	return zw.Close()
+}
+
+// Read loads a trace written by Write and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("siox: short header: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("siox: bad magic %q", magic[:])
+	}
+	zr, err := zlib.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("siox: corrupt body: %w", err)
+	}
+	defer zr.Close()
+	t := &Trace{}
+	if t.App, err = readString(zr); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(zr, le, &n); err != nil {
+		return nil, fmt.Errorf("siox: truncated count: %w", err)
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("siox: unreasonable activity count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var a Activity
+		if a.Name, err = readString(zr); err != nil {
+			return nil, fmt.Errorf("siox: activity %d: %w", i, err)
+		}
+		for _, v := range []any{&a.ID, &a.Cause, &a.Level, &a.Rank, &a.StartSec, &a.EndSec, &a.Bytes} {
+			if err := binary.Read(zr, le, v); err != nil {
+				return nil, fmt.Errorf("siox: activity %d: %w", i, err)
+			}
+		}
+		t.Activities = append(t.Activities, a)
+	}
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("siox: corrupt trailer: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("siox: string too long")
+	}
+	if err := binary.Write(w, le, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, le, &n); err != nil {
+		return "", fmt.Errorf("siox: truncated string: %w", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("siox: truncated string body: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,174 @@
+package siox
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ior"
+)
+
+func sampleRun(t *testing.T) *ior.Run {
+	t.Helper()
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 2m -s 4 -N 40 -F -C -i 2 -o /scratch/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TasksPerNode = 20
+	run, err := (&ior.Runner{Machine: cluster.FuchsCSC(), Seed: 7}).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestCaptureIOR(t *testing.T) {
+	run := sampleRun(t)
+	tr, err := CaptureIOR(run, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("captured trace invalid: %v", err)
+	}
+	bd := tr.Breakdown()
+	// 2 iterations × 2 ops × 2 ranks library calls.
+	if bd[LevelLibrary].Activities != 8 {
+		t.Errorf("library activities = %d, want 8", bd[LevelLibrary].Activities)
+	}
+	// Each library call spawns block/transfer = 2 middleware ops.
+	if bd[LevelMiddleware].Activities != 16 {
+		t.Errorf("middleware activities = %d, want 16", bd[LevelMiddleware].Activities)
+	}
+	// Each middleware op spawns transfer/chunk = 4 fs ops.
+	if bd[LevelFS].Activities != 64 {
+		t.Errorf("fs activities = %d, want 64", bd[LevelFS].Activities)
+	}
+	// Volume accounting: middleware bytes equal library bytes.
+	if bd[LevelMiddleware].Bytes != bd[LevelLibrary].Bytes {
+		t.Errorf("bytes: mw %d vs lib %d", bd[LevelMiddleware].Bytes, bd[LevelLibrary].Bytes)
+	}
+	if bd[LevelFS].Bytes != bd[LevelLibrary].Bytes {
+		t.Errorf("fs bytes %d should equal library bytes %d", bd[LevelFS].Bytes, bd[LevelLibrary].Bytes)
+	}
+	// Busy time per level is consistent (children tile their parents).
+	if math.Abs(bd[LevelMiddleware].BusySec-bd[LevelLibrary].BusySec) > 1e-6 {
+		t.Errorf("busy: mw %.6f vs lib %.6f", bd[LevelMiddleware].BusySec, bd[LevelLibrary].BusySec)
+	}
+}
+
+func TestCaptureErrors(t *testing.T) {
+	if _, err := CaptureIOR(nil, 2); err == nil {
+		t.Error("nil run should fail")
+	}
+	if _, err := CaptureIOR(&ior.Run{}, 2); err == nil {
+		t.Error("empty run should fail")
+	}
+	// tracedRanks above tasks clamps.
+	run := sampleRun(t)
+	tr, err := CaptureIOR(run, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Breakdown()[LevelLibrary].Activities; got != 40*2*2 {
+		t.Errorf("clamped library activities = %d", got)
+	}
+}
+
+func TestSlowestChain(t *testing.T) {
+	tr, err := CaptureIOR(sampleRun(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := tr.SlowestChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length = %d, want library→middleware→fs", len(chain))
+	}
+	if chain[0].Level != LevelLibrary || chain[1].Level != LevelMiddleware || chain[2].Level != LevelFS {
+		t.Errorf("chain levels: %v %v %v", chain[0].Level, chain[1].Level, chain[2].Level)
+	}
+	// Links are causal.
+	if chain[1].Cause != chain[0].ID || chain[2].Cause != chain[1].ID {
+		t.Error("chain links broken")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good, _ := CaptureIOR(sampleRun(t), 1)
+	cases := []func(*Trace){
+		func(tr *Trace) { tr.Activities[0].ID = 0 },
+		func(tr *Trace) { tr.Activities[1].ID = tr.Activities[0].ID },
+		func(tr *Trace) { tr.Activities[1].Cause = 999999 },
+		func(tr *Trace) { tr.Activities[1].Level = LevelLibrary }, // cause no longer above
+		func(tr *Trace) { tr.Activities[0].EndSec = tr.Activities[0].StartSec - 1 },
+		func(tr *Trace) { tr.Activities[1].EndSec += 1000 }, // escapes cause interval
+	}
+	for i, corrupt := range cases {
+		tr := &Trace{App: good.App, Activities: append([]Activity(nil), good.Activities...)}
+		corrupt(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("corruption case %d not caught", i)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr, err := CaptureIOR(sampleRun(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Compression earns its keep on repetitive activity streams.
+	raw := len(tr.Activities) * 50
+	if buf.Len() >= raw {
+		t.Errorf("compressed size %d not below raw estimate %d", buf.Len(), raw)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Error("round trip mismatch")
+	}
+	// Corruption detection.
+	data := buf.Bytes()
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	for _, n := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("truncation at %d should fail", n)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	tr, _ := CaptureIOR(sampleRun(t), 2)
+	rep := tr.Report()
+	for _, want := range []string{"SIOX capture:", "library", "middleware", "filesystem", "slowest causal chain:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if LevelFS.String() != "filesystem" || Level(9).String() == "" {
+		t.Error("level strings wrong")
+	}
+}
+
+func TestSlowestChainErrors(t *testing.T) {
+	tr := &Trace{Activities: []Activity{{ID: 1, Level: LevelLibrary}}}
+	if _, err := tr.SlowestChain(); err == nil {
+		t.Error("no fs activities should fail")
+	}
+}

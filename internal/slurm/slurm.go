@@ -1,0 +1,330 @@
+// Package slurm models the workload-manager context the paper plans to
+// fold into the knowledge cycle ("it is planned to collect further
+// information from workload managers such as Slurm, thus providing
+// context between anomaly and causes"): job accounting records in
+// `sacct`-style pipe-separated text, a generator for the modelled
+// cluster, a parser, and a correlator that links a performance anomaly's
+// time window to the jobs sharing the machine — the missing causal
+// context for "who congested the file system during iteration 2?".
+package slurm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JobState is a Slurm job state.
+type JobState string
+
+// Common job states.
+const (
+	StateRunning   JobState = "RUNNING"
+	StateCompleted JobState = "COMPLETED"
+	StateFailed    JobState = "FAILED"
+	StateCancelled JobState = "CANCELLED"
+	StateNodeFail  JobState = "NODE_FAIL"
+)
+
+// Job is one accounting record.
+type Job struct {
+	JobID     int64
+	Name      string
+	User      string
+	Partition string
+	Nodes     int
+	NodeList  string // compact Slurm notation, e.g. "fuchs[001-004]"
+	State     JobState
+	Start     time.Time
+	End       time.Time // zero while running
+	// WriteMiBps is the job's average write demand on the shared file
+	// system, when accounting collected it (comment field in real life;
+	// first-class here so the correlator can rank suspects).
+	WriteMiBps float64
+}
+
+// Active reports whether the job was running at time t.
+func (j Job) Active(t time.Time) bool {
+	if t.Before(j.Start) {
+		return false
+	}
+	return j.End.IsZero() || !t.After(j.End)
+}
+
+// Overlaps reports whether the job ran at any point in [from, to].
+func (j Job) Overlaps(from, to time.Time) bool {
+	if to.Before(j.Start) {
+		return false
+	}
+	return j.End.IsZero() || !from.After(j.End)
+}
+
+const timeLayout = "2006-01-02T15:04:05"
+
+// sacctHeader is the field order of the pipe-separated format.
+const sacctHeader = "JobID|JobName|User|Partition|NNodes|NodeList|State|Start|End|AveDiskWrite"
+
+// WriteSacct renders jobs in `sacct --parsable2`-style text.
+func WriteSacct(w io.Writer, jobs []Job) error {
+	var b strings.Builder
+	b.WriteString(sacctHeader + "\n")
+	for _, j := range jobs {
+		end := "Unknown"
+		if !j.End.IsZero() {
+			end = j.End.Format(timeLayout)
+		}
+		fmt.Fprintf(&b, "%d|%s|%s|%s|%d|%s|%s|%s|%s|%.2fM\n",
+			j.JobID, j.Name, j.User, j.Partition, j.Nodes, j.NodeList,
+			j.State, j.Start.Format(timeLayout), end, j.WriteMiBps)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ParseSacct decodes `sacct --parsable2` text written by WriteSacct (and
+// format-compatible with real sacct given the matching field list).
+func ParseSacct(r io.Reader) ([]Job, error) {
+	sc := bufio.NewScanner(r)
+	var jobs []Job
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if line != sacctHeader {
+				return nil, fmt.Errorf("slurm: unexpected header %q", line)
+			}
+			continue
+		}
+		f := strings.Split(line, "|")
+		if len(f) != 10 {
+			return nil, fmt.Errorf("slurm: record has %d fields, want 10: %q", len(f), line)
+		}
+		id, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("slurm: job id %q: %v", f[0], err)
+		}
+		nodes, err := strconv.Atoi(f[4])
+		if err != nil {
+			return nil, fmt.Errorf("slurm: node count %q: %v", f[4], err)
+		}
+		start, err := time.Parse(timeLayout, f[7])
+		if err != nil {
+			return nil, fmt.Errorf("slurm: start %q: %v", f[7], err)
+		}
+		var end time.Time
+		if f[8] != "Unknown" {
+			end, err = time.Parse(timeLayout, f[8])
+			if err != nil {
+				return nil, fmt.Errorf("slurm: end %q: %v", f[8], err)
+			}
+		}
+		var wr float64
+		fmt.Sscanf(f[9], "%fM", &wr)
+		jobs = append(jobs, Job{
+			JobID: id, Name: f[1], User: f[2], Partition: f[3],
+			Nodes: nodes, NodeList: f[5], State: JobState(f[6]),
+			Start: start, End: end, WriteMiBps: wr,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("slurm: empty input")
+	}
+	return jobs, nil
+}
+
+// ExpandNodeList expands compact Slurm node notation ("fuchs[001-003,007]",
+// "fuchs005") into individual host names.
+func ExpandNodeList(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("slurm: empty node list")
+	}
+	open := strings.Index(s, "[")
+	if open < 0 {
+		return []string{s}, nil
+	}
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("slurm: unbalanced brackets in %q", s)
+	}
+	prefix := s[:open]
+	spec := s[open+1 : len(s)-1]
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("slurm: empty range in %q", s)
+		}
+		if i := strings.Index(part, "-"); i >= 0 {
+			loS, hiS := part[:i], part[i+1:]
+			lo, err := strconv.Atoi(loS)
+			if err != nil {
+				return nil, fmt.Errorf("slurm: range start %q: %v", loS, err)
+			}
+			hi, err := strconv.Atoi(hiS)
+			if err != nil {
+				return nil, fmt.Errorf("slurm: range end %q: %v", hiS, err)
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("slurm: inverted range %q", part)
+			}
+			width := len(loS)
+			for n := lo; n <= hi; n++ {
+				out = append(out, fmt.Sprintf("%s%0*d", prefix, width, n))
+			}
+		} else {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("slurm: node index %q: %v", part, err)
+			}
+			out = append(out, fmt.Sprintf("%s%0*d", prefix, len(part), n))
+		}
+	}
+	return out, nil
+}
+
+// SynthesizeConfig parameterizes synthetic accounting generation.
+type SynthesizeConfig struct {
+	// Jobs is how many records to generate.
+	Jobs int
+	// From/To bound the simulated accounting window.
+	From, To time.Time
+	// MaxNodes bounds per-job node counts.
+	MaxNodes int
+	// HeavyWriterEvery inserts a high-I/O job every n records (0 = none).
+	HeavyWriterEvery int
+}
+
+// randSource is the minimal PRNG surface Synthesize needs, satisfied by
+// rng.Source.
+type randSource interface {
+	Intn(n int) int
+	Range(lo, hi float64) float64
+	Float64() float64
+}
+
+// Synthesize generates a plausible accounting history for the modelled
+// cluster: a mix of small and parallel jobs with start/end times inside
+// the window, occasional failures, and optional heavy writers. It gives
+// experiments a realistic context population without real Slurm.
+func Synthesize(cfg SynthesizeConfig, src randSource) ([]Job, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("slurm: job count must be positive")
+	}
+	if !cfg.To.After(cfg.From) {
+		return nil, fmt.Errorf("slurm: empty accounting window")
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 16
+	}
+	users := []string{"alice", "bob", "carol", "dave", "erin"}
+	names := []string{"cfd-sim", "md-run", "ml-train", "postproc", "genomics"}
+	span := cfg.To.Sub(cfg.From)
+	var jobs []Job
+	for i := 0; i < cfg.Jobs; i++ {
+		start := cfg.From.Add(time.Duration(src.Float64() * float64(span) * 0.8))
+		dur := time.Duration(src.Range(60, 3600)) * time.Second
+		end := start.Add(dur)
+		state := StateCompleted
+		switch {
+		case src.Float64() < 0.03:
+			state = StateNodeFail
+		case src.Float64() < 0.05:
+			state = StateFailed
+		}
+		nodes := 1 + src.Intn(cfg.MaxNodes)
+		first := 1 + src.Intn(180)
+		nodeList := fmt.Sprintf("fuchs%03d", first)
+		if nodes > 1 {
+			nodeList = fmt.Sprintf("fuchs[%03d-%03d]", first, first+nodes-1)
+		}
+		wr := src.Range(0, 150)
+		if cfg.HeavyWriterEvery > 0 && i%cfg.HeavyWriterEvery == 0 {
+			wr = src.Range(3000, 9000)
+		}
+		jobs = append(jobs, Job{
+			JobID:      int64(10000 + i),
+			Name:       names[src.Intn(len(names))],
+			User:       users[src.Intn(len(users))],
+			Partition:  "parallel",
+			Nodes:      nodes,
+			NodeList:   nodeList,
+			State:      state,
+			Start:      start,
+			End:        end,
+			WriteMiBps: wr,
+		})
+	}
+	return jobs, nil
+}
+
+// Suspect is a job implicated in an anomaly window, with its ranking
+// score.
+type Suspect struct {
+	Job   Job
+	Score float64
+	// Reason explains the implication (overlap + demand, node failure).
+	Reason string
+}
+
+// CorrelateWindow returns the jobs that overlap the anomaly window
+// [from, to], ranked by plausibility as the cause: node-failure states
+// first, then by file system write demand. The excludeUser filter drops
+// the victim's own job from the suspect list.
+func CorrelateWindow(jobs []Job, from, to time.Time, excludeUser string) []Suspect {
+	var out []Suspect
+	for _, j := range jobs {
+		if !j.Overlaps(from, to) {
+			continue
+		}
+		if excludeUser != "" && j.User == excludeUser {
+			continue
+		}
+		s := Suspect{Job: j}
+		switch j.State {
+		case StateNodeFail:
+			// Hardware-implicating states always outrank demand-based
+			// suspicion, regardless of how much a neighbour was writing.
+			s.Score = 2e9 + j.WriteMiBps
+			s.Reason = "job ended in NODE_FAIL during the window"
+		case StateFailed:
+			s.Score = 1e9 + j.WriteMiBps
+			s.Reason = "job failed during the window"
+		default:
+			s.Score = j.WriteMiBps
+			s.Reason = fmt.Sprintf("concurrent job writing %.0f MiB/s to the shared file system", j.WriteMiBps)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Job.JobID < out[j].Job.JobID
+	})
+	return out
+}
+
+// Report renders suspects as text for the anomaly report.
+func Report(suspects []Suspect) string {
+	if len(suspects) == 0 {
+		return "no concurrent jobs in the anomaly window\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d suspect job(s) in the anomaly window:\n", len(suspects))
+	for _, s := range suspects {
+		fmt.Fprintf(&b, "  - job %d (%s, user %s, %s): %s\n",
+			s.Job.JobID, s.Job.Name, s.Job.User, s.Job.NodeList, s.Reason)
+	}
+	return b.String()
+}

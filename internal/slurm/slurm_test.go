@@ -1,0 +1,258 @@
+package slurm
+
+import (
+	"bytes"
+
+	"reflect"
+	"repro/internal/rng"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func t0() time.Time { return time.Date(2022, 7, 7, 10, 0, 0, 0, time.UTC) }
+
+func sampleJobs() []Job {
+	base := t0()
+	return []Job{
+		{JobID: 101, Name: "ior-bench", User: "zhuz", Partition: "parallel",
+			Nodes: 4, NodeList: "fuchs[001-004]", State: StateCompleted,
+			Start: base, End: base.Add(10 * time.Minute), WriteMiBps: 2850},
+		{JobID: 102, Name: "cfd-sim", User: "alice", Partition: "parallel",
+			Nodes: 16, NodeList: "fuchs[010-025]", State: StateCompleted,
+			Start: base.Add(2 * time.Minute), End: base.Add(8 * time.Minute), WriteMiBps: 4100.5},
+		{JobID: 103, Name: "postproc", User: "bob", Partition: "serial",
+			Nodes: 1, NodeList: "fuchs030", State: StateRunning,
+			Start: base.Add(3 * time.Minute), WriteMiBps: 12},
+		{JobID: 104, Name: "ml-train", User: "carol", Partition: "parallel",
+			Nodes: 2, NodeList: "fuchs[040-041]", State: StateNodeFail,
+			Start: base.Add(1 * time.Minute), End: base.Add(4 * time.Minute), WriteMiBps: 300},
+	}
+}
+
+func TestSacctRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSacct(&buf, sampleJobs()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "JobID|JobName|User|") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "103|postproc|bob|serial|1|fuchs030|RUNNING|") ||
+		!strings.Contains(out, "|Unknown|") {
+		t.Errorf("running job rendering wrong:\n%s", out)
+	}
+	jobs, err := ParseSacct(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, sampleJobs()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", jobs, sampleJobs())
+	}
+}
+
+func TestParseSacctErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"WrongHeader\n",
+		sacctHeader + "\nonly|three|fields\n",
+		sacctHeader + "\nx|n|u|p|1|l|COMPLETED|2022-07-07T10:00:00|Unknown|0M\n",
+		sacctHeader + "\n1|n|u|p|x|l|COMPLETED|2022-07-07T10:00:00|Unknown|0M\n",
+		sacctHeader + "\n1|n|u|p|1|l|COMPLETED|notatime|Unknown|0M\n",
+		sacctHeader + "\n1|n|u|p|1|l|COMPLETED|2022-07-07T10:00:00|notatime|0M\n",
+	}
+	for i, in := range cases {
+		if _, err := ParseSacct(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestActiveOverlaps(t *testing.T) {
+	j := sampleJobs()[1] // 10:02 .. 10:08
+	if j.Active(t0()) {
+		t.Error("not active before start")
+	}
+	if !j.Active(t0().Add(5 * time.Minute)) {
+		t.Error("active mid-run")
+	}
+	if j.Active(t0().Add(9 * time.Minute)) {
+		t.Error("not active after end")
+	}
+	running := sampleJobs()[2]
+	if !running.Active(t0().Add(100 * time.Hour)) {
+		t.Error("running job active indefinitely")
+	}
+	if !j.Overlaps(t0(), t0().Add(3*time.Minute)) {
+		t.Error("window overlapping start")
+	}
+	if j.Overlaps(t0().Add(9*time.Minute), t0().Add(10*time.Minute)) {
+		t.Error("window after end")
+	}
+	if j.Overlaps(t0().Add(-2*time.Minute), t0().Add(time.Minute)) {
+		t.Error("window before start")
+	}
+}
+
+func TestExpandNodeList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"fuchs005", []string{"fuchs005"}},
+		{"fuchs[001-003]", []string{"fuchs001", "fuchs002", "fuchs003"}},
+		{"fuchs[001-002,007]", []string{"fuchs001", "fuchs002", "fuchs007"}},
+		{"fuchs[098-101]", []string{"fuchs098", "fuchs099", "fuchs100", "fuchs101"}},
+		{"n[1-3]", []string{"n1", "n2", "n3"}},
+	}
+	for _, c := range cases {
+		got, err := ExpandNodeList(c.in)
+		if err != nil {
+			t.Errorf("ExpandNodeList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ExpandNodeList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "fuchs[001-", "fuchs[003-001]", "fuchs[a-b]", "fuchs[1,]", "fuchs[x]"} {
+		if _, err := ExpandNodeList(bad); err == nil {
+			t.Errorf("ExpandNodeList(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: expanded range length matches the arithmetic count.
+func TestExpandNodeListCountProperty(t *testing.T) {
+	f := func(lo, span uint8) bool {
+		l := int(lo%100) + 1
+		h := l + int(span%50)
+		in := "node[" + pad3(l) + "-" + pad3(h) + "]"
+		got, err := ExpandNodeList(in)
+		return err == nil && len(got) == h-l+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func pad3(v int) string {
+	s := "00" + itoa(v)
+	return s[len(s)-3:]
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestCorrelateWindow(t *testing.T) {
+	jobs := sampleJobs()
+	// Anomaly during minutes 3–5 (the paper's iteration 2 window).
+	from, to := t0().Add(3*time.Minute), t0().Add(5*time.Minute)
+	suspects := CorrelateWindow(jobs, from, to, "zhuz")
+	if len(suspects) != 3 {
+		t.Fatalf("suspects = %d: %+v", len(suspects), suspects)
+	}
+	// NODE_FAIL ranks first, then the heavy writer, then the tiny job.
+	if suspects[0].Job.JobID != 104 || !strings.Contains(suspects[0].Reason, "NODE_FAIL") {
+		t.Errorf("first suspect = %+v", suspects[0])
+	}
+	if suspects[1].Job.JobID != 102 {
+		t.Errorf("second suspect = %+v", suspects[1])
+	}
+	if suspects[2].Job.JobID != 103 {
+		t.Errorf("third suspect = %+v", suspects[2])
+	}
+	// The victim's own job is excluded.
+	for _, s := range suspects {
+		if s.Job.User == "zhuz" {
+			t.Error("victim job not excluded")
+		}
+	}
+	// Disjoint window yields nothing.
+	none := CorrelateWindow(jobs, t0().Add(2*time.Hour), t0().Add(3*time.Hour), "")
+	for _, s := range none {
+		if s.Job.State != StateRunning {
+			t.Errorf("job %d should not overlap a far-future window", s.Job.JobID)
+		}
+	}
+	rep := Report(suspects)
+	if !strings.Contains(rep, "3 suspect job(s)") || !strings.Contains(rep, "cfd-sim") {
+		t.Errorf("report = %q", rep)
+	}
+	if got := Report(nil); !strings.Contains(got, "no concurrent jobs") {
+		t.Errorf("empty report = %q", got)
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	from := t0()
+	to := from.Add(6 * time.Hour)
+	src := rng.New(7)
+	jobs, err := Synthesize(SynthesizeConfig{Jobs: 50, From: from, To: to, MaxNodes: 8, HeavyWriterEvery: 10}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 50 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	heavy := 0
+	for i, j := range jobs {
+		if j.Start.Before(from) || j.Start.After(to) {
+			t.Errorf("job %d starts outside the window: %v", i, j.Start)
+		}
+		if !j.End.After(j.Start) {
+			t.Errorf("job %d has non-positive duration", i)
+		}
+		if j.Nodes < 1 || j.Nodes > 8 {
+			t.Errorf("job %d nodes = %d", i, j.Nodes)
+		}
+		if j.WriteMiBps < 0 {
+			t.Errorf("job %d negative demand", i)
+		}
+		if j.WriteMiBps > 1000 {
+			heavy++
+		}
+		// Node lists expand consistently with the node count.
+		hosts, err := ExpandNodeList(j.NodeList)
+		if err != nil {
+			t.Errorf("job %d node list %q: %v", i, j.NodeList, err)
+			continue
+		}
+		if len(hosts) != j.Nodes {
+			t.Errorf("job %d: %d hosts for %d nodes", i, len(hosts), j.Nodes)
+		}
+	}
+	if heavy < 3 {
+		t.Errorf("heavy writers = %d, want every ~10th job", heavy)
+	}
+	// Round trip through sacct.
+	var buf bytes.Buffer
+	if err := WriteSacct(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSacct(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Errorf("sacct round trip lost jobs: %d", len(back))
+	}
+	// Errors.
+	if _, err := Synthesize(SynthesizeConfig{Jobs: 0, From: from, To: to}, src); err == nil {
+		t.Error("zero jobs should fail")
+	}
+	if _, err := Synthesize(SynthesizeConfig{Jobs: 1, From: to, To: from}, src); err == nil {
+		t.Error("inverted window should fail")
+	}
+}

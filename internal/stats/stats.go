@@ -1,0 +1,300 @@
+// Package stats implements the descriptive statistics used across the I/O
+// knowledge cycle: per-iteration benchmark summaries (min/mean/max/stddev as
+// reported by IOR), five-number boxplot summaries for the knowledge
+// explorer's overview charts, geometric means for IO500 scoring, and the
+// outlier tests (z-score, IQR fences) backing the anomaly-detection use case.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Min returns the smallest value. It returns ErrEmpty for an empty slice.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value. It returns ErrEmpty for an empty slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Mean returns the arithmetic mean. It returns ErrEmpty for an empty slice.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the population variance. It returns ErrEmpty for an empty
+// slice.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation, matching IOR's summary
+// "StdDev" column. It returns ErrEmpty for an empty slice.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// GeoMean returns the geometric mean, as used by the IO500 score. All inputs
+// must be positive; zero or negative samples yield an error because the
+// IO500 score is undefined for them.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive samples")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Median returns the sample median (average of the two central order
+// statistics for even lengths).
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks, the same convention as numpy's
+// default. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Summary holds the descriptive statistics of one metric over benchmark
+// iterations, mirroring the fields of the paper's "summaries" table
+// (max/mean/min bandwidth plus spread).
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+}
+
+// Summarize computes a Summary. It returns ErrEmpty for an empty slice.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	me, _ := Mean(xs)
+	md, _ := Median(xs)
+	sd, _ := StdDev(xs)
+	return Summary{N: len(xs), Min: mn, Max: mx, Mean: me, Median: md, StdDev: sd}, nil
+}
+
+// Box is the five-number summary plus whisker bounds and outliers used to
+// draw the knowledge explorer's boxplots.
+type Box struct {
+	Min      float64 // smallest non-outlier sample
+	Q1       float64
+	Median   float64
+	Q3       float64
+	Max      float64 // largest non-outlier sample
+	Outliers []float64
+}
+
+// BoxPlot computes a Tukey boxplot: quartiles, whiskers at 1.5×IQR, and the
+// samples outside the fences as outliers.
+func BoxPlot(xs []float64) (Box, error) {
+	if len(xs) == 0 {
+		return Box{}, ErrEmpty
+	}
+	q1, _ := Percentile(xs, 25)
+	q2, _ := Percentile(xs, 50)
+	q3, _ := Percentile(xs, 75)
+	iqr := q3 - q1
+	loFence := q1 - 1.5*iqr
+	hiFence := q3 + 1.5*iqr
+	b := Box{Q1: q1, Median: q2, Q3: q3, Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.Min {
+			b.Min = x
+		}
+		if x > b.Max {
+			b.Max = x
+		}
+	}
+	// All samples were outliers (possible only in degenerate inputs): fall
+	// back to raw extrema so the box stays drawable.
+	if math.IsInf(b.Min, 1) {
+		b.Min, _ = Min(xs)
+		b.Max, _ = Max(xs)
+	}
+	return b, nil
+}
+
+// ZScores returns each sample's z-score. For a zero-variance sample all
+// scores are zero.
+func ZScores(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	out := make([]float64, len(xs))
+	if sd == 0 {
+		return out, nil
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out, nil
+}
+
+// OutliersIQR returns the indices of samples outside the Tukey fences
+// [Q1-k·IQR, Q3+k·IQR]. The conventional k is 1.5.
+func OutliersIQR(xs []float64, k float64) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	q1, _ := Percentile(xs, 25)
+	q3, _ := Percentile(xs, 75)
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	var idx []int
+	for i, x := range xs {
+		if x < lo || x > hi {
+			idx = append(idx, i)
+		}
+	}
+	return idx, nil
+}
+
+// MustOutliersIQR is OutliersIQR returning nil for empty input instead of
+// an error, for callers that treat "no data" as "no outliers".
+func MustOutliersIQR(xs []float64, k float64) []int {
+	idx, err := OutliersIQR(xs, k)
+	if err != nil {
+		return nil
+	}
+	return idx
+}
+
+// OutliersZ returns the indices of samples whose |z-score| exceeds thresh.
+func OutliersZ(xs []float64, thresh float64) ([]int, error) {
+	zs, err := ZScores(xs)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for i, z := range zs {
+		if math.Abs(z) > thresh {
+			idx = append(idx, i)
+		}
+	}
+	return idx, nil
+}
+
+// CoefficientOfVariation returns stddev/mean, the relative spread used to
+// decide whether a benchmark's iterations are suspiciously variable. A zero
+// mean yields 0.
+func CoefficientOfVariation(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, nil
+	}
+	sd, _ := StdDev(xs)
+	return sd / m, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples.
+// It errors if the lengths differ, are empty, or either side has zero
+// variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

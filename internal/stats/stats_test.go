@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if m, _ := Min(xs); m != 1 {
+		t.Errorf("Min = %v", m)
+	}
+	if m, _ := Max(xs); m != 9 {
+		t.Errorf("Max = %v", m)
+	}
+	if m, _ := Mean(xs); !almost(m, 3.875) {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	var e []float64
+	if _, err := Min(e); err != ErrEmpty {
+		t.Error("Min empty")
+	}
+	if _, err := Max(e); err != ErrEmpty {
+		t.Error("Max empty")
+	}
+	if _, err := Mean(e); err != ErrEmpty {
+		t.Error("Mean empty")
+	}
+	if _, err := StdDev(e); err != ErrEmpty {
+		t.Error("StdDev empty")
+	}
+	if _, err := GeoMean(e); err != ErrEmpty {
+		t.Error("GeoMean empty")
+	}
+	if _, err := Median(e); err != ErrEmpty {
+		t.Error("Median empty")
+	}
+	if _, err := Summarize(e); err != ErrEmpty {
+		t.Error("Summarize empty")
+	}
+	if _, err := BoxPlot(e); err != ErrEmpty {
+		t.Error("BoxPlot empty")
+	}
+	if _, err := ZScores(e); err != ErrEmpty {
+		t.Error("ZScores empty")
+	}
+	if _, err := OutliersIQR(e, 1.5); err != ErrEmpty {
+		t.Error("OutliersIQR empty")
+	}
+	if _, err := CoefficientOfVariation(e); err != ErrEmpty {
+		t.Error("CV empty")
+	}
+	if _, err := Pearson(e, e); err != ErrEmpty {
+		t.Error("Pearson empty")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if sd, _ := StdDev(xs); !almost(sd, 2) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g, _ := GeoMean([]float64{1, 100}); !almost(g, 10) {
+		t.Errorf("GeoMean = %v, want 10", g)
+	}
+	if g, _ := GeoMean([]float64{4, 4, 4}); !almost(g, 4) {
+		t.Errorf("GeoMean = %v, want 4", g)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with zero should error")
+	}
+	if _, err := GeoMean([]float64{-1}); err == nil {
+		t.Error("GeoMean with negative should error")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if m, _ := Median([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m, _ := Median([]float64{1, 2, 3, 4}); !almost(m, 2.5) {
+		t.Errorf("even median = %v", m)
+	}
+	if p, _ := Percentile([]float64{1, 2, 3, 4, 5}, 0); p != 1 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p, _ := Percentile([]float64{1, 2, 3, 4, 5}, 100); p != 5 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p, _ := Percentile([]float64{1, 2, 3, 4}, 25); !almost(p, 1.75) {
+		t.Errorf("P25 = %v, want 1.75", p)
+	}
+	if p, _ := Percentile([]float64{7}, 50); p != 7 {
+		t.Errorf("singleton percentile = %v", p)
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("percentile >100 should error")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("percentile <0 should error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_, _ = Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Min != 2 || s.Max != 6 || !almost(s.Mean, 4) || !almost(s.Median, 4) {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	// 1..11 plus an extreme outlier.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100}
+	b, err := BoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.Min != 1 || b.Max != 11 {
+		t.Errorf("whiskers = [%v,%v], want [1,11]", b.Min, b.Max)
+	}
+	if b.Q1 >= b.Median || b.Median >= b.Q3 {
+		t.Errorf("quartiles not ordered: %+v", b)
+	}
+}
+
+func TestBoxPlotConstant(t *testing.T) {
+	b, err := BoxPlot([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 5 || b.Max != 5 || b.Median != 5 || len(b.Outliers) != 0 {
+		t.Errorf("constant box = %+v", b)
+	}
+}
+
+func TestZScores(t *testing.T) {
+	zs, err := ZScores([]float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(zs[1], 0) {
+		t.Errorf("middle z = %v, want 0", zs[1])
+	}
+	if !almost(zs[0], -zs[2]) {
+		t.Errorf("z not symmetric: %v", zs)
+	}
+	zs, _ = ZScores([]float64{4, 4, 4})
+	for _, z := range zs {
+		if z != 0 {
+			t.Errorf("constant sample z = %v, want 0", z)
+		}
+	}
+}
+
+func TestOutliers(t *testing.T) {
+	// Fig-5 scenario: five iterations near 2850, one at 1251.
+	xs := []float64{2850, 1251, 2840, 2860, 2855, 2845}
+	idx, err := OutliersIQR(xs, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Errorf("IQR outliers = %v, want [1]", idx)
+	}
+	idx, err = OutliersZ(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Errorf("Z outliers = %v, want [1]", idx)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	cv, err := CoefficientOfVariation([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(cv, 2.0/5.0) {
+		t.Errorf("CV = %v, want 0.4", cv)
+	}
+	cv, _ = CoefficientOfVariation([]float64{0, 0})
+	if cv != 0 {
+		t.Errorf("zero-mean CV = %v, want 0", cv)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 1) {
+		t.Errorf("perfect correlation = %v, want 1", r)
+	}
+	r, _ = Pearson([]float64{1, 2, 3}, []float64{6, 4, 2})
+	if !almost(r, -1) {
+		t.Errorf("perfect anticorrelation = %v, want -1", r)
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		me, _ := Mean(xs)
+		return me >= mn-1e-6*math.Abs(mn)-1e-9 && me <= mx+1e-6*math.Abs(mx)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, _ := Percentile(xs, pa)
+		vb, _ := Percentile(xs, pb)
+		return va <= vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize agrees with a sorted reimplementation for median.
+func TestMedianMatchesSortProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, _ := Median(xs)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		var want float64
+		if len(s)%2 == 1 {
+			want = s[len(s)/2]
+		} else {
+			want = (s[len(s)/2-1] + s[len(s)/2]) / 2
+		}
+		return almost(m, want) || math.Abs(m-want) < 1e-6*math.Max(math.Abs(m), math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sysinfo generates and parses /proc-style system information
+// (cpuinfo, meminfo). The paper's knowledge extractor records processor
+// cores, architecture, frequency, cache and memory sizes from /proc and
+// folds them into the knowledge object; this package produces the same text
+// for a modelled machine and parses it back, so the extraction phase reads
+// system facts exactly the way the prototype does.
+package sysinfo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// Info is the distilled system description stored in a knowledge object.
+type Info struct {
+	Hostname     string
+	Architecture string
+	CPUModel     string
+	Cores        int
+	CPUMHz       float64
+	CacheKB      int
+	MemTotalKB   int64
+	MemFreeKB    int64
+}
+
+// ForMachine derives the Info of one node of the modelled machine.
+func ForMachine(m *cluster.Machine, node int) Info {
+	memKB := int64(m.MemGBPerNode) * 1024 * 1024
+	return Info{
+		Hostname:     fmt.Sprintf("%s%02d", strings.ToLower(firstWord(m.Name)), node),
+		Architecture: "x86_64",
+		CPUModel:     m.CPUModel,
+		Cores:        m.CoresPerNode,
+		CPUMHz:       m.CPUFreqMHz,
+		CacheKB:      m.CacheKB,
+		MemTotalKB:   memKB,
+		MemFreeKB:    memKB * 9 / 10,
+	}
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " -"); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// CPUInfo renders /proc/cpuinfo-style text for the node: one processor
+// stanza per core.
+func (i Info) CPUInfo() string {
+	var b strings.Builder
+	for core := 0; core < i.Cores; core++ {
+		fmt.Fprintf(&b, "processor\t: %d\n", core)
+		fmt.Fprintf(&b, "vendor_id\t: GenuineIntel\n")
+		fmt.Fprintf(&b, "model name\t: %s\n", i.CPUModel)
+		fmt.Fprintf(&b, "cpu MHz\t\t: %.3f\n", i.CPUMHz)
+		fmt.Fprintf(&b, "cache size\t: %d KB\n", i.CacheKB)
+		fmt.Fprintf(&b, "flags\t\t: fpu vme de pse tsc msr pae sse sse2 avx\n")
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// MemInfo renders /proc/meminfo-style text.
+func (i Info) MemInfo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MemTotal:       %d kB\n", i.MemTotalKB)
+	fmt.Fprintf(&b, "MemFree:        %d kB\n", i.MemFreeKB)
+	fmt.Fprintf(&b, "MemAvailable:   %d kB\n", i.MemFreeKB)
+	fmt.Fprintf(&b, "Buffers:        0 kB\n")
+	fmt.Fprintf(&b, "Cached:         %d kB\n", i.MemTotalKB/20)
+	return b.String()
+}
+
+// ParseCPUInfo extracts core count, model, frequency and cache size from
+// /proc/cpuinfo-style text.
+func ParseCPUInfo(r io.Reader) (Info, error) {
+	sc := bufio.NewScanner(r)
+	var info Info
+	found := false
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, ":")
+		if i < 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:i])
+		val := strings.TrimSpace(line[i+1:])
+		switch key {
+		case "processor":
+			info.Cores++
+			found = true
+		case "model name":
+			info.CPUModel = val
+		case "cpu MHz":
+			info.CPUMHz, _ = strconv.ParseFloat(val, 64)
+		case "cache size":
+			fmt.Sscanf(val, "%d KB", &info.CacheKB)
+		case "vendor_id":
+			info.Architecture = "x86_64"
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return info, err
+	}
+	if !found {
+		return info, fmt.Errorf("sysinfo: no processor stanzas found")
+	}
+	return info, nil
+}
+
+// ParseMemInfo extracts total and free memory from /proc/meminfo-style text.
+func ParseMemInfo(r io.Reader) (total, free int64, err error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "MemTotal:"):
+			fmt.Sscanf(line, "MemTotal: %d kB", &total)
+		case strings.HasPrefix(line, "MemFree:"):
+			fmt.Sscanf(line, "MemFree: %d kB", &free)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("sysinfo: MemTotal not found")
+	}
+	return total, free, nil
+}
+
+// Parse combines ParseCPUInfo and ParseMemInfo into one Info.
+func Parse(cpuinfo, meminfo io.Reader) (Info, error) {
+	info, err := ParseCPUInfo(cpuinfo)
+	if err != nil {
+		return info, err
+	}
+	total, free, err := ParseMemInfo(meminfo)
+	if err != nil {
+		return info, err
+	}
+	info.MemTotalKB = total
+	info.MemFreeKB = free
+	return info, nil
+}

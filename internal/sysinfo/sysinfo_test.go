@@ -1,0 +1,95 @@
+package sysinfo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestForMachine(t *testing.T) {
+	m := cluster.FuchsCSC()
+	info := ForMachine(m, 3)
+	if info.Hostname != "fuchs03" {
+		t.Errorf("hostname = %q", info.Hostname)
+	}
+	if info.Cores != 20 || info.CPUMHz != 2500 || info.CacheKB != 25600 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.MemTotalKB != 128*1024*1024 {
+		t.Errorf("mem = %d", info.MemTotalKB)
+	}
+	if info.MemFreeKB >= info.MemTotalKB {
+		t.Error("free should be below total")
+	}
+}
+
+func TestCPUInfoRoundTrip(t *testing.T) {
+	m := cluster.FuchsCSC()
+	info := ForMachine(m, 1)
+	text := info.CPUInfo()
+	if !strings.Contains(text, "model name\t: Intel(R) Xeon(R) CPU E5-2670 v2 @ 2.50GHz") {
+		t.Errorf("cpuinfo missing model:\n%s", text)
+	}
+	parsed, err := ParseCPUInfo(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Cores != info.Cores {
+		t.Errorf("cores = %d, want %d", parsed.Cores, info.Cores)
+	}
+	if parsed.CPUModel != info.CPUModel {
+		t.Errorf("model = %q", parsed.CPUModel)
+	}
+	if parsed.CPUMHz != info.CPUMHz {
+		t.Errorf("MHz = %v", parsed.CPUMHz)
+	}
+	if parsed.CacheKB != info.CacheKB {
+		t.Errorf("cache = %d", parsed.CacheKB)
+	}
+	if parsed.Architecture != "x86_64" {
+		t.Errorf("arch = %q", parsed.Architecture)
+	}
+}
+
+func TestMemInfoRoundTrip(t *testing.T) {
+	info := ForMachine(cluster.FuchsCSC(), 1)
+	total, free, err := ParseMemInfo(strings.NewReader(info.MemInfo()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != info.MemTotalKB || free != info.MemFreeKB {
+		t.Errorf("mem = %d/%d, want %d/%d", total, free, info.MemTotalKB, info.MemFreeKB)
+	}
+}
+
+func TestParseCombined(t *testing.T) {
+	info := ForMachine(cluster.FuchsCSC(), 2)
+	parsed, err := Parse(strings.NewReader(info.CPUInfo()), strings.NewReader(info.MemInfo()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Cores != info.Cores || parsed.MemTotalKB != info.MemTotalKB {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseCPUInfo(strings.NewReader("garbage\n")); err == nil {
+		t.Error("want error for missing stanzas")
+	}
+	if _, _, err := ParseMemInfo(strings.NewReader("garbage\n")); err == nil {
+		t.Error("want error for missing MemTotal")
+	}
+	if _, err := Parse(strings.NewReader(""), strings.NewReader("")); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestHostnameFirstWord(t *testing.T) {
+	m := cluster.FuchsCSC()
+	m.Name = "FUCHS CSC"
+	if got := ForMachine(m, 1).Hostname; got != "fuchs01" {
+		t.Errorf("hostname = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package units provides parsing and formatting of byte sizes and rates in
+// the notation used by HPC I/O benchmarks such as IOR, where "4m" means
+// 4 MiB and "1g" means 1 GiB. It also provides MiB/s throughput helpers
+// used throughout the knowledge cycle.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Binary byte-size units (powers of 1024), matching IOR's -b/-t suffixes.
+const (
+	B   int64 = 1
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+	PiB int64 = 1 << 50
+)
+
+// ParseSize parses an IOR-style size expression such as "4m", "2M", "1g",
+// "512k", "100", or "1.5g". Suffixes are case-insensitive and denote binary
+// multiples (k=KiB, m=MiB, g=GiB, t=TiB, p=PiB). A bare number is bytes.
+// Fractional values are allowed as long as the result is a whole number of
+// bytes.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty size")
+	}
+	mult := B
+	last := t[len(t)-1]
+	switch last {
+	case 'k', 'K':
+		mult = KiB
+	case 'm', 'M':
+		mult = MiB
+	case 'g', 'G':
+		mult = GiB
+	case 't', 'T':
+		mult = TiB
+	case 'p', 'P':
+		mult = PiB
+	}
+	num := t
+	if mult != B {
+		num = t[:len(t)-1]
+		// Accept the optional IOR-style "ib"/"b" tail, e.g. "4mib", "4mb".
+	} else if n := strings.ToLower(t); strings.HasSuffix(n, "b") {
+		return 0, fmt.Errorf("units: invalid size %q", s)
+	}
+	num = strings.TrimSpace(num)
+	if num == "" {
+		return 0, fmt.Errorf("units: invalid size %q", s)
+	}
+	if i, err := strconv.ParseInt(num, 10, 64); err == nil {
+		if i < 0 {
+			return 0, fmt.Errorf("units: negative size %q", s)
+		}
+		return i * mult, nil
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: invalid size %q: %v", s, err)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	v := f * float64(mult)
+	iv := int64(v)
+	if float64(iv) != v {
+		return 0, fmt.Errorf("units: size %q is not a whole number of bytes", s)
+	}
+	return iv, nil
+}
+
+// FormatSize renders n bytes using the largest binary suffix that divides it
+// exactly, in IOR's compact style: 4194304 -> "4m", 1024 -> "1k", 100 -> "100".
+func FormatSize(n int64) string {
+	if n < 0 {
+		return strconv.FormatInt(n, 10)
+	}
+	type unit struct {
+		mult int64
+		suf  string
+	}
+	for _, u := range []unit{{PiB, "p"}, {TiB, "t"}, {GiB, "g"}, {MiB, "m"}, {KiB, "k"}} {
+		if n >= u.mult && n%u.mult == 0 {
+			return strconv.FormatInt(n/u.mult, 10) + u.suf
+		}
+	}
+	return strconv.FormatInt(n, 10)
+}
+
+// HumanBytes renders n bytes with a scaled binary unit and two decimals,
+// in the style of IOR summary output: "4.00 MiB".
+func HumanBytes(n int64) string {
+	f := float64(n)
+	switch {
+	case n >= PiB:
+		return fmt.Sprintf("%.2f PiB", f/float64(PiB))
+	case n >= TiB:
+		return fmt.Sprintf("%.2f TiB", f/float64(TiB))
+	case n >= GiB:
+		return fmt.Sprintf("%.2f GiB", f/float64(GiB))
+	case n >= MiB:
+		return fmt.Sprintf("%.2f MiB", f/float64(MiB))
+	case n >= KiB:
+		return fmt.Sprintf("%.2f KiB", f/float64(KiB))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// ToMiB converts a byte count to MiB as a float.
+func ToMiB(n int64) float64 { return float64(n) / float64(MiB) }
+
+// MiBps computes throughput in MiB/s for nbytes moved in sec seconds.
+// A non-positive duration yields 0 to keep downstream statistics finite.
+func MiBps(nbytes int64, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return float64(nbytes) / float64(MiB) / sec
+}
+
+// GiBps computes throughput in GiB/s for nbytes moved in sec seconds.
+func GiBps(nbytes int64, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return float64(nbytes) / float64(GiB) / sec
+}

@@ -1,0 +1,128 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"4m", 4 * MiB},
+		{"2m", 2 * MiB},
+		{"4M", 4 * MiB},
+		{"1g", GiB},
+		{"512k", 512 * KiB},
+		{"100", 100},
+		{"0", 0},
+		{"1t", TiB},
+		{"1p", PiB},
+		{"1.5g", GiB + 512*MiB},
+		{"  8m ", 8 * MiB},
+		{"0.5k", 512},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "m", "x", "-4m", "abc", "4q2", "1.0000001k", "-5", "4mb2"} {
+		if v, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error", in, v)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{4 * MiB, "4m"},
+		{2 * MiB, "2m"},
+		{GiB, "1g"},
+		{512 * KiB, "512k"},
+		{100, "100"},
+		{0, "0"},
+		{TiB, "1t"},
+		{3 * PiB, "3p"},
+		{MiB + 1, "1048577"},
+		{-7, "-7"},
+	}
+	for _, c := range cases {
+		if got := FormatSize(c.in); got != c.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Round trip: formatting then parsing any non-negative multiple of KiB must
+// return the original value.
+func TestSizeRoundTripProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		v := int64(n) * KiB
+		got, err := ParseSize(FormatSize(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parsing a raw decimal of any non-negative int is identity.
+func TestParseRawProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		got, err := ParseSize(FormatSize(int64(n)))
+		return err == nil && got == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{4 * MiB, "4.00 MiB"},
+		{GiB + GiB/2, "1.50 GiB"},
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{TiB, "1.00 TiB"},
+		{2 * PiB, "2.00 PiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := MiBps(100*MiB, 2); got != 50 {
+		t.Errorf("MiBps = %v, want 50", got)
+	}
+	if got := MiBps(100*MiB, 0); got != 0 {
+		t.Errorf("MiBps zero-duration = %v, want 0", got)
+	}
+	if got := GiBps(4*GiB, 2); got != 2 {
+		t.Errorf("GiBps = %v, want 2", got)
+	}
+	if got := GiBps(GiB, -1); got != 0 {
+		t.Errorf("GiBps negative-duration = %v, want 0", got)
+	}
+	if got := ToMiB(3 * MiB); got != 3 {
+		t.Errorf("ToMiB = %v, want 3", got)
+	}
+}

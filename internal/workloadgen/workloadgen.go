@@ -1,0 +1,319 @@
+// Package workloadgen implements the workload-generation and
+// new-knowledge-generation use cases (paper §IV, §V-E1): from existing
+// knowledge it regenerates the original benchmark command, derives
+// modified configurations ("create configuration" in the explorer), emits
+// JUBE configuration files for parameter sweeps, and synthesizes workload
+// mixes for driving simulations.
+package workloadgen
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ior"
+	"repro/internal/jube"
+	"repro/internal/knowledge"
+	"repro/internal/units"
+)
+
+// CommandFromObject reconstructs the runnable benchmark command of a
+// knowledge object (the explorer loads this into its configuration view).
+func CommandFromObject(o *knowledge.Object) (string, error) {
+	if o.Command == "" {
+		return "", fmt.Errorf("workloadgen: knowledge object has no command")
+	}
+	return o.Command, nil
+}
+
+// Modify applies option overrides to an IOR command reconstructed from
+// knowledge, returning the new command — the "create configuration" flow.
+// Overrides use IOR option names: "-t": "4m", "-i": "10", "-F": "off".
+func Modify(command string, overrides map[string]string) (string, error) {
+	cfg, err := ior.ParseCommandLine(command)
+	if err != nil {
+		return "", fmt.Errorf("workloadgen: %w", err)
+	}
+	// Deterministic application order.
+	keys := make([]string, 0, len(overrides))
+	for k := range overrides {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := overrides[k]
+		on := v != "off" && v != "false" && v != "0"
+		switch k {
+		case "-b":
+			n, err := units.ParseSize(v)
+			if err != nil {
+				return "", fmt.Errorf("workloadgen: -b: %w", err)
+			}
+			cfg.BlockSize = n
+		case "-t":
+			n, err := units.ParseSize(v)
+			if err != nil {
+				return "", fmt.Errorf("workloadgen: -t: %w", err)
+			}
+			cfg.TransferSize = n
+		case "-s":
+			if _, err := fmt.Sscanf(v, "%d", &cfg.Segments); err != nil {
+				return "", fmt.Errorf("workloadgen: -s: %v", err)
+			}
+		case "-i":
+			if _, err := fmt.Sscanf(v, "%d", &cfg.Repetitions); err != nil {
+				return "", fmt.Errorf("workloadgen: -i: %v", err)
+			}
+		case "-N":
+			if _, err := fmt.Sscanf(v, "%d", &cfg.NumTasks); err != nil {
+				return "", fmt.Errorf("workloadgen: -N: %v", err)
+			}
+		case "-o":
+			cfg.TestFile = v
+		case "-F":
+			cfg.FilePerProc = on
+		case "-C":
+			cfg.ReorderTasks = on
+		case "-e":
+			cfg.Fsync = on
+		case "-c":
+			cfg.Collective = on
+		case "-k":
+			cfg.KeepFile = on
+		default:
+			return "", fmt.Errorf("workloadgen: unsupported override %q", k)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return "", fmt.Errorf("workloadgen: modified configuration invalid: %w", err)
+	}
+	return cfg.CommandLine(), nil
+}
+
+// Sweep describes a parameter sweep derived from a base command.
+type Sweep struct {
+	Name string
+	// Base is the starting command (typically from a knowledge object).
+	Base string
+	// Parameters maps IOR option names to candidate values, e.g.
+	// "-t": ["1m","2m","4m"].
+	Parameters map[string][]string
+	// OutPath is the JUBE workspace directory name.
+	OutPath string
+}
+
+// optionToParam maps IOR options to JUBE parameter names.
+var optionToParam = map[string]string{
+	"-b": "blocksize", "-t": "transfersize", "-s": "segments",
+	"-i": "repetitions", "-N": "tasks", "-o": "testfile",
+}
+
+// JUBEConfig renders the sweep as a JUBE XML document whose single step
+// runs the base command with each parameter combination substituted —
+// closing the cycle from knowledge back to generation.
+func (s Sweep) JUBEConfig() (string, error) {
+	if s.Base == "" {
+		return "", fmt.Errorf("workloadgen: sweep has no base command")
+	}
+	if len(s.Parameters) == 0 {
+		return "", fmt.Errorf("workloadgen: sweep has no parameters")
+	}
+	base, err := ior.ParseCommandLine(s.Base)
+	if err != nil {
+		return "", fmt.Errorf("workloadgen: %w", err)
+	}
+	name := s.Name
+	if name == "" {
+		name = "generated-sweep"
+	}
+	outpath := s.OutPath
+	if outpath == "" {
+		outpath = "bench_runs"
+	}
+	var opts []string
+	for k := range s.Parameters {
+		if _, ok := optionToParam[k]; !ok {
+			return "", fmt.Errorf("workloadgen: cannot sweep option %q", k)
+		}
+		opts = append(opts, k)
+	}
+	sort.Strings(opts)
+
+	b := &jube.Benchmark{
+		Name:    name,
+		OutPath: outpath,
+		Comment: "generated from existing knowledge by the I/O knowledge cycle",
+	}
+	ps := jube.ParameterSet{Name: "sweepParams"}
+	cmd := rebuildCommand(base, func(opt string) (string, bool) {
+		if contains(opts, opt) {
+			return "$" + optionToParam[opt], true
+		}
+		return "", false
+	})
+	for _, opt := range opts {
+		ps.Parameters = append(ps.Parameters, jube.Parameter{
+			Name:  optionToParam[opt],
+			Value: strings.Join(s.Parameters[opt], ","),
+		})
+	}
+	b.ParameterSets = []jube.ParameterSet{ps}
+	b.Steps = []jube.Step{{Name: "run", Use: []string{"sweepParams"}, Do: []string{cmd}}}
+	b.Analysers = []jube.Analyser{{
+		Name: "extract",
+		Analyse: []jube.Analyse{{
+			Step: "run",
+			Patterns: []jube.Pattern{
+				{Name: "max_write", Type: "float", Regex: `Max Write: $jube_pat_fp MiB/sec`},
+				{Name: "max_read", Type: "float", Regex: `Max Read:  $jube_pat_fp MiB/sec`},
+			},
+		}},
+	}}
+	var cols []jube.Column
+	for _, opt := range opts {
+		cols = append(cols, jube.Column{Name: optionToParam[opt]})
+	}
+	cols = append(cols, jube.Column{Name: "max_write"}, jube.Column{Name: "max_read"})
+	b.Result = jube.Result{Tables: []jube.Table{{Name: "results", Columns: cols}}}
+
+	doc := jube.Config{Benchmarks: []jube.Benchmark{*b}}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// rebuildCommand renders an ior command, substituting selected options via
+// sub; options not substituted render their configured values.
+func rebuildCommand(cfg ior.Config, sub func(opt string) (string, bool)) string {
+	get := func(opt, val string) string {
+		if s, ok := sub(opt); ok {
+			return s
+		}
+		return val
+	}
+	var b strings.Builder
+	b.WriteString("ior")
+	fmt.Fprintf(&b, " -a %s", strings.ToLower(string(cfg.API)))
+	fmt.Fprintf(&b, " -b %s", get("-b", units.FormatSize(cfg.BlockSize)))
+	fmt.Fprintf(&b, " -t %s", get("-t", units.FormatSize(cfg.TransferSize)))
+	fmt.Fprintf(&b, " -s %s", get("-s", fmt.Sprint(cfg.Segments)))
+	if v, ok := sub("-N"); ok {
+		fmt.Fprintf(&b, " -N %s", v)
+	} else if cfg.NumTasks > 0 {
+		fmt.Fprintf(&b, " -N %d", cfg.NumTasks)
+	}
+	if cfg.FilePerProc {
+		b.WriteString(" -F")
+	}
+	if cfg.ReorderTasks {
+		b.WriteString(" -C")
+	}
+	if cfg.Fsync {
+		b.WriteString(" -e")
+	}
+	if cfg.Collective {
+		b.WriteString(" -c")
+	}
+	fmt.Fprintf(&b, " -i %s", get("-i", fmt.Sprint(cfg.Repetitions)))
+	fmt.Fprintf(&b, " -o %s", get("-o", cfg.TestFile))
+	if cfg.KeepFile {
+		b.WriteString(" -k")
+	}
+	return b.String()
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Mix is a synthetic workload mix derived from a knowledge population,
+// usable to drive simulations or initialize new evaluation processes.
+type Mix struct {
+	// WriteFraction is the share of write bandwidth demand in [0,1].
+	WriteFraction float64
+	// MeanTransfer is the demand-weighted mean transfer size in bytes.
+	MeanTransfer int64
+	// Commands are representative generator commands, most common first.
+	Commands []string
+}
+
+// DeriveMix summarizes a knowledge population into a workload mix.
+func DeriveMix(objs []*knowledge.Object) (Mix, error) {
+	if len(objs) == 0 {
+		return Mix{}, fmt.Errorf("workloadgen: no knowledge to derive a mix from")
+	}
+	var wr, rd float64
+	var xferSum float64
+	var xferN int
+	counts := map[string]int{}
+	for _, o := range objs {
+		if s, ok := o.SummaryFor("write"); ok {
+			wr += s.MeanMiBps * s.MeanSec
+		}
+		if s, ok := o.SummaryFor("read"); ok {
+			rd += s.MeanMiBps * s.MeanSec
+		}
+		if v, ok := parseAnySize(o.Pattern["transfersize"]); ok {
+			xferSum += float64(v)
+			xferN++
+		}
+		counts[o.Command]++
+	}
+	m := Mix{}
+	if wr+rd > 0 {
+		m.WriteFraction = wr / (wr + rd)
+	}
+	if xferN > 0 {
+		m.MeanTransfer = int64(xferSum / float64(xferN))
+	}
+	type cc struct {
+		cmd string
+		n   int
+	}
+	var cs []cc
+	for c, n := range counts {
+		cs = append(cs, cc{c, n})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].n != cs[j].n {
+			return cs[i].n > cs[j].n
+		}
+		return cs[i].cmd < cs[j].cmd
+	})
+	for _, c := range cs {
+		m.Commands = append(m.Commands, c.cmd)
+	}
+	return m, nil
+}
+
+func parseAnySize(v string) (int64, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if n, err := units.ParseSize(v); err == nil {
+		return n, true
+	}
+	var f float64
+	var unit string
+	if _, err := fmt.Sscanf(v, "%f %s", &f, &unit); err == nil {
+		mult := int64(1)
+		switch strings.ToLower(unit) {
+		case "kib":
+			mult = units.KiB
+		case "mib":
+			mult = units.MiB
+		case "gib":
+			mult = units.GiB
+		}
+		return int64(f * float64(mult)), true
+	}
+	return 0, false
+}

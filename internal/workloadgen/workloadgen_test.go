@@ -1,0 +1,172 @@
+package workloadgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jube"
+	"repro/internal/knowledge"
+	"repro/internal/units"
+)
+
+const baseCmd = "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k"
+
+func TestCommandFromObject(t *testing.T) {
+	o := &knowledge.Object{Command: baseCmd}
+	got, err := CommandFromObject(o)
+	if err != nil || got != baseCmd {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if _, err := CommandFromObject(&knowledge.Object{}); err == nil {
+		t.Error("empty command should error")
+	}
+}
+
+func TestModify(t *testing.T) {
+	got, err := Modify(baseCmd, map[string]string{"-t": "4m", "-i": "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "-t 4m") || !strings.Contains(got, "-i 10") {
+		t.Errorf("modified = %q", got)
+	}
+	// Untouched options survive.
+	for _, keep := range []string{"-a mpiio", "-b 4m", "-s 40", "-F", "-C", "-e", "-o /scratch/fuchs/zhuz/test80", "-k"} {
+		if !strings.Contains(got, keep) {
+			t.Errorf("lost %q in %q", keep, got)
+		}
+	}
+	// Flags can be turned off.
+	got, err = Modify(baseCmd, map[string]string{"-F": "off", "-e": "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "-F") || strings.Contains(got, "-e") {
+		t.Errorf("flags not removed: %q", got)
+	}
+	// And on.
+	got, err = Modify("ior -b 4m -t 2m -o f", map[string]string{"-c": "on"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "-c") {
+		t.Errorf("collective not enabled: %q", got)
+	}
+}
+
+func TestModifyErrors(t *testing.T) {
+	if _, err := Modify("not an ior command -q", nil); err == nil {
+		t.Error("bad base should error")
+	}
+	if _, err := Modify(baseCmd, map[string]string{"-t": "bogus"}); err == nil {
+		t.Error("bad size should error")
+	}
+	if _, err := Modify(baseCmd, map[string]string{"-x": "1"}); err == nil {
+		t.Error("unknown override should error")
+	}
+	if _, err := Modify(baseCmd, map[string]string{"-s": "x"}); err == nil {
+		t.Error("bad int should error")
+	}
+	// Modification that breaks validation (block not multiple of transfer).
+	if _, err := Modify(baseCmd, map[string]string{"-t": "3m"}); err == nil {
+		t.Error("invalid result should error")
+	}
+}
+
+func TestSweepJUBEConfig(t *testing.T) {
+	s := Sweep{
+		Name: "transfer-sweep",
+		Base: baseCmd,
+		Parameters: map[string][]string{
+			"-t": {"1m", "2m", "4m"},
+			"-N": {"40", "80"},
+		},
+	}
+	xmlText, err := s.JUBEConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated config must parse back with jube and expand to the
+	// full cartesian product.
+	cfg, err := jube.ParseConfig(strings.NewReader(xmlText))
+	if err != nil {
+		t.Fatalf("generated config does not parse: %v\n%s", err, xmlText)
+	}
+	b := &cfg.Benchmarks[0]
+	if b.Name != "transfer-sweep" {
+		t.Errorf("name = %q", b.Name)
+	}
+	combos, err := b.ExpandStep(&b.Steps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 6 {
+		t.Errorf("combos = %d, want 6", len(combos))
+	}
+	// The substituted command must reference the parameters.
+	do := b.Steps[0].Do[0]
+	if !strings.Contains(do, "$transfersize") || !strings.Contains(do, "$tasks") {
+		t.Errorf("step command = %q", do)
+	}
+	// Fixed options remain literal.
+	if !strings.Contains(do, "-b 4m") || !strings.Contains(do, "-s 40") {
+		t.Errorf("fixed options lost: %q", do)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := (Sweep{}).JUBEConfig(); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := (Sweep{Base: baseCmd}).JUBEConfig(); err == nil {
+		t.Error("no parameters should error")
+	}
+	if _, err := (Sweep{Base: baseCmd, Parameters: map[string][]string{"-z": {"1"}}}).JUBEConfig(); err == nil {
+		t.Error("unsweepable option should error")
+	}
+	if _, err := (Sweep{Base: "garbage -q", Parameters: map[string][]string{"-t": {"1m"}}}).JUBEConfig(); err == nil {
+		t.Error("bad base should error")
+	}
+}
+
+func TestDeriveMix(t *testing.T) {
+	objs := []*knowledge.Object{
+		{
+			Command: "ior A",
+			Pattern: map[string]string{"transfersize": "2m"},
+			Summaries: []knowledge.Summary{
+				{Operation: "write", MeanMiBps: 1000, MeanSec: 10}, // 10000 MiB written
+				{Operation: "read", MeanMiBps: 1000, MeanSec: 5},   // 5000 MiB read
+			},
+		},
+		{
+			Command: "ior A",
+			Pattern: map[string]string{"transfersize": "4m"},
+			Summaries: []knowledge.Summary{
+				{Operation: "write", MeanMiBps: 500, MeanSec: 10}, // 5000 MiB
+			},
+		},
+		{
+			Command:   "hacc B",
+			Pattern:   map[string]string{},
+			Summaries: []knowledge.Summary{{Operation: "read", MeanMiBps: 100, MeanSec: 50}}, // 5000 MiB
+		},
+	}
+	m, err := DeriveMix(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// writes 15000 vs reads 10000 -> 0.6.
+	if m.WriteFraction < 0.59 || m.WriteFraction > 0.61 {
+		t.Errorf("write fraction = %v", m.WriteFraction)
+	}
+	if m.MeanTransfer != 3*units.MiB {
+		t.Errorf("mean transfer = %d", m.MeanTransfer)
+	}
+	if len(m.Commands) != 2 || m.Commands[0] != "ior A" {
+		t.Errorf("commands = %v", m.Commands)
+	}
+	if _, err := DeriveMix(nil); err == nil {
+		t.Error("empty population should error")
+	}
+}
