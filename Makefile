@@ -1,0 +1,31 @@
+# Repro of "A Comprehensive I/O Knowledge Cycle for Modular and Automated
+# HPC Workload Analysis". Go stdlib only; no external tools beyond the Go
+# toolchain are required.
+
+GO ?= go
+
+.PHONY: check build vet test race bench tier1
+
+# check is the full gate: what CI (and scripts/check.sh) runs.
+check: vet build race tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# tier1 is the repo's baseline acceptance suite.
+tier1:
+	$(GO) test ./...
+
+# race re-runs the storage/server packages under the race detector; the
+# kdb suite includes concurrent Exec/Query/Compact and multi-client
+# server stress tests.
+race:
+	$(GO) test -race ./internal/kdb/... ./internal/schema/...
+
+test: tier1
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -204,6 +204,54 @@ func BenchmarkKdbQuery(b *testing.B) {
 	}
 }
 
+// benchKdbLookupDB builds a 10k-row store with one indexed and one
+// unindexed copy of the same lookup key column.
+func benchKdbLookupDB(b *testing.B) *kdb.DB {
+	b.Helper()
+	db, err := kdb.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE lk (id INTEGER PRIMARY KEY, ik INTEGER, sk INTEGER, bw REAL)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX idx_lk_ik ON lk (ik)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := db.Exec("INSERT INTO lk (ik, sk, bw) VALUES (?, ?, ?)", i, i, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkKDBIndexedLookup measures an equality SELECT served by a hash
+// index over 10k rows; BenchmarkKDBFullScanLookup is the same query against
+// an unindexed copy of the key column — the paper-style ablation for the
+// explorer's point-lookup path.
+func BenchmarkKDBIndexedLookup(b *testing.B) {
+	db := benchKdbLookupDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := db.QueryRow("SELECT bw FROM lk WHERE ik = ?", i%10000)
+		if err != nil || row[0] != float64(i%10000) {
+			b.Fatalf("row = %v, %v", row, err)
+		}
+	}
+}
+
+func BenchmarkKDBFullScanLookup(b *testing.B) {
+	db := benchKdbLookupDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := db.QueryRow("SELECT bw FROM lk WHERE sk = ?", i%10000)
+		if err != nil || row[0] != float64(i%10000) {
+			b.Fatalf("row = %v, %v", row, err)
+		}
+	}
+}
+
 // --- Ablation 2: simulation granularity --------------------------------
 
 // BenchmarkAblationSimClosedForm times the production closed-form phase

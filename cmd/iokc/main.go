@@ -24,11 +24,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/cluster"
@@ -526,10 +530,14 @@ func cmdTune(args []string) error {
 
 // cmdServeDB exposes a local knowledge database over the kdb wire
 // protocol, making it the shared "public database" of the paper's Fig. 4.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, idle
+// connections drop, and in-flight requests get up to 10s to finish.
 func cmdServeDB(args []string) error {
 	fs := flag.NewFlagSet("servedb", flag.ContinueOnError)
 	db := fs.String("db", "knowledge.db", "knowledge database file to serve")
 	addr := fs.String("addr", ":7070", "listen address")
+	maxConns := fs.Int("max-conns", kdb.DefaultMaxConns, "maximum concurrent client connections")
+	idle := fs.Duration("idle-timeout", kdb.DefaultIdleTimeout, "per-connection idle timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -538,13 +546,28 @@ func cmdServeDB(args []string) error {
 		return err
 	}
 	defer backing.Close()
-	srv := &kdb.Server{DB: backing}
+	srv := &kdb.Server{DB: backing, MaxConns: *maxConns, IdleTimeout: *idle}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("knowledge database %s served on kdb://%s\n", *db, l.Addr())
-	return srv.Serve(l)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("received %s, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
 }
 
 func cmdServe(args []string) error {

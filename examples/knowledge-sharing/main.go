@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -32,7 +34,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer l.Close()
+	// Drain client connections before the process exits.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
 	url := "kdb://" + l.Addr().String()
 	fmt.Printf("public knowledge database at %s\n\n", url)
 

@@ -10,6 +10,7 @@
 package explorer
 
 import (
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -84,6 +85,16 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.render(w, "Error", template.HTML(`<p class="err">`+template.HTMLEscapeString(err.Error())+`</p>`))
 }
 
+// failLoad maps a store load error to 404 when the object simply does not
+// exist, and 500 when the query or transport itself failed.
+func (s *Server) failLoad(w http.ResponseWriter, err error) {
+	if errors.Is(err, schema.ErrNotFound) {
+		s.fail(w, 404, err)
+		return
+	}
+	s.fail(w, 500, err)
+}
+
 // handleIndex lists benchmark knowledge objects and IO500 runs.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -143,7 +154,7 @@ func (s *Server) handleKnowledge(w http.ResponseWriter, r *http.Request) {
 	}
 	o, err := s.Store.LoadObject(id)
 	if err != nil {
-		s.fail(w, 404, err)
+		s.failLoad(w, err)
 		return
 	}
 	var b strings.Builder
@@ -365,7 +376,7 @@ func (s *Server) handleIO500(w http.ResponseWriter, r *http.Request) {
 	}
 	o, err := s.Store.LoadIO500(id)
 	if err != nil {
-		s.fail(w, 404, err)
+		s.failLoad(w, err)
 		return
 	}
 	var b strings.Builder
@@ -453,7 +464,7 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	}
 	o, err := s.Store.LoadObject(id)
 	if err != nil {
-		s.fail(w, 404, err)
+		s.failLoad(w, err)
 		return
 	}
 	base, err := workloadgen.CommandFromObject(o)

@@ -111,6 +111,20 @@ type dropStmt struct {
 	IfExists bool
 }
 
+// createIndexStmt is CREATE INDEX name ON table (col).
+type createIndexStmt struct {
+	Name        string
+	Table       string
+	Col         string
+	IfNotExists bool
+}
+
+// dropIndexStmt is DROP INDEX name.
+type dropIndexStmt struct {
+	Name     string
+	IfExists bool
+}
+
 // expr is a WHERE/value expression node.
 type expr interface{ isExpr() }
 

@@ -1,11 +1,17 @@
 package kdb
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// ErrNoRows is returned by QueryRow (local and remote) when the query
+// matches no rows. Callers should test for it with errors.Is.
+var ErrNoRows = errors.New("kdb: no rows")
 
 // Table is one relation.
 type Table struct {
@@ -14,6 +20,9 @@ type Table struct {
 	Rows    [][]any
 	autoID  int64
 	pkIndex int // index of the INTEGER PRIMARY KEY column, -1 if none
+
+	indexes []*hashIndex
+	idxMu   sync.Mutex // serializes lazy index rebuilds under db.mu.RLock
 }
 
 func (t *Table) colIndex(name string) int {
@@ -32,6 +41,9 @@ type DB struct {
 	tables map[string]*Table
 	wal    *wal
 	path   string
+	// walErr records a failed log reopen (Compact's last resort); while
+	// set, mutations fail rather than silently skipping durability.
+	walErr error
 }
 
 // Result reports the outcome of a mutation.
@@ -78,6 +90,16 @@ func Open(path string) (*DB, error) {
 		return nil, err
 	}
 	for i, e := range entries {
+		if len(e.AutoIDs) > 0 {
+			// Compaction meta entry: restore auto-increment high-water
+			// marks so deleted-then-compacted primary keys are not reused.
+			for name, id := range e.AutoIDs {
+				if t, ok := db.tables[strings.ToLower(name)]; ok && id > t.autoID {
+					t.autoID = id
+				}
+			}
+			continue
+		}
 		if _, err := db.exec(e.SQL, e.Args, false); err != nil {
 			w.Close()
 			return nil, fmt.Errorf("kdb: replay entry %d (%q): %w", i, e.SQL, err)
@@ -128,24 +150,35 @@ func (db *DB) Exec(query string, args ...any) (Result, error) {
 }
 
 func (db *DB) exec(query string, args []any, log bool) (Result, error) {
-	stmt, err := parse(query)
+	stmt, err := parseCached(query)
 	if err != nil {
 		return Result{}, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if log && db.wal == nil && db.walErr != nil {
+		return Result{}, fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
+	}
+	// Each exec* returns an undo closure alongside its result. If the
+	// mutation succeeds in memory but the log append fails, the undo puts
+	// memory back so it never diverges from disk.
 	var res Result
+	var undo func()
 	switch s := stmt.(type) {
 	case *createStmt:
-		res, err = db.execCreate(s)
+		res, undo, err = db.execCreate(s)
 	case *insertStmt:
-		res, err = db.execInsert(s, args)
+		res, undo, err = db.execInsert(s, args)
 	case *updateStmt:
-		res, err = db.execUpdate(s, args)
+		res, undo, err = db.execUpdate(s, args)
 	case *deleteStmt:
-		res, err = db.execDelete(s, args)
+		res, undo, err = db.execDelete(s, args)
 	case *dropStmt:
-		res, err = db.execDrop(s)
+		res, undo, err = db.execDrop(s)
+	case *createIndexStmt:
+		res, undo, err = db.execCreateIndex(s)
+	case *dropIndexStmt:
+		res, undo, err = db.execDropIndex(s)
 	case *selectStmt:
 		return Result{}, fmt.Errorf("kdb: use Query for SELECT")
 	default:
@@ -156,6 +189,9 @@ func (db *DB) exec(query string, args []any, log bool) (Result, error) {
 	}
 	if log && db.wal != nil {
 		if err := db.wal.Append(query, args); err != nil {
+			if undo != nil {
+				undo()
+			}
 			return Result{}, fmt.Errorf("kdb: write log: %w", err)
 		}
 	}
@@ -164,7 +200,7 @@ func (db *DB) exec(query string, args []any, log bool) (Result, error) {
 
 // Query runs a SELECT statement.
 func (db *DB) Query(query string, args ...any) (*Rows, error) {
-	stmt, err := parse(query)
+	stmt, err := parseCached(query)
 	if err != nil {
 		return nil, err
 	}
@@ -177,52 +213,100 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	return db.execSelect(sel, args)
 }
 
-// QueryRow runs a SELECT and returns its single row, erroring on zero rows.
+// QueryRow runs a SELECT and returns its single row, returning ErrNoRows
+// on zero rows.
 func (db *DB) QueryRow(query string, args ...any) ([]any, error) {
 	rows, err := db.Query(query, args...)
 	if err != nil {
 		return nil, err
 	}
 	if !rows.Next() {
-		return nil, fmt.Errorf("kdb: no rows")
+		return nil, ErrNoRows
 	}
 	return rows.Row(), nil
 }
 
-func (db *DB) execCreate(s *createStmt) (Result, error) {
+func (db *DB) execCreate(s *createStmt) (Result, func(), error) {
 	key := strings.ToLower(s.Table)
 	if _, exists := db.tables[key]; exists {
 		if s.IfNotExists {
-			return Result{}, nil
+			return Result{}, nil, nil
 		}
-		return Result{}, fmt.Errorf("kdb: table %q already exists", s.Table)
+		return Result{}, nil, fmt.Errorf("kdb: table %q already exists", s.Table)
 	}
 	seen := map[string]bool{}
 	pk := -1
 	for i, c := range s.Columns {
 		lc := strings.ToLower(c.Name)
 		if seen[lc] {
-			return Result{}, fmt.Errorf("kdb: duplicate column %q", c.Name)
+			return Result{}, nil, fmt.Errorf("kdb: duplicate column %q", c.Name)
 		}
 		seen[lc] = true
 		if c.PrimaryKey {
 			if pk >= 0 {
-				return Result{}, fmt.Errorf("kdb: multiple primary keys")
+				return Result{}, nil, fmt.Errorf("kdb: multiple primary keys")
 			}
 			if c.Type != TInteger {
-				return Result{}, fmt.Errorf("kdb: primary key must be INTEGER")
+				return Result{}, nil, fmt.Errorf("kdb: primary key must be INTEGER")
 			}
 			pk = i
 		}
 	}
-	db.tables[key] = &Table{Name: s.Table, Columns: s.Columns, pkIndex: pk}
-	return Result{}, nil
+	t := &Table{Name: s.Table, Columns: s.Columns, pkIndex: pk}
+	if pk >= 0 {
+		// Automatic index on the INTEGER PRIMARY KEY.
+		t.indexes = append(t.indexes, &hashIndex{col: pk})
+	}
+	db.tables[key] = t
+	return Result{}, func() { delete(db.tables, key) }, nil
 }
 
-func (db *DB) execInsert(s *insertStmt, args []any) (Result, error) {
+func (db *DB) execCreateIndex(s *createIndexStmt) (Result, func(), error) {
 	t, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+		return Result{}, nil, fmt.Errorf("kdb: no such table %q", s.Table)
+	}
+	if t.indexNamed(s.Name) != nil {
+		if s.IfNotExists {
+			return Result{}, nil, nil
+		}
+		return Result{}, nil, fmt.Errorf("kdb: index %q already exists", s.Name)
+	}
+	col := t.colIndex(s.Col)
+	if col < 0 {
+		return Result{}, nil, fmt.Errorf("kdb: table %q has no column %q", s.Table, s.Col)
+	}
+	if ix := t.indexOn(col); ix != nil && ix.Name != "" {
+		if s.IfNotExists {
+			return Result{}, nil, nil
+		}
+		return Result{}, nil, fmt.Errorf("kdb: column %q is already indexed by %q", s.Col, ix.Name)
+	}
+	t.indexes = append(t.indexes, &hashIndex{Name: s.Name, col: col})
+	undo := func() { t.indexes = t.indexes[:len(t.indexes)-1] }
+	return Result{}, undo, nil
+}
+
+func (db *DB) execDropIndex(s *dropIndexStmt) (Result, func(), error) {
+	for _, t := range db.tables {
+		for i, ix := range t.indexes {
+			if ix.Name != "" && strings.EqualFold(ix.Name, s.Name) {
+				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				undo := func() { t.indexes = append(t.indexes, ix) }
+				return Result{}, undo, nil
+			}
+		}
+	}
+	if s.IfExists {
+		return Result{}, nil, nil
+	}
+	return Result{}, nil, fmt.Errorf("kdb: no such index %q", s.Name)
+}
+
+func (db *DB) execInsert(s *insertStmt, args []any) (Result, func(), error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return Result{}, nil, fmt.Errorf("kdb: no such table %q", s.Table)
 	}
 	cols := s.Columns
 	if len(cols) == 0 {
@@ -234,24 +318,33 @@ func (db *DB) execInsert(s *insertStmt, args []any) (Result, error) {
 	for i, c := range cols {
 		idx := t.colIndex(c)
 		if idx < 0 {
-			return Result{}, fmt.Errorf("kdb: table %q has no column %q", s.Table, c)
+			return Result{}, nil, fmt.Errorf("kdb: table %q has no column %q", s.Table, c)
 		}
 		idxs[i] = idx
+	}
+	oldLen, oldAuto := len(t.Rows), t.autoID
+	undo := func() {
+		t.Rows = t.Rows[:oldLen]
+		t.autoID = oldAuto
+		t.invalidateIndexes()
 	}
 	var res Result
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(cols) {
-			return Result{}, fmt.Errorf("kdb: %d values for %d columns", len(exprRow), len(cols))
+			undo()
+			return Result{}, nil, fmt.Errorf("kdb: %d values for %d columns", len(exprRow), len(cols))
 		}
 		row := make([]any, len(t.Columns))
 		for i, e := range exprRow {
 			v, err := evalValue(e, args)
 			if err != nil {
-				return Result{}, err
+				undo()
+				return Result{}, nil, err
 			}
 			cv, err := coerce(v, t.Columns[idxs[i]].Type)
 			if err != nil {
-				return Result{}, fmt.Errorf("kdb: column %q: %w", cols[i], err)
+				undo()
+				return Result{}, nil, fmt.Errorf("kdb: column %q: %w", cols[i], err)
 			}
 			row[idxs[i]] = cv
 		}
@@ -265,15 +358,16 @@ func (db *DB) execInsert(s *insertStmt, args []any) (Result, error) {
 			res.LastInsertID = row[t.pkIndex].(int64)
 		}
 		t.Rows = append(t.Rows, row)
+		t.noteInsert(len(t.Rows)-1, row)
 		res.RowsAffected++
 	}
-	return res, nil
+	return res, undo, nil
 }
 
-func (db *DB) execUpdate(s *updateStmt, args []any) (Result, error) {
+func (db *DB) execUpdate(s *updateStmt, args []any) (Result, func(), error) {
 	t, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+		return Result{}, nil, fmt.Errorf("kdb: no such table %q", s.Table)
 	}
 	type setOp struct {
 		idx int
@@ -283,69 +377,142 @@ func (db *DB) execUpdate(s *updateStmt, args []any) (Result, error) {
 	for _, set := range s.Sets {
 		idx := t.colIndex(set.Col)
 		if idx < 0 {
-			return Result{}, fmt.Errorf("kdb: table %q has no column %q", s.Table, set.Col)
+			return Result{}, nil, fmt.Errorf("kdb: table %q has no column %q", s.Table, set.Col)
 		}
 		sets = append(sets, setOp{idx, set.Val})
 	}
 	env := singleTableEnv(t)
-	var res Result
-	for _, row := range t.Rows {
+	// Saved pre-images of every mutated row, for rollback.
+	type preImage struct {
+		row []any
+		old []any
+	}
+	var saved []preImage
+	undo := func() {
+		for _, p := range saved {
+			copy(p.row, p.old)
+		}
+		if len(saved) > 0 {
+			t.invalidateIndexes()
+		}
+	}
+	apply := func(row []any) error {
 		match, err := matchWhere(s.Where, env, row, args)
-		if err != nil {
-			return Result{}, err
+		if err != nil || !match {
+			return err
 		}
-		if !match {
-			continue
-		}
+		saved = append(saved, preImage{row: row, old: append([]any(nil), row...)})
 		for _, set := range sets {
 			v, err := evalValue(set.val, args)
 			if err != nil {
-				return Result{}, err
+				return err
 			}
 			cv, err := coerce(v, t.Columns[set.idx].Type)
 			if err != nil {
-				return Result{}, err
+				return err
 			}
 			row[set.idx] = cv
 		}
-		res.RowsAffected++
+		return nil
 	}
-	return res, nil
+	var res Result
+	if cand, ok := t.indexCandidates(s.Where, env, args); ok {
+		for _, pos := range cand {
+			before := len(saved)
+			if err := apply(t.Rows[pos]); err != nil {
+				undo()
+				return Result{}, nil, err
+			}
+			res.RowsAffected += len(saved) - before
+		}
+	} else {
+		for _, row := range t.Rows {
+			before := len(saved)
+			if err := apply(row); err != nil {
+				undo()
+				return Result{}, nil, err
+			}
+			res.RowsAffected += len(saved) - before
+		}
+	}
+	if res.RowsAffected > 0 {
+		t.invalidateIndexes()
+	}
+	return res, undo, nil
 }
 
-func (db *DB) execDelete(s *deleteStmt, args []any) (Result, error) {
+func (db *DB) execDelete(s *deleteStmt, args []any) (Result, func(), error) {
 	t, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
-		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+		return Result{}, nil, fmt.Errorf("kdb: no such table %q", s.Table)
 	}
 	env := singleTableEnv(t)
-	kept := t.Rows[:0]
+	old := t.Rows
 	var res Result
-	for _, row := range t.Rows {
-		match, err := matchWhere(s.Where, env, row, args)
-		if err != nil {
-			return Result{}, err
+	if cand, ok := t.indexCandidates(s.Where, env, args); ok {
+		// Index pre-filter: only candidate positions can match; everything
+		// else is kept wholesale.
+		drop := make(map[int]bool, len(cand))
+		for _, pos := range cand {
+			match, err := matchWhere(s.Where, env, old[pos], args)
+			if err != nil {
+				return Result{}, nil, err
+			}
+			if match {
+				drop[pos] = true
+			}
 		}
-		if match {
-			res.RowsAffected++
-			continue
+		if len(drop) == 0 {
+			return Result{}, nil, nil
 		}
-		kept = append(kept, row)
+		kept := make([][]any, 0, len(old)-len(drop))
+		for pos, row := range old {
+			if drop[pos] {
+				res.RowsAffected++
+				continue
+			}
+			kept = append(kept, row)
+		}
+		t.Rows = kept
+	} else {
+		// Build a fresh slice rather than filtering in place so the old
+		// snapshot stays intact for rollback.
+		kept := make([][]any, 0, len(old))
+		for _, row := range old {
+			match, err := matchWhere(s.Where, env, row, args)
+			if err != nil {
+				return Result{}, nil, err
+			}
+			if match {
+				res.RowsAffected++
+				continue
+			}
+			kept = append(kept, row)
+		}
+		if res.RowsAffected == 0 {
+			return Result{}, nil, nil
+		}
+		t.Rows = kept
 	}
-	t.Rows = kept
-	return res, nil
+	t.invalidateIndexes()
+	undo := func() {
+		t.Rows = old
+		t.invalidateIndexes()
+	}
+	return res, undo, nil
 }
 
-func (db *DB) execDrop(s *dropStmt) (Result, error) {
+func (db *DB) execDrop(s *dropStmt) (Result, func(), error) {
 	key := strings.ToLower(s.Table)
-	if _, ok := db.tables[key]; !ok {
+	t, ok := db.tables[key]
+	if !ok {
 		if s.IfExists {
-			return Result{}, nil
+			return Result{}, nil, nil
 		}
-		return Result{}, fmt.Errorf("kdb: no such table %q", s.Table)
+		return Result{}, nil, fmt.Errorf("kdb: no such table %q", s.Table)
 	}
 	delete(db.tables, key)
-	return Result{}, nil
+	return Result{}, func() { db.tables[key] = t }, nil
 }
 
 // env maps qualified and unqualified column references to positions in the
@@ -412,7 +579,21 @@ func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
 	}
 	e := singleTableEnv(base)
 	rows := base.Rows
-	// Inner joins: nested loop with equality predicate.
+	// An index on an equality conjunct shrinks the scan to its candidate
+	// bucket; the WHERE filter below still verifies every candidate.
+	if len(s.Joins) == 0 {
+		if cand, ok := base.indexCandidates(s.Where, e, args); ok {
+			sub := make([][]any, len(cand))
+			for i, pos := range cand {
+				sub[i] = base.Rows[pos]
+			}
+			rows = sub
+		}
+	}
+	// Inner joins: hash join on the equality predicate. The smaller probe
+	// cost comes from bucketing the joined table by its key column; each
+	// candidate pair is still verified with compareEq so join semantics
+	// match the nested-loop original.
 	for _, j := range s.Joins {
 		jt, ok := db.tables[strings.ToLower(j.Table)]
 		if !ok {
@@ -427,18 +608,52 @@ func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Orient the predicate: one side must resolve into the left
+		// (accumulated) row, the other into the joined table's columns.
+		lw := e.width
+		leftIdx, rightIdx := li, ri
+		if leftIdx >= lw {
+			leftIdx, rightIdx = ri, li
+		}
 		var joined [][]any
-		for _, lrow := range rows {
-			for _, rrow := range jt.Rows {
-				combined := make([]any, 0, len(lrow)+len(rrow))
-				combined = append(combined, lrow...)
-				combined = append(combined, rrow...)
-				eq, err := compareEq(combined[li], combined[ri])
-				if err != nil {
-					return nil, err
-				}
-				if eq {
+		if leftIdx < lw && rightIdx >= lw {
+			rcol := rightIdx - lw
+			buckets := make(map[any][]int, len(jt.Rows))
+			for pos, rrow := range jt.Rows {
+				k := hashKey(rrow[rcol])
+				buckets[k] = append(buckets[k], pos)
+			}
+			for _, lrow := range rows {
+				for _, pos := range buckets[hashKey(lrow[leftIdx])] {
+					rrow := jt.Rows[pos]
+					eq, err := compareEq(lrow[leftIdx], rrow[rcol])
+					if err != nil {
+						return nil, err
+					}
+					if !eq {
+						continue
+					}
+					combined := make([]any, 0, len(lrow)+len(rrow))
+					combined = append(combined, lrow...)
+					combined = append(combined, rrow...)
 					joined = append(joined, combined)
+				}
+			}
+		} else {
+			// Degenerate predicate (both sides on one table): fall back to
+			// the nested loop.
+			for _, lrow := range rows {
+				for _, rrow := range jt.Rows {
+					combined := make([]any, 0, len(lrow)+len(rrow))
+					combined = append(combined, lrow...)
+					combined = append(combined, rrow...)
+					eq, err := compareEq(combined[li], combined[ri])
+					if err != nil {
+						return nil, err
+					}
+					if eq {
+						joined = append(joined, combined)
+					}
 				}
 			}
 		}
@@ -528,7 +743,7 @@ func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
 			proj[i] = row[idx]
 		}
 		if s.Distinct {
-			k := fmt.Sprint(proj...)
+			k := encodeGroupKey(proj)
 			if seen[k] {
 				continue
 			}
@@ -645,7 +860,7 @@ func evalGrouped(s *selectStmt, e *env, rows [][]any) (*Rows, error) {
 		for i, idx := range keyIdx {
 			key[i] = row[idx]
 		}
-		ks := fmt.Sprint(key...)
+		ks := encodeGroupKey(key)
 		g, ok := groups[ks]
 		if !ok {
 			g = &group{key: key}
@@ -937,38 +1152,35 @@ func applyComparison(op string, l, r any) (any, error) {
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any one char),
-// case-insensitively as SQLite does for ASCII.
+// case-insensitively as SQLite does for ASCII. It uses the iterative
+// two-pointer algorithm — on mismatch, retry from one past the last '%' —
+// which is O(len(s)·len(pattern)) worst case, so hostile patterns like
+// %a%a%a%b cannot pin a CPU the way the naive recursion could.
 func likeMatch(s, pattern string) bool {
 	s = strings.ToLower(s)
-	pattern = strings.ToLower(pattern)
-	var match func(si, pi int) bool
-	match = func(si, pi int) bool {
-		for pi < len(pattern) {
-			switch pattern[pi] {
-			case '%':
-				for k := si; k <= len(s); k++ {
-					if match(k, pi+1) {
-						return true
-					}
-				}
-				return false
-			case '_':
-				if si >= len(s) {
-					return false
-				}
-				si++
-				pi++
-			default:
-				if si >= len(s) || s[si] != pattern[pi] {
-					return false
-				}
-				si++
-				pi++
-			}
+	p := strings.ToLower(pattern)
+	si, pi := 0, 0
+	starPi, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			starPi, starSi = pi, si
+			pi++
+		case starPi >= 0:
+			starSi++
+			si = starSi
+			pi = starPi + 1
+		default:
+			return false
 		}
-		return si == len(s)
 	}
-	return match(0, 0)
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
 }
 
 func compareEq(l, r any) (bool, error) {
@@ -1047,7 +1259,15 @@ func normalizeArg(v any) (any, error) {
 		return int64(x), nil
 	case int64:
 		return x, nil
+	case uint:
+		if uint64(x) > math.MaxInt64 {
+			return nil, fmt.Errorf("kdb: uint value %d overflows int64", x)
+		}
+		return int64(x), nil
 	case uint64:
+		if x > math.MaxInt64 {
+			return nil, fmt.Errorf("kdb: uint64 value %d overflows int64", x)
+		}
 		return int64(x), nil
 	case float32:
 		return float64(x), nil

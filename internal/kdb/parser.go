@@ -101,6 +101,9 @@ func (p *parser) statement() (any, error) {
 }
 
 func (p *parser) createStatement() (any, error) {
+	if p.acceptKeyword("INDEX") {
+		return p.createIndexStatement()
+	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
@@ -450,7 +453,58 @@ func (p *parser) deleteStatement() (any, error) {
 	return st, nil
 }
 
+// createIndexStatement parses the tail of CREATE INDEX [IF NOT EXISTS]
+// name ON table (col).
+func (p *parser) createIndexStatement() (any, error) {
+	st := &createIndexStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if st.Col, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
 func (p *parser) dropStatement() (any, error) {
+	if p.acceptKeyword("INDEX") {
+		st := &dropIndexStmt{}
+		if p.acceptKeyword("IF") {
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return nil, err
+			}
+			st.IfExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+		return st, nil
+	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}

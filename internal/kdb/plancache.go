@@ -1,0 +1,40 @@
+package kdb
+
+// Parsed-statement cache. The schema layer issues the same handful of SQL
+// strings thousands of times with different arguments; caching the parsed
+// AST by SQL text skips the lexer and parser on every repeat. Statements
+// are immutable after parsing (execution never writes into the AST), so
+// one cached statement can serve concurrent executions.
+
+import "sync"
+
+// planCacheLimit bounds the cache; on overflow the whole map is dropped,
+// which is simpler than LRU and fine for a working set this small.
+const planCacheLimit = 512
+
+var planCache = struct {
+	sync.RWMutex
+	m map[string]any
+}{m: make(map[string]any)}
+
+// parseCached parses src, consulting and populating the statement cache.
+// Parse errors are not cached: a malformed statement is not a hot path.
+func parseCached(src string) (any, error) {
+	planCache.RLock()
+	stmt, ok := planCache.m[src]
+	planCache.RUnlock()
+	if ok {
+		return stmt, nil
+	}
+	stmt, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	planCache.Lock()
+	if len(planCache.m) >= planCacheLimit {
+		planCache.m = make(map[string]any, planCacheLimit)
+	}
+	planCache.m[src] = stmt
+	planCache.Unlock()
+	return stmt, nil
+}

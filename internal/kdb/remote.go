@@ -2,10 +2,15 @@ package kdb
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strings"
 	"sync"
+	"time"
 )
 
 // The paper's persistence phase stores knowledge "either directly as a
@@ -14,6 +19,16 @@ import (
 // protocol exposing Exec/Query over TCP, a Server wrapping a local DB, and
 // a Remote client satisfying the same Conn interface as *DB, so the
 // knowledge store works identically against either.
+//
+// Server lifecycle: Serve accepts until the listener closes; Shutdown
+// stops accepting, closes idle connections immediately, lets in-flight
+// requests finish (bounded by the context), then force-closes stragglers.
+// Each connection gets a read deadline between requests (IdleTimeout) and
+// a write deadline per response (WriteTimeout), and the number of
+// concurrently served connections is capped at MaxConns — excess dials
+// receive a structured error response and are closed. Malformed requests
+// likewise receive a wireResponse carrying the parse error instead of a
+// silent hangup.
 
 // Conn is the database surface the persistence layer programs against;
 // *DB (local) and *Remote (network) both implement it.
@@ -47,34 +62,156 @@ type wireResponse struct {
 	Tables       []string   `json:"tables,omitempty"`
 }
 
+// Server limits and deadlines used when the corresponding field is zero.
+const (
+	DefaultMaxConns     = 256
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
 // Server exposes a local database over the wire protocol.
 type Server struct {
 	DB *DB
+
+	// MaxConns caps concurrently served connections; dials beyond the cap
+	// get an error response and are closed. 0 means DefaultMaxConns.
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit between requests
+	// before the server closes it. 0 means DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. 0 means DefaultWriteTimeout.
+	WriteTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*serverConn]struct{}
+	wg        sync.WaitGroup
+	closed    bool
 }
 
-// Serve accepts connections until the listener closes. Each connection
-// handles requests sequentially; connections are served concurrently.
+// serverConn tracks one accepted connection and whether a request is
+// currently being served on it, so Shutdown can drain in-flight work while
+// closing idle connections immediately.
+type serverConn struct {
+	c          net.Conn
+	mu         sync.Mutex
+	inFlight   bool
+	closeAfter bool
+}
+
+func (s *Server) maxConns() int {
+	if s.MaxConns > 0 {
+		return s.MaxConns
+	}
+	return DefaultMaxConns
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout > 0 {
+		return s.IdleTimeout
+	}
+	return DefaultIdleTimeout
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout > 0 {
+		return s.WriteTimeout
+	}
+	return DefaultWriteTimeout
+}
+
+// Serve accepts connections until the listener closes (or Shutdown is
+// called, which closes it). Each connection handles requests sequentially;
+// connections are served concurrently. After Shutdown, Serve returns nil.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("kdb: server is shut down")
+	}
+	if s.listeners == nil {
+		s.listeners = map[net.Listener]struct{}{}
+	}
+	if s.conns == nil {
+		s.conns = map[*serverConn]struct{}{}
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
 			return err
 		}
-		go s.handle(conn)
+		sc := &serverConn{c: conn}
+		s.mu.Lock()
+		over := len(s.conns) >= s.maxConns()
+		if !over {
+			s.conns[sc] = struct{}{}
+			s.wg.Add(1)
+		}
+		s.mu.Unlock()
+		if over {
+			// Refuse politely: one structured error, then close.
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+			json.NewEncoder(conn).Encode(wireResponse{Err: "kdb: server connection limit reached"})
+			conn.Close()
+			continue
+		}
+		go s.handle(sc)
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+func (s *Server) handle(sc *serverConn) {
+	defer func() {
+		sc.c.Close()
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(sc.c))
+	enc := json.NewEncoder(sc.c)
 	for {
+		sc.c.SetReadDeadline(time.Now().Add(s.idleTimeout()))
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
-			return // client went away or sent garbage; drop the connection
+			if err == io.EOF || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) {
+				return // timeout or transport failure; nothing to tell the peer
+			}
+			// Malformed request: report the error instead of hanging up
+			// silently. The decoder's state is unreliable after a syntax
+			// error, so the connection closes after the response.
+			sc.c.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+			enc.Encode(wireResponse{Err: "kdb: malformed request: " + err.Error()})
+			return
 		}
+		sc.mu.Lock()
+		sc.inFlight = true
+		sc.mu.Unlock()
 		resp := s.dispatch(req)
-		if err := enc.Encode(resp); err != nil {
+		sc.c.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		err := enc.Encode(resp)
+		sc.mu.Lock()
+		sc.inFlight = false
+		drained := sc.closeAfter
+		sc.mu.Unlock()
+		if err != nil || drained {
 			return
 		}
 	}
@@ -112,9 +249,9 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 	return wireResponse{Err: fmt.Sprintf("kdb: unknown wire op %q", req.Op)}
 }
 
-// ListenAndServe serves the database on addr until the process exits or
-// the listener fails. It returns the bound listener so callers can learn
-// the ephemeral port and close it for shutdown.
+// Listen serves the database on addr in a background goroutine. It returns
+// the bound listener so callers can learn the ephemeral port; stop the
+// server with Shutdown (or by closing the listener).
 func (s *Server) Listen(addr string) (net.Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -124,39 +261,141 @@ func (s *Server) Listen(addr string) (net.Listener, error) {
 	return l, nil
 }
 
-// Remote is a client for a served database. It is safe for concurrent use;
-// requests are serialized over one connection.
-type Remote struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+// Shutdown gracefully stops the server: it closes every listener, closes
+// idle connections, and waits for in-flight requests to finish. If the
+// context expires first, remaining connections are force-closed and the
+// context's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for sc := range s.conns {
+		sc.mu.Lock()
+		if sc.inFlight {
+			sc.closeAfter = true // handler closes after the response
+		} else {
+			sc.c.Close()
+		}
+		sc.mu.Unlock()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
 }
+
+// Remote is a client for a served database. It is safe for concurrent use;
+// requests are serialized over one connection. If the connection breaks
+// (server restart, network blip), the next idempotent request transparently
+// redials and retries once; mutations are never retried — the client
+// redials so subsequent requests work, but reports the original error,
+// since the server may or may not have applied the lost mutation.
+type Remote struct {
+	mu     sync.Mutex
+	addr   string // host:port retained for reconnects
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	closed bool
+}
+
+// dialTimeout bounds connection establishment, including reconnects.
+const dialTimeout = 10 * time.Second
 
 // Dial connects to a kdb server. The address accepts an optional kdb://
 // scheme prefix — the paper's "SQL connection URL".
 func Dial(addr string) (*Remote, error) {
-	hostport := addr
-	if len(hostport) > 6 && hostport[:6] == "kdb://" {
-		hostport = hostport[6:]
-	}
-	conn, err := net.Dial("tcp", hostport)
+	hostport := strings.TrimPrefix(addr, "kdb://")
+	conn, err := net.DialTimeout("tcp", hostport, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("kdb: dial %s: %w", addr, err)
 	}
-	return &Remote{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-	}, nil
+	r := &Remote{addr: hostport}
+	r.reset(conn)
+	return r, nil
 }
 
-func (r *Remote) roundTrip(req wireRequest) (wireResponse, error) {
+// reset installs a fresh connection; callers hold r.mu (or own r solely).
+func (r *Remote) reset(conn net.Conn) {
+	r.conn = conn
+	r.enc = json.NewEncoder(conn)
+	r.dec = json.NewDecoder(bufio.NewReader(conn))
+}
+
+// reconnect redials the server after a broken pipe; callers hold r.mu.
+func (r *Remote) reconnect() error {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	conn, err := net.DialTimeout("tcp", r.addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("kdb: reconnect %s: %w", r.addr, err)
+	}
+	r.reset(conn)
+	return nil
+}
+
+// wireError is an application-level error reported by the server (SQL
+// errors, limit refusals). The request/response exchange completed, so the
+// connection itself is still healthy and must not be torn down or retried.
+type wireError struct{ msg string }
+
+func (e wireError) Error() string { return e.msg }
+
+func (r *Remote) roundTrip(req wireRequest, idempotent bool) (wireResponse, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.conn == nil {
+	if r.closed {
 		return wireResponse{}, fmt.Errorf("kdb: remote connection closed")
 	}
+	if r.conn == nil {
+		// A previous request broke the connection; restore it now.
+		if err := r.reconnect(); err != nil {
+			return wireResponse{}, err
+		}
+	}
+	resp, err := r.try(req)
+	if err == nil {
+		return resp, nil
+	}
+	var we wireError
+	if errors.As(err, &we) {
+		return wireResponse{}, err // the server answered; keep the connection
+	}
+	// Transport failure: drop the connection. Idempotent requests retry
+	// once on a fresh dial; mutations surface the error (retrying could
+	// double-apply) and leave reconnection to the next request.
+	r.conn.Close()
+	r.conn = nil
+	if !idempotent {
+		return wireResponse{}, err
+	}
+	if rerr := r.reconnect(); rerr != nil {
+		return wireResponse{}, err
+	}
+	return r.try(req)
+}
+
+// try sends one request and reads one response on the current connection;
+// callers hold r.mu.
+func (r *Remote) try(req wireRequest) (wireResponse, error) {
 	if err := r.enc.Encode(req); err != nil {
 		return wireResponse{}, fmt.Errorf("kdb: send: %w", err)
 	}
@@ -165,7 +404,7 @@ func (r *Remote) roundTrip(req wireRequest) (wireResponse, error) {
 		return wireResponse{}, fmt.Errorf("kdb: receive: %w", err)
 	}
 	if resp.Err != "" {
-		return wireResponse{}, fmt.Errorf("%s", resp.Err)
+		return wireResponse{}, wireError{resp.Err}
 	}
 	return resp, nil
 }
@@ -176,7 +415,7 @@ func (r *Remote) Exec(query string, args ...any) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	resp, err := r.roundTrip(wireRequest{Op: "exec", SQL: query, Args: wa})
+	resp, err := r.roundTrip(wireRequest{Op: "exec", SQL: query, Args: wa}, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -189,7 +428,7 @@ func (r *Remote) Query(query string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := r.roundTrip(wireRequest{Op: "query", SQL: query, Args: wa})
+	resp, err := r.roundTrip(wireRequest{Op: "query", SQL: query, Args: wa}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -204,21 +443,22 @@ func (r *Remote) Query(query string, args ...any) (*Rows, error) {
 	return rows, nil
 }
 
-// QueryRow implements Conn.
+// QueryRow implements Conn; it returns ErrNoRows when the query matches
+// nothing.
 func (r *Remote) QueryRow(query string, args ...any) ([]any, error) {
 	rows, err := r.Query(query, args...)
 	if err != nil {
 		return nil, err
 	}
 	if !rows.Next() {
-		return nil, fmt.Errorf("kdb: no rows")
+		return nil, ErrNoRows
 	}
 	return rows.Row(), nil
 }
 
 // Tables implements Conn.
 func (r *Remote) Tables() []string {
-	resp, err := r.roundTrip(wireRequest{Op: "tables"})
+	resp, err := r.roundTrip(wireRequest{Op: "tables"}, true)
 	if err != nil {
 		return nil
 	}
@@ -229,6 +469,10 @@ func (r *Remote) Tables() []string {
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	if r.conn == nil {
 		return nil
 	}

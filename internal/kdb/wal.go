@@ -11,9 +11,13 @@ import (
 
 // walEntry is one logged mutation: the SQL text plus its arguments with
 // explicit type tags (JSON alone cannot distinguish int64 from float64).
+// A compaction snapshot additionally writes one meta entry carrying the
+// auto-increment high-water marks, so primary keys whose max row was
+// deleted are not reused after reopen.
 type walEntry struct {
-	SQL  string   `json:"sql"`
-	Args []walArg `json:"args,omitempty"`
+	SQL     string           `json:"sql,omitempty"`
+	Args    []walArg         `json:"args,omitempty"`
+	AutoIDs map[string]int64 `json:"auto_ids,omitempty"`
 }
 
 type walArg struct {
@@ -72,8 +76,9 @@ func decodeArgs(in []walArg) ([]any, error) {
 }
 
 type replayEntry struct {
-	SQL  string
-	Args []any
+	SQL     string
+	Args    []any
+	AutoIDs map[string]int64
 }
 
 // wal is the append-only mutation log.
@@ -97,7 +102,7 @@ func openWAL(path string) (*wal, []replayEntry, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			entries = append(entries, replayEntry{SQL: e.SQL, Args: args})
+			entries = append(entries, replayEntry{SQL: e.SQL, Args: args, AutoIDs: e.AutoIDs})
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("kdb: open log: %w", err)
@@ -135,9 +140,17 @@ func (w *wal) Close() error {
 }
 
 // Compact rewrites the database file as a minimal snapshot: CREATE TABLE
-// statements followed by one INSERT per row. It is the paper-ablation
+// and CREATE INDEX statements, one INSERT per row, and a meta entry
+// preserving auto-increment high-water marks. It is the paper-ablation
 // alternative to the ever-growing append log and also the mechanism for
 // exporting a database to a fresh file.
+//
+// Compact is crash-safe: the snapshot is written to a temp file, synced,
+// and atomically renamed over the log, so a crash at any point leaves
+// either the old log or the complete new snapshot (plus at worst a stale
+// .compact temp file, which reopening ignores). Every error path removes
+// the temp file, and the live log handle is only swapped after the rename
+// has succeeded.
 func (db *DB) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -149,19 +162,28 @@ func (db *DB) Compact() error {
 	if err != nil {
 		return err
 	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	w := bufio.NewWriter(f)
-	writeEntry := func(sql string, args []any) error {
-		ea, err := encodeArgs(args)
-		if err != nil {
-			return err
-		}
-		data, err := json.Marshal(walEntry{SQL: sql, Args: ea})
+	writeEntry := func(e walEntry) error {
+		data, err := json.Marshal(e)
 		if err != nil {
 			return err
 		}
 		_, err = w.Write(append(data, '\n'))
 		return err
 	}
+	writeSQL := func(sql string, args []any) error {
+		ea, err := encodeArgs(args)
+		if err != nil {
+			return err
+		}
+		return writeEntry(walEntry{SQL: sql, Args: ea})
+	}
+	autoIDs := map[string]int64{}
 	for _, name := range db.tablesSorted() {
 		t := db.tables[name]
 		sql := "CREATE TABLE " + t.Name + " ("
@@ -175,9 +197,19 @@ func (db *DB) Compact() error {
 			}
 		}
 		sql += ")"
-		if err := writeEntry(sql, nil); err != nil {
-			f.Close()
-			return err
+		if err := writeSQL(sql, nil); err != nil {
+			return fail(err)
+		}
+		for _, ix := range t.indexes {
+			if ix.Name == "" {
+				continue // the pk index is recreated automatically
+			}
+			if err := writeSQL("CREATE INDEX "+ix.Name+" ON "+t.Name+" ("+t.Columns[ix.col].Name+")", nil); err != nil {
+				return fail(err)
+			}
+		}
+		if t.pkIndex >= 0 && t.autoID > 0 {
+			autoIDs[t.Name] = t.autoID
 		}
 		if len(t.Rows) == 0 {
 			continue
@@ -191,33 +223,45 @@ func (db *DB) Compact() error {
 		}
 		ins += ")"
 		for _, row := range t.Rows {
-			if err := writeEntry(ins, row); err != nil {
-				f.Close()
-				return err
+			if err := writeSQL(ins, row); err != nil {
+				return fail(err)
 			}
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	// Swap the log under the open handle: close, rename, reopen.
-	if db.wal != nil {
-		if err := db.wal.Close(); err != nil {
-			return err
+	if len(autoIDs) > 0 {
+		if err := writeEntry(walEntry{AutoIDs: autoIDs}); err != nil {
+			return fail(err)
 		}
 	}
-	if err := os.Rename(tmp, db.path); err != nil {
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
+	}
+	// Atomically replace the log, then swap handles. If the rename fails
+	// the old log and its handle remain fully valid.
+	if err := os.Rename(tmp, db.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if db.wal != nil {
+		db.wal.Close() // old handle points at the unlinked file; best effort
 	}
 	nf, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		// The snapshot on disk is complete and consistent, but further
+		// mutations cannot be logged; exec refuses them until reopen.
+		db.wal = nil
+		db.walErr = err
 		return err
 	}
 	db.wal = &wal{f: nf, w: bufio.NewWriter(nf)}
+	db.walErr = nil
 	return nil
 }
 

@@ -12,6 +12,7 @@ package schema
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -19,6 +20,11 @@ import (
 	"repro/internal/kdb"
 	"repro/internal/knowledge"
 )
+
+// ErrNotFound wraps kdb.ErrNoRows for lookups of absent knowledge ids, so
+// callers (the explorer's 404 path) can distinguish "no such object" from
+// a transport or query failure.
+var ErrNotFound = errors.New("schema: not found")
 
 // Store wraps a kdb connection (local database file, in-memory database,
 // or remote kdb:// server) with the knowledge-cycle schema.
@@ -126,6 +132,18 @@ var ddl = []string{
 		unit TEXT,
 		seconds REAL
 	)`,
+	// Secondary hash indexes on the foreign keys every load/list/compare
+	// query filters or joins on; without these each LoadObject is a chain
+	// of full scans.
+	`CREATE INDEX IF NOT EXISTS idx_summaries_performance ON summaries (performance_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_results_summary ON results (summaries_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_filesystems_performance ON filesystems (performance_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_systeminfos_performance ON systeminfos (performance_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_systeminfos_iofh ON systeminfos (iofh_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_scores_iofh ON IOFHsScores (IOFH_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_testcases_iofh ON IOFHsTestcases (IOFH_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_ioresults_testcase ON IOFHsResults (testcase_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_options_iofh ON IOFHsOptions (IOFH_id)`,
 }
 
 // Open opens (or creates) a knowledge store. An empty path keeps
@@ -240,8 +258,11 @@ func (s *Store) saveSystem(sys *knowledge.SystemInfo, perfID, iofhID int64) erro
 func (s *Store) LoadObject(id int64) (*knowledge.Object, error) {
 	row, err := s.DB.QueryRow(
 		"SELECT source, command, api, pattern_json, began, finished FROM performances WHERE id = ?", id)
+	if errors.Is(err, kdb.ErrNoRows) {
+		return nil, fmt.Errorf("%w: knowledge object %d", ErrNotFound, id)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("schema: knowledge object %d not found", id)
+		return nil, fmt.Errorf("schema: load knowledge object %d: %w", id, err)
 	}
 	o := &knowledge.Object{
 		ID:      id,
@@ -379,8 +400,11 @@ func (s *Store) SaveIO500(o *knowledge.IO500Object) (int64, error) {
 // LoadIO500 reconstructs an IO500 knowledge object by run id.
 func (s *Store) LoadIO500(id int64) (*knowledge.IO500Object, error) {
 	row, err := s.DB.QueryRow("SELECT command, began, finished FROM IOFHsRuns WHERE id = ?", id)
+	if errors.Is(err, kdb.ErrNoRows) {
+		return nil, fmt.Errorf("%w: io500 run %d", ErrNotFound, id)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("schema: io500 run %d not found", id)
+		return nil, fmt.Errorf("schema: load io500 run %d: %w", id, err)
 	}
 	o := &knowledge.IO500Object{ID: id, Command: asString(row[0]), Options: map[string]string{}}
 	o.Began, _ = time.Parse(timeLayout, asString(row[1]))
@@ -438,8 +462,11 @@ func (s *Store) ListIO500() ([]Meta, error) {
 func (s *Store) MeanBandwidth(perfID int64, op string) (float64, error) {
 	row, err := s.DB.QueryRow(
 		"SELECT mean_mib FROM summaries WHERE performance_id = ? AND operation = ?", perfID, op)
+	if errors.Is(err, kdb.ErrNoRows) {
+		return 0, fmt.Errorf("%w: no %s summary for knowledge %d", ErrNotFound, op, perfID)
+	}
 	if err != nil {
-		return 0, fmt.Errorf("schema: no %s summary for knowledge %d", op, perfID)
+		return 0, err
 	}
 	return asFloat(row[0]), nil
 }

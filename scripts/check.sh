@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full verification gate, equivalent to `make check`, for environments
+# without make. Runs vet, build, the race-enabled storage/server suites,
+# and the tier-1 test suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race (kdb, schema) =="
+go test -race ./internal/kdb/... ./internal/schema/...
+echo "== go test (tier 1) =="
+go test ./...
+echo "OK"
