@@ -4,10 +4,10 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench tier1
+.PHONY: check build vet test race bench benchsmoke tier1
 
 # check is the full gate: what CI (and scripts/check.sh) runs.
-check: vet build race tier1
+check: vet build race tier1 benchsmoke
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,19 @@ vet:
 tier1:
 	$(GO) test ./...
 
-# race re-runs the storage/server packages under the race detector; the
-# kdb suite includes concurrent Exec/Query/Compact and multi-client
-# server stress tests.
+# race re-runs the concurrency-heavy packages under the race detector:
+# kdb's concurrent Exec/Query/Compact and server stress tests, schema's
+# batched saves, the campaign scheduler's worker pool, and core's
+# shared-store cycle runs.
 race:
-	$(GO) test -race ./internal/kdb/... ./internal/schema/...
+	$(GO) test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/...
 
 test: tier1
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# benchsmoke compiles and runs every benchmark exactly once so a broken
+# benchmark cannot hide until someone runs the full suite.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

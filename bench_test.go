@@ -11,16 +11,19 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/chart"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/knowledge"
 	"repro/internal/monitor"
 	"repro/internal/rng"
+	"repro/internal/schema"
 	"repro/internal/sctuner"
 	"repro/internal/slurm"
 	"repro/internal/stats"
@@ -418,6 +422,47 @@ func BenchmarkAblationSerializeGob(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Ablation 5: campaign scheduling — serial vs parallel workers, -------
+// per-artifact vs batched ingestion.
+
+// benchCampaign runs the full Fig. 3 sweep spec (17 units) through the
+// campaign scheduler with the given worker count and ingestion batch size
+// against a fresh in-memory store.
+func benchCampaign(b *testing.B, workers, batch int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		st, err := schema.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := &campaign.Scheduler{Store: st, Workers: workers, BatchSize: batch}
+		res, err := sched.Run(context.Background(), experiments.Fig3Spec(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OK != len(res.Runs) || res.Failed != 0 {
+			b.Fatalf("ok = %d of %d, failed = %d", res.OK, len(res.Runs), res.Failed)
+		}
+		st.Close()
+	}
+}
+
+// BenchmarkCampaignThroughput ablates the scheduler along both axes the
+// design motivates: one worker vs one per core, and ingestion one artifact
+// at a time vs in batches of 16. The knowledge persisted is byte-identical
+// across all four variants (see internal/campaign tests); only wall time
+// differs.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	par := runtime.NumCPU()
+	if par < 2 {
+		par = 2 // keep the parallel axis distinct on single-core machines
+	}
+	b.Run("workers=1/batch=1", func(b *testing.B) { benchCampaign(b, 1, 1) })
+	b.Run("workers=1/batch=16", func(b *testing.B) { benchCampaign(b, 1, 16) })
+	b.Run(fmt.Sprintf("workers=%d/batch=1", par), func(b *testing.B) { benchCampaign(b, par, 1) })
+	b.Run(fmt.Sprintf("workers=%d/batch=16", par), func(b *testing.B) { benchCampaign(b, par, 16) })
 }
 
 // BenchmarkSimulatePhase is the core hot path: one simulated I/O phase.

@@ -2,6 +2,7 @@
 // simulated cluster and prints paper-style reports:
 //
 //	experiments fig3            quantified I/O performance impact factors
+//	experiments sweep           fig3 regenerated through the campaign scheduler
 //	experiments fig5            per-iteration throughput with the anomaly
 //	experiments fig6            IO500 boundary test cases, broken node
 //	experiments cycle           Example I: new knowledge generation
@@ -14,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 )
@@ -32,11 +35,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "experiment seed")
 	runs := fs.Int("runs", 8, "IO500 repetitions for fig6")
+	workers := fs.Int("workers", 0, "campaign workers for sweep (0 = NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: experiments [--seed N] [--runs N] {fig3|fig5|fig6|cycle|predict|bboxmap|causes|tune|mix|all}")
+		return fmt.Errorf("usage: experiments [--seed N] [--runs N] [--workers N] {fig3|sweep|fig5|fig6|cycle|predict|bboxmap|causes|tune|mix|all}")
 	}
 	what := fs.Arg(0)
 	steps := map[string]func() error{
@@ -46,6 +50,16 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Print(experiments.Fig3Report(factors))
+			return nil
+		},
+		"sweep": func() error {
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			defer stop()
+			r, err := experiments.Fig3Sweep(ctx, nil, *seed, *workers)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
 			return nil
 		},
 		"fig5": func() error {
@@ -120,7 +134,7 @@ func run(args []string) error {
 		},
 	}
 	if what == "all" {
-		for _, name := range []string{"fig3", "fig5", "fig6", "cycle", "predict", "bboxmap", "causes", "tune", "mix"} {
+		for _, name := range []string{"fig3", "sweep", "fig5", "fig6", "cycle", "predict", "bboxmap", "causes", "tune", "mix"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := steps[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

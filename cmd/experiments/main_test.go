@@ -26,6 +26,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 func TestEachExperiment(t *testing.T) {
 	wants := map[string]string{
 		"fig3":    "impact factors",
+		"sweep":   `campaign "fig3-sweep"`,
 		"fig5":    "paper: 2850",
 		"fig6":    "boundary test cases",
 		"cycle":   "new knowledge generation",

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCampaignSubcommandWithCommands(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "knowledge.db")
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "--db", db, "--seed", "9", "--workers", "2", "--name", "cli-sweep",
+			"ior -a posix -b 2m -t 256k -s 2 -i 2 -o /scratch/a",
+			"ior -a posix -b 2m -t 1m -s 2 -i 2 -o /scratch/b",
+			"io500 --tasks 40 --tasks-per-node 20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`campaign #1 "cli-sweep": 3 unit(s) on 2 worker(s)`,
+		"ok 3, failed 0, cancelled 0",
+		"2 knowledge object(s), 1 io500 run(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, out)
+		}
+	}
+	// The knowledge landed in the shared database and lists normally.
+	out, err = capture(t, func() error { return run([]string{"list", "--db", db}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 knowledge object(s)") || !strings.Contains(out, "1 IO500 run(s)") {
+		t.Errorf("list output:\n%s", out)
+	}
+}
+
+func TestCampaignSubcommandWithJUBEConfig(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "knowledge.db")
+	cfg := filepath.Join(dir, "sweep.xml")
+	xml := `<jube>
+  <benchmark name="sweep" outpath="bench_runs">
+    <parameterset name="p">
+      <parameter name="transfersize">256k,1m</parameter>
+    </parameterset>
+    <step name="run">
+      <use>p</use>
+      <do>ior -a mpiio -b 2m -t $transfersize -s 2 -F -C -i 2 -o /scratch/sweep</do>
+    </step>
+  </benchmark>
+</jube>`
+	if err := os.WriteFile(cfg, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "--db", db, "--config", cfg, "--workers", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 unit(s)") || !strings.Contains(out, "ok 2, failed 0") {
+		t.Errorf("campaign output:\n%s", out)
+	}
+}
+
+func TestCampaignSubcommandErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"campaign", "--db", filepath.Join(t.TempDir(), "k.db")})
+	}); err == nil || !strings.Contains(err.Error(), "need --config") {
+		t.Errorf("err = %v", err)
+	}
+	// An unknown command fails every attempt and surfaces as a failed unit.
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "--db", filepath.Join(t.TempDir(), "k.db"),
+			"--retries", "2", "nosuchbench -x"})
+	})
+	if err != nil {
+		t.Fatalf("unit failures must not fail the command: %v", err)
+	}
+	if !strings.Contains(out, "ok 0, failed 1") || !strings.Contains(out, "failed after 2 attempt(s)") {
+		t.Errorf("campaign output:\n%s", out)
+	}
+}

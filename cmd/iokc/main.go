@@ -2,6 +2,7 @@
 //
 //	iokc generate [--db FILE] [--seed N] {ior ARGS... | io500 | hacc | darshan ARGS...}
 //	iokc jube [--db FILE] [--seed N] --config FILE [--basedir DIR]
+//	iokc campaign [--db FILE] [--seed N] [--workers N] [--retries N] [--batch N] [--name S] {--config FILE | CMD...}
 //	iokc extract [--db FILE] [--path FILE_OR_WORKSPACE]
 //	iokc dxt --log FILE [--bins N]
 //	iokc trace [--seed N] [--out FILE] -- IOR ARGS...
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/darshan"
@@ -60,7 +62,7 @@ func main() {
 	}
 }
 
-const usage = "usage: iokc {generate|jube|extract|dxt|trace|list|show|analyze|recommend|configure|causes|tune|serve|servedb} [flags]"
+const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|recommend|configure|causes|tune|serve|servedb} [flags]"
 
 func run(args []string) error {
 	if len(args) == 0 {
@@ -72,6 +74,8 @@ func run(args []string) error {
 		return cmdGenerate(rest)
 	case "jube":
 		return cmdJube(rest)
+	case "campaign":
+		return cmdCampaign(rest)
 	case "extract":
 		return cmdExtract(rest)
 	case "dxt":
@@ -202,6 +206,79 @@ func cmdJube(args []string) error {
 	fmt.Printf("jube: %d workpackage(s), %d knowledge object(s), %d io500 run(s)\n",
 		rep.Artifacts, len(rep.ObjectIDs), len(rep.IO500IDs))
 	return nil
+}
+
+// cmdCampaign expands a sweep (a JUBE configuration or explicit benchmark
+// command lines) and runs it through the parallel knowledge-cycle
+// scheduler. SIGINT cancels gracefully: running units finish, waiting
+// units are recorded as cancelled.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	seed := fs.Uint64("seed", 1, "campaign base seed (unit seeds derive from it)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	retries := fs.Int("retries", 3, "attempts per unit")
+	batch := fs.Int("batch", 16, "units per ingestion batch")
+	name := fs.String("name", "", "campaign name (default: config file or \"campaign\")")
+	config := fs.String("config", "", "JUBE XML configuration to expand into units")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec *campaign.Spec
+	switch {
+	case *config != "":
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			return err
+		}
+		if *name == "" {
+			*name = *config
+		}
+		spec, err = campaign.FromJUBE(*name, *seed, string(data))
+		if err != nil {
+			return err
+		}
+	case fs.NArg() > 0:
+		if *name == "" {
+			*name = "campaign"
+		}
+		spec = &campaign.Spec{Name: *name, BaseSeed: *seed}
+		for i, cmd := range fs.Args() {
+			spec.Units = append(spec.Units, campaign.Unit{
+				Index: i,
+				Name:  cmd,
+				Gen:   campaign.CommandGenerator{Label: "cmd", Commands: []string{cmd}},
+			})
+		}
+	default:
+		return fmt.Errorf("campaign: need --config FILE or benchmark command lines (e.g. 'ior -a posix -t 1m ...')")
+	}
+	store, err := schema.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sched := &campaign.Scheduler{
+		Store:       store,
+		Workers:     *workers,
+		MaxAttempts: *retries,
+		BatchSize:   *batch,
+	}
+	res, runErr := sched.Run(ctx, spec)
+	if res != nil {
+		fmt.Printf("campaign #%d %q: %d unit(s) on %d worker(s) in %v\n",
+			res.CampaignID, res.Name, len(res.Runs), res.Workers, res.Wall.Round(time.Millisecond))
+		fmt.Printf("ok %d, failed %d, cancelled %d; %d knowledge object(s), %d io500 run(s)\n",
+			res.OK, res.Failed, res.Cancelled, len(res.ObjectIDs), len(res.IO500IDs))
+		for _, r := range res.Runs {
+			if r.Status == "failed" {
+				fmt.Printf("  unit %d %q failed after %d attempt(s): %v\n", r.Unit.Index, r.Unit.Name, r.Attempts, r.Err)
+			}
+		}
+	}
+	return runErr
 }
 
 // cmdExtract implements the paper's stand-alone knowledge extractor: it

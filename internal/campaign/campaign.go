@@ -1,0 +1,334 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/knowledge"
+	"repro/internal/schema"
+)
+
+// Scheduler executes campaign specs over a bounded worker pool.
+//
+// Generation and extraction (the expensive, pure phases) run concurrently
+// on the workers; persistence runs on the collector in strict unit order,
+// one store batch per BatchSize units, so the resulting knowledge base
+// does not depend on scheduling.
+type Scheduler struct {
+	// Store receives the extracted knowledge and the campaign metadata.
+	Store *schema.Store
+	// NewMachine builds a private machine model per attempt (the model is
+	// mutable — fault injection — so workers must not share one). Defaults
+	// to cluster.FuchsCSC.
+	NewMachine func() *cluster.Machine
+	// Registry is the extractor registry (default: built-ins).
+	Registry *extract.Registry
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// MaxAttempts is the per-unit attempt budget (default 3). Retries
+	// reuse the unit's seed: a flaky failure replays the identical run.
+	MaxAttempts int
+	// Backoff is the sleep before attempt 2, doubling per further attempt
+	// (default 10ms). Cancellation interrupts the sleep.
+	Backoff time.Duration
+	// BatchSize is the number of units ingested per store batch
+	// (default 16); 1 degenerates to per-unit ingestion.
+	BatchSize int
+	// EnrichNode selects the node whose system information enriches the
+	// knowledge (default node 1).
+	EnrichNode int
+	// BeforeAttempt, when set, runs before each generation attempt —
+	// the fault-injection and flakiness hook for tests and experiments.
+	BeforeAttempt func(u Unit, attempt int, m *cluster.Machine)
+}
+
+// RunOutcome is the in-memory record of one executed unit, mirroring the
+// campaign_runs row.
+type RunOutcome struct {
+	Unit      Unit
+	Seed      uint64
+	Status    string // "ok", "failed", "cancelled"
+	Attempts  int
+	Wall      time.Duration
+	Err       error
+	ObjectIDs []int64
+	IO500IDs  []int64
+}
+
+// Result summarizes one executed campaign.
+type Result struct {
+	CampaignID int64
+	Name       string
+	Workers    int
+	Wall       time.Duration
+	Runs       []RunOutcome // unit order
+	OK         int
+	Failed     int
+	Cancelled  int
+	ObjectIDs  []int64
+	IO500IDs   []int64
+}
+
+// outcome travels from a worker to the collector: the executed unit plus
+// its extractions, not yet persisted.
+type outcome struct {
+	run RunOutcome
+	exs []*extract.Extraction
+}
+
+// Run executes the spec. Unit failures are recorded, not fatal: the
+// returned error is non-nil only for infrastructure problems (persistence
+// errors, an empty spec) or cancellation, in which case the partial Result
+// is still returned with the remaining units marked "cancelled".
+func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
+	if s.Store == nil {
+		return nil, fmt.Errorf("campaign: scheduler has no store")
+	}
+	if spec == nil || len(spec.Units) == 0 {
+		return nil, fmt.Errorf("campaign: spec has no units")
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(spec.Units) {
+		workers = len(spec.Units)
+	}
+	maxAttempts := s.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	backoff := s.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	batchSize := s.BatchSize
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	newMachine := s.NewMachine
+	if newMachine == nil {
+		newMachine = cluster.FuchsCSC
+	}
+	reg := s.Registry
+	if reg == nil {
+		reg = extract.NewRegistry()
+	}
+
+	began := time.Now()
+	campaignID, err := s.Store.CreateCampaign(spec.Name, spec.BaseSeed, workers, len(spec.Units), began)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create campaign record: %w", err)
+	}
+
+	jobs := make(chan Unit, len(spec.Units))
+	for _, u := range spec.Units {
+		jobs <- u
+	}
+	close(jobs)
+	outcomes := make(chan outcome, len(spec.Units))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for u := range jobs {
+				outcomes <- s.runUnit(ctx, u, spec.BaseSeed, maxAttempts, backoff, newMachine, reg)
+			}
+		}()
+	}
+
+	// Collector: reorder outcomes into unit order and ingest in batches.
+	// Workers emit exactly one outcome per unit (cancelled units included),
+	// so reading len(spec.Units) outcomes always terminates.
+	res := &Result{CampaignID: campaignID, Name: spec.Name, Workers: workers,
+		Runs: make([]RunOutcome, len(spec.Units))}
+	buffered := make(map[int]outcome, len(spec.Units))
+	var pending []outcome
+	next := 0
+	var persistErr error
+	flush := func() {
+		if persistErr != nil || len(pending) == 0 {
+			return
+		}
+		persistErr = s.ingest(pending, res)
+		pending = pending[:0]
+	}
+	for range spec.Units {
+		oc := <-outcomes
+		buffered[oc.run.Unit.Index] = oc
+		for {
+			oc, ok := buffered[next]
+			if !ok {
+				break
+			}
+			delete(buffered, next)
+			next++
+			res.Runs[oc.run.Unit.Index] = oc.run
+			if oc.run.Status == "ok" {
+				pending = append(pending, oc)
+			}
+			if len(pending) >= batchSize {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	for i := range res.Runs {
+		switch res.Runs[i].Status {
+		case "ok":
+			res.OK++
+		case "failed":
+			res.Failed++
+		case "cancelled":
+			res.Cancelled++
+		}
+	}
+	res.Wall = time.Since(began)
+
+	status := "ok"
+	switch {
+	case persistErr != nil || res.Failed > 0:
+		status = "failed"
+	case res.Cancelled > 0:
+		status = "cancelled"
+	}
+	if err := s.record(campaignID, status, began, res); err != nil && persistErr == nil {
+		persistErr = err
+	}
+	if persistErr != nil {
+		return res, persistErr
+	}
+	if res.Cancelled > 0 {
+		return res, context.Cause(ctx)
+	}
+	return res, nil
+}
+
+// runUnit executes one unit: derive its seed, then attempt generation and
+// extraction up to maxAttempts times with exponential backoff. Every
+// attempt gets a fresh machine so injected faults or accumulated state
+// cannot leak between attempts (or units).
+func (s *Scheduler) runUnit(ctx context.Context, u Unit, baseSeed uint64, maxAttempts int,
+	backoff time.Duration, newMachine func() *cluster.Machine, reg *extract.Registry) outcome {
+	run := RunOutcome{Unit: u, Seed: core.DeriveSeed(baseSeed, uint64(u.Index))}
+	start := time.Now()
+	defer func() { run.Wall = time.Since(start) }()
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			run.Status = "cancelled"
+			return outcome{run: run}
+		}
+		if attempt > 1 {
+			t := time.NewTimer(backoff << (attempt - 2))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				run.Status = "cancelled"
+				return outcome{run: run}
+			case <-t.C:
+			}
+		}
+		run.Attempts = attempt
+		m := newMachine()
+		if s.BeforeAttempt != nil {
+			s.BeforeAttempt(u, attempt, m)
+		}
+		arts, err := u.Gen.Generate(&core.Context{Machine: m, Seed: run.Seed})
+		if err == nil && len(arts) == 0 {
+			err = fmt.Errorf("campaign: unit %q produced no artifacts", u.Name)
+		}
+		var exs []*extract.Extraction
+		if err == nil {
+			exs, err = core.ExtractArtifacts(m, reg, s.EnrichNode, arts)
+		}
+		if err == nil {
+			run.Status = "ok"
+			run.Err = nil
+			return outcome{run: run, exs: exs}
+		}
+		run.Err = err
+	}
+	run.Status = "failed"
+	return outcome{run: run}
+}
+
+// ingest persists one batch of unit extractions in unit order. Objects
+// and IO500 objects each go through the store's batched save (one lock,
+// one log flush per kind), and the assigned ids are written back onto the
+// outcomes' RunOutcome entries in res.Runs.
+func (s *Scheduler) ingest(batch []outcome, res *Result) error {
+	var objs []*knowledge.Object
+	var objRuns []int // res.Runs index per object, aligned with objs
+	var io500s []*knowledge.IO500Object
+	var io500Runs []int
+	for _, oc := range batch {
+		for _, ex := range oc.exs {
+			switch {
+			case ex.Object != nil:
+				objs = append(objs, ex.Object)
+				objRuns = append(objRuns, oc.run.Unit.Index)
+			case ex.IO500 != nil:
+				io500s = append(io500s, ex.IO500)
+				io500Runs = append(io500Runs, oc.run.Unit.Index)
+			}
+		}
+	}
+	if len(objs) > 0 {
+		ids, err := s.Store.SaveObjects(objs)
+		if err != nil {
+			return fmt.Errorf("campaign: persist batch (unit %q): %w", res.Runs[objRuns[0]].Unit.Name, err)
+		}
+		for i, id := range ids {
+			objs[i].ID = id
+			r := &res.Runs[objRuns[i]]
+			r.ObjectIDs = append(r.ObjectIDs, id)
+			res.ObjectIDs = append(res.ObjectIDs, id)
+		}
+	}
+	if len(io500s) > 0 {
+		ids, err := s.Store.SaveIO500s(io500s)
+		if err != nil {
+			return fmt.Errorf("campaign: persist batch (unit %q): %w", res.Runs[io500Runs[0]].Unit.Name, err)
+		}
+		for i, id := range ids {
+			io500s[i].ID = id
+			r := &res.Runs[io500Runs[i]]
+			r.IO500IDs = append(r.IO500IDs, id)
+			res.IO500IDs = append(res.IO500IDs, id)
+		}
+	}
+	return nil
+}
+
+// record finishes the campaign row and writes the per-unit rows.
+func (s *Scheduler) record(campaignID int64, status string, began time.Time, res *Result) error {
+	rows := make([]schema.CampaignRun, len(res.Runs))
+	for i, r := range res.Runs {
+		errText := ""
+		if r.Err != nil {
+			errText = r.Err.Error()
+		}
+		rows[i] = schema.CampaignRun{
+			Unit:      int64(r.Unit.Index),
+			Name:      r.Unit.Name,
+			Seed:      r.Seed,
+			Status:    r.Status,
+			Attempts:  int64(r.Attempts),
+			WallMS:    r.Wall.Milliseconds(),
+			Error:     errText,
+			ObjectIDs: r.ObjectIDs,
+			IO500IDs:  r.IO500IDs,
+		}
+	}
+	if err := s.Store.AddCampaignRuns(campaignID, rows); err != nil {
+		return fmt.Errorf("campaign: record runs: %w", err)
+	}
+	if err := s.Store.FinishCampaign(campaignID, status, began.Add(res.Wall), res.Wall.Milliseconds()); err != nil {
+		return fmt.Errorf("campaign: finish campaign record: %w", err)
+	}
+	return nil
+}

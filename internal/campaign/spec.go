@@ -1,0 +1,144 @@
+// Package campaign implements a parallel scheduler for the knowledge
+// cycle: a sweep specification (a JUBE configuration or an explicit list
+// of generators) expands into independent run units that a bounded worker
+// pool executes with per-unit retries, graceful cancellation, and batched
+// ingestion into a shared knowledge store.
+//
+// Reproducibility is the design center. Every unit's seed derives from the
+// campaign base seed and the unit's index alone (core.DeriveSeed), each
+// attempt runs on a private machine model, and extracted knowledge is
+// ingested in unit order through a reorder buffer — so the persisted
+// knowledge base is byte-identical whether the campaign ran on one worker
+// or sixty-four.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/jube"
+)
+
+// Unit is one independent run of the generation+extraction phases: a
+// generator plus the index that pins its derived seed and its position in
+// the ingestion order.
+type Unit struct {
+	Index int
+	Name  string
+	Gen   core.Generator
+}
+
+// Spec is an expanded campaign: a stable name, the base seed every unit
+// seed derives from, and the ordered unit list.
+type Spec struct {
+	Name     string
+	BaseSeed uint64
+	Units    []Unit
+}
+
+// FromGenerators builds a campaign spec from an explicit generator list.
+// Unit order (and therefore seed assignment) follows the slice.
+func FromGenerators(name string, baseSeed uint64, gens []core.Generator) *Spec {
+	spec := &Spec{Name: name, BaseSeed: baseSeed}
+	for i, g := range gens {
+		spec.Units = append(spec.Units, Unit{
+			Index: i,
+			Name:  fmt.Sprintf("%s#%d", g.Name(), i),
+			Gen:   g,
+		})
+	}
+	return spec
+}
+
+// FromJUBE expands a JUBE configuration into a campaign spec: every
+// parameter combination of every step of every benchmark becomes one unit
+// whose generator runs the step's substituted commands through the
+// simulator dispatcher. Expansion order is deterministic (benchmarks,
+// steps, then ExpandStep's cartesian order), so unit seeds are stable for
+// a given configuration.
+func FromJUBE(name string, baseSeed uint64, configXML string) (*Spec, error) {
+	cfg, err := jube.ParseConfig(strings.NewReader(configXML))
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{Name: name, BaseSeed: baseSeed}
+	for bi := range cfg.Benchmarks {
+		b := &cfg.Benchmarks[bi]
+		for si := range b.Steps {
+			step := &b.Steps[si]
+			combos, err := b.ExpandStep(step)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: expand %s/%s: %w", b.Name, step.Name, err)
+			}
+			for _, combo := range combos {
+				cmds := make([]string, 0, len(step.Do))
+				for _, do := range step.Do {
+					cmds = append(cmds, jube.Substitute(do, combo))
+				}
+				spec.Units = append(spec.Units, Unit{
+					Index: len(spec.Units),
+					Name:  unitName(b.Name, step.Name, combo),
+					Gen:   CommandGenerator{Label: step.Name, Commands: cmds, TestFile: combo["testfile"]},
+				})
+			}
+		}
+	}
+	if len(spec.Units) == 0 {
+		return nil, fmt.Errorf("campaign: configuration expanded to no units")
+	}
+	return spec, nil
+}
+
+// unitName renders "bench/step k=v k=v" with keys sorted for stability.
+func unitName(bench, step string, combo map[string]string) string {
+	keys := make([]string, 0, len(combo))
+	for k := range combo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(bench)
+	sb.WriteByte('/')
+	sb.WriteString(step)
+	for _, k := range keys {
+		sb.WriteByte(' ')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(combo[k])
+	}
+	return sb.String()
+}
+
+// CommandGenerator runs benchmark command lines through the simulator
+// dispatcher; each command's stdout becomes one artifact. It is the unit
+// generator FromJUBE produces, and is useful standalone for ad-hoc sweeps
+// built from command strings.
+type CommandGenerator struct {
+	Label    string
+	Commands []string
+	TestFile string
+}
+
+// Name implements core.Generator.
+func (g CommandGenerator) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "command"
+}
+
+// Generate implements core.Generator.
+func (g CommandGenerator) Generate(ctx *core.Context) ([]core.Artifact, error) {
+	exec := core.Dispatch(ctx.Machine, ctx.Seed)
+	arts := make([]core.Artifact, 0, len(g.Commands))
+	for _, cmd := range g.Commands {
+		out, err := exec("", cmd)
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, core.Artifact{Name: cmd, Data: []byte(out), TestFile: g.TestFile})
+	}
+	return arts, nil
+}

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anomaly"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/jube"
 	"repro/internal/knowledge"
 	"repro/internal/recommend"
+	"repro/internal/rng"
 	"repro/internal/schema"
 	"repro/internal/slurm"
 	"repro/internal/sysinfo"
@@ -69,7 +71,17 @@ type Cycle struct {
 	// EnrichNode selects which node's system information enriches the
 	// knowledge (default node 1).
 	EnrichNode int
+	// runCount numbers successive Run calls so each iteration sees its own
+	// derived seed instead of replaying the identical noise stream.
+	runCount uint64
 }
+
+// DeriveSeed returns the reproducible seed for run n (0-based) of a
+// sequence rooted at base. It is a pure function of (base, n) — run n gets
+// the same seed regardless of execution order or worker count — which is
+// what lets the campaign scheduler promise byte-identical knowledge at any
+// parallelism. DeriveSeed(base, 0) == rng.New(base).Uint64().
+func DeriveSeed(base, n uint64) uint64 { return rng.Derive(base, n) }
 
 // New builds a cycle over a machine with an in-memory store and the
 // built-in extractor registry.
@@ -95,55 +107,90 @@ type Report struct {
 // through the helpers below (the phases are deliberately separable; the
 // paper's architecture isolates them so e.g. analysis can happen on a
 // different machine).
+//
+// The first Run on a cycle uses c.Seed verbatim; every subsequent Run
+// derives a fresh seed via DeriveSeed, so iterating the cycle explores new
+// noise instead of replaying the first run bit-for-bit.
+//
+// Extraction completes for every artifact before anything is persisted, so
+// an extraction failure stores nothing. If persistence fails partway the
+// partial Report (everything stored so far, plus all extractions) is
+// returned alongside the error, which names the failing artifact.
 func (c *Cycle) Run(g Generator) (*Report, error) {
 	if c.Machine == nil || c.Registry == nil || c.Store == nil {
 		return nil, fmt.Errorf("core: cycle is missing machine, registry, or store")
 	}
-	arts, err := g.Generate(&Context{Machine: c.Machine, Seed: c.Seed})
+	seed := c.Seed
+	if n := atomic.AddUint64(&c.runCount, 1) - 1; n > 0 {
+		seed = DeriveSeed(c.Seed, n)
+	}
+	arts, err := g.Generate(&Context{Machine: c.Machine, Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("core: generation (%s): %w", g.Name(), err)
 	}
 	if len(arts) == 0 {
 		return nil, fmt.Errorf("core: generator %s produced no artifacts", g.Name())
 	}
-	rep := &Report{Generator: g.Name(), Artifacts: len(arts)}
-	node := c.EnrichNode
-	if node <= 0 {
-		node = 1
+	exs, err := ExtractArtifacts(c.Machine, c.Registry, c.EnrichNode, arts)
+	if err != nil {
+		return nil, err
 	}
-	for _, a := range arts {
-		ex, err := c.Registry.Extract(a.Data)
-		if err != nil {
-			return nil, fmt.Errorf("core: extraction of %s: %w", a.Name, err)
-		}
-		info := sysinfo.ForMachine(c.Machine, node)
+	rep := &Report{Generator: g.Name(), Artifacts: len(arts), Extractions: exs}
+	for i, ex := range exs {
 		switch {
 		case ex.Object != nil:
-			if a.TestFile != "" && c.Machine.FS != nil {
-				entry := c.Machine.FS.EntryInfoFor(a.TestFile, "file")
-				if err := extract.AttachFileSystem(ex.Object, entry.CtlOutput(), c.Machine.FS.Type, c.Machine.FS.RAIDScheme); err != nil {
-					return nil, fmt.Errorf("core: enrich %s: %w", a.Name, err)
-				}
-			}
-			extract.AttachSystem(ex.Object, info)
 			id, err := c.Store.SaveObject(ex.Object)
 			if err != nil {
-				return nil, fmt.Errorf("core: persist %s: %w", a.Name, err)
+				return rep, fmt.Errorf("core: persist %s (artifact %d of %d; %d saved before it): %w",
+					arts[i].Name, i+1, len(arts), len(rep.ObjectIDs)+len(rep.IO500IDs), err)
 			}
 			ex.Object.ID = id
 			rep.ObjectIDs = append(rep.ObjectIDs, id)
 		case ex.IO500 != nil:
-			extract.AttachSystemIO500(ex.IO500, info)
 			id, err := c.Store.SaveIO500(ex.IO500)
 			if err != nil {
-				return nil, fmt.Errorf("core: persist %s: %w", a.Name, err)
+				return rep, fmt.Errorf("core: persist %s (artifact %d of %d; %d saved before it): %w",
+					arts[i].Name, i+1, len(arts), len(rep.ObjectIDs)+len(rep.IO500IDs), err)
 			}
 			ex.IO500.ID = id
 			rep.IO500IDs = append(rep.IO500IDs, id)
 		}
-		rep.Extractions = append(rep.Extractions, ex)
 	}
 	return rep, nil
+}
+
+// ExtractArtifacts runs the extraction and enrichment phases over raw
+// artifacts without persisting anything. It is a pure function of its
+// inputs (sysinfo derivation does not mutate the machine), which lets the
+// campaign scheduler extract on worker goroutines and batch the persistence
+// separately. node selects which node's system information enriches the
+// knowledge; values <= 0 mean node 1.
+func ExtractArtifacts(m *cluster.Machine, reg *extract.Registry, node int, arts []Artifact) ([]*extract.Extraction, error) {
+	if node <= 0 {
+		node = 1
+	}
+	out := make([]*extract.Extraction, 0, len(arts))
+	for _, a := range arts {
+		ex, err := reg.Extract(a.Data)
+		if err != nil {
+			return nil, fmt.Errorf("core: extraction of %s: %w", a.Name, err)
+		}
+		info := sysinfo.ForMachine(m, node)
+		switch {
+		case ex.Object != nil:
+			if a.TestFile != "" && m.FS != nil {
+				entry := m.FS.EntryInfoFor(a.TestFile, "file")
+				if err := extract.AttachFileSystem(ex.Object, entry.CtlOutput(), m.FS.Type, m.FS.RAIDScheme); err != nil {
+					return nil, fmt.Errorf("core: enrich %s: %w", a.Name, err)
+				}
+			}
+			extract.AttachSystem(ex.Object, info)
+		case ex.IO500 != nil:
+			extract.AttachSystemIO500(ex.IO500, info)
+		}
+		out = append(out, ex)
+	}
+	return out, nil
 }
 
 // Analyze runs the analysis-phase anomaly detection over one stored

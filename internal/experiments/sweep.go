@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// fig3Sweep enumerates the Fig. 3 factors and their levels as IOR
+// configuration mutations around the Example-I workload. Fig3Spec expands
+// it in declaration order, so unit indices — and with them the derived
+// seeds — are stable.
+var fig3Sweep = []struct {
+	factor string
+	levels []string
+	mutate func(c ior.Config, i int) ior.Config
+}{
+	{"transfer size", []string{"64k", "256k", "1m", "2m", "8m"}, func(c ior.Config, i int) ior.Config {
+		sizes := []int64{64 * units.KiB, 256 * units.KiB, units.MiB, 2 * units.MiB, 8 * units.MiB}
+		c.TransferSize = sizes[i]
+		c.BlockSize = 8 * units.MiB
+		return c
+	}},
+	{"tasks", []string{"20", "40", "80", "160"}, func(c ior.Config, i int) ior.Config {
+		tasks := []int{20, 40, 80, 160}
+		c.NumTasks = tasks[i]
+		return c
+	}},
+	{"api", []string{"POSIX", "MPIIO", "HDF5"}, func(c ior.Config, i int) ior.Config {
+		apis := []cluster.API{cluster.POSIX, cluster.MPIIO, cluster.HDF5}
+		c.API = apis[i]
+		return c
+	}},
+	{"file layout", []string{"shared", "file-per-process"}, func(c ior.Config, i int) ior.Config {
+		c.FilePerProc = i == 1
+		return c
+	}},
+	{"stripe count", []string{"1", "4", "16"}, func(c ior.Config, i int) ior.Config {
+		stripes := []int{1, 4, 16}
+		c.FilePerProc = false
+		c.StripeCount = stripes[i]
+		return c
+	}},
+}
+
+// Fig3Spec expands the Fig. 3 sensitivity sweep into a campaign spec: one
+// unit per (factor, level) pair, each a full IOR benchmark around the
+// Example-I workload. Where Fig3 probes the cluster model directly, this
+// spec drives the complete knowledge cycle, so the impact factors can be
+// recomputed from persisted knowledge (Fig3FromStore).
+func Fig3Spec(seed uint64) *campaign.Spec {
+	base := ior.Default()
+	base.API = cluster.MPIIO
+	base.BlockSize = 4 * units.MiB
+	base.TransferSize = 2 * units.MiB
+	base.Segments = 40
+	base.NumTasks = 80
+	base.TasksPerNode = 20
+	base.FilePerProc = true
+	base.ReorderTasks = true
+	base.Repetitions = 5
+	base.TestFile = "/scratch/fuchs/zhuz/fig3"
+
+	spec := &campaign.Spec{Name: "fig3-sweep", BaseSeed: seed}
+	for _, f := range fig3Sweep {
+		for i, level := range f.levels {
+			spec.Units = append(spec.Units, campaign.Unit{
+				Index: len(spec.Units),
+				Name:  f.factor + "=" + level,
+				Gen:   core.IORGenerator{Config: f.mutate(base, i)},
+			})
+		}
+	}
+	return spec
+}
+
+// SweepResult is the Fig. 3 sweep regenerated through the campaign
+// scheduler: the impact factors, recomputed from the persisted knowledge,
+// plus the campaign outcome (wall time, worker count, per-unit records).
+type SweepResult struct {
+	Factors  []Fig3Factor
+	Campaign *campaign.Result
+}
+
+// Fig3Sweep runs the Fig. 3 sensitivity sweep through the parallel
+// knowledge-cycle scheduler: every (factor, level) unit generates, extracts
+// and persists knowledge into store, and the impact factors are then read
+// back from the stored summaries. workers <= 0 lets the scheduler pick
+// runtime.NumCPU(). A nil store runs against a fresh in-memory store.
+func Fig3Sweep(ctx context.Context, store *schema.Store, seed uint64, workers int) (*SweepResult, error) {
+	if store == nil {
+		var err error
+		store, err = schema.Open("")
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+	}
+	sched := &campaign.Scheduler{Store: store, Workers: workers}
+	res, err := sched.Run(ctx, Fig3Spec(seed))
+	if err != nil {
+		return nil, err
+	}
+	factors, err := Fig3FromStore(store, res)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Factors: factors, Campaign: res}, nil
+}
+
+// Fig3FromStore recomputes the Fig. 3 impact factors from the knowledge a
+// Fig3Spec campaign persisted — the analysis phase reading what the
+// parallel generation phase stored.
+func Fig3FromStore(store *schema.Store, res *campaign.Result) ([]Fig3Factor, error) {
+	var out []Fig3Factor
+	idx := 0
+	for _, f := range fig3Sweep {
+		factor := Fig3Factor{Factor: f.factor, Levels: f.levels}
+		for range f.levels {
+			run := res.Runs[idx]
+			idx++
+			if run.Status != "ok" || len(run.ObjectIDs) == 0 {
+				return nil, fmt.Errorf("experiments: sweep unit %q did not complete (%s)", run.Unit.Name, run.Status)
+			}
+			bw, err := store.MeanBandwidth(run.ObjectIDs[0], "write")
+			if err != nil {
+				return nil, err
+			}
+			factor.MiBps = append(factor.MiBps, bw)
+		}
+		mn, _ := stats.Min(factor.MiBps)
+		mx, _ := stats.Max(factor.MiBps)
+		if mn > 0 {
+			factor.Impact = mx / mn
+		}
+		out = append(out, factor)
+	}
+	return out, nil
+}
+
+// SweepReport renders the scheduler-driven sweep like Fig3Report, plus the
+// campaign execution summary.
+func (r *SweepResult) Report() string {
+	var b strings.Builder
+	b.WriteString(Fig3Report(r.Factors))
+	fmt.Fprintf(&b, "campaign %q: %d units on %d workers in %v (ok %d, failed %d, cancelled %d)\n",
+		r.Campaign.Name, len(r.Campaign.Runs), r.Campaign.Workers, r.Campaign.Wall.Round(time.Millisecond),
+		r.Campaign.OK, r.Campaign.Failed, r.Campaign.Cancelled)
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFig3SpecShape(t *testing.T) {
+	spec := Fig3Spec(7)
+	want := 0
+	for _, f := range fig3Sweep {
+		want += len(f.levels)
+	}
+	if len(spec.Units) != want {
+		t.Fatalf("units = %d, want %d", len(spec.Units), want)
+	}
+	for i, u := range spec.Units {
+		if u.Index != i {
+			t.Errorf("unit %d index = %d", i, u.Index)
+		}
+	}
+	if spec.Units[0].Name != "transfer size=64k" {
+		t.Errorf("first unit = %q", spec.Units[0].Name)
+	}
+}
+
+func TestFig3SweepMatchesDirectSweepQualitatively(t *testing.T) {
+	r, err := Fig3Sweep(context.Background(), nil, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Campaign.OK != len(r.Campaign.Runs) {
+		t.Fatalf("campaign = ok %d of %d", r.Campaign.OK, len(r.Campaign.Runs))
+	}
+	byName := map[string]Fig3Factor{}
+	for _, f := range r.Factors {
+		byName[f.Factor] = f
+	}
+	// The same qualitative findings as the direct Fig3 probe: task count
+	// dominates, stripe count matters, API is minor.
+	if f := byName["tasks"]; f.Impact < 4 {
+		t.Errorf("tasks impact = %.2f, want the dominant factor (> 4x)", f.Impact)
+	}
+	if f := byName["stripe count"]; f.Impact < 1.5 {
+		t.Errorf("stripe count impact = %.2f, want > 1.5x", f.Impact)
+	}
+	if f := byName["api"]; f.Impact > 1.5 {
+		t.Errorf("api impact = %.2f, want a minor factor (< 1.5x)", f.Impact)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "campaign \"fig3-sweep\"") || !strings.Contains(rep, "impact") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestFig3SweepDeterministicAcrossWorkers(t *testing.T) {
+	r1, err := Fig3Sweep(context.Background(), nil, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Fig3Sweep(context.Background(), nil, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Factors {
+		for j := range r1.Factors[i].MiBps {
+			if r1.Factors[i].MiBps[j] != r8.Factors[i].MiBps[j] {
+				t.Errorf("%s level %s: %.4f (w1) != %.4f (w8)",
+					r1.Factors[i].Factor, r1.Factors[i].Levels[j],
+					r1.Factors[i].MiBps[j], r8.Factors[i].MiBps[j])
+			}
+		}
+	}
+}

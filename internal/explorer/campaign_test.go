@@ -1,0 +1,83 @@
+package explorer
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/schema"
+)
+
+// seedCampaign runs a tiny two-unit campaign into a fresh store.
+func seedCampaign(t *testing.T) *schema.Store {
+	t.Helper()
+	st, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	var gens []core.Generator
+	for _, ts := range []string{"256k", "1m"} {
+		cfg, err := ior.ParseCommandLine("ior -a mpiio -b 2m -t " + ts + " -s 2 -F -C -i 2 -o /scratch/camp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.NumTasks = 40
+		cfg.TasksPerNode = 20
+		gens = append(gens, core.IORGenerator{Config: cfg})
+	}
+	sched := &campaign.Scheduler{Store: st, Workers: 2}
+	if _, err := sched.Run(context.Background(), campaign.FromGenerators("explorer-sweep", 5, gens)); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCampaignsList(t *testing.T) {
+	srv := New(seedCampaign(t))
+	code, body := get(t, srv, "/campaigns")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, want := range []string{"explorer-sweep", "/campaign?id=1", "ok", "<th>workers</th>"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("campaigns page missing %q", want)
+		}
+	}
+	// Empty store renders the hint instead of a table.
+	empty, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	if _, body := get(t, New(empty), "/campaigns"); !strings.Contains(body, "no campaigns executed yet") {
+		t.Error("empty campaigns page missing hint")
+	}
+}
+
+func TestCampaignSummaryPage(t *testing.T) {
+	srv := New(seedCampaign(t))
+	code, body := get(t, srv, "/campaign?id=1")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, want := range []string{
+		"explorer-sweep",
+		"ok 2 · failed 0 · cancelled 0",
+		"ior#0", "ior#1",
+		"/knowledge?id=1", "/knowledge?id=2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("campaign page missing %q", want)
+		}
+	}
+	if code, _ := get(t, srv, "/campaign?id=99"); code != 404 {
+		t.Errorf("missing campaign code = %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/campaign?id=x"); code != 400 {
+		t.Errorf("bad id code = %d, want 400", code)
+	}
+}

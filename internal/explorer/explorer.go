@@ -44,6 +44,8 @@ func New(store *schema.Store) *Server {
 	s.mux.HandleFunc("/configure", s.handleConfigure)
 	s.mux.HandleFunc("/upload", s.handleUpload)
 	s.mux.HandleFunc("/heatmap", s.handleHeatmap)
+	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("/campaign", s.handleCampaign)
 	return s
 }
 
@@ -65,7 +67,7 @@ code { background: #f4f4f4; padding: 1px 4px; }
 form.inline * { margin-right: 6px; }
 </style></head>
 <body>
-<nav><a href="/">Knowledge</a><a href="/compare">Compare</a><a href="/heatmap">Heat map</a><a href="/io500/bbox">Bounding box</a><a href="/upload">Upload</a></nav>
+<nav><a href="/">Knowledge</a><a href="/compare">Compare</a><a href="/heatmap">Heat map</a><a href="/io500/bbox">Bounding box</a><a href="/campaigns">Campaigns</a><a href="/upload">Upload</a></nav>
 <h1>{{.Title}}</h1>
 {{.Body}}
 </body></html>`

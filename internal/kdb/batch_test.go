@@ -1,0 +1,183 @@
+package kdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestBatchAppliesAndPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	err = db.Batch(func(exec ExecFunc) error {
+		for i := 0; i < 5; i++ {
+			res, err := exec("INSERT INTO t (v) VALUES (?)", fmt.Sprintf("row%d", i))
+			if err != nil {
+				return err
+			}
+			ids = append(ids, res.LastInsertID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || ids[0] != 1 || ids[4] != 5 {
+		t.Fatalf("batch ids = %v", ids)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The whole batch survives a reopen: one flush covered all entries.
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err := db2.Query("SELECT v FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 5 {
+		t.Fatalf("rows after reopen = %d, want 5", rows.Len())
+	}
+}
+
+func TestBatchRollsBackOnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rollback.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t (v) VALUES (?)", "kept"); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Batch(func(exec ExecFunc) error {
+		if _, err := exec("INSERT INTO t (v) VALUES (?)", "doomed"); err != nil {
+			return err
+		}
+		return fmt.Errorf("business rule failed")
+	})
+	if err == nil || err.Error() != "business rule failed" {
+		t.Fatalf("batch error = %v", err)
+	}
+	rows, err := db.Query("SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("rows after rollback = %d, want only the pre-batch row", rows.Len())
+	}
+	// A failed statement mid-batch rolls back the earlier ones too.
+	err = db.Batch(func(exec ExecFunc) error {
+		if _, err := exec("INSERT INTO t (v) VALUES (?)", "doomed2"); err != nil {
+			return err
+		}
+		_, err := exec("INSERT INTO nosuch (v) VALUES (?)", "x")
+		return err
+	})
+	if err == nil {
+		t.Fatal("batch with bad statement should fail")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing from either failed batch reached the log.
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err = db2.Query("SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.All()[0][0] != "kept" {
+		t.Fatalf("persisted rows = %v, want only 'kept'", rows.All())
+	}
+}
+
+func TestBatchRollsBackUnloggableArg(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "arg.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Batch(func(exec ExecFunc) error {
+		if _, err := exec("INSERT INTO t (v) VALUES (?)", "first"); err != nil {
+			return err
+		}
+		_, err := exec("INSERT INTO t (v) VALUES (?)", struct{}{})
+		return err
+	})
+	if err == nil {
+		t.Fatal("unloggable argument should fail the batch")
+	}
+	rows, err := db.Query("SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Fatalf("rows = %d, want 0 after rollback", rows.Len())
+	}
+}
+
+func TestBatchConcurrentWithReaders(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			err := db.Batch(func(exec ExecFunc) error {
+				for i := 0; i < 25; i++ {
+					if _, err := exec("INSERT INTO t (v) VALUES (?)", int64(g*100+i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rows, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if n := rows.Row()[0].(int64); n != 100 {
+		t.Fatalf("rows = %d, want 100", n)
+	}
+}

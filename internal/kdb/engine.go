@@ -150,40 +150,12 @@ func (db *DB) Exec(query string, args ...any) (Result, error) {
 }
 
 func (db *DB) exec(query string, args []any, log bool) (Result, error) {
-	stmt, err := parseCached(query)
-	if err != nil {
-		return Result{}, err
-	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if log && db.wal == nil && db.walErr != nil {
 		return Result{}, fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
 	}
-	// Each exec* returns an undo closure alongside its result. If the
-	// mutation succeeds in memory but the log append fails, the undo puts
-	// memory back so it never diverges from disk.
-	var res Result
-	var undo func()
-	switch s := stmt.(type) {
-	case *createStmt:
-		res, undo, err = db.execCreate(s)
-	case *insertStmt:
-		res, undo, err = db.execInsert(s, args)
-	case *updateStmt:
-		res, undo, err = db.execUpdate(s, args)
-	case *deleteStmt:
-		res, undo, err = db.execDelete(s, args)
-	case *dropStmt:
-		res, undo, err = db.execDrop(s)
-	case *createIndexStmt:
-		res, undo, err = db.execCreateIndex(s)
-	case *dropIndexStmt:
-		res, undo, err = db.execDropIndex(s)
-	case *selectStmt:
-		return Result{}, fmt.Errorf("kdb: use Query for SELECT")
-	default:
-		return Result{}, fmt.Errorf("kdb: unsupported statement")
-	}
+	res, undo, err := db.applyLocked(query, args)
 	if err != nil {
 		return Result{}, err
 	}
@@ -196,6 +168,105 @@ func (db *DB) exec(query string, args []any, log bool) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// applyLocked parses and applies one mutation in memory; db.mu must be
+// held. Each exec* returns an undo closure alongside its result. If the
+// mutation succeeds in memory but the log append later fails, the undo
+// puts memory back so it never diverges from disk.
+func (db *DB) applyLocked(query string, args []any) (Result, func(), error) {
+	stmt, err := parseCached(query)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	switch s := stmt.(type) {
+	case *createStmt:
+		return db.execCreate(s)
+	case *insertStmt:
+		return db.execInsert(s, args)
+	case *updateStmt:
+		return db.execUpdate(s, args)
+	case *deleteStmt:
+		return db.execDelete(s, args)
+	case *dropStmt:
+		return db.execDrop(s)
+	case *createIndexStmt:
+		return db.execCreateIndex(s)
+	case *dropIndexStmt:
+		return db.execDropIndex(s)
+	case *selectStmt:
+		return Result{}, nil, fmt.Errorf("kdb: use Query for SELECT")
+	}
+	return Result{}, nil, fmt.Errorf("kdb: unsupported statement")
+}
+
+// ExecFunc applies one mutation inside a Batch.
+type ExecFunc func(query string, args ...any) (Result, error)
+
+// Batcher is implemented by connections that can apply several mutations
+// atomically under one lock with a single log flush. *DB implements it;
+// callers holding only a Conn should type-assert and fall back to
+// statement-at-a-time Exec when the assertion fails (e.g. for *Remote).
+type Batcher interface {
+	Batch(fn func(exec ExecFunc) error) error
+}
+
+var _ Batcher = (*DB)(nil)
+
+// Batch runs fn with an exec function that applies mutations under one
+// write lock and one buffered log flush — the transaction-sized unit the
+// batched-ingestion path persists per flush. If fn (or any exec call made
+// after earlier execs succeeded) returns an error, every applied mutation
+// is rolled back in reverse order and nothing reaches the log, so a batch
+// is all-or-nothing both in memory and on disk.
+//
+// fn must not call other DB methods (Exec, Query, Batch): the write lock
+// is already held and they would deadlock.
+func (db *DB) Batch(fn func(exec ExecFunc) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil && db.walErr != nil {
+		return fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
+	}
+	var undos []func()
+	var pending []byte
+	rollback := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+	}
+	exec := func(query string, args ...any) (Result, error) {
+		// Encode the log record first: an unloggable argument must fail
+		// before the mutation touches memory.
+		var entry []byte
+		if db.wal != nil {
+			var err error
+			entry, err = encodeWalEntry(query, args)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		res, undo, err := db.applyLocked(query, args)
+		if err != nil {
+			return Result{}, err
+		}
+		if undo != nil {
+			undos = append(undos, undo)
+		}
+		pending = append(pending, entry...)
+		return res, nil
+	}
+	if err := fn(exec); err != nil {
+		rollback()
+		return err
+	}
+	if db.wal != nil && len(pending) > 0 {
+		if err := db.wal.AppendRaw(pending); err != nil {
+			rollback()
+			return fmt.Errorf("kdb: write log: %w", err)
+		}
+	}
+	return nil
 }
 
 // Query runs a SELECT statement.

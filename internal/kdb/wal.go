@@ -114,17 +114,35 @@ func openWAL(path string) (*wal, []replayEntry, error) {
 	return &wal{f: f, w: bufio.NewWriter(f)}, entries, nil
 }
 
-// Append logs one mutation and flushes it to the OS.
-func (w *wal) Append(sql string, args []any) error {
+// encodeWalEntry renders one mutation as its newline-terminated log record
+// without touching the file, so batches can validate and buffer every
+// record before any byte is written.
+func encodeWalEntry(sql string, args []any) ([]byte, error) {
 	ea, err := encodeArgs(args)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.Marshal(walEntry{SQL: sql, Args: ea})
 	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Append logs one mutation and flushes it to the OS.
+func (w *wal) Append(sql string, args []any) error {
+	data, err := encodeWalEntry(sql, args)
+	if err != nil {
 		return err
 	}
-	if _, err := w.w.Write(append(data, '\n')); err != nil {
+	return w.AppendRaw(data)
+}
+
+// AppendRaw writes pre-encoded log records (one or many) and flushes them
+// to the OS in a single pass — the batch ingestion fast path: N mutations
+// cost one write+flush instead of N.
+func (w *wal) AppendRaw(data []byte) error {
+	if _, err := w.w.Write(data); err != nil {
 		return err
 	}
 	return w.w.Flush()

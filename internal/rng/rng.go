@@ -77,6 +77,16 @@ func (s *Source) Perturb(v, relStddev float64) float64 {
 	return v * f
 }
 
+// Derive returns the n-th output (0-based) of the SplitMix64 stream seeded
+// with seed, in O(1) — without stepping through the intermediate states.
+// Sweeps use it to give run n of a campaign its own reproducible seed:
+// Derive(base, n) is identical at any worker count and any execution order,
+// and Derive(base, 0) == New(base).Uint64().
+func Derive(seed, n uint64) uint64 {
+	s := Source{state: seed + n*0x9e3779b97f4a7c15}
+	return s.Uint64()
+}
+
 // Fork derives an independent child generator from the current state. Two
 // generators forked at different points produce uncorrelated streams, which
 // lets each simulated node or task own a private stream derived from the

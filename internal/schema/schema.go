@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -132,6 +133,35 @@ var ddl = []string{
 		unit TEXT,
 		seconds REAL
 	)`,
+	// Campaign-level metadata for the parallel scheduler: one campaigns row
+	// per sweep, one campaign_runs row per executed unit, so the explorer
+	// can show campaign progress and analyses can slice knowledge by
+	// campaign. 64-bit seeds are stored as decimal TEXT (they can exceed
+	// the signed INTEGER range).
+	`CREATE TABLE IF NOT EXISTS campaigns (
+		id INTEGER PRIMARY KEY,
+		name TEXT,
+		base_seed TEXT,
+		workers INTEGER,
+		units INTEGER,
+		began TEXT,
+		finished TEXT,
+		wall_ms INTEGER,
+		status TEXT
+	)`,
+	`CREATE TABLE IF NOT EXISTS campaign_runs (
+		id INTEGER PRIMARY KEY,
+		campaign_id INTEGER,
+		unit INTEGER,
+		name TEXT,
+		seed TEXT,
+		status TEXT,
+		attempts INTEGER,
+		wall_ms INTEGER,
+		error TEXT,
+		object_ids TEXT,
+		io500_ids TEXT
+	)`,
 	// Secondary hash indexes on the foreign keys every load/list/compare
 	// query filters or joins on; without these each LoadObject is a chain
 	// of full scans.
@@ -144,6 +174,7 @@ var ddl = []string{
 	`CREATE INDEX IF NOT EXISTS idx_testcases_iofh ON IOFHsTestcases (IOFH_id)`,
 	`CREATE INDEX IF NOT EXISTS idx_ioresults_testcase ON IOFHsResults (testcase_id)`,
 	`CREATE INDEX IF NOT EXISTS idx_options_iofh ON IOFHsOptions (IOFH_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_campaign_runs_campaign ON campaign_runs (campaign_id)`,
 }
 
 // Open opens (or creates) a knowledge store. An empty path keeps
@@ -176,10 +207,53 @@ func (s *Store) Close() error { return s.DB.Close() }
 
 const timeLayout = time.RFC3339
 
+// execFn applies one mutation; it is either Conn.Exec (per-statement
+// persistence) or the exec handed out by kdb.Batcher.Batch (batched
+// ingestion with one lock acquisition and one log flush per batch).
+type execFn func(query string, args ...any) (kdb.Result, error)
+
 // SaveObject persists a benchmark knowledge object across performances,
 // summaries, results, filesystems, and systeminfos, returning the new
 // knowledge id.
 func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
+	return s.saveObject(s.DB.Exec, o)
+}
+
+// SaveObjects persists several knowledge objects in one transaction-sized
+// batch when the connection supports it (local kdb databases do): all
+// inserts apply under a single lock with a single log flush, and a failure
+// rolls the whole batch back. Connections without batch support (remote
+// kdb:// stores) fall back to per-object saves. IDs are returned in input
+// order.
+func (s *Store) SaveObjects(objs []*knowledge.Object) ([]int64, error) {
+	ids := make([]int64, 0, len(objs))
+	if b, ok := s.DB.(kdb.Batcher); ok {
+		err := b.Batch(func(exec kdb.ExecFunc) error {
+			for _, o := range objs {
+				id, err := s.saveObject(execFn(exec), o)
+				if err != nil {
+					return err
+				}
+				ids = append(ids, id)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ids, nil
+	}
+	for _, o := range objs {
+		id, err := s.SaveObject(o)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func (s *Store) saveObject(exec execFn, o *knowledge.Object) (int64, error) {
 	if err := o.Validate(); err != nil {
 		return 0, err
 	}
@@ -193,7 +267,7 @@ func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
 	}
 	tasks := 0
 	fmt.Sscanf(o.Pattern["tasks"], "%d", &tasks)
-	res, err := s.DB.Exec(
+	res, err := exec(
 		`INSERT INTO performances (source, command, api, test_file, file_per_proc, tasks, pattern_json, began, finished)
 		 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
 		string(o.Source), o.Command, o.Pattern["api"], o.Pattern["testFile"],
@@ -207,7 +281,7 @@ func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
 	// Summaries, and results keyed to the matching summary.
 	sumIDs := map[string]int64{}
 	for _, sm := range o.Summaries {
-		r, err := s.DB.Exec(
+		r, err := exec(
 			`INSERT INTO summaries (performance_id, operation, api, max_mib, min_mib, mean_mib, stddev_mib,
 				max_ops, min_ops, mean_ops, stddev_ops, mean_sec, iterations)
 			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
@@ -223,7 +297,7 @@ func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
 		if !ok {
 			return 0, fmt.Errorf("schema: result operation %q has no summary", rr.Operation)
 		}
-		if _, err := s.DB.Exec(
+		if _, err := exec(
 			`INSERT INTO results (summaries_id, iteration, bw_mib, ops, latency_sec, open_sec, wrrd_sec, close_sec, total_sec)
 			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
 			sid, rr.Iteration, rr.BwMiBps, rr.OpsPerSec, rr.LatencySec, rr.OpenSec, rr.WrRdSec, rr.CloseSec, rr.TotalSec); err != nil {
@@ -231,7 +305,7 @@ func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
 		}
 	}
 	if fs := o.FileSystem; fs != nil {
-		if _, err := s.DB.Exec(
+		if _, err := exec(
 			`INSERT INTO filesystems (performance_id, fstype, entry_type, entry_id, metadata_node, stripe_pattern, chunk_size, num_targets, raid_scheme, storage_pool)
 			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
 			perfID, fs.Type, fs.EntryType, fs.EntryID, fs.MetadataNode, fs.Pattern, fs.ChunkSize, fs.NumTargets, fs.RAIDScheme, fs.StoragePool); err != nil {
@@ -239,15 +313,15 @@ func (s *Store) SaveObject(o *knowledge.Object) (int64, error) {
 		}
 	}
 	if sys := o.System; sys != nil {
-		if err := s.saveSystem(sys, perfID, 0); err != nil {
+		if err := s.saveSystem(exec, sys, perfID, 0); err != nil {
 			return 0, err
 		}
 	}
 	return perfID, nil
 }
 
-func (s *Store) saveSystem(sys *knowledge.SystemInfo, perfID, iofhID int64) error {
-	_, err := s.DB.Exec(
+func (s *Store) saveSystem(exec execFn, sys *knowledge.SystemInfo, perfID, iofhID int64) error {
+	_, err := exec(
 		`INSERT INTO systeminfos (performance_id, iofh_id, hostname, architecture, cpu_model, cores, cpu_mhz, cache_kb, mem_total_kb, mem_free_kb)
 		 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
 		perfID, iofhID, sys.Hostname, sys.Architecture, sys.CPUModel, sys.Cores, sys.CPUMHz, sys.CacheKB, sys.MemTotalKB, sys.MemFreeKB)
@@ -356,41 +430,82 @@ func (s *Store) ListObjects() ([]Meta, error) {
 
 // SaveIO500 persists an IO500 knowledge object across the IOFHs* tables.
 func (s *Store) SaveIO500(o *knowledge.IO500Object) (int64, error) {
+	return s.saveIO500(s.DB.Exec, o)
+}
+
+// SaveIO500s persists several IO500 knowledge objects in one
+// transaction-sized batch (see SaveObjects for the batching contract).
+func (s *Store) SaveIO500s(objs []*knowledge.IO500Object) ([]int64, error) {
+	ids := make([]int64, 0, len(objs))
+	if b, ok := s.DB.(kdb.Batcher); ok {
+		err := b.Batch(func(exec kdb.ExecFunc) error {
+			for _, o := range objs {
+				id, err := s.saveIO500(execFn(exec), o)
+				if err != nil {
+					return err
+				}
+				ids = append(ids, id)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ids, nil
+	}
+	for _, o := range objs {
+		id, err := s.SaveIO500(o)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func (s *Store) saveIO500(exec execFn, o *knowledge.IO500Object) (int64, error) {
 	if err := o.Validate(); err != nil {
 		return 0, err
 	}
-	res, err := s.DB.Exec(
+	res, err := exec(
 		"INSERT INTO IOFHsRuns (command, began, finished) VALUES (?, ?, ?)",
 		o.Command, o.Began.UTC().Format(timeLayout), o.Finished.UTC().Format(timeLayout))
 	if err != nil {
 		return 0, err
 	}
 	runID := res.LastInsertID
-	if _, err := s.DB.Exec(
+	if _, err := exec(
 		"INSERT INTO IOFHsScores (IOFH_id, bw_gib, md_kiops, total) VALUES (?, ?, ?, ?)",
 		runID, o.ScoreBW, o.ScoreMD, o.ScoreTotal); err != nil {
 		return 0, err
 	}
 	for _, tc := range o.TestCases {
-		r, err := s.DB.Exec("INSERT INTO IOFHsTestcases (IOFH_id, name) VALUES (?, ?)", runID, tc.Name)
+		r, err := exec("INSERT INTO IOFHsTestcases (IOFH_id, name) VALUES (?, ?)", runID, tc.Name)
 		if err != nil {
 			return 0, err
 		}
-		if _, err := s.DB.Exec(
+		if _, err := exec(
 			"INSERT INTO IOFHsResults (testcase_id, value, unit, seconds) VALUES (?, ?, ?, ?)",
 			r.LastInsertID, tc.Value, tc.Unit, tc.Seconds); err != nil {
 			return 0, err
 		}
 	}
-	for k, v := range o.Options {
-		if _, err := s.DB.Exec(
+	// Options insert in sorted key order so a saved database is
+	// byte-identical across runs (map iteration order is random).
+	optKeys := make([]string, 0, len(o.Options))
+	for k := range o.Options {
+		optKeys = append(optKeys, k)
+	}
+	sort.Strings(optKeys)
+	for _, k := range optKeys {
+		if _, err := exec(
 			"INSERT INTO IOFHsOptions (IOFH_id, testcase_id, optkey, optvalue) VALUES (?, NULL, ?, ?)",
-			runID, k, v); err != nil {
+			runID, k, o.Options[k]); err != nil {
 			return 0, err
 		}
 	}
 	if o.System != nil {
-		if err := s.saveSystem(o.System, 0, runID); err != nil {
+		if err := s.saveSystem(exec, o.System, 0, runID); err != nil {
 			return 0, err
 		}
 	}

@@ -65,7 +65,7 @@ func TestSchemaTablesCreated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	want := []string{"iofhsoptions", "iofhsresults", "iofhsruns", "iofhsscores", "iofhstestcases", "filesystems", "performances", "results", "summaries", "systeminfos"}
+	want := []string{"iofhsoptions", "iofhsresults", "iofhsruns", "iofhsscores", "iofhstestcases", "filesystems", "performances", "results", "summaries", "systeminfos", "campaigns", "campaign_runs"}
 	got := s.DB.Tables()
 	if len(got) != len(want) {
 		t.Errorf("tables = %v", got)

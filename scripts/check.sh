@@ -1,7 +1,7 @@
 #!/bin/sh
 # Full verification gate, equivalent to `make check`, for environments
-# without make. Runs vet, build, the race-enabled storage/server suites,
-# and the tier-1 test suite.
+# without make. Runs vet, build, the race-enabled concurrency suites,
+# the tier-1 test suite, and a one-iteration benchmark smoke pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -9,8 +9,10 @@ echo "== go vet =="
 go vet ./...
 echo "== go build =="
 go build ./...
-echo "== go test -race (kdb, schema) =="
-go test -race ./internal/kdb/... ./internal/schema/...
+echo "== go test -race (kdb, schema, campaign, core) =="
+go test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/...
 echo "== go test (tier 1) =="
 go test ./...
+echo "== bench smoke (1 iteration) =="
+go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
 echo "OK"
