@@ -4,13 +4,17 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench benchsmoke tier1
+.PHONY: check build fmt vet test race bench benchsmoke tier1
 
 # check is the full gate: what CI (and scripts/check.sh) runs.
-check: vet build race tier1 benchsmoke
+check: fmt vet build race tier1 benchsmoke
 
 build:
 	$(GO) build ./...
+
+# fmt fails if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,10 +25,10 @@ tier1:
 
 # race re-runs the concurrency-heavy packages under the race detector:
 # kdb's concurrent Exec/Query/Compact and server stress tests, schema's
-# batched saves, the campaign scheduler's worker pool, and core's
-# shared-store cycle runs.
+# batched saves, the campaign scheduler's worker pool, core's
+# shared-store cycle runs, and telemetry's lock-free metric registry.
 race:
-	$(GO) test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/...
+	$(GO) test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
 
 test: tier1
 

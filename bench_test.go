@@ -41,6 +41,7 @@ import (
 	"repro/internal/sctuner"
 	"repro/internal/slurm"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -56,6 +57,7 @@ func printFigure(b *testing.B, key, report string) {
 // BenchmarkFig5IterationVariance regenerates Fig. 5: six IOR iterations on
 // 80 ranks with the iteration-2 write anomaly, detected through the cycle.
 func BenchmarkFig5IterationVariance(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig5(uint64(7 + i))
 		if err != nil {
@@ -70,6 +72,7 @@ func BenchmarkFig5IterationVariance(b *testing.B) {
 // BenchmarkFig6IO500BoundingBox regenerates Fig. 6: eight IO500 runs with
 // a broken node depressing ior-easy-read, aggregated and diagnosed.
 func BenchmarkFig6IO500BoundingBox(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig6(8, uint64(3+i), 0.35)
 		if err != nil {
@@ -85,6 +88,7 @@ func BenchmarkFig6IO500BoundingBox(b *testing.B) {
 // one-factor-at-a-time sensitivity sweep over the I/O performance impact
 // factors.
 func BenchmarkFig3ImpactFactors(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		factors, err := experiments.Fig3(uint64(5 + i))
 		if err != nil {
@@ -99,6 +103,7 @@ func BenchmarkFig3ImpactFactors(b *testing.B) {
 // BenchmarkExample1NewKnowledge regenerates §V-E1: knowledge → modified
 // configuration → new knowledge.
 func BenchmarkExample1NewKnowledge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.CycleExample(uint64(11 + i))
 		if err != nil {
@@ -113,6 +118,7 @@ func BenchmarkExample1NewKnowledge(b *testing.B) {
 // BenchmarkPredictionAccuracy regenerates the outlook's linear-regression
 // performance prediction over a knowledge sweep.
 func BenchmarkPredictionAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Prediction(uint64(13 + i))
 		if err != nil {
@@ -127,6 +133,7 @@ func BenchmarkPredictionAccuracy(b *testing.B) {
 // BenchmarkBoundingBoxMapping regenerates the §II-B expectation mapping of
 // an application run into the IO500 box.
 func BenchmarkBoundingBoxMapping(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		box, placement, err := experiments.BoundingBoxMapping(uint64(17 + i))
 		if err != nil {
@@ -157,6 +164,7 @@ func benchKdbFill(b *testing.B, db *kdb.DB) {
 // BenchmarkAblationKdbWALAppend measures insert throughput with every
 // mutation appended to the log (the default durability path).
 func BenchmarkAblationKdbWALAppend(b *testing.B) {
+	b.ReportAllocs()
 	dir := b.TempDir()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -173,6 +181,7 @@ func BenchmarkAblationKdbWALAppend(b *testing.B) {
 // snapshot rewrite — the compaction strategy trades write amplification
 // now for fast reopen later.
 func BenchmarkAblationKdbCompact(b *testing.B) {
+	b.ReportAllocs()
 	dir := b.TempDir()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -191,6 +200,7 @@ func BenchmarkAblationKdbCompact(b *testing.B) {
 // BenchmarkKdbQuery measures a representative explorer point query over a
 // populated store.
 func BenchmarkKdbQuery(b *testing.B) {
+	b.ReportAllocs()
 	db, err := kdb.Open("")
 	if err != nil {
 		b.Fatal(err)
@@ -235,6 +245,7 @@ func benchKdbLookupDB(b *testing.B) *kdb.DB {
 // an unindexed copy of the key column — the paper-style ablation for the
 // explorer's point-lookup path.
 func BenchmarkKDBIndexedLookup(b *testing.B) {
+	b.ReportAllocs()
 	db := benchKdbLookupDB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -246,6 +257,7 @@ func BenchmarkKDBIndexedLookup(b *testing.B) {
 }
 
 func BenchmarkKDBFullScanLookup(b *testing.B) {
+	b.ReportAllocs()
 	db := benchKdbLookupDB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -261,6 +273,7 @@ func BenchmarkKDBFullScanLookup(b *testing.B) {
 // BenchmarkAblationSimClosedForm times the production closed-form phase
 // model (one analytic evaluation per phase).
 func BenchmarkAblationSimClosedForm(b *testing.B) {
+	b.ReportAllocs()
 	m := cluster.FuchsCSC()
 	req := cluster.IORequest{
 		Op: cluster.Write, API: cluster.MPIIO,
@@ -282,6 +295,7 @@ func BenchmarkAblationSimClosedForm(b *testing.B) {
 // closed-form model saves. The loop reproduces the same aggregate shape:
 // per-rank transfers serialized against a shared bandwidth pool.
 func BenchmarkAblationSimEventLoop(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.New(1)
 	const (
 		tasks      = 80
@@ -334,6 +348,7 @@ func bigIOROutput(b *testing.B) []byte {
 // BenchmarkAblationExtractStreaming times the production line-oriented
 // extractor on a 50-iteration IOR output.
 func BenchmarkAblationExtractStreaming(b *testing.B) {
+	b.ReportAllocs()
 	data := bigIOROutput(b)
 	reg := extract.NewRegistry()
 	b.SetBytes(int64(len(data)))
@@ -352,6 +367,7 @@ func BenchmarkAblationExtractStreaming(b *testing.B) {
 // BenchmarkAblationExtractRegex times the whole-file-regex alternative the
 // design rejected: one multiline regex pass pulling the same access lines.
 func BenchmarkAblationExtractRegex(b *testing.B) {
+	b.ReportAllocs()
 	data := bigIOROutput(b)
 	re := regexp.MustCompile(`(?m)^(write|read)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\d+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\d+)\s*$`)
 	b.SetBytes(int64(len(data)))
@@ -394,6 +410,7 @@ func benchObject(b *testing.B) *knowledge.Object {
 
 // BenchmarkAblationSerializeJSON times the production JSON interchange.
 func BenchmarkAblationSerializeJSON(b *testing.B) {
+	b.ReportAllocs()
 	o := benchObject(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -410,6 +427,7 @@ func BenchmarkAblationSerializeJSON(b *testing.B) {
 
 // BenchmarkAblationSerializeGob times the gob alternative.
 func BenchmarkAblationSerializeGob(b *testing.B) {
+	b.ReportAllocs()
 	o := benchObject(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -455,6 +473,7 @@ func benchCampaign(b *testing.B, workers, batch int) {
 // across all four variants (see internal/campaign tests); only wall time
 // differs.
 func BenchmarkCampaignThroughput(b *testing.B) {
+	b.ReportAllocs()
 	par := runtime.NumCPU()
 	if par < 2 {
 		par = 2 // keep the parallel axis distinct on single-core machines
@@ -467,6 +486,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 
 // BenchmarkSimulatePhase is the core hot path: one simulated I/O phase.
 func BenchmarkSimulatePhase(b *testing.B) {
+	b.ReportAllocs()
 	m := cluster.FuchsCSC()
 	req := cluster.IORequest{
 		Op: cluster.Read, API: cluster.POSIX,
@@ -487,6 +507,7 @@ func BenchmarkSimulatePhase(b *testing.B) {
 
 // BenchmarkDarshanRoundTrip times encoding+decoding an 80-rank Darshan log.
 func BenchmarkDarshanRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	cfg, err := ior.ParseCommandLine(experiments.PaperCommand)
 	if err != nil {
 		b.Fatal(err)
@@ -513,6 +534,7 @@ func BenchmarkDarshanRoundTrip(b *testing.B) {
 // BenchmarkJUBEExpansion times cartesian parameter expansion (4 parameters
 // x 5 values = 625 combinations).
 func BenchmarkJUBEExpansion(b *testing.B) {
+	b.ReportAllocs()
 	bm := &jube.Benchmark{
 		ParameterSets: []jube.ParameterSet{{
 			Name: "p",
@@ -539,6 +561,7 @@ func BenchmarkJUBEExpansion(b *testing.B) {
 
 // BenchmarkChartBoxSVG times rendering the Fig. 6 boxplot chart.
 func BenchmarkChartBoxSVG(b *testing.B) {
+	b.ReportAllocs()
 	var boxes []stats.Box
 	var labels []string
 	src := rng.New(5)
@@ -566,6 +589,7 @@ func BenchmarkChartBoxSVG(b *testing.B) {
 // BenchmarkMonitorCollect times a 24-hour 1-minute-interval monitoring
 // collection over 50 accounting jobs.
 func BenchmarkMonitorCollect(b *testing.B) {
+	b.ReportAllocs()
 	from := referenceDay()
 	to := from.Add(24 * time.Hour)
 	src := rng.New(7)
@@ -595,6 +619,7 @@ func referenceDay() time.Time {
 // BenchmarkFullCycleIteration times one complete cycle turn: generate,
 // extract, enrich, persist.
 func BenchmarkFullCycleIteration(b *testing.B) {
+	b.ReportAllocs()
 	cfg, err := ior.ParseCommandLine(experiments.PaperCommand)
 	if err != nil {
 		b.Fatal(err)
@@ -616,6 +641,7 @@ func BenchmarkFullCycleIteration(b *testing.B) {
 // BenchmarkSCTunerProfile times building the full default autotuning grid
 // (24 configs × 2 pattern classes × 2 reps = 96 simulated runs).
 func BenchmarkSCTunerProfile(b *testing.B) {
+	b.ReportAllocs()
 	m := cluster.FuchsCSC()
 	space := sctuner.DefaultSpace()
 	b.ResetTimer()
@@ -629,6 +655,7 @@ func BenchmarkSCTunerProfile(b *testing.B) {
 // BenchmarkHDF5LiteCodec times encoding+decoding a container with a 1 MiB
 // payload dataset.
 func BenchmarkHDF5LiteCodec(b *testing.B) {
+	b.ReportAllocs()
 	f := hdf5lite.NewFile()
 	g := f.Root.CreateGroup("checkpoint")
 	ds, err := g.CreateDataset("field", []int64{1024, 1024}, 1)
@@ -648,5 +675,51 @@ func BenchmarkHDF5LiteCodec(b *testing.B) {
 		if _, err := hdf5lite.Unmarshal(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the observability layer
+// on kdb's instrumented point-query path (plan cache, index lookup, lock
+// wait, and latency histograms all fire per query): the same workload with
+// the process-wide registry enabled vs disabled. Target: < 5% throughput
+// cost enabled.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.ReportAllocs()
+	run := func(b *testing.B) {
+		b.Helper()
+		b.ReportAllocs()
+		db := benchKdbLookupDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query("SELECT bw FROM lk WHERE ik = ?", i%10000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows.Len() != 1 {
+				b.Fatalf("rows = %d", rows.Len())
+			}
+		}
+	}
+	b.Run("enabled", run)
+	b.Run("disabled", func(b *testing.B) {
+		telemetry.Default().SetEnabled(false)
+		defer telemetry.Default().SetEnabled(true)
+		run(b)
+	})
+}
+
+// BenchmarkTelemetryRecord times the raw metric hot paths in isolation:
+// one counter add, one gauge add, and one histogram observation per op.
+func BenchmarkTelemetryRecord(b *testing.B) {
+	b.ReportAllocs()
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_total")
+	g := reg.Gauge("bench_gauge")
+	h := reg.Histogram("bench_seconds")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		h.Observe(float64(i%1000) * 1e-6)
 	}
 }

@@ -1,7 +1,7 @@
 // Command explorer serves the web-based knowledge explorer (phase IV of
 // the knowledge cycle) over a knowledge database.
 //
-//	explorer [--db knowledge.db] [--addr :8080] [--demo]
+//	explorer [--db knowledge.db] [--addr :8080] [--demo] [--pprof]
 //
 // --demo seeds an in-memory store with the paper's two example scenarios
 // (the Fig. 5 iteration-variance run and three IO500 runs with a broken
@@ -34,6 +34,7 @@ func run(args []string) error {
 	db := fs.String("db", "", "knowledge database file (empty = in-memory)")
 	addr := fs.String("addr", ":8080", "listen address")
 	demo := fs.Bool("demo", false, "seed demo knowledge")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof endpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +49,9 @@ func run(args []string) error {
 		}
 	}
 	srv := explorer.New(store)
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 	fmt.Printf("knowledge explorer listening on %s\n", *addr)
 	return http.ListenAndServe(*addr, srv)
 }

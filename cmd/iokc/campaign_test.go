@@ -22,18 +22,23 @@ func TestCampaignSubcommandWithCommands(t *testing.T) {
 		`campaign #1 "cli-sweep": 3 unit(s) on 2 worker(s)`,
 		"ok 3, failed 0, cancelled 0",
 		"2 knowledge object(s), 1 io500 run(s)",
+		"self-observation: phase timings stored as knowledge object #3",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("campaign output missing %q:\n%s", want, out)
 		}
 	}
-	// The knowledge landed in the shared database and lists normally.
+	// The knowledge landed in the shared database and lists normally —
+	// including the campaign's own telemetry object.
 	out, err = capture(t, func() error { return run([]string{"list", "--db", db}) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "2 knowledge object(s)") || !strings.Contains(out, "1 IO500 run(s)") {
+	if !strings.Contains(out, "3 knowledge object(s)") || !strings.Contains(out, "1 IO500 run(s)") {
 		t.Errorf("list output:\n%s", out)
+	}
+	if !strings.Contains(out, "iokc-telemetry run=cli-sweep") {
+		t.Errorf("list output missing the self-observation object:\n%s", out)
 	}
 }
 

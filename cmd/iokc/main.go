@@ -1,8 +1,8 @@
 // Command iokc drives the full I/O knowledge cycle from the command line:
 //
-//	iokc generate [--db FILE] [--seed N] {ior ARGS... | io500 | hacc | darshan ARGS...}
-//	iokc jube [--db FILE] [--seed N] --config FILE [--basedir DIR]
-//	iokc campaign [--db FILE] [--seed N] [--workers N] [--retries N] [--batch N] [--name S] {--config FILE | CMD...}
+//	iokc generate [--db FILE] [--seed N] [--trace FILE] {ior ARGS... | io500 | hacc | darshan ARGS...}
+//	iokc jube [--db FILE] [--seed N] [--trace FILE] --config FILE [--basedir DIR]
+//	iokc campaign [--db FILE] [--seed N] [--workers N] [--retries N] [--batch N] [--name S] [--trace FILE] [--self-observe] {--config FILE | CMD...}
 //	iokc extract [--db FILE] [--path FILE_OR_WORKSPACE]
 //	iokc dxt --log FILE [--bins N]
 //	iokc trace [--seed N] [--out FILE] -- IOR ARGS...
@@ -13,8 +13,8 @@
 //	iokc configure [--db FILE] --id N [-t SIZE] [-b SIZE] [-s N] [-i N] [-N N]
 //	iokc causes [--db FILE] --id N --sacct FILE [--exclude-user U]
 //	iokc tune [--tasks N] [--burst SIZE] [--seed N]
-//	iokc serve [--db FILE] [--addr :8080]
-//	iokc servedb [--db FILE] [--addr :7070]
+//	iokc serve [--db FILE] [--addr :8080] [--pprof]
+//	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--pprof]
 //
 // Every --db flag also accepts a kdb://host:port connection URL, so any
 // subcommand can work against a shared remote knowledge base served by
@@ -52,6 +52,7 @@ import (
 	"repro/internal/sctuner"
 	"repro/internal/siox"
 	"repro/internal/slurm"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -104,6 +105,29 @@ func run(args []string) error {
 	return fmt.Errorf("unknown subcommand %q\n%s", sub, usage)
 }
 
+// dumpTrace ends the root span, writes the JSON trace to path, and prints
+// the flame-style text tree. A "" path is a no-op so callers can defer it
+// unconditionally.
+func dumpTrace(root *telemetry.Span, path string) error {
+	root.End()
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := root.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s\n%s", path, root.Tree())
+	return nil
+}
+
 func openCycle(db string, seed uint64) (*core.Cycle, error) {
 	store, err := schema.Open(db)
 	if err != nil {
@@ -126,6 +150,7 @@ func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	db := fs.String("db", "knowledge.db", "knowledge database")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	traceOut := fs.String("trace", "", "write the run's span tree to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +162,8 @@ func cmdGenerate(args []string) error {
 		return err
 	}
 	defer c.Store.Close()
+	root := telemetry.StartSpan("iokc generate")
+	c.Trace = root
 	var g core.Generator
 	switch fs.Arg(0) {
 	case "ior":
@@ -175,7 +202,7 @@ func cmdGenerate(args []string) error {
 	for _, id := range rep.IO500IDs {
 		fmt.Printf("stored IO500 knowledge #%d\n", id)
 	}
-	return nil
+	return dumpTrace(root, *traceOut)
 }
 
 func cmdJube(args []string) error {
@@ -184,6 +211,7 @@ func cmdJube(args []string) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	config := fs.String("config", "", "JUBE XML configuration file")
 	baseDir := fs.String("basedir", ".", "workspace host directory")
+	traceOut := fs.String("trace", "", "write the run's span tree to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,13 +227,15 @@ func cmdJube(args []string) error {
 		return err
 	}
 	defer c.Store.Close()
+	root := telemetry.StartSpan("iokc jube")
+	c.Trace = root
 	rep, err := c.Run(core.JUBEGenerator{ConfigXML: string(data), BaseDir: *baseDir})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("jube: %d workpackage(s), %d knowledge object(s), %d io500 run(s)\n",
 		rep.Artifacts, len(rep.ObjectIDs), len(rep.IO500IDs))
-	return nil
+	return dumpTrace(root, *traceOut)
 }
 
 // cmdCampaign expands a sweep (a JUBE configuration or explicit benchmark
@@ -221,6 +251,8 @@ func cmdCampaign(args []string) error {
 	batch := fs.Int("batch", 16, "units per ingestion batch")
 	name := fs.String("name", "", "campaign name (default: config file or \"campaign\")")
 	config := fs.String("config", "", "JUBE XML configuration to expand into units")
+	traceOut := fs.String("trace", "", "write the campaign's span tree to this JSON file")
+	selfObserve := fs.Bool("self-observe", true, "persist the campaign's own phase timings as a knowledge object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -260,11 +292,14 @@ func cmdCampaign(args []string) error {
 	defer store.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	root := telemetry.StartSpan("iokc campaign")
 	sched := &campaign.Scheduler{
 		Store:       store,
 		Workers:     *workers,
 		MaxAttempts: *retries,
 		BatchSize:   *batch,
+		Trace:       root,
+		SelfObserve: *selfObserve,
 	}
 	res, runErr := sched.Run(ctx, spec)
 	if res != nil {
@@ -272,11 +307,17 @@ func cmdCampaign(args []string) error {
 			res.CampaignID, res.Name, len(res.Runs), res.Workers, res.Wall.Round(time.Millisecond))
 		fmt.Printf("ok %d, failed %d, cancelled %d; %d knowledge object(s), %d io500 run(s)\n",
 			res.OK, res.Failed, res.Cancelled, len(res.ObjectIDs), len(res.IO500IDs))
+		if res.TelemetryID != 0 {
+			fmt.Printf("self-observation: phase timings stored as knowledge object #%d\n", res.TelemetryID)
+		}
 		for _, r := range res.Runs {
 			if r.Status == "failed" {
 				fmt.Printf("  unit %d %q failed after %d attempt(s): %v\n", r.Unit.Index, r.Unit.Name, r.Attempts, r.Err)
 			}
 		}
+	}
+	if err := dumpTrace(root, *traceOut); err != nil && runErr == nil {
+		runErr = err
 	}
 	return runErr
 }
@@ -615,6 +656,8 @@ func cmdServeDB(args []string) error {
 	addr := fs.String("addr", ":7070", "listen address")
 	maxConns := fs.Int("max-conns", kdb.DefaultMaxConns, "maximum concurrent client connections")
 	idle := fs.Duration("idle-timeout", kdb.DefaultIdleTimeout, "per-connection idle timeout")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /metrics.json over HTTP on this address (empty = disabled)")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof on the metrics address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -629,6 +672,25 @@ func cmdServeDB(args []string) error {
 		return err
 	}
 	fmt.Printf("knowledge database %s served on kdb://%s\n", *db, l.Addr())
+	if *metricsAddr != "" {
+		// The wire protocol is raw TCP, so observability rides on a side
+		// HTTP listener.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+		mux.Handle("/metrics.json", telemetry.JSONHandler(telemetry.Default()))
+		if *pprofOn {
+			telemetry.RegisterPprof(mux)
+		}
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go http.Serve(ml, mux)
+	} else if *pprofOn {
+		return fmt.Errorf("servedb: --pprof requires --metrics-addr")
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
@@ -651,6 +713,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	db := fs.String("db", "knowledge.db", "knowledge database")
 	addr := fs.String("addr", ":8080", "listen address")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof endpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -659,6 +722,10 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer store.Close()
+	srv := explorer.New(store)
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 	fmt.Printf("knowledge explorer on %s (db %s)\n", *addr, *db)
-	return http.ListenAndServe(*addr, explorer.New(store))
+	return http.ListenAndServe(*addr, srv)
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestGenerateTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "knowledge.db")
+	tracePath := filepath.Join(dir, "run.trace.json")
+	out, err := capture(t, func() error {
+		return run([]string{"generate", "--db", db, "--trace", tracePath,
+			"ior", "-a", "posix", "-b", "1m", "-t", "256k", "-s", "2", "-i", "2", "-o", "/scratch/t"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace written to "+tracePath) {
+		t.Errorf("output missing trace notice:\n%s", out)
+	}
+	// The printed flame tree shows the cycle phases.
+	for _, phase := range []string{"generation", "extraction", "persistence"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("trace tree missing phase %q:\n%s", phase, out)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e telemetry.SpanExport
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("trace file is not a span export: %v", err)
+	}
+	if e.Name != "iokc generate" || len(e.Children) != 3 {
+		t.Errorf("span export = %+v", e)
+	}
+}
+
+func TestCampaignTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "knowledge.db")
+	tracePath := filepath.Join(dir, "campaign.trace.json")
+	out, err := capture(t, func() error {
+		return run([]string{"campaign", "--db", db, "--workers", "2", "--trace", tracePath,
+			"ior -a posix -b 1m -t 256k -s 2 -i 1 -o /scratch/a",
+			"ior -a posix -b 1m -t 512k -s 2 -i 1 -o /scratch/b"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unit 0") || !strings.Contains(out, "unit 1") {
+		t.Errorf("campaign trace tree missing unit spans:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e telemetry.SpanExport
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("trace file is not a span export: %v", err)
+	}
+	if e.Name != "iokc campaign" || len(e.Children) != 1 {
+		t.Fatalf("span export root = %+v", e)
+	}
+	if !strings.HasPrefix(e.Children[0].Name, "campaign ") {
+		t.Errorf("campaign span = %+v", e.Children[0])
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/knowledge"
+	"repro/internal/rng"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 // Scheduler executes campaign specs over a bounded worker pool.
@@ -45,6 +47,20 @@ type Scheduler struct {
 	// BeforeAttempt, when set, runs before each generation attempt —
 	// the fault-injection and flakiness hook for tests and experiments.
 	BeforeAttempt func(u Unit, attempt int, m *cluster.Machine)
+	// Metrics receives the scheduler's counters and histograms
+	// (queue wait, retries, ingest batches, phase latencies). Nil means
+	// the process-wide telemetry.Default registry.
+	Metrics *telemetry.Registry
+	// Trace, when set, receives the campaign's span tree: one child per
+	// unit with generation/extraction children, plus persistence spans
+	// for the ingest batches.
+	Trace *telemetry.Span
+	// SelfObserve closes the paper's cycle on the pipeline itself: after
+	// the campaign finishes, its phase timings are serialized as a
+	// telemetry artifact and persisted through the normal
+	// extraction/persistence path, so the run's own behavior becomes
+	// queryable knowledge (Result.TelemetryID).
+	SelfObserve bool
 }
 
 // RunOutcome is the in-memory record of one executed unit, mirroring the
@@ -72,6 +88,9 @@ type Result struct {
 	Cancelled  int
 	ObjectIDs  []int64
 	IO500IDs   []int64
+	// TelemetryID is the knowledge object holding the campaign's own
+	// phase timings (0 unless the scheduler ran with SelfObserve).
+	TelemetryID int64
 }
 
 // outcome travels from a worker to the collector: the executed unit plus
@@ -119,6 +138,19 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 	if reg == nil {
 		reg = extract.NewRegistry()
 	}
+	met := s.Metrics
+	if met == nil {
+		met = telemetry.Default()
+	}
+	// The campaign always traces itself: either into the caller's span
+	// tree or into a private root, which is what SelfObserve serializes.
+	var trace *telemetry.Span
+	if s.Trace != nil {
+		trace = s.Trace.StartChild("campaign " + spec.Name)
+	} else {
+		trace = telemetry.StartSpan("campaign " + spec.Name)
+	}
+	defer trace.End()
 
 	began := time.Now()
 	campaignID, err := s.Store.CreateCampaign(spec.Name, spec.BaseSeed, workers, len(spec.Units), began)
@@ -132,10 +164,17 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 	}
 	close(jobs)
 	outcomes := make(chan outcome, len(spec.Units))
+	activeWorkers := met.Gauge("campaign_active_workers")
+	queueWait := met.Histogram("campaign_queue_wait_seconds")
 	for w := 0; w < workers; w++ {
 		go func() {
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			for u := range jobs {
-				outcomes <- s.runUnit(ctx, u, spec.BaseSeed, maxAttempts, backoff, newMachine, reg)
+				// Every unit is enqueued before the workers start, so
+				// time-since-start is exactly its queue wait.
+				queueWait.Observe(time.Since(began).Seconds())
+				outcomes <- s.runUnit(ctx, u, spec.BaseSeed, maxAttempts, backoff, newMachine, reg, met, trace)
 			}
 		}()
 	}
@@ -153,7 +192,14 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 		if persistErr != nil || len(pending) == 0 {
 			return
 		}
+		span := trace.StartChild("persistence")
+		start := time.Now()
+		met.Histogram("campaign_ingest_batch_units").Observe(float64(len(pending)))
 		persistErr = s.ingest(pending, res)
+		span.End()
+		sec := time.Since(start).Seconds()
+		met.Histogram("campaign_ingest_seconds").Observe(sec)
+		met.Histogram(telemetry.Label("cycle_phase_seconds", "phase", "persistence")).Observe(sec)
 		pending = pending[:0]
 	}
 	for range spec.Units {
@@ -178,7 +224,9 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 	flush()
 
 	for i := range res.Runs {
-		switch res.Runs[i].Status {
+		st := res.Runs[i].Status
+		met.Counter(telemetry.Label("campaign_units_total", "status", st)).Inc()
+		switch st {
 		case "ok":
 			res.OK++
 		case "failed":
@@ -199,6 +247,12 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 	if err := s.record(campaignID, status, began, res); err != nil && persistErr == nil {
 		persistErr = err
 	}
+	if s.SelfObserve && persistErr == nil {
+		trace.End()
+		if err := s.persistTelemetry(spec.Name, trace, reg, res); err != nil {
+			persistErr = err
+		}
+	}
 	if persistErr != nil {
 		return res, persistErr
 	}
@@ -208,22 +262,58 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 	return res, nil
 }
 
+// persistTelemetry closes the knowledge cycle on the campaign itself: the
+// span tree's phase timings are serialized as a telemetry artifact and
+// pushed through the same extraction/persistence path as benchmark output.
+func (s *Scheduler) persistTelemetry(name string, trace *telemetry.Span, reg *extract.Registry, res *Result) error {
+	timings := trace.PhaseTimings()
+	if len(timings) == 0 {
+		return nil
+	}
+	ex, err := reg.Extract(telemetry.Artifact(name, timings))
+	if err != nil {
+		return fmt.Errorf("campaign: extract self-telemetry: %w", err)
+	}
+	if ex.Object == nil {
+		return fmt.Errorf("campaign: self-telemetry produced no knowledge object")
+	}
+	id, err := s.Store.SaveObject(ex.Object)
+	if err != nil {
+		return fmt.Errorf("campaign: persist self-telemetry: %w", err)
+	}
+	ex.Object.ID = id
+	res.TelemetryID = id
+	return nil
+}
+
 // runUnit executes one unit: derive its seed, then attempt generation and
 // extraction up to maxAttempts times with exponential backoff. Every
 // attempt gets a fresh machine so injected faults or accumulated state
 // cannot leak between attempts (or units).
 func (s *Scheduler) runUnit(ctx context.Context, u Unit, baseSeed uint64, maxAttempts int,
-	backoff time.Duration, newMachine func() *cluster.Machine, reg *extract.Registry) outcome {
+	backoff time.Duration, newMachine func() *cluster.Machine, reg *extract.Registry,
+	met *telemetry.Registry, trace *telemetry.Span) outcome {
 	run := RunOutcome{Unit: u, Seed: core.DeriveSeed(baseSeed, uint64(u.Index))}
+	span := trace.StartChild(fmt.Sprintf("unit %d", u.Index))
+	defer span.End()
 	start := time.Now()
 	defer func() { run.Wall = time.Since(start) }()
+	genHist := met.Histogram(telemetry.Label("cycle_phase_seconds", "phase", "generation"))
+	extHist := met.Histogram(telemetry.Label("cycle_phase_seconds", "phase", "extraction"))
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if ctx.Err() != nil {
 			run.Status = "cancelled"
 			return outcome{run: run}
 		}
 		if attempt > 1 {
-			t := time.NewTimer(backoff << (attempt - 2))
+			met.Counter("campaign_retries_total").Inc()
+			// Deterministic seeded jitter: the delay stays a pure function
+			// of (unit seed, attempt), so reruns reproduce it exactly while
+			// workers that fail together stop retrying in lockstep.
+			d := backoff << (attempt - 2)
+			jit := rng.New(rng.Derive(run.Seed, uint64(attempt)))
+			d += time.Duration(float64(d) * jit.Float64())
+			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -237,13 +327,21 @@ func (s *Scheduler) runUnit(ctx context.Context, u Unit, baseSeed uint64, maxAtt
 		if s.BeforeAttempt != nil {
 			s.BeforeAttempt(u, attempt, m)
 		}
+		genSpan := span.StartChild("generation")
+		genStart := time.Now()
 		arts, err := u.Gen.Generate(&core.Context{Machine: m, Seed: run.Seed})
+		genSpan.End()
+		genHist.Observe(time.Since(genStart).Seconds())
 		if err == nil && len(arts) == 0 {
 			err = fmt.Errorf("campaign: unit %q produced no artifacts", u.Name)
 		}
 		var exs []*extract.Extraction
 		if err == nil {
+			extSpan := span.StartChild("extraction")
+			extStart := time.Now()
 			exs, err = core.ExtractArtifacts(m, reg, s.EnrichNode, arts)
+			extSpan.End()
+			extHist.Observe(time.Since(extStart).Seconds())
 		}
 		if err == nil {
 			run.Status = "ok"

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/knowledge"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+func TestCampaignSelfObservePersistsTelemetry(t *testing.T) {
+	st, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	met := telemetry.NewRegistry()
+	s := &Scheduler{Store: st, Workers: 2, BatchSize: 2, Metrics: met, SelfObserve: true}
+	res, err := s.Run(context.Background(), sweepSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TelemetryID == 0 {
+		t.Fatal("SelfObserve did not persist a telemetry object")
+	}
+	o, err := st.LoadObject(res.TelemetryID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Source != knowledge.SourceTelemetry {
+		t.Errorf("telemetry object source = %q", o.Source)
+	}
+	if o.Pattern["run"] != "sweep" {
+		t.Errorf("telemetry object run = %q", o.Pattern["run"])
+	}
+	// One generation and one extraction timing per unit, plus at least one
+	// persistence timing per ingest batch.
+	if got := len(o.ResultsFor("generation")); got != 4 {
+		t.Errorf("generation timings = %d, want 4", got)
+	}
+	if got := len(o.ResultsFor("extraction")); got != 4 {
+		t.Errorf("extraction timings = %d, want 4", got)
+	}
+	if got := len(o.ResultsFor("persistence")); got == 0 {
+		t.Error("no persistence timings")
+	}
+
+	snap := met.Snapshot()
+	if got := snap.Counters[telemetry.Label("campaign_units_total", "status", "ok")]; got != 4 {
+		t.Errorf("campaign_units_total{ok} = %d, want 4", got)
+	}
+	if got := snap.Histograms["campaign_queue_wait_seconds"].Count; got != 4 {
+		t.Errorf("queue wait observations = %d, want 4", got)
+	}
+	if got := snap.Histograms[telemetry.Label("cycle_phase_seconds", "phase", "generation")].Count; got != 4 {
+		t.Errorf("generation phase observations = %d, want 4", got)
+	}
+	if snap.Histograms["campaign_ingest_batch_units"].Count == 0 {
+		t.Error("no ingest batch observations")
+	}
+}
+
+func TestCampaignTraceSpans(t *testing.T) {
+	st, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	root := telemetry.StartSpan("cli")
+	s := &Scheduler{Store: st, Workers: 4, Trace: root, Metrics: telemetry.NewRegistry()}
+	if _, err := s.Run(context.Background(), sweepSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	e := root.Export()
+	if len(e.Children) != 1 || e.Children[0].Name != "campaign sweep" {
+		t.Fatalf("trace children = %+v", e.Children)
+	}
+	units := 0
+	for _, c := range e.Children[0].Children {
+		if _, ok := parseUnitName(c.Name); ok {
+			units++
+			if len(c.Children) == 0 {
+				t.Errorf("unit span %q has no phase children", c.Name)
+			}
+		}
+	}
+	if units != 4 {
+		t.Errorf("unit spans = %d, want 4", units)
+	}
+}
+
+func parseUnitName(name string) (int, bool) {
+	var n int
+	_, err := fmt.Sscanf(name, "unit %d", &n)
+	return n, err == nil
+}
+
+// Retries must stay reproducible with jittered backoff: the delay is a
+// pure function of (unit seed, attempt), so two identical flaky campaigns
+// produce byte-identical knowledge.
+func TestCampaignRetryJitterDeterministic(t *testing.T) {
+	runFlaky := func() *schema.Store {
+		st, err := schema.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		gen := &flakyGenerator{inner: iorGen(t, "ior -a posix -b 1m -t 256k -s 2 -i 1 -o /scratch/f"), failures: 1}
+		s := &Scheduler{Store: st, Workers: 2, MaxAttempts: 3, Backoff: time.Millisecond}
+		res, err := s.Run(context.Background(), FromGenerators("flaky", 7, []core.Generator{gen, gen}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK != 2 {
+			t.Fatalf("result = %+v", res)
+		}
+		return st
+	}
+	if d1, d2 := dumpKnowledge(t, runFlaky()), dumpKnowledge(t, runFlaky()); d1 != d2 {
+		t.Errorf("retried campaigns diverged:\n--- run1 ---\n%s\n--- run2 ---\n%s", d1, d2)
+	}
+}

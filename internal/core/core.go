@@ -34,6 +34,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/slurm"
 	"repro/internal/sysinfo"
+	"repro/internal/telemetry"
 	"repro/internal/workloadgen"
 )
 
@@ -71,6 +72,12 @@ type Cycle struct {
 	// EnrichNode selects which node's system information enriches the
 	// knowledge (default node 1).
 	EnrichNode int
+	// Metrics receives per-phase latency histograms
+	// (cycle_phase_seconds{phase=...}). Nil disables recording.
+	Metrics *telemetry.Registry
+	// Trace, when set, receives one child span per knowledge-cycle phase
+	// of every Run (and of the on-demand Analyze/Recommend phases).
+	Trace *telemetry.Span
 	// runCount numbers successive Run calls so each iteration sees its own
 	// derived seed instead of replaying the identical noise stream.
 	runCount uint64
@@ -90,7 +97,18 @@ func New(m *cluster.Machine, seed uint64) (*Cycle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cycle{Machine: m, Registry: extract.NewRegistry(), Store: st, Seed: seed}, nil
+	return &Cycle{Machine: m, Registry: extract.NewRegistry(), Store: st, Seed: seed, Metrics: telemetry.Default()}, nil
+}
+
+// beginPhase opens one knowledge-cycle phase: a child span under c.Trace
+// plus a closure that ends the span and feeds the phase latency histogram.
+func (c *Cycle) beginPhase(phase string) func() {
+	span := c.Trace.StartChild(phase)
+	start := time.Now()
+	return func() {
+		span.End()
+		c.Metrics.Histogram(telemetry.Label("cycle_phase_seconds", "phase", phase)).Observe(time.Since(start).Seconds())
+	}
 }
 
 // Report is the outcome of one cycle iteration.
@@ -124,18 +142,23 @@ func (c *Cycle) Run(g Generator) (*Report, error) {
 	if n := atomic.AddUint64(&c.runCount, 1) - 1; n > 0 {
 		seed = DeriveSeed(c.Seed, n)
 	}
+	endGen := c.beginPhase("generation")
 	arts, err := g.Generate(&Context{Machine: c.Machine, Seed: seed})
+	endGen()
 	if err != nil {
 		return nil, fmt.Errorf("core: generation (%s): %w", g.Name(), err)
 	}
 	if len(arts) == 0 {
 		return nil, fmt.Errorf("core: generator %s produced no artifacts", g.Name())
 	}
+	endExt := c.beginPhase("extraction")
 	exs, err := ExtractArtifacts(c.Machine, c.Registry, c.EnrichNode, arts)
+	endExt()
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Generator: g.Name(), Artifacts: len(arts), Extractions: exs}
+	defer c.beginPhase("persistence")()
 	for i, ex := range exs {
 		switch {
 		case ex.Object != nil:
@@ -196,6 +219,7 @@ func ExtractArtifacts(m *cluster.Machine, reg *extract.Registry, node int, arts 
 // Analyze runs the analysis-phase anomaly detection over one stored
 // knowledge object.
 func (c *Cycle) Analyze(id int64) ([]anomaly.Finding, error) {
+	defer c.beginPhase("analysis")()
 	o, err := c.Store.LoadObject(id)
 	if err != nil {
 		return nil, err
@@ -206,6 +230,7 @@ func (c *Cycle) Analyze(id int64) ([]anomaly.Finding, error) {
 // Recommend runs the usage-phase recommendation module over one stored
 // knowledge object.
 func (c *Cycle) Recommend(id int64) ([]recommend.Recommendation, error) {
+	defer c.beginPhase("usage")()
 	o, err := c.Store.LoadObject(id)
 	if err != nil {
 		return nil, err
@@ -221,6 +246,7 @@ func (c *Cycle) Recommend(id int64) ([]recommend.Recommendation, error) {
 // usage: load the command of stored knowledge, apply overrides, and return
 // the new runnable command (paper §V-E1).
 func (c *Cycle) NewConfiguration(id int64, overrides map[string]string) (string, error) {
+	defer c.beginPhase("usage")()
 	o, err := c.Store.LoadObject(id)
 	if err != nil {
 		return "", err

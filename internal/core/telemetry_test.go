@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestCycleTracePhases verifies that a traced Run records one child span
+// per cycle phase and feeds the phase-duration histograms.
+func TestCycleTracePhases(t *testing.T) {
+	c := newCycle(t)
+	c.Metrics = telemetry.NewRegistry()
+	root := telemetry.StartSpan("test run")
+	c.Trace = root
+	rep, err := c.Run(IORGenerator{Config: paperIORConfig(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analyze(rep.ObjectIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	export := root.Export()
+	var names []string
+	for _, ch := range export.Children {
+		names = append(names, ch.Name)
+	}
+	got := strings.Join(names, " ")
+	snap := c.Metrics.Snapshot()
+	for _, phase := range []string{"generation", "extraction", "persistence", "analysis"} {
+		if !strings.Contains(got, phase) {
+			t.Errorf("trace children %q missing phase %q", got, phase)
+		}
+		hv, ok := snap.Histograms[telemetry.Label("cycle_phase_seconds", "phase", phase)]
+		if !ok || hv.Count == 0 {
+			t.Errorf("cycle_phase_seconds{phase=%q} not observed (ok=%v, %+v)", phase, ok, hv)
+		}
+	}
+	for _, ch := range export.Children {
+		if ch.Seconds < 0 {
+			t.Errorf("span %q has negative duration %v", ch.Name, ch.Seconds)
+		}
+	}
+}
+
+// TestCycleUntracedStillCounts verifies metrics flow with a nil trace span
+// (the default for library callers that never set Cycle.Trace).
+func TestCycleUntracedStillCounts(t *testing.T) {
+	c := newCycle(t)
+	c.Metrics = telemetry.NewRegistry()
+	if _, err := c.Run(IORGenerator{Config: paperIORConfig(t)}); err != nil {
+		t.Fatal(err)
+	}
+	hv, ok := c.Metrics.Snapshot().Histograms[telemetry.Label("cycle_phase_seconds", "phase", "generation")]
+	if !ok || hv.Count != 1 {
+		t.Errorf("generation histogram = %+v (ok=%v)", hv, ok)
+	}
+}

@@ -24,34 +24,66 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/schema"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloadgen"
 )
 
 // Server is the knowledge explorer HTTP application.
 type Server struct {
 	Store *schema.Store
-	mux   *http.ServeMux
+	// Metrics backs the /metrics endpoints and the request middleware.
+	// New wires the process-wide default registry; tests may substitute a
+	// private one before the first request.
+	Metrics *telemetry.Registry
+	mux     *http.ServeMux
+	// knownPaths normalizes request paths for metric labels so series
+	// cardinality stays bounded under arbitrary client traffic.
+	knownPaths func(string) string
 }
 
 // New builds the explorer over a knowledge store.
 func New(store *schema.Store) *Server {
-	s := &Server{Store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/knowledge", s.handleKnowledge)
-	s.mux.HandleFunc("/compare", s.handleCompare)
-	s.mux.HandleFunc("/io500", s.handleIO500)
-	s.mux.HandleFunc("/io500/bbox", s.handleBBox)
-	s.mux.HandleFunc("/configure", s.handleConfigure)
-	s.mux.HandleFunc("/upload", s.handleUpload)
-	s.mux.HandleFunc("/heatmap", s.handleHeatmap)
-	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
-	s.mux.HandleFunc("/campaign", s.handleCampaign)
+	s := &Server{Store: store, Metrics: telemetry.Default(), mux: http.NewServeMux()}
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"/", s.handleIndex},
+		{"/knowledge", s.handleKnowledge},
+		{"/compare", s.handleCompare},
+		{"/io500", s.handleIO500},
+		{"/io500/bbox", s.handleBBox},
+		{"/configure", s.handleConfigure},
+		{"/upload", s.handleUpload},
+		{"/heatmap", s.handleHeatmap},
+		{"/campaigns", s.handleCampaigns},
+		{"/campaign", s.handleCampaign},
+	}
+	known := make([]string, 0, len(routes)+2)
+	for _, r := range routes {
+		s.mux.HandleFunc(r.pattern, r.h)
+		known = append(known, r.pattern)
+	}
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.Handler(s.Metrics).ServeHTTP(w, r)
+	})
+	s.mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.JSONHandler(s.Metrics).ServeHTTP(w, r)
+	})
+	s.knownPaths = telemetry.PathNormalizer(append(known, "/metrics", "/metrics.json")...)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// EnablePprof mounts net/http/pprof under /debug/pprof/. Profiling is
+// opt-in (a CLI flag), never on by default.
+func (s *Server) EnablePprof() {
+	telemetry.RegisterPprof(s.mux)
+}
+
+// ServeHTTP implements http.Handler, recording request counts and
+// latencies for every route.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	telemetry.Middleware(s.Metrics, s.knownPaths, s.mux).ServeHTTP(w, r)
 }
 
 const pageShell = `<!DOCTYPE html>

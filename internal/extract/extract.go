@@ -59,6 +59,7 @@ func NewRegistry() *Registry {
 		HACCExtractor{},
 		DarshanExtractor{},
 		MonitorExtractor{},
+		TelemetryExtractor{},
 	}}
 }
 

@@ -84,7 +84,7 @@ func darshanLog(t *testing.T) []byte {
 
 func TestRegistryAutoDetect(t *testing.T) {
 	reg := NewRegistry()
-	if got := reg.Names(); len(got) != 5 {
+	if got := reg.Names(); len(got) != 6 {
 		t.Errorf("names = %v", got)
 	}
 	cases := []struct {
@@ -300,7 +300,7 @@ func TestCustomExtractorRegistration(t *testing.T) {
 	if ex.Object == nil || ex.Object.Source != "fake" {
 		t.Errorf("custom extraction = %+v", ex)
 	}
-	if got := reg.Names(); len(got) != 6 || got[5] != "fake" {
+	if got := reg.Names(); len(got) != 7 || got[6] != "fake" {
 		t.Errorf("names = %v", got)
 	}
 }

@@ -1,0 +1,84 @@
+package extract
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/knowledge"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// TelemetryExtractor closes the knowledge cycle on itself: the phase
+// timings a run collects about its own generation/extraction/persistence
+// work are serialized by telemetry.WriteArtifact and re-enter the pipeline
+// here as a knowledge object, queryable in kdb and visible in the explorer
+// next to benchmark knowledge. Each timing becomes one iteration result
+// (Operation = phase, TotalSec = duration); per-phase summaries carry the
+// duration statistics in MeanSec/MaxOps-free form.
+type TelemetryExtractor struct{}
+
+// Name implements Extractor.
+func (TelemetryExtractor) Name() string { return "telemetry" }
+
+// Sniff implements Extractor.
+func (TelemetryExtractor) Sniff(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(telemetry.ArtifactPrefix))
+}
+
+// Extract implements Extractor.
+func (TelemetryExtractor) Extract(data []byte) (*Extraction, error) {
+	run, timings, err := telemetry.ParseArtifact(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(timings) == 0 {
+		return nil, fmt.Errorf("extract: telemetry artifact %q has no phase timings", run)
+	}
+	o := &knowledge.Object{
+		Source:  knowledge.SourceTelemetry,
+		Command: "iokc-telemetry run=" + run,
+		Pattern: map[string]string{
+			"run":     run,
+			"timings": strconv.Itoa(len(timings)),
+		},
+	}
+	// One result per timing. Iteration is the per-phase ordinal (artifact
+	// order is already deterministic: phase order, then unit), which keeps
+	// Validate's iteration >= 0 invariant even for whole-run timings whose
+	// unit is -1.
+	perPhase := map[string][]float64{}
+	for _, t := range timings {
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: t.Phase,
+			Iteration: len(perPhase[t.Phase]),
+			TotalSec:  t.Seconds,
+		})
+		perPhase[t.Phase] = append(perPhase[t.Phase], t.Seconds)
+	}
+	phases := make([]string, 0, len(perPhase))
+	for p := range perPhase {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		sum, err := stats.Summarize(perPhase[p])
+		if err != nil {
+			return nil, err
+		}
+		o.Summaries = append(o.Summaries, knowledge.Summary{
+			Operation: p, API: "telemetry",
+			MeanSec:    sum.Mean,
+			Iterations: sum.N,
+		})
+	}
+	now := time.Now().UTC()
+	o.Began, o.Finished = now, now
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{Object: o}, nil
+}

@@ -1,0 +1,50 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/knowledge"
+	"repro/internal/telemetry"
+)
+
+func TestTelemetryExtractor(t *testing.T) {
+	data := telemetry.Artifact("campaign-1", []telemetry.PhaseTiming{
+		{Phase: "generation", Unit: 0, Seconds: 0.5},
+		{Phase: "generation", Unit: 1, Seconds: 0.7},
+		{Phase: "persistence", Unit: -1, Seconds: 0.1},
+	})
+
+	reg := NewRegistry()
+	ex, err := reg.Extract(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.Object
+	if o == nil || o.Source != knowledge.SourceTelemetry {
+		t.Fatalf("extraction = %+v", ex)
+	}
+	if o.Pattern["run"] != "campaign-1" {
+		t.Errorf("run pattern = %q", o.Pattern["run"])
+	}
+	if len(o.Results) != 3 {
+		t.Fatalf("results = %+v", o.Results)
+	}
+	gen := o.ResultsFor("generation")
+	if len(gen) != 2 || gen[0].Iteration != 0 || gen[1].Iteration != 1 || gen[1].TotalSec != 0.7 {
+		t.Errorf("generation results = %+v", gen)
+	}
+	sum, ok := o.SummaryFor("generation")
+	if !ok || sum.Iterations != 2 || sum.MeanSec != 0.6 {
+		t.Errorf("generation summary = %+v ok=%v", sum, ok)
+	}
+	if _, ok := o.SummaryFor("persistence"); !ok {
+		t.Error("missing persistence summary")
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+
+	if _, err := (TelemetryExtractor{}).Extract([]byte(telemetry.ArtifactPrefix + " run=empty\n")); err == nil {
+		t.Error("empty artifact should fail extraction")
+	}
+}

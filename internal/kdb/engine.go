@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrNoRows is returned by QueryRow (local and remote) when the query
@@ -150,8 +151,12 @@ func (db *DB) Exec(query string, args ...any) (Result, error) {
 }
 
 func (db *DB) exec(query string, args []any, log bool) (Result, error) {
+	lockStart := time.Now()
 	db.mu.Lock()
+	metLockWaitSeconds.Observe(sinceSeconds(lockStart))
 	defer db.mu.Unlock()
+	start := time.Now()
+	defer func() { metExecSeconds.Observe(sinceSeconds(start)) }()
 	if log && db.wal == nil && db.walErr != nil {
 		return Result{}, fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
 	}
@@ -223,7 +228,10 @@ var _ Batcher = (*DB)(nil)
 // fn must not call other DB methods (Exec, Query, Batch): the write lock
 // is already held and they would deadlock.
 func (db *DB) Batch(fn func(exec ExecFunc) error) error {
+	lockStart := time.Now()
 	db.mu.Lock()
+	metLockWaitSeconds.Observe(sinceSeconds(lockStart))
+	metBatchesTotal.Inc()
 	defer db.mu.Unlock()
 	if db.wal == nil && db.walErr != nil {
 		return fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
@@ -279,8 +287,12 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("kdb: Query requires SELECT")
 	}
+	lockStart := time.Now()
 	db.mu.RLock()
+	metLockWaitSeconds.Observe(sinceSeconds(lockStart))
 	defer db.mu.RUnlock()
+	start := time.Now()
+	defer func() { metQuerySeconds.Observe(sinceSeconds(start)) }()
 	return db.execSelect(sel, args)
 }
 

@@ -99,6 +99,7 @@ func (t *Table) lookup(ix *hashIndex, key any) []int {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
 	if !ix.fresh {
+		metIndexRebuilds.Inc()
 		ix.buckets = make(map[any][]int, len(t.Rows))
 		for pos, row := range t.Rows {
 			k := hashKey(row[ix.col])
@@ -174,8 +175,10 @@ func (t *Table) indexCandidates(w expr, e *env, args []any) ([]int, bool) {
 			// is an error or simply matches nothing.
 			return nil, false
 		}
+		metIndexHits.Inc()
 		return t.lookup(ix, cv), true
 	}
+	metIndexMisses.Inc()
 	return nil, false
 }
 

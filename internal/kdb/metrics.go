@@ -1,0 +1,49 @@
+package kdb
+
+// Engine observability. All handles are resolved once at package init
+// against the process-wide telemetry registry, so the per-operation cost
+// is a single atomic add (or nothing at all when the registry is
+// disabled). kdb imports telemetry but not vice versa, keeping the
+// dependency edge acyclic.
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	metQuerySeconds    *telemetry.Histogram
+	metExecSeconds     *telemetry.Histogram
+	metLockWaitSeconds *telemetry.Histogram
+	metBatchesTotal    *telemetry.Counter
+	metPlanCacheHits   *telemetry.Counter
+	metPlanCacheMisses *telemetry.Counter
+	metIndexHits       *telemetry.Counter
+	metIndexMisses     *telemetry.Counter
+	metIndexRebuilds   *telemetry.Counter
+	metWALFlushes      *telemetry.Counter
+	metWALBytes        *telemetry.Counter
+	metServerRequests  *telemetry.Counter
+	metServerOpenConns *telemetry.Gauge
+)
+
+func init() {
+	reg := telemetry.Default()
+	metQuerySeconds = reg.Histogram("kdb_query_seconds")
+	metExecSeconds = reg.Histogram("kdb_exec_seconds")
+	metLockWaitSeconds = reg.Histogram("kdb_lock_wait_seconds")
+	metBatchesTotal = reg.Counter("kdb_batches_total")
+	metPlanCacheHits = reg.Counter(telemetry.Label("kdb_plan_cache_total", "result", "hit"))
+	metPlanCacheMisses = reg.Counter(telemetry.Label("kdb_plan_cache_total", "result", "miss"))
+	metIndexHits = reg.Counter(telemetry.Label("kdb_index_lookups_total", "result", "hit"))
+	metIndexMisses = reg.Counter(telemetry.Label("kdb_index_lookups_total", "result", "miss"))
+	metIndexRebuilds = reg.Counter("kdb_index_rebuilds_total")
+	metWALFlushes = reg.Counter("kdb_wal_flushes_total")
+	metWALBytes = reg.Counter("kdb_wal_bytes_total")
+	metServerRequests = reg.Counter("kdb_server_requests_total")
+	metServerOpenConns = reg.Gauge("kdb_server_open_conns")
+}
+
+// sinceSeconds is the one conversion every instrumented path shares.
+func sinceSeconds(start time.Time) float64 { return time.Since(start).Seconds() }

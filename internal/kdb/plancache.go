@@ -24,8 +24,10 @@ func parseCached(src string) (any, error) {
 	stmt, ok := planCache.m[src]
 	planCache.RUnlock()
 	if ok {
+		metPlanCacheHits.Inc()
 		return stmt, nil
 	}
+	metPlanCacheMisses.Inc()
 	stmt, err := parse(src)
 	if err != nil {
 		return nil, err

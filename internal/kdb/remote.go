@@ -174,7 +174,9 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 func (s *Server) handle(sc *serverConn) {
+	metServerOpenConns.Add(1)
 	defer func() {
+		metServerOpenConns.Add(-1)
 		sc.c.Close()
 		s.mu.Lock()
 		delete(s.conns, sc)
@@ -218,6 +220,7 @@ func (s *Server) handle(sc *serverConn) {
 }
 
 func (s *Server) dispatch(req wireRequest) wireResponse {
+	metServerRequests.Inc()
 	args, err := decodeArgs(req.Args)
 	if err != nil {
 		return wireResponse{Err: err.Error()}

@@ -145,7 +145,12 @@ func (w *wal) AppendRaw(data []byte) error {
 	if _, err := w.w.Write(data); err != nil {
 		return err
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	metWALFlushes.Inc()
+	metWALBytes.Add(int64(len(data)))
+	return nil
 }
 
 // Close flushes and closes the log file.

@@ -25,6 +25,11 @@ const (
 	SourceIO500   Source = "io500"
 	SourceHACCIO  Source = "haccio"
 	SourceDarshan Source = "darshan"
+	// SourceTelemetry marks the cycle's self-observation artifacts: phase
+	// timings of a run, persisted through the same extraction path as
+	// benchmark output so the pipeline's own behavior becomes queryable
+	// knowledge.
+	SourceTelemetry Source = "telemetry"
 )
 
 // Summary is the per-operation statistics block of a knowledge object,

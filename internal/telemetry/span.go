@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work with optional children, forming a trace
+// tree. Durations come from time.Since and are therefore monotonic even if
+// the wall clock steps. Children may be added concurrently (campaign
+// workers attach unit spans to one shared campaign span); every method is
+// nil-safe so tracing can be wired through APIs unconditionally.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild begins a child span attached to s. On a nil receiver it
+// returns nil, which is itself safe to use.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span. Extra calls are ignored; the first End wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = d
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration; for a still-running span it
+// returns the elapsed time so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanExport is the JSON shape of one span. Offsets are relative to the
+// exported root so traces are comparable across runs.
+type SpanExport struct {
+	Name          string       `json:"name"`
+	OffsetSeconds float64      `json:"offset_seconds"`
+	Seconds       float64      `json:"seconds"`
+	Children      []SpanExport `json:"children,omitempty"`
+}
+
+func (s *Span) export(root time.Time) SpanExport {
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	e := SpanExport{
+		Name:          s.name,
+		OffsetSeconds: s.start.Sub(root).Seconds(),
+		Seconds:       s.Duration().Seconds(),
+	}
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].start.Before(kids[j].start) })
+	for _, c := range kids {
+		e.Children = append(e.Children, c.export(root))
+	}
+	return e
+}
+
+// Export snapshots the span tree.
+func (s *Span) Export() SpanExport {
+	if s == nil {
+		return SpanExport{}
+	}
+	return s.export(s.start)
+}
+
+// WriteJSON writes the span tree as indented JSON.
+func (s *Span) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}
+
+// Tree renders the span tree as a flame-style indented text listing, each
+// line showing the span's duration and its share of the root.
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	root := s.Export()
+	total := root.Seconds
+	if total <= 0 {
+		total = 1
+	}
+	var b strings.Builder
+	writeTree(&b, root, 0, total)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, e SpanExport, depth int, total float64) {
+	fmt.Fprintf(b, "%s%-*s %12.6fs %5.1f%%\n",
+		strings.Repeat("  ", depth), 28-2*depth, e.Name, e.Seconds, 100*e.Seconds/total)
+	for _, c := range e.Children {
+		writeTree(b, c, depth+1, total)
+	}
+}
+
+// PhaseTimings flattens a trace into (phase, unit, seconds) rows suitable
+// for WriteArtifact. Spans named "unit <n>" set the unit index for their
+// subtree; leaf phase spans (generation, extraction, persistence, analysis,
+// usage) become one timing each.
+func (s *Span) PhaseTimings() []PhaseTiming {
+	if s == nil {
+		return nil
+	}
+	var out []PhaseTiming
+	collectTimings(s.Export(), -1, &out)
+	return out
+}
+
+func collectTimings(e SpanExport, unit int, out *[]PhaseTiming) {
+	if n, ok := parseUnit(e.Name); ok {
+		unit = n
+	} else if isPhase(e.Name) {
+		*out = append(*out, PhaseTiming{Phase: e.Name, Unit: unit, Seconds: e.Seconds})
+	}
+	for _, c := range e.Children {
+		collectTimings(c, unit, out)
+	}
+}
+
+func parseUnit(name string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "unit %d", &n); err == nil && strings.HasPrefix(name, "unit ") {
+		return n, true
+	}
+	return 0, false
+}
+
+// Phases are the five knowledge-cycle phases of the paper, in order.
+var Phases = []string{"generation", "extraction", "persistence", "analysis", "usage"}
+
+func isPhase(name string) bool {
+	for _, p := range Phases {
+		if name == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,434 @@
+// Package telemetry is the observability layer of the knowledge cycle: a
+// concurrent metrics registry (counters, gauges, histograms with
+// exponential buckets) and lightweight span tracing, stdlib-only, with
+// Prometheus-text and JSON exposition.
+//
+// The hot paths are lock-free: counters and histogram buckets mutate with
+// single atomic adds, gauges with a CAS loop over float64 bits. Metric
+// handles are looked up (or created) once under a registry lock and then
+// cached by the instrumented code, so steady-state recording never touches
+// a map or a mutex. Every mutator is nil-safe — a nil *Counter, *Gauge,
+// *Histogram, or *Span is a no-op — so instrumentation can be compiled in
+// unconditionally and disabled by simply not wiring a registry.
+//
+// The registry can also be disabled at runtime (SetEnabled), which turns
+// every recording into a single atomic load; the bench suite uses this to
+// measure the telemetry on/off overhead.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry, or use Default for the process-wide registry every built-in
+// instrumentation point records into.
+type Registry struct {
+	disabled atomic.Bool
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. The kdb engine, the campaign
+// scheduler, and the HTTP middleware all record here unless given another
+// registry explicitly.
+func Default() *Registry { return defaultRegistry }
+
+// SetEnabled turns recording on or off for every metric of the registry.
+// Disabled recording costs one atomic load per call.
+func (r *Registry) SetEnabled(on bool) {
+	if r != nil {
+		r.disabled.Store(!on)
+	}
+}
+
+// Enabled reports whether the registry records.
+func (r *Registry) Enabled() bool { return r != nil && !r.disabled.Load() }
+
+// Label renders a metric name with one or more label pairs in canonical
+// form: Label("x_total", "op", "write") == `x_total{op="write"}`. Pairs are
+// emitted in the given order; call sites must use a fixed order so the same
+// series maps to the same registry key.
+func Label(name string, pairs ...string) string {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	reg *Registry
+	v   atomic.Int64
+}
+
+// Counter returns (creating on first use) the named counter. The name may
+// carry labels rendered by Label.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{reg: r}
+	r.counters[name] = c
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 || c.reg.disabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	reg *Registry
+	v   atomic.Uint64 // float64 bits
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{reg: r}
+	r.gauges[name] = g
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.reg.disabled.Load() {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Add adds delta (which may be negative) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || g.reg.disabled.Load() {
+		return
+	}
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+// Histogram accumulates observations into exponential buckets. The hot
+// path is two atomic adds plus one CAS (for the sum); bucket search is a
+// short linear scan over the precomputed upper bounds.
+type Histogram struct {
+	reg    *Registry
+	bounds []float64 // ascending upper bounds; implicit +Inf bucket at the end
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// DefaultBuckets covers 1µs .. ~67s in 26 exponential (factor-2) steps —
+// wide enough for both kdb point queries and whole-campaign phases.
+var DefaultBuckets = ExponentialBuckets(1e-6, 2, 26)
+
+// ExponentialBuckets returns n upper bounds starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram returns (creating on first use) the named histogram with
+// DefaultBuckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, DefaultBuckets)
+}
+
+// HistogramBuckets returns (creating on first use) the named histogram.
+// bounds must be ascending; they are only consulted on first creation.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{
+		reg:    r,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.reg.disabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// HistogramValue is a consistent-enough snapshot of a histogram for
+// exposition: per-bucket cumulative counts plus sum and count.
+type HistogramValue struct {
+	Bounds     []float64 `json:"bounds"` // upper bounds; last bucket is +Inf
+	Cumulative []int64   `json:"cumulative"`
+	Sum        float64   `json:"sum"`
+	Count      int64     `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramValue {
+	v := HistogramValue{Bounds: h.bounds, Sum: h.Sum(), Count: h.Count()}
+	v.Cumulative = make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		v.Cumulative[i] = cum
+	}
+	return v
+}
+
+// Snapshot is a point-in-time copy of a registry's contents, used by both
+// expositions and by tests.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// splitName separates a Label-rendered series name into its base name and
+// the inner label text ("" when unlabeled).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format,
+// deterministically ordered by series name.
+func (s Snapshot) WriteProm(w *strings.Builder) {
+	typed := map[string]string{}
+	var names []string
+	add := func(name, kind string) {
+		base, _ := splitName(name)
+		if _, ok := typed[base]; !ok {
+			typed[base] = kind
+		}
+		names = append(names, name)
+	}
+	for name := range s.Counters {
+		add(name, "counter")
+	}
+	for name := range s.Gauges {
+		add(name, "gauge")
+	}
+	for name := range s.Histograms {
+		add(name, "histogram")
+	}
+	sort.Strings(names)
+	seenType := map[string]bool{}
+	for _, name := range names {
+		base, labels := splitName(name)
+		if !seenType[base] {
+			seenType[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typed[base])
+		}
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(w, "%s %d\n", name, v)
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+			continue
+		}
+		h := s.Histograms[name]
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(w, "%s %d\n", bucketSeries(base, labels, formatFloat(bound)), h.Cumulative[i])
+		}
+		fmt.Fprintf(w, "%s %d\n", bucketSeries(base, labels, "+Inf"), h.Cumulative[len(h.Cumulative)-1])
+		fmt.Fprintf(w, "%s_sum%s %s\n", base, braced(labels), formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels), h.Count)
+	}
+}
+
+func bucketSeries(base, labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`%s_bucket{le="%s"}`, base, le)
+	}
+	return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, base, labels, le)
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Prom renders the registry in the Prometheus text format.
+func (r *Registry) Prom() string {
+	var b strings.Builder
+	r.Snapshot().WriteProm(&b)
+	return b.String()
+}

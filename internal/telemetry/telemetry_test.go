@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("widgets_total") != c {
+		t.Fatalf("counter lookup did not return the same handle")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.HistogramBuckets("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("hist sum = %v, want 5.555", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["lat_seconds"]
+	want := []int64{1, 2, 3, 4}
+	for i, c := range snap.Cumulative {
+		if c != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.SetEnabled(true)
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	var s *Span
+	s.StartChild("c").End()
+	s.End()
+	if s.Tree() != "" || s.Duration() != 0 {
+		t.Fatal("nil span not inert")
+	}
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", got)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	r.SetEnabled(false)
+	c.Inc()
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(1)
+	if c.Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("disabled registry still recorded")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled registry did not record")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total", "op", "write"); got != `x_total{op="write"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("x", "a", "1", "b", `q"uo\te`); got != `x{a="1",b="q\"uo\\te"}` {
+		t.Fatalf("Label escape = %q", got)
+	}
+	if got := Label("x", "odd"); got != "x" {
+		t.Fatalf("odd pairs should return base name, got %q", got)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("reqs_total", "path", "/a")).Add(3)
+	r.Counter(Label("reqs_total", "path", "/b")).Add(1)
+	r.Gauge("workers").Set(4)
+	r.HistogramBuckets(Label("lat_seconds", "path", "/a"), []float64{0.1, 1}).Observe(0.05)
+
+	out := r.Prom()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{path="/a"} 3`,
+		`reqs_total{path="/b"} 1`,
+		"# TYPE workers gauge",
+		"workers 4",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{path="/a",le="0.1"} 1`,
+		`lat_seconds_bucket{path="/a",le="+Inf"} 1`,
+		`lat_seconds_sum{path="/a"} 0.05`,
+		`lat_seconds_count{path="/a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE reqs_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j) * 1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 4000 {
+		t.Fatalf("gauge = %v, want 4000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 4000 {
+		t.Fatalf("hist count = %d, want 4000", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("campaign")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := root.StartChild("unit " + string(rune('0'+i)))
+			g := u.StartChild("generation")
+			time.Sleep(time.Millisecond)
+			g.End()
+			u.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+
+	e := root.Export()
+	if e.Name != "campaign" || len(e.Children) != 4 {
+		t.Fatalf("export = %+v", e)
+	}
+	if e.Seconds <= 0 {
+		t.Fatalf("root duration = %v", e.Seconds)
+	}
+	tree := root.Tree()
+	if !strings.Contains(tree, "campaign") || !strings.Contains(tree, "generation") {
+		t.Fatalf("tree missing spans:\n%s", tree)
+	}
+	var b strings.Builder
+	if err := root.WriteJSON(&strWriter{&b}); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(b.String(), `"name": "campaign"`) {
+		t.Fatalf("json missing root:\n%s", b.String())
+	}
+}
+
+type strWriter struct{ b *strings.Builder }
+
+func (w *strWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestPhaseTimings(t *testing.T) {
+	root := StartSpan("campaign")
+	u := root.StartChild("unit 3")
+	u.StartChild("generation").End()
+	u.StartChild("extraction").End()
+	u.End()
+	root.StartChild("persistence").End()
+	root.End()
+
+	got := root.PhaseTimings()
+	if len(got) != 3 {
+		t.Fatalf("timings = %+v", got)
+	}
+	byPhase := map[string]int{}
+	for _, tm := range got {
+		byPhase[tm.Phase] = tm.Unit
+	}
+	if byPhase["generation"] != 3 || byPhase["extraction"] != 3 || byPhase["persistence"] != -1 {
+		t.Fatalf("unit attribution wrong: %+v", got)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	in := []PhaseTiming{
+		{Phase: "persistence", Unit: 1, Seconds: 0.25},
+		{Phase: "generation", Unit: 0, Seconds: 0.125},
+		{Phase: "generation", Unit: 1, Seconds: 0.5},
+	}
+	data := Artifact("sweep 7", in)
+	if !strings.HasPrefix(string(data), ArtifactPrefix+" run=sweep-7\n") {
+		t.Fatalf("artifact header: %q", data)
+	}
+	run, out, err := ParseArtifact(data)
+	if err != nil {
+		t.Fatalf("ParseArtifact: %v", err)
+	}
+	if run != "sweep-7" || len(out) != 3 {
+		t.Fatalf("run=%q out=%+v", run, out)
+	}
+	// Sorted by phase order then unit: generation/0, generation/1, persistence/1.
+	if out[0].Phase != "generation" || out[0].Unit != 0 || out[0].Seconds != 0.125 {
+		t.Fatalf("out[0] = %+v", out[0])
+	}
+	if out[2].Phase != "persistence" || out[2].Unit != 1 || out[2].Seconds != 0.25 {
+		t.Fatalf("out[2] = %+v", out[2])
+	}
+	if _, _, err := ParseArtifact([]byte("not an artifact")); err == nil {
+		t.Fatal("ParseArtifact accepted junk")
+	}
+}
+
+func TestHandlersAndMiddleware(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Fatalf("prom handler: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	JSONHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if !strings.Contains(rec.Body.String(), `"c_total": 1`) {
+		t.Fatalf("json handler: %s", rec.Body.String())
+	}
+
+	norm := PathNormalizer("/", "/knowledge", "/campaign")
+	if norm("/knowledge") != "/knowledge" || norm("/campaigns") != "/campaign" {
+		t.Fatalf("normalizer: %q %q", norm("/knowledge"), norm("/campaigns"))
+	}
+	if norm("/nope") != "other" || norm("/") != "/" {
+		t.Fatalf("normalizer fallback: %q %q", norm("/nope"), norm("/"))
+	}
+
+	h := Middleware(r, norm, Handler(r))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/knowledge", nil))
+	if got := r.Counter(Label("http_requests_total", "path", "/knowledge", "code", "2xx")).Value(); got != 1 {
+		t.Fatalf("middleware counter = %d", got)
+	}
+	if got := r.Histogram(Label("http_request_seconds", "path", "/knowledge")).Count(); got != 1 {
+		t.Fatalf("middleware histogram count = %d", got)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+	if ExponentialBuckets(0, 2, 4) != nil || ExponentialBuckets(1, 1, 4) != nil || ExponentialBuckets(1, 2, 0) != nil {
+		t.Fatal("invalid bucket params should return nil")
+	}
+}

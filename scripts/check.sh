@@ -1,16 +1,23 @@
 #!/bin/sh
 # Full verification gate, equivalent to `make check`, for environments
-# without make. Runs vet, build, the race-enabled concurrency suites,
-# the tier-1 test suite, and a one-iteration benchmark smoke pass.
+# without make. Runs gofmt, vet, build, the race-enabled concurrency
+# suites, the tier-1 test suite, and a one-iteration benchmark smoke pass.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed:"
+	echo "$unformatted"
+	exit 1
+fi
 echo "== go vet =="
 go vet ./...
 echo "== go build =="
 go build ./...
-echo "== go test -race (kdb, schema, campaign, core) =="
-go test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/...
+echo "== go test -race (kdb, schema, campaign, core, telemetry) =="
+go test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
 echo "== go test (tier 1) =="
 go test ./...
 echo "== bench smoke (1 iteration) =="
