@@ -24,11 +24,12 @@ tier1:
 	$(GO) test ./...
 
 # race re-runs the concurrency-heavy packages under the race detector:
-# kdb's concurrent Exec/Query/Compact and server stress tests, schema's
-# batched saves, the campaign scheduler's worker pool, core's
-# shared-store cycle runs, and telemetry's lock-free metric registry.
+# kdb's concurrent Exec/Query/Compact and server stress tests, repl's
+# follower/router chaos scenarios, schema's batched saves, the campaign
+# scheduler's worker pool, core's shared-store cycle runs, and
+# telemetry's lock-free metric registry.
 race:
-	$(GO) test -race ./internal/kdb/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
+	$(GO) test -race ./internal/kdb/... ./internal/repl/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
 
 test: tier1
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/kdb"
 	"repro/internal/knowledge"
 	"repro/internal/monitor"
+	"repro/internal/repl"
 	"repro/internal/rng"
 	"repro/internal/schema"
 	"repro/internal/sctuner"
@@ -195,6 +196,87 @@ func BenchmarkAblationKdbCompact(b *testing.B) {
 		}
 		db.Close()
 	}
+}
+
+// BenchmarkReplicationThroughput measures WAL-shipping replication under
+// campaign-style ingest: one served primary, two streaming followers, and
+// batches of 100 inserts per iteration (the scheduler's transaction-sized
+// unit). It reports primary ingest throughput, the replication lag in
+// records the moment ingest stops, and how long the followers take to
+// drain to full convergence.
+func BenchmarkReplicationThroughput(b *testing.B) {
+	b.ReportAllocs()
+	primary, err := kdb.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer primary.Close()
+	srv := &kdb.Server{DB: primary, HeartbeatInterval: 50 * time.Millisecond}
+	l, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	if _, err := primary.Exec("CREATE TABLE bench (id INTEGER PRIMARY KEY, n INTEGER, s TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	var followers []*repl.Follower
+	for i := 0; i < 2; i++ {
+		fdb, err := kdb.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fdb.Close()
+		f := repl.NewFollower(fdb, l.Addr().String(), repl.Options{
+			HeartbeatTimeout: time.Second,
+			RetryMin:         5 * time.Millisecond,
+		})
+		f.Start(context.Background())
+		defer f.Stop()
+		followers = append(followers, f)
+	}
+	waitConverged := func() {
+		for _, f := range followers {
+			for f.DB().LSN() < primary.LSN() {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	waitConverged()
+	const batch = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := primary.Batch(func(exec kdb.ExecFunc) error {
+			for j := 0; j < batch; j++ {
+				if _, err := exec("INSERT INTO bench (n, s) VALUES (?, ?)",
+					int64(i*batch+j), "payload-0123456789abcdef"); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ingestSecs := b.Elapsed().Seconds()
+	var lag int64
+	for _, f := range followers {
+		if l := primary.LSN() - f.DB().LSN(); l > lag {
+			lag = l
+		}
+	}
+	drainStart := time.Now()
+	waitConverged()
+	b.StopTimer()
+	rows := float64(b.N * batch)
+	b.ReportMetric(rows/ingestSecs, "rows/s")
+	b.ReportMetric(float64(lag), "lag_records")
+	b.ReportMetric(float64(time.Since(drainStart).Milliseconds()), "drain_ms")
 }
 
 // BenchmarkKdbQuery measures a representative explorer point query over a

@@ -1,7 +1,7 @@
 // Command explorer serves the web-based knowledge explorer (phase IV of
 // the knowledge cycle) over a knowledge database.
 //
-//	explorer [--db knowledge.db] [--addr :8080] [--demo] [--pprof]
+//	explorer [--db knowledge.db] [--addr :8080] [--replica ADDR]... [--demo] [--pprof]
 //
 // --demo seeds an in-memory store with the paper's two example scenarios
 // (the Fig. 5 iteration-variance run and three IO500 runs with a broken
@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/explorer"
 	"repro/internal/io500"
 	"repro/internal/ior"
+	"repro/internal/kdb"
+	"repro/internal/repl"
 	"repro/internal/schema"
 )
 
@@ -35,10 +38,12 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	demo := fs.Bool("demo", false, "seed demo knowledge")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof endpoints")
+	var replicas replicaFlags
+	fs.Var(&replicas, "replica", "kdb:// address of a read replica (repeatable); reads are routed to caught-up replicas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := schema.Open(*db)
+	store, health, err := openStore(*db, replicas)
 	if err != nil {
 		return err
 	}
@@ -49,11 +54,57 @@ func run(args []string) error {
 		}
 	}
 	srv := explorer.New(store)
+	srv.Health = health
 	if *pprofOn {
 		srv.EnablePprof()
 	}
 	fmt.Printf("knowledge explorer listening on %s\n", *addr)
 	return http.ListenAndServe(*addr, srv)
+}
+
+// replicaFlags collects repeatable --replica flags.
+type replicaFlags []string
+
+func (r *replicaFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *replicaFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// openStore opens the knowledge store, fronting it with a read-your-writes
+// router when replica addresses are given so page loads spread across the
+// replicas while uploads still land on the primary.
+func openStore(db string, replicas []string) (*schema.Store, func() repl.Status, error) {
+	if len(replicas) == 0 {
+		store, err := schema.Open(db)
+		return store, nil, err
+	}
+	var primary kdb.Conn
+	var err error
+	if strings.HasPrefix(db, "kdb://") {
+		primary, err = kdb.Dial(db)
+	} else {
+		primary, err = kdb.Open(db)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	reps := make([]repl.Replica, 0, len(replicas))
+	for _, addr := range replicas {
+		r, err := kdb.Dial(addr)
+		if err != nil {
+			primary.Close()
+			return nil, nil, fmt.Errorf("replica %s: %w", addr, err)
+		}
+		reps = append(reps, r)
+	}
+	router := repl.NewRouter(primary, reps...)
+	store, err := schema.Wrap(router)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, router.Health, nil
 }
 
 // seedDemo loads the paper's two §V-E scenarios into the store.

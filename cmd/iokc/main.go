@@ -13,8 +13,8 @@
 //	iokc configure [--db FILE] --id N [-t SIZE] [-b SIZE] [-s N] [-i N] [-N N]
 //	iokc causes [--db FILE] --id N --sacct FILE [--exclude-user U]
 //	iokc tune [--tasks N] [--burst SIZE] [--seed N]
-//	iokc serve [--db FILE] [--addr :8080] [--pprof]
-//	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--pprof]
+//	iokc serve [--db FILE] [--addr :8080] [--replica ADDR]... [--pprof]
+//	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--replica-of ADDR] [--advertise ADDR] [--pprof]
 //
 // Every --db flag also accepts a kdb://host:port connection URL, so any
 // subcommand can work against a shared remote knowledge base served by
@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +49,7 @@ import (
 	"repro/internal/ior"
 	"repro/internal/kdb"
 	"repro/internal/recommend"
+	"repro/internal/repl"
 	"repro/internal/schema"
 	"repro/internal/sctuner"
 	"repro/internal/siox"
@@ -646,67 +648,168 @@ func cmdTune(args []string) error {
 	return nil
 }
 
+// serveDBConfig is the parsed flag set of "iokc servedb", split from the
+// serving loop so tests can exercise flag validation and run the server
+// under a cancellable context.
+type serveDBConfig struct {
+	db          string
+	addr        string
+	maxConns    int
+	idle        time.Duration
+	metricsAddr string
+	pprofOn     bool
+	replicaOf   string
+	advertise   string
+}
+
+func parseServeDBArgs(args []string) (*serveDBConfig, error) {
+	fs := flag.NewFlagSet("servedb", flag.ContinueOnError)
+	cfg := &serveDBConfig{}
+	fs.StringVar(&cfg.db, "db", "knowledge.db", "knowledge database file to serve")
+	fs.StringVar(&cfg.addr, "addr", ":7070", "listen address")
+	fs.IntVar(&cfg.maxConns, "max-conns", kdb.DefaultMaxConns, "maximum concurrent client connections")
+	fs.DurationVar(&cfg.idle, "idle-timeout", kdb.DefaultIdleTimeout, "per-connection idle timeout")
+	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics, /metrics.json and /healthz over HTTP on this address (empty = disabled)")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose /debug/pprof on the metrics address")
+	fs.StringVar(&cfg.replicaOf, "replica-of", "", "serve as a read-only replica of the primary at this kdb:// address")
+	fs.StringVar(&cfg.advertise, "advertise", "", "address reported to clients asking for this node's status")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.pprofOn && cfg.metricsAddr == "" {
+		return nil, fmt.Errorf("servedb: --pprof requires --metrics-addr")
+	}
+	if strings.HasPrefix(cfg.db, "kdb://") {
+		return nil, fmt.Errorf("servedb: --db must be a local file, not a kdb:// URL")
+	}
+	return cfg, nil
+}
+
 // cmdServeDB exposes a local knowledge database over the kdb wire
 // protocol, making it the shared "public database" of the paper's Fig. 4.
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, idle
-// connections drop, and in-flight requests get up to 10s to finish.
+// With --replica-of it instead serves a read-only replica that follows
+// the given primary: it bootstraps from a snapshot when needed, applies
+// the primary's log records as they commit, and keeps retrying with
+// backoff while the primary is unreachable. SIGINT/SIGTERM trigger a
+// graceful shutdown: the listener closes, idle connections drop, and
+// in-flight requests get up to 10s to finish.
 func cmdServeDB(args []string) error {
-	fs := flag.NewFlagSet("servedb", flag.ContinueOnError)
-	db := fs.String("db", "knowledge.db", "knowledge database file to serve")
-	addr := fs.String("addr", ":7070", "listen address")
-	maxConns := fs.Int("max-conns", kdb.DefaultMaxConns, "maximum concurrent client connections")
-	idle := fs.Duration("idle-timeout", kdb.DefaultIdleTimeout, "per-connection idle timeout")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /metrics.json over HTTP on this address (empty = disabled)")
-	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof on the metrics address")
-	if err := fs.Parse(args); err != nil {
+	cfg, err := parseServeDBArgs(args)
+	if err != nil {
 		return err
 	}
-	backing, err := kdb.Open(*db)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServeDB(ctx, cfg)
+}
+
+func runServeDB(ctx context.Context, cfg *serveDBConfig) error {
+	backing, err := kdb.Open(cfg.db)
 	if err != nil {
 		return err
 	}
 	defer backing.Close()
-	srv := &kdb.Server{DB: backing, MaxConns: *maxConns, IdleTimeout: *idle}
-	l, err := net.Listen("tcp", *addr)
+	srv := &kdb.Server{DB: backing, MaxConns: cfg.maxConns, IdleTimeout: cfg.idle, Advertise: cfg.advertise}
+	health := repl.PrimaryStatus(backing, cfg.advertise)
+	if cfg.replicaOf != "" {
+		srv.Role = "replica"
+		srv.ReadOnly = true
+		f := repl.NewFollower(backing, cfg.replicaOf, repl.Options{})
+		f.Start(ctx)
+		defer f.Stop()
+		health = func() repl.Status {
+			st := f.Health()
+			st.Addr = cfg.advertise
+			return st
+		}
+	}
+	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("knowledge database %s served on kdb://%s\n", *db, l.Addr())
-	if *metricsAddr != "" {
+	if cfg.replicaOf != "" {
+		fmt.Printf("knowledge database %s served on kdb://%s (read-only replica of %s)\n", cfg.db, l.Addr(), cfg.replicaOf)
+	} else {
+		fmt.Printf("knowledge database %s served on kdb://%s\n", cfg.db, l.Addr())
+	}
+	if cfg.metricsAddr != "" {
 		// The wire protocol is raw TCP, so observability rides on a side
 		// HTTP listener.
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
 		mux.Handle("/metrics.json", telemetry.JSONHandler(telemetry.Default()))
-		if *pprofOn {
+		mux.Handle("/healthz", repl.HealthHandler(health))
+		if cfg.pprofOn {
 			telemetry.RegisterPprof(mux)
 		}
-		ml, err := net.Listen("tcp", *metricsAddr)
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ml.Close()
 		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
 		go http.Serve(ml, mux)
-	} else if *pprofOn {
-		return fmt.Errorf("servedb: --pprof requires --metrics-addr")
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
 	case err := <-errc:
 		return err
-	case s := <-sig:
-		fmt.Printf("received %s, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	case <-ctx.Done():
+		fmt.Println("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
 		return nil
 	}
+}
+
+// replicaFlags collects repeatable --replica flags.
+type replicaFlags []string
+
+func (r *replicaFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *replicaFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// openRoutedStore opens the knowledge store, fronting it with a
+// read-your-writes router when replica addresses are given. The returned
+// health function reflects the deployment: the router's view when
+// replicated, a standalone primary otherwise.
+func openRoutedStore(db string, replicas []string) (*schema.Store, func() repl.Status, error) {
+	if len(replicas) == 0 {
+		store, err := schema.Open(db)
+		return store, nil, err
+	}
+	var primary kdb.Conn
+	var err error
+	if strings.HasPrefix(db, "kdb://") {
+		primary, err = kdb.Dial(db)
+	} else {
+		primary, err = kdb.Open(db)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	reps := make([]repl.Replica, 0, len(replicas))
+	for _, addr := range replicas {
+		r, err := kdb.Dial(addr)
+		if err != nil {
+			primary.Close()
+			return nil, nil, fmt.Errorf("replica %s: %w", addr, err)
+		}
+		reps = append(reps, r)
+	}
+	router := repl.NewRouter(primary, reps...)
+	store, err := schema.Wrap(router)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, router.Health, nil
 }
 
 func cmdServe(args []string) error {
@@ -714,15 +817,18 @@ func cmdServe(args []string) error {
 	db := fs.String("db", "knowledge.db", "knowledge database")
 	addr := fs.String("addr", ":8080", "listen address")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof endpoints")
+	var replicas replicaFlags
+	fs.Var(&replicas, "replica", "kdb:// address of a read replica (repeatable); reads are routed to caught-up replicas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := schema.Open(*db)
+	store, health, err := openRoutedStore(*db, replicas)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
 	srv := explorer.New(store)
+	srv.Health = health
 	if *pprofOn {
 		srv.EnablePprof()
 	}

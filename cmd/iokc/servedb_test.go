@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kdb"
+)
+
+func TestParseServeDBArgs(t *testing.T) {
+	cfg, err := parseServeDBArgs([]string{
+		"--db", "r.kdb", "--addr", "127.0.0.1:7171",
+		"--replica-of", "kdb://127.0.0.1:7070", "--advertise", "127.0.0.1:7171",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.replicaOf != "kdb://127.0.0.1:7070" || cfg.advertise != "127.0.0.1:7171" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := parseServeDBArgs([]string{"--pprof"}); err == nil ||
+		!strings.Contains(err.Error(), "--metrics-addr") {
+		t.Errorf("pprof without metrics-addr = %v, want error", err)
+	}
+	if _, err := parseServeDBArgs([]string{"--db", "kdb://host:1"}); err == nil ||
+		!strings.Contains(err.Error(), "local file") {
+		t.Errorf("remote --db = %v, want error", err)
+	}
+}
+
+// reservePort grabs a free loopback address and releases it, so a test
+// can start a server there later.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestServeDBReplicaConnectRetry starts the replica BEFORE any primary
+// exists: the follower must keep retrying, then bootstrap and serve reads
+// once the primary comes up, while rejecting writes throughout.
+func TestServeDBReplicaConnectRetry(t *testing.T) {
+	dir := t.TempDir()
+	primaryAddr := reservePort(t)
+	replicaAddr := reservePort(t)
+
+	cfg, err := parseServeDBArgs([]string{
+		"--db", dir + "/replica.kdb", "--addr", replicaAddr,
+		"--replica-of", "kdb://" + primaryAddr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runServeDB(ctx, cfg) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("runServeDB: %v", err)
+		}
+	}()
+
+	// Let the follower burn a few connection attempts against nothing.
+	time.Sleep(150 * time.Millisecond)
+
+	primary, err := kdb.Open(dir + "/primary.kdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	srv := &kdb.Server{DB: primary, HeartbeatInterval: 50 * time.Millisecond}
+	l, err := srv.Listen(primaryAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+	}()
+	if _, err := primary.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Exec("INSERT INTO kv (v) VALUES (?)", "hello"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := kdb.Dial(replicaAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := r.Status()
+		if err == nil && st.LSN >= primary.LSN() {
+			if st.Role != "replica" {
+				t.Fatalf("role = %q, want replica", st.Role)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: status=%+v err=%v", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	row, err := r.QueryRow("SELECT v FROM kv WHERE id = ?", int64(1))
+	if err != nil || len(row) != 1 || row[0] != "hello" {
+		t.Fatalf("replica read = %v, %v", row, err)
+	}
+	if _, err := r.Exec("INSERT INTO kv (v) VALUES (?)", "nope"); err == nil ||
+		!strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("replica accepted a write: %v", err)
+	}
+}

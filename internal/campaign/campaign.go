@@ -91,6 +91,11 @@ type Result struct {
 	// TelemetryID is the knowledge object holding the campaign's own
 	// phase timings (0 unless the scheduler ran with SelfObserve).
 	TelemetryID int64
+	// FinalLSN is the store's commit LSN after the campaign's last write,
+	// when the backing connection exposes one (local kdb databases and
+	// replication read routers do). Waiting for a replica to reach this
+	// LSN guarantees it serves the whole campaign.
+	FinalLSN int64
 }
 
 // outcome travels from a worker to the collector: the executed unit plus
@@ -252,6 +257,9 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 		if err := s.persistTelemetry(spec.Name, trace, reg, res); err != nil {
 			persistErr = err
 		}
+	}
+	if l, ok := s.Store.DB.(interface{ LSN() int64 }); ok {
+		res.FinalLSN = l.LSN()
 	}
 	if persistErr != nil {
 		return res, persistErr

@@ -22,6 +22,7 @@ import (
 	"repro/internal/chart"
 	"repro/internal/knowledge"
 	"repro/internal/recommend"
+	"repro/internal/repl"
 	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -35,7 +36,11 @@ type Server struct {
 	// New wires the process-wide default registry; tests may substitute a
 	// private one before the first request.
 	Metrics *telemetry.Registry
-	mux     *http.ServeMux
+	// Health backs /healthz. When the explorer fronts a replicated store
+	// the caller sets it to the read router's Health; nil reports a
+	// standalone primary whose position is read off the store connection.
+	Health func() repl.Status
+	mux    *http.ServeMux
 	// knownPaths normalizes request paths for metric labels so series
 	// cardinality stays bounded under arbitrary client traffic.
 	knownPaths func(string) string
@@ -58,6 +63,7 @@ func New(store *schema.Store) *Server {
 		{"/heatmap", s.handleHeatmap},
 		{"/campaigns", s.handleCampaigns},
 		{"/campaign", s.handleCampaign},
+		{"/healthz", s.handleHealthz},
 	}
 	known := make([]string, 0, len(routes)+2)
 	for _, r := range routes {

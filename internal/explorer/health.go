@@ -1,0 +1,25 @@
+package explorer
+
+import (
+	"net/http"
+
+	"repro/internal/repl"
+)
+
+// handleHealthz reports the node's replication health. With no Health
+// source configured the explorer is a standalone primary; its applied LSN
+// is read straight off the store connection when it exposes one (local
+// kdb databases and read routers both do).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := s.Health
+	if status == nil {
+		status = func() repl.Status {
+			st := repl.Status{Role: "primary"}
+			if l, ok := s.Store.DB.(interface{ LSN() int64 }); ok {
+				st.AppliedLSN = l.LSN()
+			}
+			return st
+		}
+	}
+	repl.HealthHandler(status).ServeHTTP(w, r)
+}

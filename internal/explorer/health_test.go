@@ -1,0 +1,72 @@
+package explorer
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/repl"
+	"repro/internal/schema"
+)
+
+func getHealth(t *testing.T, srv *Server) repl.Status {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var st repl.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode /healthz: %v\n%s", err, rec.Body.String())
+	}
+	return st
+}
+
+func TestHealthzStandalonePrimary(t *testing.T) {
+	store, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store)
+	st := getHealth(t, srv)
+	if st.Role != "primary" {
+		t.Errorf("role = %q, want primary", st.Role)
+	}
+	// The DDL alone advanced the local database's LSN, and the default
+	// health source reads it off the store connection.
+	if st.AppliedLSN == 0 {
+		t.Error("applied LSN = 0, want the store's commit position")
+	}
+	if len(st.Replicas) != 0 {
+		t.Errorf("standalone primary reports replicas: %+v", st.Replicas)
+	}
+}
+
+func TestHealthzCustomSource(t *testing.T) {
+	store, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store)
+	srv.Health = func() repl.Status {
+		return repl.Status{
+			Role:       "primary",
+			AppliedLSN: 42,
+			Replicas: []repl.Status{
+				{Role: "replica", AppliedLSN: 40, LagLSN: 2},
+			},
+		}
+	}
+	st := getHealth(t, srv)
+	if st.AppliedLSN != 42 || len(st.Replicas) != 1 || st.Replicas[0].LagLSN != 2 {
+		t.Errorf("health = %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package kdb
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -45,12 +46,26 @@ type DB struct {
 	// walErr records a failed log reopen (Compact's last resort); while
 	// set, mutations fail rather than silently skipping durability.
 	walErr error
+
+	// lsn is the monotonically increasing commit sequence number: one per
+	// committed log record, restored across restarts (record count plus
+	// any snapshot BaseLSN meta record).
+	lsn int64
+	// replBuf retains the most recent committed records for replication
+	// catch-up; followers older than its head must take a full snapshot.
+	replBuf []replRecord
+	// commitCh, when non-nil, is closed on the next commit — the
+	// broadcast replication streams wait on.
+	commitCh chan struct{}
 }
 
 // Result reports the outcome of a mutation.
 type Result struct {
 	LastInsertID int64
 	RowsAffected int
+	// LSN is the commit sequence number the mutation received (the last
+	// one for multi-record batches); 0 for unlogged no-ops.
+	LSN int64
 }
 
 // Rows is a forward-only result set.
@@ -91,13 +106,20 @@ func Open(path string) (*DB, error) {
 		return nil, err
 	}
 	for i, e := range entries {
-		if len(e.AutoIDs) > 0 {
-			// Compaction meta entry: restore auto-increment high-water
-			// marks so deleted-then-compacted primary keys are not reused.
+		if e.Meta {
+			// Snapshot meta entry: restore auto-increment high-water
+			// marks so deleted-then-compacted primary keys are not
+			// reused, and jump the LSN to the snapshot's commit point.
+			// Buffered records below the jump describe snapshot rows,
+			// not real history, so they cannot serve catch-up.
 			for name, id := range e.AutoIDs {
 				if t, ok := db.tables[strings.ToLower(name)]; ok && id > t.autoID {
 					t.autoID = id
 				}
+			}
+			if e.BaseLSN > db.lsn {
+				db.lsn = e.BaseLSN
+				db.replBuf = nil
 			}
 			continue
 		}
@@ -105,6 +127,7 @@ func Open(path string) (*DB, error) {
 			w.Close()
 			return nil, fmt.Errorf("kdb: replay entry %d (%q): %w", i, e.SQL, err)
 		}
+		db.commitLocked(e.Raw)
 	}
 	db.wal = w
 	return db, nil
@@ -164,15 +187,49 @@ func (db *DB) exec(query string, args []any, log bool) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if log && db.wal != nil {
-		if err := db.wal.Append(query, args); err != nil {
+	if log {
+		// Encode even for in-memory databases: the record feeds the
+		// replication buffer, and an unloggable argument must fail the
+		// same way everywhere.
+		raw, err := encodeWalEntry(query, args)
+		if err != nil {
 			if undo != nil {
 				undo()
 			}
-			return Result{}, fmt.Errorf("kdb: write log: %w", err)
+			return Result{}, err
 		}
+		if db.wal != nil {
+			if err := db.wal.AppendRaw(raw); err != nil {
+				if undo != nil {
+					undo()
+				}
+				return Result{}, fmt.Errorf("kdb: write log: %w", err)
+			}
+		}
+		db.commitLocked(raw)
+		res.LSN = db.lsn
 	}
 	return res, nil
+}
+
+// commitLocked assigns the next LSN to one freshly logged record, retains
+// it for replication catch-up, and wakes any streams waiting for commits.
+// db.mu must be held (or the DB not yet shared, as during replay).
+func (db *DB) commitLocked(raw []byte) {
+	db.lsn++
+	line := raw
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	db.replBuf = append(db.replBuf, replRecord{lsn: db.lsn, raw: line})
+	if len(db.replBuf) > 2*replBufCap {
+		// Amortized trim: keep the newest replBufCap records.
+		db.replBuf = append(db.replBuf[:0:0], db.replBuf[len(db.replBuf)-replBufCap:]...)
+	}
+	if db.commitCh != nil {
+		close(db.commitCh)
+		db.commitCh = nil
+	}
 }
 
 // applyLocked parses and applies one mutation in memory; db.mu must be
@@ -237,7 +294,7 @@ func (db *DB) Batch(fn func(exec ExecFunc) error) error {
 		return fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
 	}
 	var undos []func()
-	var pending []byte
+	var pending [][]byte
 	rollback := func() {
 		for i := len(undos) - 1; i >= 0; i-- {
 			undos[i]()
@@ -246,13 +303,9 @@ func (db *DB) Batch(fn func(exec ExecFunc) error) error {
 	exec := func(query string, args ...any) (Result, error) {
 		// Encode the log record first: an unloggable argument must fail
 		// before the mutation touches memory.
-		var entry []byte
-		if db.wal != nil {
-			var err error
-			entry, err = encodeWalEntry(query, args)
-			if err != nil {
-				return Result{}, err
-			}
+		entry, err := encodeWalEntry(query, args)
+		if err != nil {
+			return Result{}, err
 		}
 		res, undo, err := db.applyLocked(query, args)
 		if err != nil {
@@ -261,7 +314,10 @@ func (db *DB) Batch(fn func(exec ExecFunc) error) error {
 		if undo != nil {
 			undos = append(undos, undo)
 		}
-		pending = append(pending, entry...)
+		pending = append(pending, entry)
+		// Provisional LSN: the lock is held for the whole batch, so if
+		// the batch commits this is exactly the LSN the record gets.
+		res.LSN = db.lsn + int64(len(pending))
 		return res, nil
 	}
 	if err := fn(exec); err != nil {
@@ -269,10 +325,13 @@ func (db *DB) Batch(fn func(exec ExecFunc) error) error {
 		return err
 	}
 	if db.wal != nil && len(pending) > 0 {
-		if err := db.wal.AppendRaw(pending); err != nil {
+		if err := db.wal.AppendRaw(bytes.Join(pending, nil)); err != nil {
 			rollback()
 			return fmt.Errorf("kdb: write log: %w", err)
 		}
+	}
+	for _, entry := range pending {
+		db.commitLocked(entry)
 	}
 	return nil
 }

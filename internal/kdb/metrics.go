@@ -26,6 +26,10 @@ var (
 	metWALBytes        *telemetry.Counter
 	metServerRequests  *telemetry.Counter
 	metServerOpenConns *telemetry.Gauge
+
+	metReplStreams       *telemetry.Gauge
+	metReplRecordsSent   *telemetry.Counter
+	metReplSnapshotBytes *telemetry.Counter
 )
 
 func init() {
@@ -43,6 +47,9 @@ func init() {
 	metWALBytes = reg.Counter("kdb_wal_bytes_total")
 	metServerRequests = reg.Counter("kdb_server_requests_total")
 	metServerOpenConns = reg.Gauge("kdb_server_open_conns")
+	metReplStreams = reg.Gauge("kdb_repl_streams")
+	metReplRecordsSent = reg.Counter("kdb_repl_records_sent_total")
+	metReplSnapshotBytes = reg.Counter("kdb_repl_snapshot_bytes_total")
 }
 
 // sinceSeconds is the one conversion every instrumented path shares.

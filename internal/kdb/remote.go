@@ -2,6 +2,7 @@ package kdb
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -47,9 +48,12 @@ var (
 
 // wireRequest is one client->server message.
 type wireRequest struct {
-	Op   string   `json:"op"` // "exec", "query", "tables"
+	Op   string   `json:"op"` // "exec", "query", "tables", "status", "snapshot", "replicate"
 	SQL  string   `json:"sql,omitempty"`
 	Args []walArg `json:"args,omitempty"`
+	// AfterLSN is the replication offset for the "replicate" op: the
+	// stream delivers every committed record with a greater LSN.
+	AfterLSN int64 `json:"after_lsn,omitempty"`
 }
 
 // wireResponse is one server->client message.
@@ -60,13 +64,18 @@ type wireResponse struct {
 	Columns      []string   `json:"cols,omitempty"`
 	Rows         [][]walArg `json:"rows,omitempty"`
 	Tables       []string   `json:"tables,omitempty"`
+	LSN          int64      `json:"lsn,omitempty"`
+	Role         string     `json:"role,omitempty"`
+	Addr         string     `json:"addr,omitempty"`
+	Snapshot     []byte     `json:"snapshot,omitempty"`
 }
 
 // Server limits and deadlines used when the corresponding field is zero.
 const (
-	DefaultMaxConns     = 256
-	DefaultIdleTimeout  = 5 * time.Minute
-	DefaultWriteTimeout = 30 * time.Second
+	DefaultMaxConns          = 256
+	DefaultIdleTimeout       = 5 * time.Minute
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultHeartbeatInterval = time.Second
 )
 
 // Server exposes a local database over the wire protocol.
@@ -82,11 +91,28 @@ type Server struct {
 	// WriteTimeout bounds writing one response. 0 means DefaultWriteTimeout.
 	WriteTimeout time.Duration
 
+	// Role is reported by the "status" verb: "primary" (the default) or
+	// "replica".
+	Role string
+	// Advertise is the externally reachable address reported by the
+	// "status" verb and /healthz, for deployments behind NAT or proxies.
+	Advertise string
+	// ReadOnly rejects "exec" requests — set on replicas, whose only
+	// writer must be the replication apply loop, so a stray client
+	// cannot fork the commit sequence.
+	ReadOnly bool
+	// HeartbeatInterval paces replication heartbeats while a stream is
+	// idle. 0 means DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[*serverConn]struct{}
 	wg        sync.WaitGroup
 	closed    bool
+	// done is closed by Shutdown so long-lived replication streams stop
+	// promptly instead of waiting out their heartbeat timers.
+	done chan struct{}
 }
 
 // serverConn tracks one accepted connection and whether a request is
@@ -120,6 +146,33 @@ func (s *Server) writeTimeout() time.Duration {
 	return DefaultWriteTimeout
 }
 
+func (s *Server) heartbeatInterval() time.Duration {
+	if s.HeartbeatInterval > 0 {
+		return s.HeartbeatInterval
+	}
+	return DefaultHeartbeatInterval
+}
+
+func (s *Server) role() string {
+	if s.Role != "" {
+		return s.Role
+	}
+	return "primary"
+}
+
+// initLocked lazily creates the server's shared state; s.mu must be held.
+func (s *Server) initLocked() {
+	if s.listeners == nil {
+		s.listeners = map[net.Listener]struct{}{}
+	}
+	if s.conns == nil {
+		s.conns = map[*serverConn]struct{}{}
+	}
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+}
+
 // Serve accepts connections until the listener closes (or Shutdown is
 // called, which closes it). Each connection handles requests sequentially;
 // connections are served concurrently. After Shutdown, Serve returns nil.
@@ -130,12 +183,7 @@ func (s *Server) Serve(l net.Listener) error {
 		l.Close()
 		return fmt.Errorf("kdb: server is shut down")
 	}
-	if s.listeners == nil {
-		s.listeners = map[net.Listener]struct{}{}
-	}
-	if s.conns == nil {
-		s.conns = map[*serverConn]struct{}{}
-	}
+	s.initLocked()
 	s.listeners[l] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
@@ -203,6 +251,13 @@ func (s *Server) handle(sc *serverConn) {
 			enc.Encode(wireResponse{Err: "kdb: malformed request: " + err.Error()})
 			return
 		}
+		if req.Op == "replicate" {
+			// The connection becomes a one-way stream; it stays "idle"
+			// from Shutdown's point of view, so shutdown closes it
+			// immediately and the follower re-syncs elsewhere.
+			s.serveReplicate(sc, req)
+			return
+		}
 		sc.mu.Lock()
 		sc.inFlight = true
 		sc.mu.Unlock()
@@ -227,11 +282,24 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 	}
 	switch req.Op {
 	case "exec":
+		if s.ReadOnly {
+			return wireResponse{Err: "kdb: read-only replica rejects mutations"}
+		}
 		res, err := s.DB.Exec(req.SQL, args...)
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
-		return wireResponse{LastInsertID: res.LastInsertID, RowsAffected: res.RowsAffected}
+		return wireResponse{LastInsertID: res.LastInsertID, RowsAffected: res.RowsAffected, LSN: res.LSN}
+	case "status":
+		return wireResponse{Role: s.role(), LSN: s.DB.LSN(), Addr: s.Advertise}
+	case "snapshot":
+		var buf bytes.Buffer
+		lsn, err := s.DB.WriteSnapshot(&buf)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		metReplSnapshotBytes.Add(int64(buf.Len()))
+		return wireResponse{Snapshot: buf.Bytes(), LSN: lsn}
 	case "query":
 		rows, err := s.DB.Query(req.SQL, args...)
 		if err != nil {
@@ -270,7 +338,11 @@ func (s *Server) Listen(addr string) (net.Listener, error) {
 // context's error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	s.closed = true
+	s.initLocked()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
 	for l := range s.listeners {
 		l.Close()
 	}
@@ -422,7 +494,7 @@ func (r *Remote) Exec(query string, args ...any) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{LastInsertID: resp.LastInsertID, RowsAffected: resp.RowsAffected}, nil
+	return Result{LastInsertID: resp.LastInsertID, RowsAffected: resp.RowsAffected, LSN: resp.LSN}, nil
 }
 
 // Query implements Conn.

@@ -1,0 +1,346 @@
+package kdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+// WAL-shipping replication. A primary's committed log records each carry a
+// monotonically increasing LSN (engine.go assigns them at commit time); the
+// most recent records are retained in an in-memory catch-up buffer. The
+// "replicate" wire verb turns a server connection into a one-way stream of
+// those records from a requested offset, interleaved with heartbeats; the
+// "snapshot" verb ships the full deterministic dump (snapshotLocked) for
+// followers too far behind the buffer. Followers apply records through
+// ApplyRecord, which reuses the engine's normal apply path and appends the
+// very same bytes to the follower's own log, so a replica's file replays —
+// and dumps — byte-identically to the primary's.
+
+// ErrLSNGap reports a replicated record that does not directly follow the
+// local commit sequence; the follower must re-sync from a snapshot.
+var ErrLSNGap = errors.New("kdb: replication LSN gap")
+
+// replBufCap bounds the in-memory catch-up buffer (records kept after the
+// amortized trim in commitLocked).
+const replBufCap = 8192
+
+// replRecord is one committed log record retained for catch-up.
+type replRecord struct {
+	lsn int64
+	raw []byte // exact log line, no trailing newline
+}
+
+// replMsg is one server->follower stream message.
+type replMsg struct {
+	LSN              int64           `json:"lsn,omitempty"`
+	Entry            json.RawMessage `json:"entry,omitempty"`
+	PrimaryLSN       int64           `json:"primary_lsn,omitempty"`
+	Heartbeat        bool            `json:"hb,omitempty"`
+	SnapshotRequired bool            `json:"snap,omitempty"`
+	Err              string          `json:"err,omitempty"`
+}
+
+// NodeStatus is a served database's replication identity, reported by the
+// "status" wire verb.
+type NodeStatus struct {
+	Role string // "primary" or "replica"
+	LSN  int64  // last committed (primary) or applied (replica) LSN
+	Addr string // advertised address, if the server was given one
+}
+
+// LSN returns the last committed log sequence number.
+func (db *DB) LSN() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lsn
+}
+
+// commitSignal returns a channel that is closed at the next commit.
+func (db *DB) commitSignal() <-chan struct{} {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.commitCh == nil {
+		db.commitCh = make(chan struct{})
+	}
+	return db.commitCh
+}
+
+// entriesSince returns copies of the buffered records with LSN > after.
+// ok is false when the buffer no longer reaches back to after (or the
+// caller is ahead of this database), meaning a full snapshot is required.
+func (db *DB) entriesSince(after int64) (recs []replRecord, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if after == db.lsn {
+		return nil, true
+	}
+	if after > db.lsn {
+		return nil, false
+	}
+	if len(db.replBuf) == 0 || db.replBuf[0].lsn > after+1 {
+		return nil, false
+	}
+	start := int(after + 1 - db.replBuf[0].lsn)
+	return append([]replRecord(nil), db.replBuf[start:]...), true
+}
+
+// ApplyRecord applies one replicated log record at the given LSN: the
+// engine's normal apply path runs the mutation, the identical bytes are
+// appended to the local log, and the local LSN advances to match. A record
+// that does not directly follow the local sequence returns ErrLSNGap.
+func (db *DB) ApplyRecord(lsn int64, entry []byte) error {
+	var e walEntry
+	if err := json.Unmarshal(entry, &e); err != nil {
+		return fmt.Errorf("kdb: corrupt replicated record: %w", err)
+	}
+	if e.isMeta() {
+		return fmt.Errorf("kdb: unexpected meta record in replication stream")
+	}
+	args, err := decodeArgs(e.Args)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if lsn != db.lsn+1 {
+		return fmt.Errorf("%w: record %d onto local %d", ErrLSNGap, lsn, db.lsn)
+	}
+	if db.wal == nil && db.walErr != nil {
+		return fmt.Errorf("kdb: log unavailable after failed compaction: %w", db.walErr)
+	}
+	_, undo, err := db.applyLocked(e.SQL, args)
+	if err != nil {
+		return err
+	}
+	if db.wal != nil {
+		line := make([]byte, 0, len(entry)+1)
+		line = append(append(line, entry...), '\n')
+		if err := db.wal.AppendRaw(line); err != nil {
+			if undo != nil {
+				undo()
+			}
+			return fmt.Errorf("kdb: write log: %w", err)
+		}
+	}
+	db.commitLocked(entry)
+	return nil
+}
+
+// RestoreSnapshot replaces the database's entire contents with a snapshot
+// previously produced by WriteSnapshot (or the "snapshot" wire verb). The
+// new state is built off to the side first, so a malformed snapshot leaves
+// the live database untouched; for file-backed databases the snapshot is
+// written to a temp file and atomically renamed over the log, exactly like
+// Compact.
+func (db *DB) RestoreSnapshot(data []byte) error {
+	entries, err := parseWALRecords("snapshot", data)
+	if err != nil {
+		return err
+	}
+	scratch := &DB{tables: map[string]*Table{}}
+	var baseLSN int64
+	for i, e := range entries {
+		if e.Meta {
+			for name, id := range e.AutoIDs {
+				if t, ok := scratch.tables[strings.ToLower(name)]; ok && id > t.autoID {
+					t.autoID = id
+				}
+			}
+			if e.BaseLSN > baseLSN {
+				baseLSN = e.BaseLSN
+			}
+			continue
+		}
+		if _, _, err := scratch.applyLocked(e.SQL, e.Args); err != nil {
+			return fmt.Errorf("kdb: snapshot entry %d (%q): %w", i, e.SQL, err)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.path != "" {
+		tmp := db.path + ".restore"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, db.path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if db.wal != nil {
+			db.wal.Close() // old handle points at the unlinked file
+		}
+		nf, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			// The snapshot on disk is complete; adopt it in memory but
+			// refuse further mutations until reopen, as Compact does.
+			db.adoptLocked(scratch, baseLSN)
+			db.wal = nil
+			db.walErr = err
+			return err
+		}
+		db.wal = &wal{f: nf, w: bufio.NewWriter(nf)}
+		db.walErr = nil
+	}
+	db.adoptLocked(scratch, baseLSN)
+	return nil
+}
+
+// adoptLocked swaps in a freshly restored state and wakes replication
+// streams so chained followers notice the new world; db.mu must be held.
+func (db *DB) adoptLocked(scratch *DB, lsn int64) {
+	db.tables = scratch.tables
+	db.lsn = lsn
+	db.replBuf = nil
+	if db.commitCh != nil {
+		close(db.commitCh)
+		db.commitCh = nil
+	}
+}
+
+// serveReplicate turns one accepted server connection into a replication
+// stream: every committed record after the requested LSN, in order, plus
+// heartbeats carrying the primary's LSN while idle. The stream ends when
+// the follower is too far behind the catch-up buffer (SnapshotRequired),
+// when the connection breaks, or when the server shuts down.
+func (s *Server) serveReplicate(sc *serverConn, req wireRequest) {
+	metReplStreams.Add(1)
+	defer metReplStreams.Add(-1)
+	enc := json.NewEncoder(sc.c)
+	send := func(m replMsg) bool {
+		sc.c.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+		return enc.Encode(m) == nil
+	}
+	cursor := req.AfterLSN
+	for {
+		// Fetch the signal before scanning so a commit between the scan
+		// and the wait cannot be lost.
+		ch := s.DB.commitSignal()
+		recs, ok := s.DB.entriesSince(cursor)
+		if !ok {
+			send(replMsg{SnapshotRequired: true})
+			return
+		}
+		if len(recs) == 0 {
+			idle := time.NewTimer(s.heartbeatInterval())
+			select {
+			case <-ch:
+				idle.Stop()
+			case <-idle.C:
+				if !send(replMsg{Heartbeat: true, PrimaryLSN: s.DB.LSN()}) {
+					return
+				}
+			case <-s.done:
+				idle.Stop()
+				return
+			}
+			continue
+		}
+		primaryLSN := s.DB.LSN()
+		for _, rec := range recs {
+			if !send(replMsg{LSN: rec.lsn, Entry: rec.raw, PrimaryLSN: primaryLSN}) {
+				return
+			}
+			metReplRecordsSent.Inc()
+			cursor = rec.lsn
+		}
+	}
+}
+
+// ReplEvent is one decoded message from a replication stream.
+type ReplEvent struct {
+	LSN              int64
+	Entry            []byte
+	PrimaryLSN       int64
+	Heartbeat        bool
+	SnapshotRequired bool
+}
+
+// ReplStream is a follower's view of a primary's replication stream. It is
+// used by a single goroutine (the follower apply loop).
+type ReplStream struct {
+	conn    net.Conn
+	dec     *json.Decoder
+	timeout time.Duration
+}
+
+// DialReplication opens a replication stream delivering every committed
+// record after afterLSN. recvTimeout bounds each Recv; with heartbeats
+// arriving every Server.HeartbeatInterval, a Recv timeout means the
+// primary is unreachable and the follower should re-sync.
+func DialReplication(addr string, afterLSN int64, recvTimeout time.Duration) (*ReplStream, error) {
+	hostport := strings.TrimPrefix(addr, "kdb://")
+	conn, err := net.DialTimeout("tcp", hostport, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: dial %s: %w", addr, err)
+	}
+	if err := json.NewEncoder(conn).Encode(wireRequest{Op: "replicate", AfterLSN: afterLSN}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("kdb: start replication: %w", err)
+	}
+	return &ReplStream{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn)), timeout: recvTimeout}, nil
+}
+
+// Recv blocks for the next stream message.
+func (s *ReplStream) Recv() (ReplEvent, error) {
+	if s.timeout > 0 {
+		s.conn.SetReadDeadline(time.Now().Add(s.timeout))
+	}
+	var m replMsg
+	if err := s.dec.Decode(&m); err != nil {
+		return ReplEvent{}, fmt.Errorf("kdb: replication receive: %w", err)
+	}
+	if m.Err != "" {
+		return ReplEvent{}, wireError{m.Err}
+	}
+	return ReplEvent{
+		LSN:              m.LSN,
+		Entry:            []byte(m.Entry),
+		PrimaryLSN:       m.PrimaryLSN,
+		Heartbeat:        m.Heartbeat,
+		SnapshotRequired: m.SnapshotRequired,
+	}, nil
+}
+
+// Close tears down the stream's connection.
+func (s *ReplStream) Close() error { return s.conn.Close() }
+
+// Status reports the served database's role and LSN — the read router's
+// staleness probe.
+func (r *Remote) Status() (NodeStatus, error) {
+	resp, err := r.roundTrip(wireRequest{Op: "status"}, true)
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	return NodeStatus{Role: resp.Role, LSN: resp.LSN, Addr: resp.Addr}, nil
+}
+
+// Snapshot fetches a full snapshot of the served database and the LSN it
+// represents — the follower's bootstrap and re-sync transfer.
+func (r *Remote) Snapshot() ([]byte, int64, error) {
+	resp, err := r.roundTrip(wireRequest{Op: "snapshot"}, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Snapshot, resp.LSN, nil
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 )
@@ -13,12 +14,18 @@ import (
 // explicit type tags (JSON alone cannot distinguish int64 from float64).
 // A compaction snapshot additionally writes one meta entry carrying the
 // auto-increment high-water marks, so primary keys whose max row was
-// deleted are not reused after reopen.
+// deleted are not reused after reopen, and the commit LSN the snapshot
+// represents, so replication offsets survive compaction and restarts.
 type walEntry struct {
 	SQL     string           `json:"sql,omitempty"`
 	Args    []walArg         `json:"args,omitempty"`
 	AutoIDs map[string]int64 `json:"auto_ids,omitempty"`
+	BaseLSN int64            `json:"base_lsn,omitempty"`
 }
+
+// isMeta reports whether the entry is a snapshot meta record rather than a
+// replayable mutation.
+func (e *walEntry) isMeta() bool { return len(e.AutoIDs) > 0 || e.BaseLSN > 0 }
 
 type walArg struct {
 	Kind  string `json:"k"` // "i", "r", "t", "n"
@@ -79,6 +86,47 @@ type replayEntry struct {
 	SQL     string
 	Args    []any
 	AutoIDs map[string]int64
+	BaseLSN int64
+	Meta    bool
+	// Raw is the record's exact log line (no trailing newline); replayed
+	// mutations keep it so the replication buffer can re-ship the very
+	// bytes that are on disk.
+	Raw []byte
+}
+
+// parseWALRecords decodes newline-delimited log records. It is shared by
+// log replay and snapshot restore, so both paths accept exactly the bytes
+// the engine writes.
+func parseWALRecords(src string, data []byte) ([]replayEntry, error) {
+	var entries []replayEntry
+	for len(data) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			line, data = data, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("kdb: corrupt log %s: %w", src, err)
+		}
+		args, err := decodeArgs(e.Args)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, replayEntry{
+			SQL:     e.SQL,
+			Args:    args,
+			AutoIDs: e.AutoIDs,
+			BaseLSN: e.BaseLSN,
+			Meta:    e.isMeta(),
+			Raw:     append([]byte(nil), line...),
+		})
+	}
+	return entries, nil
 }
 
 // wal is the append-only mutation log.
@@ -92,17 +140,9 @@ type wal struct {
 func openWAL(path string) (*wal, []replayEntry, error) {
 	var entries []replayEntry
 	if data, err := os.ReadFile(path); err == nil {
-		dec := json.NewDecoder(bytes.NewReader(data))
-		for dec.More() {
-			var e walEntry
-			if err := dec.Decode(&e); err != nil {
-				return nil, nil, fmt.Errorf("kdb: corrupt log %s: %w", path, err)
-			}
-			args, err := decodeArgs(e.Args)
-			if err != nil {
-				return nil, nil, err
-			}
-			entries = append(entries, replayEntry{SQL: e.SQL, Args: args, AutoIDs: e.AutoIDs})
+		entries, err = parseWALRecords(path, data)
+		if err != nil {
+			return nil, nil, err
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("kdb: open log: %w", err)
@@ -127,15 +167,6 @@ func encodeWalEntry(sql string, args []any) ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
-}
-
-// Append logs one mutation and flushes it to the OS.
-func (w *wal) Append(sql string, args []any) error {
-	data, err := encodeWalEntry(sql, args)
-	if err != nil {
-		return err
-	}
-	return w.AppendRaw(data)
 }
 
 // AppendRaw writes pre-encoded log records (one or many) and flushes them
@@ -191,70 +222,8 @@ func (db *DB) Compact() error {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	writeEntry := func(e walEntry) error {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return err
-		}
-		_, err = w.Write(append(data, '\n'))
-		return err
-	}
-	writeSQL := func(sql string, args []any) error {
-		ea, err := encodeArgs(args)
-		if err != nil {
-			return err
-		}
-		return writeEntry(walEntry{SQL: sql, Args: ea})
-	}
-	autoIDs := map[string]int64{}
-	for _, name := range db.tablesSorted() {
-		t := db.tables[name]
-		sql := "CREATE TABLE " + t.Name + " ("
-		for i, c := range t.Columns {
-			if i > 0 {
-				sql += ", "
-			}
-			sql += c.Name + " " + c.Type.String()
-			if c.PrimaryKey {
-				sql += " PRIMARY KEY"
-			}
-		}
-		sql += ")"
-		if err := writeSQL(sql, nil); err != nil {
-			return fail(err)
-		}
-		for _, ix := range t.indexes {
-			if ix.Name == "" {
-				continue // the pk index is recreated automatically
-			}
-			if err := writeSQL("CREATE INDEX "+ix.Name+" ON "+t.Name+" ("+t.Columns[ix.col].Name+")", nil); err != nil {
-				return fail(err)
-			}
-		}
-		if t.pkIndex >= 0 && t.autoID > 0 {
-			autoIDs[t.Name] = t.autoID
-		}
-		if len(t.Rows) == 0 {
-			continue
-		}
-		ins := "INSERT INTO " + t.Name + " VALUES ("
-		for i := range t.Columns {
-			if i > 0 {
-				ins += ", "
-			}
-			ins += "?"
-		}
-		ins += ")"
-		for _, row := range t.Rows {
-			if err := writeSQL(ins, row); err != nil {
-				return fail(err)
-			}
-		}
-	}
-	if len(autoIDs) > 0 {
-		if err := writeEntry(walEntry{AutoIDs: autoIDs}); err != nil {
-			return fail(err)
-		}
+	if err := db.snapshotLocked(w); err != nil {
+		return fail(err)
 	}
 	if err := w.Flush(); err != nil {
 		return fail(err)
@@ -286,6 +255,98 @@ func (db *DB) Compact() error {
 	db.wal = &wal{f: nf, w: bufio.NewWriter(nf)}
 	db.walErr = nil
 	return nil
+}
+
+// snapshotLocked serializes the database as a minimal, deterministic
+// sequence of log records: CREATE TABLE and CREATE INDEX statements, one
+// INSERT per row, and a final meta record carrying the auto-increment
+// high-water marks plus the commit LSN the snapshot represents. It is the
+// single serialization used by Compact, by replication snapshot transfer,
+// and by the byte-identical convergence checks; db.mu must be held (read
+// or write).
+func (db *DB) snapshotLocked(w *bufio.Writer) error {
+	writeEntry := func(e walEntry) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	}
+	writeSQL := func(sql string, args []any) error {
+		ea, err := encodeArgs(args)
+		if err != nil {
+			return err
+		}
+		return writeEntry(walEntry{SQL: sql, Args: ea})
+	}
+	autoIDs := map[string]int64{}
+	for _, name := range db.tablesSorted() {
+		t := db.tables[name]
+		sql := "CREATE TABLE " + t.Name + " ("
+		for i, c := range t.Columns {
+			if i > 0 {
+				sql += ", "
+			}
+			sql += c.Name + " " + c.Type.String()
+			if c.PrimaryKey {
+				sql += " PRIMARY KEY"
+			}
+		}
+		sql += ")"
+		if err := writeSQL(sql, nil); err != nil {
+			return err
+		}
+		for _, ix := range t.indexes {
+			if ix.Name == "" {
+				continue // the pk index is recreated automatically
+			}
+			if err := writeSQL("CREATE INDEX "+ix.Name+" ON "+t.Name+" ("+t.Columns[ix.col].Name+")", nil); err != nil {
+				return err
+			}
+		}
+		if t.pkIndex >= 0 && t.autoID > 0 {
+			autoIDs[t.Name] = t.autoID
+		}
+		if len(t.Rows) == 0 {
+			continue
+		}
+		ins := "INSERT INTO " + t.Name + " VALUES ("
+		for i := range t.Columns {
+			if i > 0 {
+				ins += ", "
+			}
+			ins += "?"
+		}
+		ins += ")"
+		for _, row := range t.Rows {
+			if err := writeSQL(ins, row); err != nil {
+				return err
+			}
+		}
+	}
+	if len(autoIDs) > 0 || db.lsn > 0 {
+		if err := writeEntry(walEntry{AutoIDs: autoIDs, BaseLSN: db.lsn}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot streams a consistent snapshot of the database to w and
+// returns the commit LSN it represents. Two databases are replicas of one
+// another exactly when their snapshots are byte-identical.
+func (db *DB) WriteSnapshot(w io.Writer) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if err := db.snapshotLocked(bw); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return db.lsn, nil
 }
 
 func (db *DB) tablesSorted() []string {

@@ -1,0 +1,29 @@
+package repl
+
+// Replication observability. Handles resolve once at package init against
+// the process-wide registry, matching the kdb/campaign convention. The lag
+// gauges reflect the most recently active follower in this process;
+// per-follower numbers are always available exactly via Follower.Health.
+
+import "repro/internal/telemetry"
+
+var (
+	metLagLSN        *telemetry.Gauge
+	metLagSeconds    *telemetry.Gauge
+	metSnapshotBytes *telemetry.Counter
+	metResyncTotal   *telemetry.Counter
+	metAppliedTotal  *telemetry.Counter
+	metRouterPrimary *telemetry.Counter
+	metRouterReplica *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	metLagLSN = reg.Gauge("repl_lag_lsn")
+	metLagSeconds = reg.Gauge("repl_lag_seconds")
+	metSnapshotBytes = reg.Counter("repl_snapshot_bytes")
+	metResyncTotal = reg.Counter("repl_resync_total")
+	metAppliedTotal = reg.Counter("repl_applied_total")
+	metRouterPrimary = reg.Counter(telemetry.Label("repl_router_reads_total", "target", "primary"))
+	metRouterReplica = reg.Counter(telemetry.Label("repl_router_reads_total", "target", "replica"))
+}

@@ -1,0 +1,235 @@
+package repl
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/kdb"
+)
+
+// Replica is a read target the Router can route queries to: a remote
+// served replica (*kdb.Remote) or an in-process *Follower's database
+// wrapped by LocalReplica. Status is the staleness probe.
+type Replica interface {
+	Query(query string, args ...any) (*kdb.Rows, error)
+	QueryRow(query string, args ...any) ([]any, error)
+	Status() (kdb.NodeStatus, error)
+}
+
+var _ Replica = (*kdb.Remote)(nil)
+
+// LocalReplica adapts an in-process Follower into a Replica, so a node
+// can serve its own follower copy without a network hop.
+type LocalReplica struct{ F *Follower }
+
+func (l LocalReplica) Query(query string, args ...any) (*kdb.Rows, error) {
+	return l.F.db.Query(query, args...)
+}
+
+func (l LocalReplica) QueryRow(query string, args ...any) ([]any, error) {
+	return l.F.db.QueryRow(query, args...)
+}
+
+func (l LocalReplica) Status() (kdb.NodeStatus, error) { return l.F.Status() }
+
+// Router is a kdb.Conn that sends writes to the primary and reads to
+// replicas, with read-your-writes consistency: a session's reads stick to
+// the primary until some replica has applied that session's last write.
+// Replica staleness is judged against a cached last-known LSN, refreshed
+// by a cheap "status" probe only when the cache is insufficient — a
+// session that never writes never probes.
+//
+// The Router itself implements kdb.Conn as one shared session, which is
+// the conservative default (all writes through the Router gate all reads
+// through the Router). Callers wanting finer-grained stickiness create
+// per-user sessions with Session().
+type Router struct {
+	primary  kdb.Conn
+	replicas []*replicaState
+	rr       atomic.Uint64
+	def      Session
+
+	primaryReads atomic.Int64
+	replicaReads atomic.Int64
+}
+
+type replicaState struct {
+	r        Replica
+	knownLSN atomic.Int64
+}
+
+// NewRouter fronts primary with the given read replicas. With no
+// replicas every call goes to the primary, so the Router is a safe
+// drop-in even for single-node deployments.
+func NewRouter(primary kdb.Conn, replicas ...Replica) *Router {
+	rt := &Router{primary: primary}
+	for _, r := range replicas {
+		rt.replicas = append(rt.replicas, &replicaState{r: r})
+	}
+	rt.def.rt = rt
+	return rt
+}
+
+// Session returns an independent routing session whose reads are gated
+// only by its own writes.
+func (rt *Router) Session() *Session { return &Session{rt: rt} }
+
+// LSN reports the highest write LSN observed through the Router's shared
+// session (campaign ingest records it as the run's final LSN).
+func (rt *Router) LSN() int64 { return rt.def.lastWrite.Load() }
+
+// Stats reports how many reads went to the primary vs replicas.
+func (rt *Router) Stats() (primary, replica int64) {
+	return rt.primaryReads.Load(), rt.replicaReads.Load()
+}
+
+func (rt *Router) Exec(query string, args ...any) (kdb.Result, error) {
+	return rt.def.Exec(query, args...)
+}
+
+func (rt *Router) Query(query string, args ...any) (*kdb.Rows, error) {
+	return rt.def.Query(query, args...)
+}
+
+func (rt *Router) QueryRow(query string, args ...any) ([]any, error) {
+	return rt.def.QueryRow(query, args...)
+}
+
+func (rt *Router) Tables() []string { return rt.primary.Tables() }
+
+// Batch forwards to the primary's Batcher when it has one, tracking the
+// LSNs the batched execs report so read-your-writes covers batched
+// ingest. A primary without batching (e.g. a remote connection) gets
+// statement-at-a-time semantics, matching the schema layer's own
+// fallback.
+func (rt *Router) Batch(fn func(exec kdb.ExecFunc) error) error {
+	return rt.def.Batch(fn)
+}
+
+// Close closes the primary connection and any replicas that hold
+// resources.
+func (rt *Router) Close() error {
+	err := rt.primary.Close()
+	for _, rs := range rt.replicas {
+		if c, ok := rs.r.(io.Closer); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+var (
+	_ kdb.Conn    = (*Router)(nil)
+	_ kdb.Batcher = (*Router)(nil)
+	_ kdb.Conn    = (*Session)(nil)
+)
+
+// Session tracks one logical client's last write so its reads are never
+// served from a replica that has not applied it.
+type Session struct {
+	rt        *Router
+	lastWrite atomic.Int64
+}
+
+func (s *Session) noteWrite(lsn int64) {
+	for {
+		cur := s.lastWrite.Load()
+		if lsn <= cur || s.lastWrite.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// Exec sends the mutation to the primary and remembers its LSN.
+func (s *Session) Exec(query string, args ...any) (kdb.Result, error) {
+	res, err := s.rt.primary.Exec(query, args...)
+	if err == nil {
+		s.noteWrite(res.LSN)
+	}
+	return res, err
+}
+
+// pick returns a replica whose applied LSN covers this session's last
+// write, or nil if none qualifies. Selection round-robins across
+// replicas; the status probe only fires when the cached LSN is too old.
+func (s *Session) pick() Replica {
+	rt := s.rt
+	n := len(rt.replicas)
+	if n == 0 {
+		return nil
+	}
+	need := s.lastWrite.Load()
+	start := rt.rr.Add(1)
+	for i := 0; i < n; i++ {
+		rs := rt.replicas[(start+uint64(i))%uint64(n)]
+		if rs.knownLSN.Load() >= need {
+			return rs.r
+		}
+		st, err := rs.r.Status()
+		if err != nil {
+			continue
+		}
+		rs.knownLSN.Store(st.LSN)
+		if st.LSN >= need {
+			return rs.r
+		}
+	}
+	return nil
+}
+
+// Query routes to a sufficiently fresh replica, falling back to the
+// primary when none qualifies or the chosen replica fails.
+func (s *Session) Query(query string, args ...any) (*kdb.Rows, error) {
+	if rep := s.pick(); rep != nil {
+		rows, err := rep.Query(query, args...)
+		if err == nil {
+			s.rt.replicaReads.Add(1)
+			metRouterReplica.Inc()
+			return rows, nil
+		}
+	}
+	s.rt.primaryReads.Add(1)
+	metRouterPrimary.Inc()
+	return s.rt.primary.Query(query, args...)
+}
+
+// QueryRow routes like Query; a replica's ErrNoRows is a real answer, not
+// a failure, so it does not trigger primary fallback.
+func (s *Session) QueryRow(query string, args ...any) ([]any, error) {
+	if rep := s.pick(); rep != nil {
+		row, err := rep.QueryRow(query, args...)
+		if err == nil || errors.Is(err, kdb.ErrNoRows) {
+			s.rt.replicaReads.Add(1)
+			metRouterReplica.Inc()
+			return row, err
+		}
+	}
+	s.rt.primaryReads.Add(1)
+	metRouterPrimary.Inc()
+	return s.rt.primary.QueryRow(query, args...)
+}
+
+func (s *Session) Tables() []string { return s.rt.primary.Tables() }
+
+// Close closes the underlying Router (sessions share its connections).
+func (s *Session) Close() error { return s.rt.Close() }
+
+// Batch applies fn atomically on the primary when it supports batching,
+// recording each exec's LSN for read-your-writes.
+func (s *Session) Batch(fn func(exec kdb.ExecFunc) error) error {
+	if b, ok := s.rt.primary.(kdb.Batcher); ok {
+		return b.Batch(func(exec kdb.ExecFunc) error {
+			return fn(func(query string, args ...any) (kdb.Result, error) {
+				res, err := exec(query, args...)
+				if err == nil {
+					s.noteWrite(res.LSN)
+				}
+				return res, err
+			})
+		})
+	}
+	return fn(s.Exec)
+}

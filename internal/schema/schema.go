@@ -192,7 +192,25 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Wrap(db)
+}
+
+// Wrap builds a Store over an existing connection, creating any missing
+// tables. It lets callers that already manage the connection's lifecycle
+// — a replicated primary behind a read router, a database also served
+// over the wire — reuse the schema layer. A connection that identifies
+// itself as a read-only replica gets no DDL: its tables arrive by
+// replication from the primary, and the replica would reject the writes
+// anyway. On DDL failure the connection is closed.
+func Wrap(db kdb.Conn) (*Store, error) {
 	s := &Store{DB: db}
+	if st, ok := db.(interface {
+		Status() (kdb.NodeStatus, error)
+	}); ok {
+		if ns, err := st.Status(); err == nil && ns.Role == "replica" {
+			return s, nil
+		}
+	}
 	for _, stmt := range ddl {
 		if _, err := db.Exec(stmt); err != nil {
 			db.Close()
