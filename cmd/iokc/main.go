@@ -15,10 +15,15 @@
 //	iokc tune [--tasks N] [--burst SIZE] [--seed N]
 //	iokc serve [--db FILE] [--addr :8080] [--replica ADDR]... [--pprof]
 //	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--replica-of ADDR] [--advertise ADDR] [--pprof]
+//	iokc servedb --db FILE --shard-index I --shard-count N           (serve one shard of a partitioned store)
+//	iokc servedb --shard ADDR[,REPLICA...] --shard ADDR... [--epoch N] (serve a scatter-gather coordinator)
 //
 // Every --db flag also accepts a kdb://host:port connection URL, so any
 // subcommand can work against a shared remote knowledge base served by
-// "iokc servedb" — the paper's local/public database split.
+// "iokc servedb" — the paper's local/public database split — and a
+// shard://host:port URL, which discovers the shard map from a
+// coordinator's address and opens a client-side scatter-gather
+// connection across all shards.
 //
 // Each subcommand is one phase (or one usage) of the cycle; the database
 // file is the shared knowledge base connecting them.
@@ -52,6 +57,7 @@ import (
 	"repro/internal/repl"
 	"repro/internal/schema"
 	"repro/internal/sctuner"
+	"repro/internal/shard"
 	"repro/internal/siox"
 	"repro/internal/slurm"
 	"repro/internal/telemetry"
@@ -660,6 +666,10 @@ type serveDBConfig struct {
 	pprofOn     bool
 	replicaOf   string
 	advertise   string
+	shards      []string
+	epoch       int64
+	shardIndex  int
+	shardCount  int
 }
 
 func parseServeDBArgs(args []string) (*serveDBConfig, error) {
@@ -673,14 +683,37 @@ func parseServeDBArgs(args []string) (*serveDBConfig, error) {
 	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose /debug/pprof on the metrics address")
 	fs.StringVar(&cfg.replicaOf, "replica-of", "", "serve as a read-only replica of the primary at this kdb:// address")
 	fs.StringVar(&cfg.advertise, "advertise", "", "address reported to clients asking for this node's status")
+	var shards replicaFlags
+	fs.Var(&shards, "shard", "kdb:// address of a shard primary, optionally \"primary,replica,...\" (repeatable); serve as a scatter-gather coordinator over these shards instead of a local file")
+	fs.Int64Var(&cfg.epoch, "epoch", 1, "shard-map epoch served to clients in coordinator mode")
+	fs.IntVar(&cfg.shardIndex, "shard-index", 0, "this node's shard number when serving one shard of a partitioned store (requires --shard-count)")
+	fs.IntVar(&cfg.shardCount, "shard-count", 0, "total shard count; strides auto-increment ids so shards never collide")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	cfg.shards = shards
 	if cfg.pprofOn && cfg.metricsAddr == "" {
 		return nil, fmt.Errorf("servedb: --pprof requires --metrics-addr")
 	}
 	if strings.HasPrefix(cfg.db, "kdb://") {
 		return nil, fmt.Errorf("servedb: --db must be a local file, not a kdb:// URL")
+	}
+	if len(cfg.shards) > 0 {
+		if cfg.replicaOf != "" {
+			return nil, fmt.Errorf("servedb: --shard and --replica-of are mutually exclusive")
+		}
+		if cfg.shardCount > 0 {
+			return nil, fmt.Errorf("servedb: --shard (coordinator mode) and --shard-count (data-shard mode) are mutually exclusive")
+		}
+		if cfg.epoch < 1 {
+			return nil, fmt.Errorf("servedb: --epoch must be >= 1")
+		}
+	}
+	if cfg.shardCount < 0 || (cfg.shardCount > 0 && (cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shardCount)) {
+		return nil, fmt.Errorf("servedb: --shard-index must be in [0, --shard-count)")
+	}
+	if cfg.shardCount == 0 && cfg.shardIndex != 0 {
+		return nil, fmt.Errorf("servedb: --shard-index requires --shard-count")
 	}
 	return cfg, nil
 }
@@ -704,7 +737,17 @@ func cmdServeDB(args []string) error {
 }
 
 func runServeDB(ctx context.Context, cfg *serveDBConfig) error {
-	backing, err := kdb.Open(cfg.db)
+	if len(cfg.shards) > 0 {
+		return runShardCoordinator(ctx, cfg)
+	}
+	var opts kdb.DBOptions
+	if cfg.shardCount > 0 {
+		// One shard of a partitioned store: stride the auto-increment id
+		// space so ids assigned here never collide with sibling shards.
+		opts.AutoIDOffset = int64(cfg.shardIndex)
+		opts.AutoIDStride = int64(cfg.shardCount)
+	}
+	backing, err := kdb.OpenWithOptions(cfg.db, opts)
 	if err != nil {
 		return err
 	}
@@ -723,15 +766,85 @@ func runServeDB(ctx context.Context, cfg *serveDBConfig) error {
 			return st
 		}
 	}
+	return serveWire(ctx, cfg, srv, health, func(a net.Addr) string {
+		switch {
+		case cfg.replicaOf != "":
+			return fmt.Sprintf("knowledge database %s served on kdb://%s (read-only replica of %s)", cfg.db, a, cfg.replicaOf)
+		case cfg.shardCount > 0:
+			return fmt.Sprintf("knowledge database %s served on kdb://%s (shard %d of %d)", cfg.db, a, cfg.shardIndex, cfg.shardCount)
+		default:
+			return fmt.Sprintf("knowledge database %s served on kdb://%s", cfg.db, a)
+		}
+	})
+}
+
+// runShardCoordinator serves a database-less coordinator: writes are
+// routed across the shard primaries named by --shard, reads scatter to
+// every shard and the partial results are recombined, and the shardmap
+// verb lets clients (including shard:// store URLs) discover the whole
+// topology from this one address.
+func runShardCoordinator(ctx context.Context, cfg *serveDBConfig) error {
+	specs := make([]shard.Spec, 0, len(cfg.shards))
+	conns := make([]kdb.Conn, 0, len(cfg.shards))
+	fail := func(err error) error {
+		for _, c := range conns {
+			c.Close()
+		}
+		return err
+	}
+	for i, raw := range cfg.shards {
+		spec, err := shard.ParseSpec(raw)
+		if err != nil {
+			return fail(fmt.Errorf("--shard %d: %w", i, err))
+		}
+		primary, err := kdb.Dial(spec.Primary)
+		if err != nil {
+			return fail(fmt.Errorf("shard %d (%s): %w", i, spec.Primary, err))
+		}
+		conn := kdb.Conn(primary)
+		if len(spec.Replicas) > 0 {
+			// Reads on this shard route to caught-up replicas; the
+			// coordinator composes on top without knowing.
+			replicas := make([]repl.Replica, 0, len(spec.Replicas))
+			for _, addr := range spec.Replicas {
+				r, err := kdb.Dial(addr)
+				if err != nil {
+					primary.Close()
+					return fail(fmt.Errorf("shard %d replica (%s): %w", i, addr, err))
+				}
+				replicas = append(replicas, r)
+			}
+			conn = repl.NewRouter(primary, replicas...)
+		}
+		specs = append(specs, spec)
+		conns = append(conns, conn)
+	}
+	coord, err := shard.New(conns...)
+	if err != nil {
+		return fail(err)
+	}
+	defer coord.Close()
+	if err := coord.SetMap(&shard.Map{Epoch: cfg.epoch, Shards: specs}); err != nil {
+		return err
+	}
+	srv := &kdb.Server{Backend: coord, ShardMapFunc: coord.ShardMap, Role: "coordinator",
+		MaxConns: cfg.maxConns, IdleTimeout: cfg.idle, Advertise: cfg.advertise}
+	health := func() repl.Status {
+		return repl.Status{Role: "coordinator", Addr: cfg.advertise, AppliedLSN: coord.LSN()}
+	}
+	return serveWire(ctx, cfg, srv, health, func(a net.Addr) string {
+		return fmt.Sprintf("shard coordinator (%d shards, epoch %d) on kdb://%s", len(specs), cfg.epoch, a)
+	})
+}
+
+// serveWire runs the listen / metrics / graceful-shutdown loop shared by
+// every servedb mode (primary, replica, data shard, coordinator).
+func serveWire(ctx context.Context, cfg *serveDBConfig, srv *kdb.Server, health func() repl.Status, describe func(net.Addr) string) error {
 	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	if cfg.replicaOf != "" {
-		fmt.Printf("knowledge database %s served on kdb://%s (read-only replica of %s)\n", cfg.db, l.Addr(), cfg.replicaOf)
-	} else {
-		fmt.Printf("knowledge database %s served on kdb://%s\n", cfg.db, l.Addr())
-	}
+	fmt.Println(describe(l.Addr()))
 	if cfg.metricsAddr != "" {
 		// The wire protocol is raw TCP, so observability rides on a side
 		// HTTP listener.

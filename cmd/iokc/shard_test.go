@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kdb"
+	"repro/internal/shard"
+)
+
+func TestParseServeDBShardArgs(t *testing.T) {
+	cfg, err := parseServeDBArgs([]string{
+		"--shard", "kdb://127.0.0.1:7071",
+		"--shard", "kdb://127.0.0.1:7072,kdb://127.0.0.1:7172",
+		"--epoch", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.shards) != 2 || cfg.epoch != 3 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	cfg, err = parseServeDBArgs([]string{"--db", "s1.kdb", "--shard-index", "1", "--shard-count", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.shardIndex != 1 || cfg.shardCount != 4 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	for _, bad := range [][]string{
+		{"--shard", "kdb://h:1", "--replica-of", "kdb://h:2"},
+		{"--shard", "kdb://h:1", "--shard-count", "2"},
+		{"--shard", "kdb://h:1", "--epoch", "0"},
+		{"--shard-index", "1"},
+		{"--shard-index", "4", "--shard-count", "4"},
+		{"--shard-index", "-1", "--shard-count", "4"},
+	} {
+		if _, err := parseServeDBArgs(bad); err == nil {
+			t.Errorf("parseServeDBArgs(%v) accepted, want error", bad)
+		}
+	}
+}
+
+// startServeDB runs "iokc servedb" with the given args in the background
+// and registers a cleanup that shuts it down and checks its exit error.
+func startServeDB(t *testing.T, args ...string) {
+	t.Helper()
+	cfg, err := parseServeDBArgs(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runServeDB(ctx, cfg) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("runServeDB(%v): %v", args, err)
+		}
+	})
+}
+
+// waitShardMap polls until a coordinator at addr serves its shard map.
+func waitShardMap(t *testing.T, addr string) *shard.Map {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, err := shard.FetchMap("kdb://" + addr)
+		if err == nil {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator at %s never served a shard map: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardedDeploymentWorkflow is the CLI deployment shape end to end:
+// two strided data shards and a coordinator, all via "iokc servedb"
+// flags, with generate/list working against the shard:// store URL.
+func TestShardedDeploymentWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	a0, a1, ac := reservePort(t), reservePort(t), reservePort(t)
+	startServeDB(t, "--db", dir+"/s0.kdb", "--addr", a0, "--shard-index", "0", "--shard-count", "2")
+	startServeDB(t, "--db", dir+"/s1.kdb", "--addr", a1, "--shard-index", "1", "--shard-count", "2")
+
+	// The coordinator dials its shards at startup, so they must be up
+	// and answering before it launches.
+	for _, a := range []string{a0, a1} {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			r, err := kdb.Dial("kdb://" + a)
+			if err == nil {
+				_, err = r.Status()
+				r.Close()
+				if err == nil {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("data shard at %s never came up: %v", a, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	startServeDB(t, "--addr", ac, "--epoch", "7",
+		"--shard", "kdb://"+a0, "--shard", "kdb://"+a1)
+	m := waitShardMap(t, ac)
+	if m.Epoch != 7 || len(m.Shards) != 2 {
+		t.Fatalf("shard map = %+v", m)
+	}
+
+	url := "shard://" + ac
+	out, err := capture(t, func() error {
+		return run([]string{"generate", "--db", url, "--seed", "5",
+			"ior", "-a", "posix", "-b", "4m", "-t", "2m", "-s", "4", "-N", "20", "-F", "-C", "-o", "/scratch/r"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stored knowledge object #") {
+		t.Errorf("sharded generate output:\n%s", out)
+	}
+	out, err = capture(t, func() error { return run([]string{"list", "--db", url}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 knowledge object(s):") {
+		t.Errorf("sharded list output:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/knowledge"
 	"repro/internal/rng"
 	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -367,6 +368,11 @@ func (s *Scheduler) runUnit(ctx context.Context, u Unit, baseSeed uint64, maxAtt
 // one log flush per kind), and the assigned ids are written back onto the
 // outcomes' RunOutcome entries in res.Runs.
 func (s *Scheduler) ingest(batch []outcome, res *Result) error {
+	// On a sharded store the whole batch is pinned to the shard this key
+	// hashes to: campaign and leading unit index, so one batch's object
+	// graphs stay colocated while a campaign's successive batches spread
+	// across shards. Single-node stores ignore the key.
+	key := shard.HashString(fmt.Sprintf("%s/%d/%d", res.Name, res.CampaignID, batch[0].run.Unit.Index))
 	var objs []*knowledge.Object
 	var objRuns []int // res.Runs index per object, aligned with objs
 	var io500s []*knowledge.IO500Object
@@ -384,7 +390,7 @@ func (s *Scheduler) ingest(batch []outcome, res *Result) error {
 		}
 	}
 	if len(objs) > 0 {
-		ids, err := s.Store.SaveObjects(objs)
+		ids, err := s.Store.SaveObjectsKeyed(key, objs)
 		if err != nil {
 			return fmt.Errorf("campaign: persist batch (unit %q): %w", res.Runs[objRuns[0]].Unit.Name, err)
 		}
@@ -396,7 +402,7 @@ func (s *Scheduler) ingest(batch []outcome, res *Result) error {
 		}
 	}
 	if len(io500s) > 0 {
-		ids, err := s.Store.SaveIO500s(io500s)
+		ids, err := s.Store.SaveIO500sKeyed(key, io500s)
 		if err != nil {
 			return fmt.Errorf("campaign: persist batch (unit %q): %w", res.Runs[io500Runs[0]].Unit.Name, err)
 		}

@@ -36,6 +36,23 @@ func (t *Table) colIndex(name string) int {
 	return -1
 }
 
+// DBOptions tunes how a database allocates values that must stay disjoint
+// across a sharded deployment. The zero value reproduces the classic
+// single-node behaviour (ids 1, 2, 3, ...).
+type DBOptions struct {
+	// AutoIDOffset and AutoIDStride partition the auto-increment id space:
+	// a table's first automatic id is AutoIDOffset+1 and each subsequent
+	// one advances by AutoIDStride. Shard i of n opens its database with
+	// offset i and stride n, so ids assigned by different shards never
+	// collide and a row's owning shard is recoverable as (id-1) mod n.
+	// Zero values mean offset 0, stride 1. The sequence is configuration,
+	// not logged state: every node replaying a shard's log (including its
+	// replication followers) must open with the same options to derive the
+	// same ids.
+	AutoIDOffset int64
+	AutoIDStride int64
+}
+
 // DB is an embedded database. Use Open to create one; the zero value is not
 // usable. All methods are safe for concurrent use.
 type DB struct {
@@ -43,6 +60,7 @@ type DB struct {
 	tables map[string]*Table
 	wal    *wal
 	path   string
+	opts   DBOptions
 	// walErr records a failed log reopen (Compact's last resort); while
 	// set, mutations fail rather than silently skipping durability.
 	walErr error
@@ -93,11 +111,25 @@ func (r *Rows) Len() int { return len(r.rows) }
 // All returns every row; convenient for small result sets.
 func (r *Rows) All() [][]any { return r.rows }
 
+// NewRows builds a result set from externally assembled rows — the shard
+// coordinator's merge layer produces its recombined results through this.
+func NewRows(columns []string, rows [][]any) *Rows {
+	return &Rows{Columns: columns, rows: rows}
+}
+
 // Open opens (or creates) a database. An empty path opens an in-memory
 // database; otherwise the JSON-lines log at path is replayed and future
 // mutations are appended to it.
 func Open(path string) (*DB, error) {
-	db := &DB{tables: map[string]*Table{}, path: path}
+	return OpenWithOptions(path, DBOptions{})
+}
+
+// OpenWithOptions opens a database with explicit allocation options. The
+// options must be set before replay (id derivation during replay depends
+// on them), which is why they are a parameter of Open rather than a
+// setter.
+func OpenWithOptions(path string, opts DBOptions) (*DB, error) {
+	db := &DB{tables: map[string]*Table{}, path: path, opts: opts}
 	if path == "" {
 		return db, nil
 	}
@@ -274,6 +306,15 @@ type Batcher interface {
 }
 
 var _ Batcher = (*DB)(nil)
+
+// KeyedBatcher is implemented by connections that can pin a batch to a
+// placement key: every mutation in fn lands on whichever backend the key
+// hashes to. A sharded coordinator uses the key to colocate related rows
+// (a campaign's runs, an object's child tables) on one shard; single-node
+// connections may satisfy it by ignoring the key.
+type KeyedBatcher interface {
+	BatchKeyed(key uint64, fn func(exec ExecFunc) error) error
+}
 
 // Batch runs fn with an exec function that applies mutations under one
 // write lock and one buffered log flush — the transaction-sized unit the
@@ -492,7 +533,7 @@ func (db *DB) execInsert(s *insertStmt, args []any) (Result, func(), error) {
 		}
 		if t.pkIndex >= 0 {
 			if row[t.pkIndex] == nil {
-				t.autoID++
+				t.autoID = db.nextAutoID(t.autoID)
 				row[t.pkIndex] = t.autoID
 			} else if id, ok := row[t.pkIndex].(int64); ok && id > t.autoID {
 				t.autoID = id
@@ -504,6 +545,21 @@ func (db *DB) execInsert(s *insertStmt, args []any) (Result, func(), error) {
 		res.RowsAffected++
 	}
 	return res, undo, nil
+}
+
+// nextAutoID advances a table's auto-increment high-water mark along the
+// database's configured sequence: the first id is offset+1, later ids
+// advance by the stride. A RestoreSnapshot scratch database is built as a
+// bare struct, so zero/absent options defensively mean offset 0, stride 1.
+func (db *DB) nextAutoID(cur int64) int64 {
+	stride := db.opts.AutoIDStride
+	if stride <= 0 {
+		stride = 1
+	}
+	if cur == 0 {
+		return db.opts.AutoIDOffset + 1
+	}
+	return cur + stride
 }
 
 func (db *DB) execUpdate(s *updateStmt, args []any) (Result, func(), error) {

@@ -48,7 +48,7 @@ var (
 
 // wireRequest is one client->server message.
 type wireRequest struct {
-	Op   string   `json:"op"` // "exec", "query", "tables", "status", "snapshot", "replicate"
+	Op   string   `json:"op"` // "exec", "query", "tables", "status", "snapshot", "replicate", "shardmap"
 	SQL  string   `json:"sql,omitempty"`
 	Args []walArg `json:"args,omitempty"`
 	// AfterLSN is the replication offset for the "replicate" op: the
@@ -68,6 +68,11 @@ type wireResponse struct {
 	Role         string     `json:"role,omitempty"`
 	Addr         string     `json:"addr,omitempty"`
 	Snapshot     []byte     `json:"snapshot,omitempty"`
+	// Epoch and ShardMap answer the "shardmap" verb: an opaque,
+	// epoch-versioned partition map (the shard package defines its JSON
+	// shape; kdb only transports it).
+	Epoch    int64  `json:"epoch,omitempty"`
+	ShardMap []byte `json:"shard_map,omitempty"`
 }
 
 // Server limits and deadlines used when the corresponding field is zero.
@@ -81,6 +86,18 @@ const (
 // Server exposes a local database over the wire protocol.
 type Server struct {
 	DB *DB
+
+	// Backend, when set, handles exec/query/tables instead of DB — it is
+	// how a scatter-gather coordinator (or any other Conn) is served over
+	// the same wire protocol. Replication verbs (snapshot, replicate)
+	// need the real database and answer an error when only a Backend is
+	// present. When both are nil the server refuses requests.
+	Backend Conn
+
+	// ShardMapFunc, when set, answers the "shardmap" verb with an
+	// epoch-versioned partition map. Coordinator nodes serve their map
+	// here so clients can fetch it and connect to the shards directly.
+	ShardMapFunc func() (epoch int64, data []byte)
 
 	// MaxConns caps concurrently served connections; dials beyond the cap
 	// get an error response and are closed. 0 means DefaultMaxConns.
@@ -252,6 +269,11 @@ func (s *Server) handle(sc *serverConn) {
 			return
 		}
 		if req.Op == "replicate" {
+			if s.DB == nil {
+				sc.c.SetWriteDeadline(time.Now().Add(s.writeTimeout()))
+				enc.Encode(wireResponse{Err: "kdb: this node serves no local database to replicate"})
+				return
+			}
 			// The connection becomes a one-way stream; it stays "idle"
 			// from Shutdown's point of view, so shutdown closes it
 			// immediately and the follower re-syncs elsewhere.
@@ -274,6 +296,15 @@ func (s *Server) handle(sc *serverConn) {
 	}
 }
 
+// conn is the request-serving connection: the explicit Backend when set,
+// the local database otherwise.
+func (s *Server) conn() Conn {
+	if s.Backend != nil {
+		return s.Backend
+	}
+	return s.DB
+}
+
 func (s *Server) dispatch(req wireRequest) wireResponse {
 	metServerRequests.Inc()
 	args, err := decodeArgs(req.Args)
@@ -285,14 +316,23 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		if s.ReadOnly {
 			return wireResponse{Err: "kdb: read-only replica rejects mutations"}
 		}
-		res, err := s.DB.Exec(req.SQL, args...)
+		res, err := s.conn().Exec(req.SQL, args...)
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{LastInsertID: res.LastInsertID, RowsAffected: res.RowsAffected, LSN: res.LSN}
 	case "status":
-		return wireResponse{Role: s.role(), LSN: s.DB.LSN(), Addr: s.Advertise}
+		st := wireResponse{Role: s.role(), Addr: s.Advertise}
+		if s.DB != nil {
+			st.LSN = s.DB.LSN()
+		} else if l, ok := s.Backend.(interface{ LSN() int64 }); ok {
+			st.LSN = l.LSN()
+		}
+		return st
 	case "snapshot":
+		if s.DB == nil {
+			return wireResponse{Err: "kdb: this node serves no local database to snapshot"}
+		}
 		var buf bytes.Buffer
 		lsn, err := s.DB.WriteSnapshot(&buf)
 		if err != nil {
@@ -301,7 +341,7 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		metReplSnapshotBytes.Add(int64(buf.Len()))
 		return wireResponse{Snapshot: buf.Bytes(), LSN: lsn}
 	case "query":
-		rows, err := s.DB.Query(req.SQL, args...)
+		rows, err := s.conn().Query(req.SQL, args...)
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
@@ -315,7 +355,13 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		}
 		return resp
 	case "tables":
-		return wireResponse{Tables: s.DB.Tables()}
+		return wireResponse{Tables: s.conn().Tables()}
+	case "shardmap":
+		if s.ShardMapFunc == nil {
+			return wireResponse{Err: "kdb: this node serves no shard map"}
+		}
+		epoch, data := s.ShardMapFunc()
+		return wireResponse{Epoch: epoch, ShardMap: data}
 	}
 	return wireResponse{Err: fmt.Sprintf("kdb: unknown wire op %q", req.Op)}
 }

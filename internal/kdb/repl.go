@@ -344,3 +344,14 @@ func (r *Remote) Snapshot() ([]byte, int64, error) {
 	}
 	return resp.Snapshot, resp.LSN, nil
 }
+
+// ShardMap fetches the epoch-versioned partition map served by a
+// coordinator node. The bytes are opaque to kdb; the shard package owns
+// their JSON shape.
+func (r *Remote) ShardMap() (epoch int64, data []byte, err error) {
+	resp, err := r.roundTrip(wireRequest{Op: "shardmap"}, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.Epoch, resp.ShardMap, nil
+}

@@ -21,11 +21,18 @@ type walEntry struct {
 	Args    []walArg         `json:"args,omitempty"`
 	AutoIDs map[string]int64 `json:"auto_ids,omitempty"`
 	BaseLSN int64            `json:"base_lsn,omitempty"`
+	// Meta explicitly tags a snapshot meta record. Older logs carried no
+	// tag and relied on AutoIDs/BaseLSN being non-zero, which misclassified
+	// a zero-LSN snapshot with no high-water marks as a replayable
+	// mutation; isMeta keeps the legacy inference only for reading those
+	// old files.
+	Meta bool `json:"meta,omitempty"`
 }
 
 // isMeta reports whether the entry is a snapshot meta record rather than a
-// replayable mutation.
-func (e *walEntry) isMeta() bool { return len(e.AutoIDs) > 0 || e.BaseLSN > 0 }
+// replayable mutation. The explicit tag is authoritative; the field
+// inference remains for logs written before the tag existed.
+func (e *walEntry) isMeta() bool { return e.Meta || len(e.AutoIDs) > 0 || e.BaseLSN > 0 }
 
 type walArg struct {
 	Kind  string `json:"k"` // "i", "r", "t", "n"
@@ -325,10 +332,11 @@ func (db *DB) snapshotLocked(w *bufio.Writer) error {
 			}
 		}
 	}
-	if len(autoIDs) > 0 || db.lsn > 0 {
-		if err := writeEntry(walEntry{AutoIDs: autoIDs, BaseLSN: db.lsn}); err != nil {
-			return err
-		}
+	// The meta record is written unconditionally and tagged explicitly:
+	// a snapshot taken at LSN 0 with no auto-increment high-water marks
+	// must still restore as "no history", not replay as a mutation.
+	if err := writeEntry(walEntry{AutoIDs: autoIDs, BaseLSN: db.lsn, Meta: true}); err != nil {
+		return err
 	}
 	return nil
 }

@@ -122,3 +122,63 @@ func FuzzWALRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// TestSnapshotZeroLSNMetaRecord pins down the meta-record edge case: a
+// snapshot representing LSN 0 with no auto-increment high-water marks has a
+// meta record with no distinguishing fields, which the legacy
+// infer-from-fields classification mistook for a replayable mutation. The
+// explicit tag must round-trip it as "no history".
+func TestSnapshotZeroLSNMetaRecord(t *testing.T) {
+	// The exact shape the engine serializes for a schema-only, zero-history
+	// database — e.g. a replica snapshotted before its first commit.
+	snap := []byte(`{"sql":"CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)"}` + "\n" +
+		`{"meta":true}` + "\n")
+
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Seed unrelated history so the restore provably resets both state and
+	// LSN rather than leaving them untouched.
+	if _, err := db.Exec("CREATE TABLE old (id INTEGER PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("zero-LSN meta record rejected: %v", err)
+	}
+	if got := db.LSN(); got != 0 {
+		t.Errorf("restored LSN = %d, want 0", got)
+	}
+	if tabs := db.Tables(); len(tabs) != 1 || tabs[0] != "kv" {
+		t.Errorf("restored tables = %v, want [kv]", tabs)
+	}
+	if got := snapshotBytes(t, db); !bytes.Equal(got, snap) {
+		t.Errorf("zero-LSN snapshot did not round-trip byte-identically:\ngot  %q\nwant %q", got, snap)
+	}
+}
+
+// TestSnapshotLegacyMetaRecord keeps untagged meta records from
+// pre-explicit-tag snapshots restoring correctly.
+func TestSnapshotLegacyMetaRecord(t *testing.T) {
+	legacy := []byte(`{"sql":"CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)"}` + "\n" +
+		`{"auto_ids":{"kv":5},"base_lsn":7}` + "\n")
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RestoreSnapshot(legacy); err != nil {
+		t.Fatalf("legacy meta record rejected: %v", err)
+	}
+	if got := db.LSN(); got != 7 {
+		t.Errorf("restored LSN = %d, want 7", got)
+	}
+	res, err := db.Exec("INSERT INTO kv (v) VALUES (?)", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastInsertID != 6 {
+		t.Errorf("auto id after restore = %d, want 6 (high-water mark 5 honored)", res.LastInsertID)
+	}
+}

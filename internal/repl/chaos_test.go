@@ -1,16 +1,19 @@
-package repl
+package repl_test
 
 import (
+	"bytes"
 	"context"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ior"
 	"repro/internal/kdb"
+	"repro/internal/repl"
 	"repro/internal/schema"
 )
 
@@ -38,17 +41,17 @@ func chaosSpec(t *testing.T) *campaign.Spec {
 // read.
 func TestChaosConvergenceUnderCampaign(t *testing.T) {
 	dir := t.TempDir()
-	primary := openDB(t, filepath.Join(dir, "primary.kdb"))
-	addr := servePrimary(t, primary)
+	primary := chaosOpenDB(t, filepath.Join(dir, "primary.kdb"))
+	addr := chaosServePrimary(t, primary)
 
-	f1db := openDB(t, filepath.Join(dir, "replica1.kdb"))
-	f1 := NewFollower(f1db, addr, fastOpts())
+	f1db := chaosOpenDB(t, filepath.Join(dir, "replica1.kdb"))
+	f1 := repl.NewFollower(f1db, addr, chaosFastOpts())
 	f1.Start(context.Background())
-	f2 := NewFollower(openDB(t, filepath.Join(dir, "replica2.kdb")), addr, fastOpts())
+	f2 := repl.NewFollower(chaosOpenDB(t, filepath.Join(dir, "replica2.kdb")), addr, chaosFastOpts())
 	f2.Start(context.Background())
 	defer f2.Stop()
 
-	rt := NewRouter(primary, LocalReplica{F: f1}, LocalReplica{F: f2})
+	rt := repl.NewRouter(primary, repl.LocalReplica{F: f1}, repl.LocalReplica{F: f2})
 	st, err := schema.Wrap(rt)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +82,7 @@ func TestChaosConvergenceUnderCampaign(t *testing.T) {
 						return
 					}
 					t.Cleanup(func() { db.Close() })
-					f1 = NewFollower(db, addr, fastOpts())
+					f1 = repl.NewFollower(db, addr, chaosFastOpts())
 					f1.Start(context.Background())
 					t.Cleanup(f1.Stop)
 				})
@@ -109,13 +112,13 @@ func TestChaosConvergenceUnderCampaign(t *testing.T) {
 
 	// Both followers — including the one that was killed and restarted —
 	// converge to the primary's exact bytes.
-	waitLSN(t, f1.DB(), res.FinalLSN)
-	waitLSN(t, f2.DB(), res.FinalLSN)
-	want := dump(t, primary)
-	if got := dump(t, f1.DB()); got != want {
+	chaosWaitLSN(t, f1.DB(), res.FinalLSN)
+	chaosWaitLSN(t, f2.DB(), res.FinalLSN)
+	want := chaosDump(t, primary)
+	if got := chaosDump(t, f1.DB()); got != want {
 		t.Error("restarted follower did not converge byte-identically")
 	}
-	if got := dump(t, f2.DB()); got != want {
+	if got := chaosDump(t, f2.DB()); got != want {
 		t.Error("surviving follower did not converge byte-identically")
 	}
 
@@ -130,4 +133,61 @@ func TestChaosConvergenceUnderCampaign(t *testing.T) {
 		t.Errorf("post-convergence reads should hit replicas: primary %d->%d, replica %d->%d",
 			pBefore, pAfter, rBefore, rAfter)
 	}
+}
+
+// The helpers below are chaos-local copies of the package's test
+// helpers: this file lives in the external repl_test package because it
+// imports schema, which itself imports repl for shard-side routing.
+
+func chaosFastOpts() repl.Options {
+	return repl.Options{
+		HeartbeatTimeout: 500 * time.Millisecond,
+		RetryMin:         10 * time.Millisecond,
+		RetryMax:         100 * time.Millisecond,
+	}
+}
+
+func chaosServePrimary(t *testing.T, db *kdb.DB) string {
+	t.Helper()
+	srv := &kdb.Server{DB: db, HeartbeatInterval: 50 * time.Millisecond}
+	l, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return l.Addr().String()
+}
+
+func chaosOpenDB(t *testing.T, path string) *kdb.DB {
+	t.Helper()
+	db, err := kdb.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func chaosWaitLSN(t *testing.T, db *kdb.DB, lsn int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for db.LSN() < lsn {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for LSN %d, stuck at %d", lsn, db.LSN())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func chaosDump(t *testing.T, db *kdb.DB) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
 }

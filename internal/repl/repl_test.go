@@ -218,16 +218,20 @@ func TestFollowerDivergenceForcesSnapshot(t *testing.T) {
 	}
 }
 
-// fakeReplica is a Replica with a controllable applied LSN.
+// fakeReplica is a Replica with a controllable applied LSN. fail takes the
+// whole node down (probes included); queryFail keeps the status probe
+// healthy but errors every read, modelling a replica that answers
+// heartbeats while its query path is broken.
 type fakeReplica struct {
-	db      *kdb.DB
-	lsn     atomic.Int64
-	fail    atomic.Bool
-	queries atomic.Int64
+	db        *kdb.DB
+	lsn       atomic.Int64
+	fail      atomic.Bool
+	queryFail atomic.Bool
+	queries   atomic.Int64
 }
 
 func (f *fakeReplica) Query(q string, args ...any) (*kdb.Rows, error) {
-	if f.fail.Load() {
+	if f.fail.Load() || f.queryFail.Load() {
 		return nil, errors.New("replica down")
 	}
 	f.queries.Add(1)
@@ -235,7 +239,7 @@ func (f *fakeReplica) Query(q string, args ...any) (*kdb.Rows, error) {
 }
 
 func (f *fakeReplica) QueryRow(q string, args ...any) ([]any, error) {
-	if f.fail.Load() {
+	if f.fail.Load() || f.queryFail.Load() {
 		return nil, errors.New("replica down")
 	}
 	f.queries.Add(1)
@@ -357,6 +361,78 @@ func TestRouterBatchTracksLSN(t *testing.T) {
 	}
 	if _, r := rt.Stats(); r != 1 {
 		t.Errorf("caught-up replica unused after batch: replica reads = %d", r)
+	}
+}
+
+func TestRouterFailsOverToHealthyReplica(t *testing.T) {
+	primary := openDB(t, "")
+	mustExec(t, primary, "CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, primary, "INSERT INTO kv (v) VALUES (?)", "x")
+
+	// Both replicas look fresh; one errors on every read. Every query must
+	// be served by the healthy replica — never the primary.
+	bad := &fakeReplica{db: primary}
+	bad.queryFail.Store(true)
+	good := &fakeReplica{db: primary}
+	rt := NewRouter(primary, bad, good)
+
+	for i := 0; i < 4; i++ {
+		rows, err := rt.Query("SELECT * FROM kv")
+		if err != nil || len(rows.All()) != 1 {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if p, r := rt.Stats(); p != 0 || r != 4 {
+		t.Errorf("failing replica should fail over to its sibling: primary=%d replica=%d", p, r)
+	}
+	if got := good.queries.Load(); got != 4 {
+		t.Errorf("healthy replica served %d reads, want 4", got)
+	}
+
+	// A replica that is down entirely (probe fails too) must likewise not
+	// push reads to the primary while a healthy sibling exists.
+	bad.queryFail.Store(false)
+	bad.fail.Store(true)
+	if _, err := rt.QueryRow("SELECT v FROM kv WHERE id = ?", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := rt.Stats(); p != 0 || r != 5 {
+		t.Errorf("dead replica should be skipped, not trigger primary fallback: primary=%d replica=%d", p, r)
+	}
+}
+
+// closeCountConn counts Close calls on the wrapped connection.
+type closeCountConn struct {
+	kdb.Conn
+	closes atomic.Int64
+}
+
+func (c *closeCountConn) Close() error {
+	c.closes.Add(1)
+	return c.Conn.Close()
+}
+
+func TestSessionCloseLeavesRouterOpen(t *testing.T) {
+	db := openDB(t, "")
+	mustExec(t, db, "CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+	cc := &closeCountConn{Conn: db}
+	rt := NewRouter(cc)
+
+	s1, s2 := rt.Session(), rt.Session()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.closes.Load(); got != 0 {
+		t.Fatalf("closing a session closed the shared router (%d primary closes)", got)
+	}
+	if _, err := s2.Query("SELECT * FROM kv"); err != nil {
+		t.Fatalf("sibling session broken after another session's Close: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.closes.Load(); got != 1 {
+		t.Errorf("Router.Close closed the primary %d times, want 1", got)
 	}
 }
 

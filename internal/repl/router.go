@@ -152,44 +152,59 @@ func (s *Session) Exec(query string, args ...any) (kdb.Result, error) {
 	return res, err
 }
 
-// pick returns a replica whose applied LSN covers this session's last
-// write, or nil if none qualifies. Selection round-robins across
-// replicas; the status probe only fires when the cached LSN is too old.
-func (s *Session) pick() Replica {
+// eachFresh offers sufficiently fresh replicas to fn in round-robin order
+// until fn reports success, and returns whether any attempt succeeded.
+// Freshness is judged against the cached last-known LSN; the status probe
+// only fires when the cache is insufficient, so a session that never
+// writes never probes. A replica whose probe or read fails has its cached
+// LSN invalidated (a dead replica's stale cache would otherwise keep
+// qualifying forever) and the remaining fresh replicas are tried before
+// the caller falls back to the primary.
+func (s *Session) eachFresh(fn func(Replica) bool) bool {
 	rt := s.rt
 	n := len(rt.replicas)
 	if n == 0 {
-		return nil
+		return false
 	}
 	need := s.lastWrite.Load()
 	start := rt.rr.Add(1)
 	for i := 0; i < n; i++ {
 		rs := rt.replicas[(start+uint64(i))%uint64(n)]
-		if rs.knownLSN.Load() >= need {
-			return rs.r
+		if rs.knownLSN.Load() < need {
+			st, err := rs.r.Status()
+			if err != nil {
+				rs.knownLSN.Store(-1)
+				continue
+			}
+			rs.knownLSN.Store(st.LSN)
+			if st.LSN < need {
+				continue
+			}
 		}
-		st, err := rs.r.Status()
-		if err != nil {
-			continue
+		if fn(rs.r) {
+			return true
 		}
-		rs.knownLSN.Store(st.LSN)
-		if st.LSN >= need {
-			return rs.r
-		}
+		rs.knownLSN.Store(-1)
 	}
-	return nil
+	return false
 }
 
-// Query routes to a sufficiently fresh replica, falling back to the
-// primary when none qualifies or the chosen replica fails.
+// Query routes to a sufficiently fresh replica, trying the others when one
+// fails, and falls back to the primary only when no replica qualifies or
+// every fresh one errored.
 func (s *Session) Query(query string, args ...any) (*kdb.Rows, error) {
-	if rep := s.pick(); rep != nil {
-		rows, err := rep.Query(query, args...)
-		if err == nil {
-			s.rt.replicaReads.Add(1)
-			metRouterReplica.Inc()
-			return rows, nil
+	var rows *kdb.Rows
+	if s.eachFresh(func(rep Replica) bool {
+		r, err := rep.Query(query, args...)
+		if err != nil {
+			return false
 		}
+		rows = r
+		return true
+	}) {
+		s.rt.replicaReads.Add(1)
+		metRouterReplica.Inc()
+		return rows, nil
 	}
 	s.rt.primaryReads.Add(1)
 	metRouterPrimary.Inc()
@@ -197,15 +212,21 @@ func (s *Session) Query(query string, args ...any) (*kdb.Rows, error) {
 }
 
 // QueryRow routes like Query; a replica's ErrNoRows is a real answer, not
-// a failure, so it does not trigger primary fallback.
+// a failure, so it does not trigger failover or primary fallback.
 func (s *Session) QueryRow(query string, args ...any) ([]any, error) {
-	if rep := s.pick(); rep != nil {
-		row, err := rep.QueryRow(query, args...)
-		if err == nil || errors.Is(err, kdb.ErrNoRows) {
-			s.rt.replicaReads.Add(1)
-			metRouterReplica.Inc()
-			return row, err
+	var row []any
+	var rowErr error
+	if s.eachFresh(func(rep Replica) bool {
+		r, err := rep.QueryRow(query, args...)
+		if err != nil && !errors.Is(err, kdb.ErrNoRows) {
+			return false
 		}
+		row, rowErr = r, err
+		return true
+	}) {
+		s.rt.replicaReads.Add(1)
+		metRouterReplica.Inc()
+		return row, rowErr
 	}
 	s.rt.primaryReads.Add(1)
 	metRouterPrimary.Inc()
@@ -214,8 +235,10 @@ func (s *Session) QueryRow(query string, args ...any) ([]any, error) {
 
 func (s *Session) Tables() []string { return s.rt.primary.Tables() }
 
-// Close closes the underlying Router (sessions share its connections).
-func (s *Session) Close() error { return s.rt.Close() }
+// Close is a no-op: sessions borrow the Router's shared connections, and
+// closing one session must not tear the Router down under its siblings.
+// Router.Close is the single teardown path.
+func (s *Session) Close() error { return nil }
 
 // Batch applies fn atomically on the primary when it supports batching,
 // recording each exec's LSN for read-your-writes.

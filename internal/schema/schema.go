@@ -20,6 +20,8 @@ import (
 
 	"repro/internal/kdb"
 	"repro/internal/knowledge"
+	"repro/internal/repl"
+	"repro/internal/shard"
 )
 
 // ErrNotFound wraps kdb.ErrNoRows for lookups of absent knowledge ids, so
@@ -180,19 +182,69 @@ var ddl = []string{
 // Open opens (or creates) a knowledge store. An empty path keeps
 // everything in memory; a plain path appends to a local database file; a
 // "kdb://host:port" URL connects to a remote knowledge database — the
-// paper's local/remote persistence split (§IV, §V-C).
+// paper's local/remote persistence split (§IV, §V-C). A
+// "shard://host:port" URL points at a shard coordinator: the partition
+// map is fetched from that address, every shard is dialed (replicas, when
+// advertised, behind a per-shard read router), and the store operates
+// over the assembled coordinator.
 func Open(path string) (*Store, error) {
 	var db kdb.Conn
 	var err error
-	if strings.HasPrefix(path, "kdb://") {
+	switch {
+	case strings.HasPrefix(path, "shard://"):
+		db, err = openSharded(path)
+	case strings.HasPrefix(path, "kdb://"):
 		db, err = kdb.Dial(path)
-	} else {
+	default:
 		db, err = kdb.Open(path)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return Wrap(db)
+}
+
+// openSharded assembles a client-side coordinator from a coordinator
+// address: shard-map discovery, one connection per shard primary, and a
+// repl.Router in front of any shard that advertises read replicas — so
+// replication composes under sharding.
+func openSharded(path string) (kdb.Conn, error) {
+	m, err := shard.FetchMap("kdb://" + strings.TrimPrefix(path, "shard://"))
+	if err != nil {
+		return nil, fmt.Errorf("schema: discover shard map: %w", err)
+	}
+	conns := make([]kdb.Conn, 0, len(m.Shards))
+	fail := func(err error) (kdb.Conn, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i, sp := range m.Shards {
+		primary, err := kdb.Dial(sp.Primary)
+		if err != nil {
+			return fail(fmt.Errorf("schema: dial shard %d: %w", i, err))
+		}
+		if len(sp.Replicas) == 0 {
+			conns = append(conns, primary)
+			continue
+		}
+		replicas := make([]repl.Replica, 0, len(sp.Replicas))
+		for _, addr := range sp.Replicas {
+			r, err := kdb.Dial(addr)
+			if err != nil {
+				primary.Close()
+				return fail(fmt.Errorf("schema: dial shard %d replica: %w", i, err))
+			}
+			replicas = append(replicas, r)
+		}
+		conns = append(conns, repl.NewRouter(primary, replicas...))
+	}
+	coord, err := shard.New(conns...)
+	if err != nil {
+		return fail(err)
+	}
+	return coord, nil
 }
 
 // Wrap builds a Store over an existing connection, creating any missing
@@ -247,14 +299,7 @@ func (s *Store) SaveObjects(objs []*knowledge.Object) ([]int64, error) {
 	ids := make([]int64, 0, len(objs))
 	if b, ok := s.DB.(kdb.Batcher); ok {
 		err := b.Batch(func(exec kdb.ExecFunc) error {
-			for _, o := range objs {
-				id, err := s.saveObject(execFn(exec), o)
-				if err != nil {
-					return err
-				}
-				ids = append(ids, id)
-			}
-			return nil
+			return s.saveObjectsWith(execFn(exec), objs, &ids)
 		})
 		if err != nil {
 			return nil, err
@@ -269,6 +314,37 @@ func (s *Store) SaveObjects(objs []*knowledge.Object) ([]int64, error) {
 		ids = append(ids, id)
 	}
 	return ids, nil
+}
+
+// SaveObjectsKeyed persists the batch pinned to a placement key: on a
+// connection that routes batches by key (a sharded coordinator), every
+// save sharing a key lands on the same shard, keeping a run's object
+// graphs and its campaign bookkeeping colocated. Connections without
+// keyed batching fall back to SaveObjects unchanged.
+func (s *Store) SaveObjectsKeyed(key uint64, objs []*knowledge.Object) ([]int64, error) {
+	kb, ok := s.DB.(kdb.KeyedBatcher)
+	if !ok {
+		return s.SaveObjects(objs)
+	}
+	ids := make([]int64, 0, len(objs))
+	err := kb.BatchKeyed(key, func(exec kdb.ExecFunc) error {
+		return s.saveObjectsWith(execFn(exec), objs, &ids)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (s *Store) saveObjectsWith(exec execFn, objs []*knowledge.Object, ids *[]int64) error {
+	for _, o := range objs {
+		id, err := s.saveObject(exec, o)
+		if err != nil {
+			return err
+		}
+		*ids = append(*ids, id)
+	}
+	return nil
 }
 
 func (s *Store) saveObject(exec execFn, o *knowledge.Object) (int64, error) {
@@ -457,14 +533,7 @@ func (s *Store) SaveIO500s(objs []*knowledge.IO500Object) ([]int64, error) {
 	ids := make([]int64, 0, len(objs))
 	if b, ok := s.DB.(kdb.Batcher); ok {
 		err := b.Batch(func(exec kdb.ExecFunc) error {
-			for _, o := range objs {
-				id, err := s.saveIO500(execFn(exec), o)
-				if err != nil {
-					return err
-				}
-				ids = append(ids, id)
-			}
-			return nil
+			return s.saveIO500sWith(execFn(exec), objs, &ids)
 		})
 		if err != nil {
 			return nil, err
@@ -479,6 +548,34 @@ func (s *Store) SaveIO500s(objs []*knowledge.IO500Object) ([]int64, error) {
 		ids = append(ids, id)
 	}
 	return ids, nil
+}
+
+// SaveIO500sKeyed is SaveIO500s pinned to a placement key (see
+// SaveObjectsKeyed for the routing contract).
+func (s *Store) SaveIO500sKeyed(key uint64, objs []*knowledge.IO500Object) ([]int64, error) {
+	kb, ok := s.DB.(kdb.KeyedBatcher)
+	if !ok {
+		return s.SaveIO500s(objs)
+	}
+	ids := make([]int64, 0, len(objs))
+	err := kb.BatchKeyed(key, func(exec kdb.ExecFunc) error {
+		return s.saveIO500sWith(execFn(exec), objs, &ids)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (s *Store) saveIO500sWith(exec execFn, objs []*knowledge.IO500Object, ids *[]int64) error {
+	for _, o := range objs {
+		id, err := s.saveIO500(exec, o)
+		if err != nil {
+			return err
+		}
+		*ids = append(*ids, id)
+	}
+	return nil
 }
 
 func (s *Store) saveIO500(exec execFn, o *knowledge.IO500Object) (int64, error) {

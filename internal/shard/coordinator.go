@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kdb"
+)
+
+// Coordinator fronts a fixed set of shard connections as one kdb.Conn.
+// Each connection may be anything that satisfies the interface — an
+// in-process *kdb.DB in tests, a *kdb.Remote, or a repl.Router fronting a
+// shard's primary and its read replicas — so replication composes under
+// sharding rather than being re-implemented by it.
+//
+// The coordinator is stateless apart from a round-robin cursor: routing is
+// a pure function of the statement and the shard count, which is what lets
+// any number of coordinators front the same shard set.
+type Coordinator struct {
+	shards []kdb.Conn
+	smap   *Map
+	rr     atomic.Uint64
+}
+
+// New builds a coordinator over the given shard connections, in shard
+// order (connection i owns hash residue i).
+func New(shards ...kdb.Conn) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one shard")
+	}
+	return &Coordinator{shards: shards}, nil
+}
+
+// SetMap attaches the partition map this coordinator advertises over the
+// "shardmap" wire verb. The map's shard count must match the connection
+// set; it is advisory metadata for clients, not a routing input.
+func (c *Coordinator) SetMap(m *Map) error {
+	if m != nil && len(m.Shards) != len(c.shards) {
+		return fmt.Errorf("shard: map has %d shards, coordinator has %d", len(m.Shards), len(c.shards))
+	}
+	c.smap = m
+	return nil
+}
+
+// ShardMap serves the advertised partition map — the kdb.Server
+// ShardMapFunc hook.
+func (c *Coordinator) ShardMap() (epoch int64, data []byte) {
+	if c.smap == nil {
+		return 0, nil
+	}
+	return c.smap.Epoch, c.smap.Marshal()
+}
+
+// NumShards reports the partition count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shard exposes one shard connection for administrative paths (seeding,
+// convergence checks); routing callers should never need it.
+func (c *Coordinator) Shard(i int) kdb.Conn { return c.shards[i] }
+
+func (c *Coordinator) shardFor(key uint64) int { return int(key % uint64(len(c.shards))) }
+
+// observe records one shard request's latency.
+func observe(shard int, start time.Time) {
+	shardLatency(shard).Observe(time.Since(start).Seconds())
+}
+
+// Exec routes one mutation. DDL broadcasts to every shard so schemas stay
+// identical; INSERT lands on the shard its leading value hashes to (or
+// round-robin when the statement has no values); UPDATE and DELETE
+// broadcast and report the summed affected-row count. The returned LSN is
+// meaningful only relative to the shard that executed the write.
+func (c *Coordinator) Exec(query string, args ...any) (kdb.Result, error) {
+	class, _, err := kdb.Classify(query)
+	if err != nil {
+		return kdb.Result{}, err
+	}
+	switch class {
+	case kdb.StmtDDL:
+		return c.broadcast(query, args, false)
+	case kdb.StmtInsert:
+		idx, err := c.routeInsert(query, args)
+		if err != nil {
+			return kdb.Result{}, err
+		}
+		start := time.Now()
+		res, err := c.shards[idx].Exec(query, args...)
+		observe(idx, start)
+		if err == nil {
+			metIngest.Inc()
+		}
+		return res, err
+	case kdb.StmtUpdate, kdb.StmtDelete:
+		return c.broadcast(query, args, true)
+	case kdb.StmtSelect:
+		return kdb.Result{}, fmt.Errorf("shard: use Query for SELECT")
+	}
+	return kdb.Result{}, fmt.Errorf("shard: unsupported statement")
+}
+
+// routeInsert picks the owning shard for an INSERT: hash of the first
+// value when one exists and is non-NULL, round-robin otherwise.
+func (c *Coordinator) routeInsert(query string, args []any) (int, error) {
+	v, ok, err := kdb.FirstInsertValue(query, args)
+	if err != nil {
+		return 0, err
+	}
+	if !ok || v == nil {
+		return c.shardFor(c.rr.Add(1)), nil
+	}
+	return c.shardFor(HashValue(v)), nil
+}
+
+// broadcast runs the statement on every shard. With sum set the results'
+// affected-row counts are added (UPDATE/DELETE semantics); otherwise the
+// first shard's result is returned (DDL, where all results are equal).
+// Shards run concurrently; all errors are joined so a partial failure is
+// visible rather than masked by a later success.
+func (c *Coordinator) broadcast(query string, args []any, sum bool) (kdb.Result, error) {
+	results := make([]kdb.Result, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			results[i], errs[i] = c.shards[i].Exec(query, args...)
+			observe(i, start)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return kdb.Result{}, err
+	}
+	out := results[0]
+	if sum {
+		out = kdb.Result{}
+		for _, r := range results {
+			out.RowsAffected += r.RowsAffected
+		}
+	}
+	return out, nil
+}
+
+// Query scatters a SELECT to every shard and gathers the per-shard
+// streams through the merge layer, which reapplies ORDER BY, LIMIT,
+// DISTINCT, and recombines decomposed aggregates with the engine's own
+// comparison and grouping semantics.
+func (c *Coordinator) Query(query string, args ...any) (*kdb.Rows, error) {
+	plan, err := kdb.PlanScatter(query)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*kdb.Rows, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			parts[i], errs[i] = c.shards[i].Query(plan.ShardSQL, args...)
+			observe(i, start)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	metFanout.Observe(float64(len(c.shards)))
+	out, err := mergeRows(plan, parts)
+	if err != nil {
+		return nil, err
+	}
+	metMergeRows.Add(int64(out.Len()))
+	return out, nil
+}
+
+// QueryRow runs Query and returns the first merged row, with the engine's
+// ErrNoRows contract.
+func (c *Coordinator) QueryRow(query string, args ...any) ([]any, error) {
+	rows, err := c.Query(query, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !rows.Next() {
+		return nil, kdb.ErrNoRows
+	}
+	return rows.Row(), nil
+}
+
+// Tables reports the schema from the first shard; DDL broadcast keeps all
+// shards identical.
+func (c *Coordinator) Tables() []string { return c.shards[0].Tables() }
+
+// LSN reports the maximum commit LSN across shards that expose one — a
+// coarse liveness figure for the "status" wire verb, not a global
+// ordering (each shard's sequence is independent).
+func (c *Coordinator) LSN() int64 {
+	var max int64
+	for _, s := range c.shards {
+		if l, ok := s.(interface{ LSN() int64 }); ok {
+			if v := l.LSN(); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// Close closes every shard connection, joining errors.
+func (c *Coordinator) Close() error {
+	errs := make([]error, 0, len(c.shards))
+	for _, s := range c.shards {
+		errs = append(errs, s.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// Batch pins the whole batch to one shard (round-robin), so multi-table
+// object graphs built from LastInsertID stay colocated. Shards without a
+// native Batcher get statement-at-a-time semantics, mirroring the schema
+// layer's own fallback.
+func (c *Coordinator) Batch(fn func(exec kdb.ExecFunc) error) error {
+	return c.batchOn(c.shardFor(c.rr.Add(1)), fn)
+}
+
+// BatchKeyed pins the batch to the shard the placement key hashes to, so
+// every batch sharing a key (all units of one campaign, say) lands
+// together.
+func (c *Coordinator) BatchKeyed(key uint64, fn func(exec kdb.ExecFunc) error) error {
+	return c.batchOn(c.shardFor(key), fn)
+}
+
+func (c *Coordinator) batchOn(idx int, fn func(exec kdb.ExecFunc) error) error {
+	start := time.Now()
+	defer observe(idx, start)
+	count := func(exec kdb.ExecFunc) kdb.ExecFunc {
+		return func(query string, args ...any) (kdb.Result, error) {
+			res, err := exec(query, args...)
+			if err == nil {
+				metIngest.Inc()
+			}
+			return res, err
+		}
+	}
+	if b, ok := c.shards[idx].(kdb.Batcher); ok {
+		return b.Batch(func(exec kdb.ExecFunc) error { return fn(count(exec)) })
+	}
+	return fn(count(c.shards[idx].Exec))
+}
+
+var (
+	_ kdb.Conn         = (*Coordinator)(nil)
+	_ kdb.Batcher      = (*Coordinator)(nil)
+	_ kdb.KeyedBatcher = (*Coordinator)(nil)
+)

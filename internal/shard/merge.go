@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kdb"
+)
+
+// The merge layer recombines per-shard result streams into the rows a
+// single node would have produced. It leans on two kdb exports to stay
+// semantically identical to the engine rather than approximately so:
+// CompareOrder (the engine's ORDER BY comparison) and EncodeKey (the
+// engine's type-tagged tuple encoding, used for GROUP BY buckets and
+// DISTINCT dedup). Three shapes exist, selected by the scatter plan:
+//
+//   - plain:     concatenate, re-sort, dedupe DISTINCT projections, LIMIT
+//   - aggregate: fold each shard's single partial row into one global row
+//   - grouped:   rebucket by group key, fold partials per bucket, emit in
+//     ascending key order, LIMIT
+//
+// AVG arrives decomposed (per-shard SUM and COUNT) and is divided here;
+// every other aggregate distributes directly.
+func mergeRows(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
+	switch {
+	case plan.Grouped:
+		return mergeGrouped(plan, parts)
+	case plan.HasAgg:
+		return mergeAggregate(plan, parts)
+	default:
+		return mergePlain(plan, parts)
+	}
+}
+
+// mergePlain: concatenate shard rows, re-sort with the engine's
+// comparison, strip planner-appended sort columns, dedupe DISTINCT
+// projections keeping the first in sort order, and apply the global
+// LIMIT — the same operation order as the engine's projection loop.
+func mergePlain(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
+	cols := plan.Columns
+	if cols == nil { // SELECT *: adopt the shard schema
+		cols = parts[0].Columns
+	}
+	var rows [][]any
+	for _, p := range parts {
+		rows = append(rows, p.All()...)
+	}
+	order := plan.Order
+	for i := range order {
+		if order[i].Idx < 0 {
+			idx, err := resolveColumn(parts[0].Columns, order[i].Name)
+			if err != nil {
+				return nil, err
+			}
+			order[i].Idx = idx
+		}
+	}
+	if len(order) > 0 {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for _, k := range order {
+				c := kdb.CompareOrder(rows[a][k.Idx], rows[b][k.Idx])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	visible := plan.Visible
+	if visible < 0 {
+		visible = len(cols)
+	}
+	out := make([][]any, 0, len(rows))
+	var seen map[string]bool
+	if plan.Distinct {
+		seen = map[string]bool{}
+	}
+	for _, row := range rows {
+		proj := row[:visible]
+		if plan.Distinct {
+			k := kdb.EncodeKey(proj)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out = append(out, proj)
+		if plan.Limit >= 0 && len(out) >= plan.Limit {
+			break
+		}
+	}
+	if plan.Limit == 0 {
+		out = nil
+	}
+	return kdb.NewRows(cols, out), nil
+}
+
+// resolveColumn finds an ORDER BY column by name in a shard's returned
+// schema — the SELECT * case, where positions are unknowable at plan
+// time. Qualified join columns ("t.c") match on their bare suffix.
+func resolveColumn(cols []string, name string) (int, error) {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) || strings.HasSuffix(strings.ToLower(c), "."+strings.ToLower(name)) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("shard: ORDER BY column %q not in shard result %v", name, cols)
+}
+
+// acc folds one output column's partials across shards. The zero value is
+// "no input seen", which merges to NULL exactly like the engine's
+// aggregates over empty input.
+type acc struct {
+	val   any
+	sum   float64
+	count int64
+	seen  bool
+}
+
+func (a *acc) fold(item kdb.ScatterItem, row []any) {
+	switch item.Agg {
+	case "":
+		if !a.seen {
+			a.val, a.seen = row[item.Idx], true
+		}
+	case "COUNT", "COUNT*":
+		if v, ok := row[item.Idx].(int64); ok {
+			a.count += v
+			a.seen = true
+		}
+	case "SUM", "AVG":
+		if v, ok := row[item.Idx].(float64); ok {
+			a.sum += v
+			a.seen = true
+		}
+		if item.Agg == "AVG" {
+			if n, ok := row[item.CountIdx].(int64); ok {
+				a.count += n
+			}
+		}
+	case "MIN", "MAX":
+		v := row[item.Idx]
+		if v == nil {
+			return
+		}
+		if !a.seen {
+			a.val, a.seen = v, true
+			return
+		}
+		c := kdb.CompareOrder(v, a.val)
+		if (item.Agg == "MIN" && c < 0) || (item.Agg == "MAX" && c > 0) {
+			a.val = v
+		}
+	}
+}
+
+func (a *acc) result(item kdb.ScatterItem) any {
+	switch item.Agg {
+	case "COUNT", "COUNT*":
+		return a.count
+	case "SUM":
+		if !a.seen {
+			return nil
+		}
+		return a.sum
+	case "AVG":
+		if !a.seen || a.count == 0 {
+			return nil
+		}
+		return a.sum / float64(a.count)
+	default:
+		if !a.seen {
+			return nil
+		}
+		return a.val
+	}
+}
+
+// mergeAggregate folds each shard's single partial row into the one
+// global aggregate row.
+func mergeAggregate(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
+	accs := make([]acc, len(plan.Items))
+	for _, p := range parts {
+		for _, row := range p.All() {
+			for i, item := range plan.Items {
+				accs[i].fold(item, row)
+			}
+		}
+	}
+	row := make([]any, len(plan.Items))
+	for i, item := range plan.Items {
+		row[i] = accs[i].result(item)
+	}
+	return kdb.NewRows(plan.Columns, [][]any{row}), nil
+}
+
+// mergeGrouped rebuckets shard rows by their group key, folds each
+// bucket's partials, and emits groups in ascending key order — the
+// engine's deterministic group order — before applying the global LIMIT.
+func mergeGrouped(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
+	type bucket struct {
+		key  []any
+		accs []acc
+	}
+	buckets := map[string]*bucket{}
+	var order []*bucket
+	for _, p := range parts {
+		for _, row := range p.All() {
+			key := make([]any, len(plan.GroupIdx))
+			for i, idx := range plan.GroupIdx {
+				key[i] = row[idx]
+			}
+			ks := kdb.EncodeKey(key)
+			b, ok := buckets[ks]
+			if !ok {
+				b = &bucket{key: key, accs: make([]acc, len(plan.Items))}
+				buckets[ks] = b
+				order = append(order, b)
+			}
+			for i, item := range plan.Items {
+				b.accs[i].fold(item, row)
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		for i := range order[a].key {
+			if c := kdb.CompareOrder(order[a].key[i], order[b].key[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	var rows [][]any
+	for _, b := range order {
+		row := make([]any, len(plan.Items))
+		for i, item := range plan.Items {
+			row[i] = b.accs[i].result(item)
+		}
+		rows = append(rows, row)
+		if plan.Limit >= 0 && len(rows) >= plan.Limit {
+			break
+		}
+	}
+	if plan.Limit == 0 {
+		rows = nil
+	}
+	return kdb.NewRows(plan.Columns, rows), nil
+}

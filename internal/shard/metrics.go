@@ -1,0 +1,45 @@
+package shard
+
+// Sharding observability, following the package-init-resolved handle
+// convention used across kdb/repl/campaign. Per-shard latency histograms
+// are labeled by shard index and resolved lazily (the shard count is not
+// known at init); the registry hands back the same handle for a repeated
+// name, so the lazy lookup is cheap and race-free.
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	metIngest    *telemetry.Counter
+	metFanout    *telemetry.Histogram
+	metMergeRows *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	metIngest = reg.Counter("shard_ingest_total")
+	metFanout = reg.Histogram("shard_scatter_fanout")
+	metMergeRows = reg.Counter("shard_merge_rows_total")
+}
+
+var (
+	latMu  sync.Mutex
+	latByI = map[int]*telemetry.Histogram{}
+)
+
+// shardLatency returns the request-latency histogram for one shard index.
+func shardLatency(i int) *telemetry.Histogram {
+	latMu.Lock()
+	defer latMu.Unlock()
+	h, ok := latByI[i]
+	if !ok {
+		h = telemetry.Default().Histogram(
+			telemetry.Label("shard_request_seconds", "shard", strconv.Itoa(i)))
+		latByI[i] = h
+	}
+	return h
+}

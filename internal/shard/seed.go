@@ -1,0 +1,33 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/kdb"
+)
+
+// Rebalancing reuses the replication machinery instead of row-level
+// migration: to move or copy a shard, snapshot the source over the wire
+// and restore it into the destination, then publish a new map epoch.
+// Campaign ingest is append-mostly, so the operational procedure is the
+// blunt but safe one — quiesce writers, Seed the new layout, bump the
+// epoch, resume.
+
+// Seed copies the full contents of the served database at srcAddr into
+// dst via the snapshot verbs, returning the LSN the transfer represents.
+// dst's previous contents are replaced.
+func Seed(srcAddr string, dst *kdb.DB) (int64, error) {
+	r, err := kdb.Dial(srcAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	snap, lsn, err := r.Snapshot()
+	if err != nil {
+		return 0, fmt.Errorf("shard: snapshot %s: %w", srcAddr, err)
+	}
+	if err := dst.RestoreSnapshot(snap); err != nil {
+		return 0, fmt.Errorf("shard: restore from %s: %w", srcAddr, err)
+	}
+	return lsn, nil
+}

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/kdb"
+)
+
+// serveBackend starts a kdb server and returns its host:port.
+func serveBackend(t testing.TB, srv *kdb.Server) string {
+	t.Helper()
+	l, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return l.Addr().String()
+}
+
+// TestCoordinatorServedOverWire is the deployment shape: shard primaries
+// served over TCP, a coordinator dialing them as remotes, itself served
+// over the same wire protocol with the shard-map verb, and a plain kdb
+// client routing everything through the coordinator's address.
+func TestCoordinatorServedOverWire(t *testing.T) {
+	const n = 2
+	var specs []Spec
+	var conns []kdb.Conn
+	for i := 0; i < n; i++ {
+		db, err := kdb.OpenWithOptions("", kdb.DBOptions{AutoIDOffset: int64(i), AutoIDStride: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		addr := serveBackend(t, &kdb.Server{DB: db})
+		specs = append(specs, Spec{Primary: "kdb://" + addr})
+		r, err := kdb.Dial("kdb://" + addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		conns = append(conns, r)
+	}
+	coord, err := New(conns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.SetMap(&Map{Epoch: 1, Shards: specs}); err != nil {
+		t.Fatal(err)
+	}
+	coordAddr := serveBackend(t, &kdb.Server{Backend: coord, ShardMapFunc: coord.ShardMap})
+
+	client, err := kdb.Dial("kdb://" + coordAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Clients discover the topology from the coordinator's address.
+	m, err := FetchMap("kdb://" + coordAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 || len(m.Shards) != n {
+		t.Fatalf("fetched map = %+v", m)
+	}
+
+	if _, err := client.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, n INTEGER, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := client.Exec("INSERT INTO kv (id, n, v) VALUES (?, ?, ?)",
+			int64(i), int64(i%4), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	row, err := client.QueryRow("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].(int64) != 20 {
+		t.Fatalf("count over wire = %v, want 20", row[0])
+	}
+	rows, err := client.Query("SELECT n, COUNT(*), MIN(id) FROM kv GROUP BY n ORDER BY n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 4 {
+		t.Fatalf("grouped rows over wire = %d, want 4", rows.Len())
+	}
+	rows, err = client.Query("SELECT v FROM kv ORDER BY id DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows.All()
+	if len(got) != 3 || got[0][0] != "v20" || got[2][0] != "v18" {
+		t.Fatalf("ordered limit over wire = %v", got)
+	}
+
+	// Replication verbs stay guarded on a DB-less coordinator server.
+	r2, err := kdb.Dial("kdb://" + coordAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, _, err := r2.Snapshot(); err == nil {
+		t.Error("snapshot verb should fail on a coordinator server (no local DB)")
+	}
+}
+
+// TestShardMapVerbUnconfigured pins the error path: a plain data server
+// has no shard map to serve.
+func TestShardMapVerbUnconfigured(t *testing.T) {
+	db, err := kdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	addr := serveBackend(t, &kdb.Server{DB: db})
+	if _, err := FetchMap("kdb://" + addr); err == nil {
+		t.Error("shardmap verb on a plain server should error")
+	}
+}
