@@ -24,12 +24,13 @@ tier1:
 	$(GO) test ./...
 
 # race re-runs the concurrency-heavy packages under the race detector:
-# kdb's concurrent Exec/Query/Compact and server stress tests, repl's
+# kdb's concurrent Exec/Query/Compact and server stress tests, colstore's
+# concurrent analytic reads racing writers and lazy rebuilds, repl's
 # follower/router chaos scenarios, shard's scatter-gather coordinator,
 # schema's batched saves, the campaign scheduler's worker pool, core's
 # shared-store cycle runs, and telemetry's lock-free metric registry.
 race:
-	$(GO) test -race ./internal/kdb/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
+	$(GO) test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
 
 test: tier1
 

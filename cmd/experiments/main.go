@@ -9,6 +9,7 @@
 //	experiments predict         outlook: linear-regression prediction
 //	experiments bboxmap         bounding-box expectation mapping
 //	experiments mix             workload-mix derivation
+//	experiments trove           Treasure-Trove scale analytics, row vs columnar
 //	experiments all             everything above in order
 //
 // A global --seed flag makes every experiment reproducible.
@@ -36,11 +37,12 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 7, "experiment seed")
 	runs := fs.Int("runs", 8, "IO500 repetitions for fig6")
 	workers := fs.Int("workers", 0, "campaign workers for sweep (0 = NumCPU)")
+	subs := fs.Int("subs", 3000, "synthetic IO500 submissions for trove (30000 = full Treasure-Trove scale)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: experiments [--seed N] [--runs N] [--workers N] {fig3|sweep|fig5|fig6|cycle|predict|bboxmap|causes|tune|mix|all}")
+		return fmt.Errorf("usage: experiments [--seed N] [--runs N] [--workers N] [--subs N] {fig3|sweep|fig5|fig6|cycle|predict|bboxmap|causes|tune|mix|trove|all}")
 	}
 	what := fs.Arg(0)
 	steps := map[string]func() error{
@@ -120,6 +122,14 @@ func run(args []string) error {
 			fmt.Print(r.Report())
 			return nil
 		},
+		"trove": func() error {
+			r, err := experiments.TreasureTrove(*subs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Report())
+			return nil
+		},
 		"mix": func() error {
 			mix, err := experiments.WorkloadMix(*seed)
 			if err != nil {
@@ -134,7 +144,7 @@ func run(args []string) error {
 		},
 	}
 	if what == "all" {
-		for _, name := range []string{"fig3", "sweep", "fig5", "fig6", "cycle", "predict", "bboxmap", "causes", "tune", "mix"} {
+		for _, name := range []string{"fig3", "sweep", "fig5", "fig6", "cycle", "predict", "bboxmap", "causes", "tune", "mix", "trove"} {
 			fmt.Printf("==== %s ====\n", name)
 			if err := steps[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/bbox"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -71,7 +72,7 @@ func main() {
 	}
 }
 
-const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|recommend|configure|causes|tune|serve|servedb} [flags]"
+const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|analytics|recommend|configure|causes|tune|serve|servedb} [flags]"
 
 func run(args []string) error {
 	if len(args) == 0 {
@@ -97,6 +98,8 @@ func run(args []string) error {
 		return cmdShow(rest)
 	case "analyze":
 		return cmdAnalyze(rest)
+	case "analytics":
+		return cmdAnalytics(rest)
 	case "recommend":
 		return cmdRecommend(rest)
 	case "configure":
@@ -487,6 +490,70 @@ func cmdList(args []string) error {
 		fmt.Printf("  #%-4d %s\n", m.ID, m.Command)
 	}
 	return nil
+}
+
+// cmdAnalytics characterizes the stored corpus through the columnar
+// engine: score aggregates, percentile bands, operation baselines, and
+// the engine's own telemetry (segments scanned vs zone-map skipped).
+func cmdAnalytics(args []string) error {
+	fs := flag.NewFlagSet("analytics", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	op := fs.String("op", "", "also report the cross-run baseline for this operation (e.g. write)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := schema.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	cs, err := store.EnableAnalytics()
+	if err != nil {
+		return err
+	}
+	defer store.DisableAnalytics()
+
+	row, err := store.DB.QueryRow("SELECT COUNT(*) FROM IOFHsScores")
+	if err != nil {
+		return err
+	}
+	nScores := row[0].(int64)
+	fmt.Printf("IO500 submissions: %d\n", nScores)
+	if nScores > 0 {
+		agg, err := store.DB.QueryRow("SELECT MIN(total), AVG(total), MAX(total) FROM IOFHsScores")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("total score: min %.2f, mean %.2f, max %.2f\n",
+			asF(agg[0]), asF(agg[1]), asF(agg[2]))
+		bands, err := bbox.CorpusBands(cs, 5, 95)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corpus bands: %s\n", bands)
+	}
+	if *op != "" {
+		n, mean, err := store.OperationBaseline(*op)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s baseline: %d summaries, mean %.1f MiB/s\n", *op, n, mean)
+	}
+	st := cs.Stats()
+	fmt.Printf("colstore: served %d, fallbacks %d, rebuilds %d, segments scanned %d, skipped %d\n",
+		st.Served, st.Fallbacks, st.Rebuilds, st.SegmentsScanned, st.SegmentsSkipped)
+	return nil
+}
+
+// asF widens a query cell to float64 for report formatting.
+func asF(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	return 0
 }
 
 func cmdShow(args []string) error {

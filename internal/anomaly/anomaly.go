@@ -168,16 +168,27 @@ func CompareAgainstBaseline(o *knowledge.Object, op string, baseline []float64, 
 	if len(baseline) == 0 {
 		return Finding{}, false, fmt.Errorf("anomaly: empty baseline")
 	}
+	base, err := stats.Mean(baseline)
+	if err != nil {
+		return Finding{}, false, err
+	}
+	return CompareAgainstBaselineMean(o, op, base, frac)
+}
+
+// CompareAgainstBaselineMean is CompareAgainstBaseline when the
+// population mean is already known — as it is when the baseline comes
+// from the knowledge store's own AVG aggregate (columnar once analytics
+// is enabled) rather than from loading every sample into memory.
+func CompareAgainstBaselineMean(o *knowledge.Object, op string, base, frac float64) (Finding, bool, error) {
+	if base <= 0 {
+		return Finding{}, false, fmt.Errorf("anomaly: non-positive baseline mean %v", base)
+	}
 	if frac <= 0 {
 		frac = 0.6
 	}
 	s, ok := o.SummaryFor(op)
 	if !ok {
 		return Finding{}, false, fmt.Errorf("anomaly: object has no %s summary", op)
-	}
-	base, err := stats.Mean(baseline)
-	if err != nil {
-		return Finding{}, false, err
 	}
 	if s.MeanMiBps >= base*frac {
 		return Finding{}, false, nil

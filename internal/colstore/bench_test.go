@@ -1,0 +1,94 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kdb"
+)
+
+// benchDB builds a table of n rows shaped like the knowledge store's
+// score data: a clustered integer key, a low-cardinality text column, and
+// two numeric measures.
+func benchDB(b *testing.B, n int, attach bool) (*kdb.DB, *Store) {
+	b.Helper()
+	db, err := kdb.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE scores (id INTEGER PRIMARY KEY, fs TEXT, bw REAL, total REAL)`); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	systems := []string{"lustre", "beegfs", "daos", "nfs"}
+	err = db.Batch(func(exec kdb.ExecFunc) error {
+		for i := 1; i <= n; i++ {
+			_, err := exec(`INSERT INTO scores (id, fs, bw, total) VALUES (?, ?, ?, ?)`,
+				i, systems[rng.Intn(len(systems))], rng.Float64()*1000, rng.Float64()*2000)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var store *Store
+	if attach {
+		store = Attach(db)
+		// Pay the lazy build outside the timed region.
+		if _, err := db.Query("SELECT COUNT(*) FROM scores"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, store
+}
+
+var benchQueries = []struct {
+	name string
+	sql  string
+}{
+	{"global-agg", "SELECT COUNT(*), AVG(bw), MAX(total) FROM scores"},
+	{"filtered-agg", "SELECT COUNT(*), SUM(bw) FROM scores WHERE total > 1500"},
+	{"clustered-filter", "SELECT COUNT(*), AVG(total) FROM scores WHERE id <= 4000"},
+	{"group-by-text", "SELECT fs, COUNT(*), AVG(bw), MAX(total) FROM scores GROUP BY fs"},
+}
+
+func benchEngine(b *testing.B, attach bool) {
+	db, _ := benchDB(b, 40000, attach)
+	for _, q := range benchQueries {
+		b.Run(q.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q.sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRowEngine(b *testing.B)      { benchEngine(b, false) }
+func BenchmarkColumnarEngine(b *testing.B) { benchEngine(b, true) }
+
+// BenchmarkSegmentBuild measures the lazy rebuild cost itself.
+func BenchmarkSegmentBuild(b *testing.B) {
+	db, store := benchDB(b, 40000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Touch the table so the next analytic query must rebuild.
+		if _, err := db.Exec(`UPDATE scores SET bw = 0.5 WHERE id = 1`); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := db.Query("SELECT COUNT(*) FROM scores"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if store.Stats().Rebuilds < int64(b.N) {
+		b.Fatalf("expected a rebuild per iteration")
+	}
+}

@@ -1,0 +1,162 @@
+// Package colstore is the knowledge cycle's columnar analytics engine.
+// It attaches to a kdb database as a ColumnarBackend: analytical SELECTs
+// (aggregates and GROUP BY over a single table) are answered from typed
+// column vectors with per-segment zone maps, while point lookups, joins,
+// and plain scans stay on the row engine and its hash indexes.
+//
+// Correctness contract: every answer the store serves is byte-identical
+// to what the row engine would have produced — same float accumulation
+// order, same NULL and NaN quirks, same group ordering. Whenever the
+// store cannot guarantee that (unknown shape, stale data it cannot
+// refresh, type mismatches the engine would error on), it declines and
+// the row engine answers as if no store were attached.
+//
+// Freshness: segments are rebuilt lazily. Each query compares the
+// engine's per-table mutation versions (bumped on every insert, update,
+// delete, and rollback) against the versions recorded at build time, and
+// rebuilds from a WriteSnapshot stream when they diverge. The version is
+// read before the snapshot is taken, so a write racing the rebuild can
+// only make the cache conservatively stale — never wrong.
+package colstore
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kdb"
+	"repro/internal/telemetry"
+)
+
+var (
+	metQueries     *telemetry.Counter
+	metFallbacks   *telemetry.Counter
+	metRebuilds    *telemetry.Counter
+	metSegsScanned *telemetry.Counter
+	metSegsSkipped *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	metQueries = reg.Counter("colstore_queries_total")
+	metFallbacks = reg.Counter("colstore_fallback_total")
+	metRebuilds = reg.Counter("colstore_rebuilds_total")
+	metSegsScanned = reg.Counter("colstore_segments_scanned_total")
+	metSegsSkipped = reg.Counter("colstore_segments_skipped_total")
+}
+
+// Store is a columnar mirror of a kdb database.
+type Store struct {
+	db *kdb.DB
+
+	mu       sync.RWMutex
+	tables   map[string]*colTable // keyed by lowercased name
+	versions map[string]int64     // engine version each colTable was built at
+
+	served      atomic.Int64
+	fallbacks   atomic.Int64
+	rebuilds    atomic.Int64
+	segsScanned atomic.Int64
+	segsSkipped atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Served          int64 // analytical queries answered from segments
+	Fallbacks       int64 // routable queries declined back to the row engine
+	Rebuilds        int64 // table images rebuilt from snapshots
+	SegmentsScanned int64
+	SegmentsSkipped int64 // segments eliminated by zone maps
+}
+
+// Attach builds a store over db and registers it as the database's
+// columnar backend. Detach with db.SetColumnar(nil).
+func Attach(db *kdb.DB) *Store {
+	s := &Store{
+		db:       db,
+		tables:   map[string]*colTable{},
+		versions: map[string]int64{},
+	}
+	db.SetColumnar(s)
+	return s
+}
+
+// Stats returns the current counter values.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Served:          s.served.Load(),
+		Fallbacks:       s.fallbacks.Load(),
+		Rebuilds:        s.rebuilds.Load(),
+		SegmentsScanned: s.segsScanned.Load(),
+		SegmentsSkipped: s.segsSkipped.Load(),
+	}
+}
+
+// table returns the current columnar image of name, rebuilding stale
+// tables first. ok is false when the table is unknown or the rebuild
+// failed — the caller then declines the query.
+func (s *Store) table(name string) (*colTable, bool) {
+	key := strings.ToLower(name)
+	vers := s.db.TableVersions()
+	want, exists := vers[key]
+	if !exists {
+		return nil, false
+	}
+	s.mu.RLock()
+	ct := s.tables[key]
+	have := s.versions[key]
+	s.mu.RUnlock()
+	if ct != nil && have == want {
+		return ct, true
+	}
+	return s.rebuild(key, vers)
+}
+
+// rebuild refreshes every stale table from one snapshot stream. Taking
+// the whole snapshot for one table sounds expensive, but the snapshot is
+// the WAL compaction serializer the store already pays for elsewhere,
+// and refreshing all stale tables at once amortizes it across the
+// analytical working set.
+func (s *Store) rebuild(key string, vers map[string]int64) (*colTable, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Another goroutine may have rebuilt while we waited for the lock.
+	if ct := s.tables[key]; ct != nil && s.versions[key] == vers[key] {
+		return ct, true
+	}
+	var buf bytes.Buffer
+	if _, err := s.db.WriteSnapshot(&buf); err != nil {
+		return nil, false
+	}
+	parsed, err := kdb.ParseSnapshotTables(buf.Bytes())
+	if err != nil {
+		return nil, false
+	}
+	for tname, t := range parsed {
+		want, known := vers[tname]
+		if !known {
+			// Created after the version read; next query picks it up.
+			continue
+		}
+		if ct := s.tables[tname]; ct != nil && s.versions[tname] == want {
+			continue // already fresh
+		}
+		s.tables[tname] = buildTable(t)
+		// Record the version read BEFORE the snapshot: if a write landed
+		// in between, the image is newer than we claim and the next query
+		// rebuilds again — conservative, never wrong.
+		s.versions[tname] = want
+		s.rebuilds.Add(1)
+		metRebuilds.Inc()
+	}
+	// Drop images of tables the engine no longer has.
+	for tname := range s.tables {
+		if _, ok := vers[tname]; !ok {
+			delete(s.tables, tname)
+			delete(s.versions, tname)
+		}
+	}
+	ct := s.tables[key]
+	return ct, ct != nil
+}

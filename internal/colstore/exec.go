@@ -1,0 +1,610 @@
+package colstore
+
+// Vectorized execution. A query runs in three stages: (1) zone-map
+// pruning decides per segment whether any row can possibly match; (2) the
+// filter stage evaluates the AND-conjuncts over the surviving segments'
+// typed vectors into a selection list; (3) the aggregate stage consumes
+// the selection column-by-column. Every numeric comparison and float
+// accumulation happens in the same order, with the same operations, as
+// the row engine — that is what makes the answers byte-identical rather
+// than merely approximately equal.
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/kdb"
+)
+
+// AnalyticQuery implements kdb.ColumnarBackend. served=false declines the
+// query back to the row engine; this is the store's answer for every
+// shape it cannot reproduce byte-identically (including shapes the row
+// engine would reject with an error — declining preserves the error).
+func (s *Store) AnalyticQuery(plan *kdb.AnalyticPlan, args []any) (*kdb.Rows, bool, error) {
+	metQueries.Inc()
+	ct, ok := s.table(plan.Table)
+	if !ok {
+		return s.decline()
+	}
+	filters, ok := compileFilters(ct, plan.Filters, args)
+	if !ok {
+		return s.decline()
+	}
+	q := &query{store: s, ct: ct, plan: plan, filters: filters}
+	var rows *kdb.Rows
+	if plan.Grouped {
+		rows, ok = q.runGrouped()
+	} else {
+		rows, ok = q.runGlobal()
+	}
+	if !ok {
+		return s.decline()
+	}
+	s.served.Add(1)
+	return rows, true, nil
+}
+
+func (s *Store) decline() (*kdb.Rows, bool, error) {
+	s.fallbacks.Add(1)
+	metFallbacks.Inc()
+	return nil, false, nil
+}
+
+// query carries one execution's compiled state.
+type query struct {
+	store   *Store
+	ct      *colTable
+	plan    *kdb.AnalyticPlan
+	filters []filter
+}
+
+// filter is one compiled WHERE conjunct: column ci <op> a typed value.
+type filter struct {
+	ci    int
+	op    string
+	isNil bool    // comparing against NULL
+	isStr bool    // text comparison; otherwise numeric
+	f     float64 // numeric operand (pre-widened; engine compares as float)
+	s     string  // text operand
+}
+
+// compileFilters resolves and type-checks the conjuncts. It declines
+// (ok=false) whenever the row engine would behave in any way a pure
+// vector comparison cannot reproduce — chiefly mixed text/numeric
+// comparisons, which the engine reports as errors.
+func compileFilters(ct *colTable, fs []kdb.AnalyticFilter, args []any) ([]filter, bool) {
+	out := make([]filter, 0, len(fs))
+	for _, af := range fs {
+		ci, ok := ct.colIndex(af.Col)
+		if !ok {
+			return nil, false
+		}
+		val := af.Lit
+		if af.Arg >= 0 {
+			if af.Arg >= len(args) {
+				return nil, false // engine reports placeholder-out-of-range
+			}
+			v, err := kdb.NormalizeArg(args[af.Arg])
+			if err != nil {
+				return nil, false
+			}
+			val = v
+		}
+		f := filter{ci: ci, op: af.Op}
+		text := ct.cols[ci].Type == kdb.TText
+		switch x := val.(type) {
+		case nil:
+			f.isNil = true
+		case int64:
+			if text {
+				return nil, false // engine errors on text-vs-numeric
+			}
+			f.f = float64(x)
+		case float64:
+			if text {
+				return nil, false
+			}
+			f.f = x
+		case string:
+			if !text {
+				return nil, false
+			}
+			f.isStr = true
+			f.s = x
+		default:
+			return nil, false
+		}
+		out = append(out, f)
+	}
+	return out, true
+}
+
+// cmpFloat is compareValues' numeric branch verbatim: NaN on either side
+// makes both < and > false, so the result is 0 — meaning the engine
+// treats NaN as equal to everything, and the vector path must too.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// match evaluates the conjunct for one segment row, replicating
+// applyComparison's NULL semantics: against a NULL operand only = and !=
+// can be true; a NULL row value matches only !=.
+func (f *filter) match(ct *colTable, seg *segment, i int) bool {
+	v := seg.cols[f.ci]
+	null := v.isNull(i)
+	if f.isNil {
+		switch f.op {
+		case "=":
+			return null
+		case "!=":
+			return !null
+		}
+		return false
+	}
+	if null {
+		return f.op == "!="
+	}
+	var c int
+	if f.isStr {
+		c = strings.Compare(ct.dict.strs[v.codes[i]], f.s)
+	} else if v.ints != nil {
+		c = cmpFloat(float64(v.ints[i]), f.f)
+	} else {
+		c = cmpFloat(v.floats[i], f.f)
+	}
+	switch f.op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// canSkip reports whether the zone map proves no row of the segment can
+// match. It must only ever return true on a proof: a wrong skip is a
+// wrong answer, while a missed skip merely costs a scan. NaN disables
+// range reasoning entirely — a NaN filter value "equals" every numeric,
+// and a NaN cell matches any equality — so either side being NaN keeps
+// the segment.
+func (f *filter) canSkip(v *colVec) bool {
+	if f.isNil {
+		switch f.op {
+		case "=":
+			return v.nulls == nil // no NULL cells, nothing to match
+		case "!=":
+			return v.nonNull == 0
+		}
+		return true // <, <=, >, >= against NULL match nothing
+	}
+	if v.nonNull == 0 {
+		// Every cell is NULL; only != matches NULL rows.
+		return f.op != "!="
+	}
+	if f.isStr {
+		switch f.op {
+		case "=":
+			return f.s < v.minS || f.s > v.maxS
+		case "<":
+			return v.minS >= f.s
+		case "<=":
+			return v.minS > f.s
+		case ">":
+			return v.maxS <= f.s
+		case ">=":
+			return v.maxS < f.s
+		case "!=":
+			return v.nulls == nil && v.minS == v.maxS && v.minS == f.s
+		}
+		return false
+	}
+	if v.hasNaN || math.IsNaN(f.f) {
+		return false
+	}
+	switch f.op {
+	case "=":
+		return f.f < v.minF || f.f > v.maxF
+	case "<":
+		return v.minF >= f.f
+	case "<=":
+		return v.minF > f.f
+	case ">":
+		return v.maxF <= f.f
+	case ">=":
+		return v.maxF < f.f
+	case "!=":
+		return v.nulls == nil && v.minF == v.maxF && v.minF == f.f
+	}
+	return false
+}
+
+// prune applies the zone maps; true means the whole segment is skipped.
+func (q *query) prune(seg *segment) bool {
+	for i := range q.filters {
+		if q.filters[i].canSkip(seg.cols[q.filters[i].ci]) {
+			return true
+		}
+	}
+	return false
+}
+
+// selection fills sel with the segment-local indexes of matching rows.
+func (q *query) selection(seg *segment, sel []int) []int {
+	sel = sel[:0]
+	if len(q.filters) == 0 {
+		for i := 0; i < seg.n; i++ {
+			sel = append(sel, i)
+		}
+		return sel
+	}
+	for i := 0; i < seg.n; i++ {
+		ok := true
+		for fi := range q.filters {
+			if !q.filters[fi].match(q.ct, seg, i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// aggAcc accumulates one aggregate over one (group's) value stream,
+// reproducing the engine's exact arithmetic: count counts non-NULL cells
+// of any type, the numeric accumulators see only float-convertible
+// values in row order, and min/max start from the first value with
+// strict < / > updates (so a leading NaN sticks, as it does in the
+// engine's vals[0] seed).
+type aggAcc struct {
+	count  int64
+	n      int64
+	sum    float64
+	mn, mx float64
+}
+
+func (a *aggAcc) addFloat(f float64) {
+	a.count++
+	if a.n == 0 {
+		a.mn, a.mx = f, f
+	} else {
+		if f < a.mn {
+			a.mn = f
+		}
+		if f > a.mx {
+			a.mx = f
+		}
+	}
+	a.sum += f
+	a.n++
+}
+
+// addText records a non-NULL text cell: it counts, but contributes no
+// numeric value — exactly toFloat's behaviour on strings.
+func (a *aggAcc) addText() { a.count++ }
+
+// result finalizes the accumulator for one aggregate function.
+func (a *aggAcc) result(agg string) any {
+	if agg == "COUNT" {
+		return a.count
+	}
+	if a.n == 0 {
+		return nil
+	}
+	switch agg {
+	case "SUM":
+		return a.sum
+	case "AVG":
+		return a.sum / float64(a.n)
+	case "MIN":
+		return a.mn
+	case "MAX":
+		return a.mx
+	}
+	return nil
+}
+
+// item is a compiled projection column.
+type item struct {
+	agg  string
+	star bool
+	ci   int // source column for aggregates
+	gi   int // group-key position for plain columns
+}
+
+// accumulate feeds a segment's selected rows of column ci into acc.
+func accumulate(ct *colTable, seg *segment, sel []int, ci int, acc *aggAcc) {
+	v := seg.cols[ci]
+	switch {
+	case v.ints != nil:
+		for _, i := range sel {
+			if !v.isNull(i) {
+				acc.addFloat(float64(v.ints[i]))
+			}
+		}
+	case v.floats != nil:
+		for _, i := range sel {
+			if !v.isNull(i) {
+				acc.addFloat(v.floats[i])
+			}
+		}
+	default:
+		for _, i := range sel {
+			if !v.isNull(i) {
+				acc.addText()
+			}
+		}
+	}
+}
+
+// runGlobal executes the single-row aggregate path. Like the engine's, it
+// ignores LIMIT and OFFSET. Every item must be an aggregate — a plain
+// column here is the engine's "requires GROUP BY" error, so decline.
+func (q *query) runGlobal() (*kdb.Rows, bool) {
+	type slot struct {
+		it  item
+		acc aggAcc
+	}
+	slots := make([]slot, len(q.plan.Items))
+	names := make([]string, len(q.plan.Items))
+	for i, pi := range q.plan.Items {
+		if pi.Agg == "" {
+			return nil, false
+		}
+		names[i] = pi.Name
+		slots[i].it = item{agg: pi.Agg, star: pi.Star, ci: -1}
+		if !pi.Star {
+			ci, ok := q.ct.colIndex(pi.Col)
+			if !ok {
+				return nil, false
+			}
+			slots[i].it.ci = ci
+		}
+	}
+	var sel []int
+	var total int64
+	for _, seg := range q.ct.segs {
+		if q.prune(seg) {
+			q.store.segsSkipped.Add(1)
+			metSegsSkipped.Inc()
+			continue
+		}
+		q.store.segsScanned.Add(1)
+		metSegsScanned.Inc()
+		sel = q.selection(seg, sel)
+		total += int64(len(sel))
+		for si := range slots {
+			if !slots[si].it.star {
+				accumulate(q.ct, seg, sel, slots[si].it.ci, &slots[si].acc)
+			}
+		}
+	}
+	row := make([]any, len(slots))
+	for i := range slots {
+		if slots[i].it.star {
+			row[i] = total
+			continue
+		}
+		row[i] = slots[i].acc.result(slots[i].it.agg)
+	}
+	return kdb.NewRows(names, [][]any{row}), true
+}
+
+// group is one GROUP BY bucket: the key tuple from the first row that
+// opened it, plus per-item accumulators.
+type group struct {
+	key  []any
+	rows int64
+	accs []aggAcc
+}
+
+// compileItems resolves the grouped projection. Plain columns must name a
+// grouping column under the engine's matching rule (unqualified, or
+// qualified identically to the GROUP BY reference); anything else is the
+// engine's error, so decline.
+func (q *query) compileItems() ([]item, []string, bool) {
+	items := make([]item, len(q.plan.Items))
+	names := make([]string, len(q.plan.Items))
+	for i, pi := range q.plan.Items {
+		names[i] = pi.Name
+		if pi.Agg == "" {
+			gi := -1
+			for g, gc := range q.plan.GroupBy {
+				if strings.EqualFold(gc.Name, pi.Col.Name) &&
+					(pi.Col.Table == "" || strings.EqualFold(gc.Table, pi.Col.Table)) {
+					gi = g
+					break
+				}
+			}
+			if gi < 0 {
+				return nil, nil, false
+			}
+			items[i] = item{gi: gi}
+			continue
+		}
+		items[i] = item{agg: pi.Agg, star: pi.Star, ci: -1}
+		if !pi.Star {
+			ci, ok := q.ct.colIndex(pi.Col)
+			if !ok {
+				return nil, nil, false
+			}
+			items[i].ci = ci
+		}
+	}
+	return items, names, true
+}
+
+// runGrouped executes the GROUP BY path: hash rows into groups (with a
+// dictionary-code fast path for the common single-text-key shape), then
+// emit in the engine's order — ascending key tuples, stable over first
+// appearance — honouring OFFSET and LIMIT over whole groups.
+func (q *query) runGrouped() (*kdb.Rows, bool) {
+	items, names, ok := q.compileItems()
+	if !ok {
+		return nil, false
+	}
+	keyIdx := make([]int, len(q.plan.GroupBy))
+	for i, gc := range q.plan.GroupBy {
+		ci, ok := q.ct.colIndex(gc)
+		if !ok {
+			return nil, false
+		}
+		keyIdx[i] = ci
+	}
+	var order []*group
+	if len(keyIdx) == 1 && q.ct.cols[keyIdx[0]].Type == kdb.TText {
+		order = q.groupByDict(items, keyIdx[0])
+	} else {
+		order = q.groupGeneric(items, keyIdx)
+	}
+	// The engine sorts its first-appearance group list stably by key
+	// tuple; CompareOrder is its exported comparator.
+	sort.SliceStable(order, func(a, b int) bool {
+		ga, gb := order[a], order[b]
+		for i := range ga.key {
+			if c := kdb.CompareOrder(ga.key[i], gb.key[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	var rows [][]any
+	skipped := 0
+	for _, g := range order {
+		if skipped < q.plan.Offset {
+			skipped++
+			continue
+		}
+		row := make([]any, len(items))
+		for i, it := range items {
+			switch {
+			case it.agg == "":
+				row[i] = g.key[it.gi]
+			case it.star:
+				row[i] = g.rows
+			default:
+				row[i] = g.accs[i].result(it.agg)
+			}
+		}
+		rows = append(rows, row)
+		if q.plan.Limit >= 0 && len(rows) >= q.plan.Limit {
+			break
+		}
+	}
+	if q.plan.Limit == 0 {
+		rows = nil
+	}
+	return kdb.NewRows(names, rows), true
+}
+
+// feed adds one matching row to its group's accumulators.
+func (q *query) feed(g *group, items []item, seg *segment, i int) {
+	g.rows++
+	for ii, it := range items {
+		if it.agg == "" || it.star {
+			continue
+		}
+		v := seg.cols[it.ci]
+		if v.isNull(i) {
+			continue
+		}
+		switch {
+		case v.ints != nil:
+			g.accs[ii].addFloat(float64(v.ints[i]))
+		case v.floats != nil:
+			g.accs[ii].addFloat(v.floats[i])
+		default:
+			g.accs[ii].addText()
+		}
+	}
+}
+
+// groupByDict groups by a single text column keyed on dictionary codes —
+// no key tuple materialization, no string encoding per row. The sentinel
+// ^uint32(0) buckets NULLs, which the dictionary can never assign (codes
+// are dense from zero).
+func (q *query) groupByDict(items []item, ci int) []*group {
+	const nullCode = ^uint32(0)
+	groups := make(map[uint32]*group)
+	var order []*group
+	var sel []int
+	for _, seg := range q.ct.segs {
+		if q.prune(seg) {
+			q.store.segsSkipped.Add(1)
+			metSegsSkipped.Inc()
+			continue
+		}
+		q.store.segsScanned.Add(1)
+		metSegsScanned.Inc()
+		sel = q.selection(seg, sel)
+		v := seg.cols[ci]
+		for _, i := range sel {
+			code := nullCode
+			if !v.isNull(i) {
+				code = v.codes[i]
+			}
+			g, ok := groups[code]
+			if !ok {
+				g = &group{key: []any{nil}, accs: make([]aggAcc, len(items))}
+				if code != nullCode {
+					g.key[0] = q.ct.dict.strs[code]
+				}
+				groups[code] = g
+				order = append(order, g)
+			}
+			q.feed(g, items, seg, i)
+		}
+	}
+	return order
+}
+
+// groupGeneric groups by an arbitrary key tuple using the engine's own
+// type-tagged encoding, so bucket boundaries (NaN collapsing, -0 vs +0,
+// int vs float tags) are identical by construction.
+func (q *query) groupGeneric(items []item, keyIdx []int) []*group {
+	groups := make(map[string]*group)
+	var order []*group
+	var sel []int
+	key := make([]any, len(keyIdx))
+	for _, seg := range q.ct.segs {
+		if q.prune(seg) {
+			q.store.segsSkipped.Add(1)
+			metSegsSkipped.Inc()
+			continue
+		}
+		q.store.segsScanned.Add(1)
+		metSegsScanned.Inc()
+		sel = q.selection(seg, sel)
+		for _, i := range sel {
+			for k, ci := range keyIdx {
+				key[k] = seg.value(q.ct, i, ci)
+			}
+			ks := kdb.EncodeKey(key)
+			g, ok := groups[ks]
+			if !ok {
+				g = &group{key: append([]any(nil), key...), accs: make([]aggAcc, len(items))}
+				groups[ks] = g
+				order = append(order, g)
+			}
+			q.feed(g, items, seg, i)
+		}
+	}
+	return order
+}

@@ -1,0 +1,202 @@
+package colstore
+
+// Columnar segment format. Each table is decomposed into fixed-size row
+// segments; within a segment every column is a typed vector — int64,
+// float64, or dictionary codes for text — plus a null bitmap. Per-segment
+// zone maps (min/max over the non-null values) let the scan skip whole
+// segments that provably cannot match a filter. The layout mirrors the
+// engine's value model exactly: coerce guarantees an INTEGER column only
+// ever holds int64 or NULL, REAL only float64 or NULL, TEXT only string
+// or NULL, so each vector needs exactly one payload array.
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/kdb"
+)
+
+// segmentRows is the number of rows per segment. A package variable (not
+// a constant) so tests can shrink it to force multi-segment tables and
+// exercise zone-map skipping on small fixtures.
+var segmentRows = 4096
+
+// dictionary interns a table's strings. Codes are assigned in first-seen
+// row order and shared by every segment of the table.
+type dictionary struct {
+	strs []string
+	idx  map[string]uint32
+}
+
+func newDictionary() *dictionary {
+	return &dictionary{idx: make(map[string]uint32)}
+}
+
+func (d *dictionary) code(s string) uint32 {
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.idx[s] = c
+	return c
+}
+
+// colVec is one column's vector within a segment. Exactly one of ints,
+// floats, or codes is non-nil, matching the column's declared type.
+type colVec struct {
+	ints   []int64
+	floats []float64
+	codes  []uint32
+
+	// nulls is a bitmap over the segment's rows; bit set means NULL. nil
+	// when the segment has no NULLs in this column.
+	nulls   []uint64
+	nonNull int
+
+	// Zone map over the non-null values. Numeric columns keep float64
+	// bounds (the engine compares all numerics as floats); text columns
+	// keep string bounds. hasNaN poisons numeric zone maps: NaN compares
+	// false against everything, so no range test can prove a miss.
+	minF, maxF float64
+	minS, maxS string
+	hasNaN     bool
+}
+
+func (v *colVec) isNull(i int) bool {
+	if v.nulls == nil {
+		return false
+	}
+	return v.nulls[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (v *colVec) setNull(i int) {
+	v.nulls[i/64] |= 1 << (uint(i) % 64)
+}
+
+// segment is a horizontal slice of a table: n rows across all columns.
+type segment struct {
+	n    int
+	cols []*colVec
+}
+
+// colTable is the columnar image of one engine table at a recorded
+// version. Immutable once built; queries read it without locking.
+type colTable struct {
+	name string
+	cols []kdb.ColumnDef
+	dict *dictionary
+	segs []*segment
+	rows int
+}
+
+// colIndex resolves a possibly-qualified column reference against the
+// table, with the engine's case-insensitive matching. ok is false when
+// the name is unknown or qualified with a different table.
+func (ct *colTable) colIndex(c kdb.AnalyticCol) (int, bool) {
+	if c.Table != "" && !strings.EqualFold(c.Table, ct.name) {
+		return 0, false
+	}
+	for i, def := range ct.cols {
+		if strings.EqualFold(def.Name, c.Name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// value reconstructs the engine value at (segment-local row i, column ci).
+func (s *segment) value(ct *colTable, i, ci int) any {
+	v := s.cols[ci]
+	if v.isNull(i) {
+		return nil
+	}
+	switch {
+	case v.ints != nil:
+		return v.ints[i]
+	case v.floats != nil:
+		return v.floats[i]
+	default:
+		return ct.dict.strs[v.codes[i]]
+	}
+}
+
+// buildTable decomposes a snapshot table into segments. Row order is
+// preserved exactly — aggregate accumulation must visit values in the
+// same order as the row engine so float sums come out bit-identical.
+func buildTable(t *kdb.Table) *colTable {
+	ct := &colTable{
+		name: t.Name,
+		cols: t.Columns,
+		dict: newDictionary(),
+		rows: len(t.Rows),
+	}
+	for base := 0; base < len(t.Rows); base += segmentRows {
+		end := base + segmentRows
+		if end > len(t.Rows) {
+			end = len(t.Rows)
+		}
+		ct.segs = append(ct.segs, buildSegment(ct, t.Rows[base:end]))
+	}
+	return ct
+}
+
+func buildSegment(ct *colTable, rows [][]any) *segment {
+	n := len(rows)
+	seg := &segment{n: n, cols: make([]*colVec, len(ct.cols))}
+	for ci, def := range ct.cols {
+		v := &colVec{}
+		switch def.Type {
+		case kdb.TInteger:
+			v.ints = make([]int64, n)
+		case kdb.TReal:
+			v.floats = make([]float64, n)
+		default:
+			v.codes = make([]uint32, n)
+		}
+		haveF, haveS := false, false
+		noteF := func(f float64) {
+			if math.IsNaN(f) {
+				v.hasNaN = true
+				return
+			}
+			if !haveF || f < v.minF {
+				v.minF = f
+			}
+			if !haveF || f > v.maxF {
+				v.maxF = f
+			}
+			haveF = true
+		}
+		for i, row := range rows {
+			raw := row[ci]
+			if raw == nil {
+				if v.nulls == nil {
+					v.nulls = make([]uint64, (n+63)/64)
+				}
+				v.setNull(i)
+				continue
+			}
+			v.nonNull++
+			switch x := raw.(type) {
+			case int64:
+				v.ints[i] = x
+				noteF(float64(x))
+			case float64:
+				v.floats[i] = x
+				noteF(x)
+			case string:
+				v.codes[i] = ct.dict.code(x)
+				if !haveS || x < v.minS {
+					v.minS = x
+				}
+				if !haveS || x > v.maxS {
+					v.maxS = x
+				}
+				haveS = true
+			}
+		}
+		seg.cols[ci] = v
+	}
+	return seg
+}

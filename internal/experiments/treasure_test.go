@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestTreasureTroveSmall runs E11 at a reduced scale: the properties
+// (identical answers, columnar serving, percentile bands) must hold at
+// any corpus size; only the headline speedup needs the full corpus.
+func TestTreasureTroveSmall(t *testing.T) {
+	r, err := TreasureTrove(120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("columnar battery diverged from the row engine")
+	}
+	if r.Stats.Served < int64(r.Queries) {
+		t.Fatalf("columnar engine served %d of %d battery queries", r.Stats.Served, r.Queries)
+	}
+	if r.Stats.Fallbacks != 0 {
+		t.Fatalf("battery should be fully routable, got %d fallbacks", r.Stats.Fallbacks)
+	}
+	if want := int64(120 * 35); r.Rows != want {
+		t.Fatalf("corpus expanded to %d rows, want %d (35 per submission)", r.Rows, want)
+	}
+	b := r.Bands
+	if !(b.BW.Low <= b.BW.Median && b.BW.Median <= b.BW.High) {
+		t.Fatalf("bandwidth band out of order: %+v", b.BW)
+	}
+	if !(b.Total.Low <= b.Total.Median && b.Total.Median <= b.Total.High) {
+		t.Fatalf("total band out of order: %+v", b.Total)
+	}
+	if r.Report() == "" {
+		t.Fatal("empty report")
+	}
+}

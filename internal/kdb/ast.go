@@ -87,6 +87,7 @@ type selectStmt struct {
 	GroupBy  []colRef
 	OrderBy  []orderClause
 	Limit    int // -1 = none
+	Offset   int // 0 = none
 }
 
 // updateStmt is UPDATE.

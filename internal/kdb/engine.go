@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,6 +23,13 @@ type Table struct {
 	Rows    [][]any
 	autoID  int64
 	pkIndex int // index of the INTEGER PRIMARY KEY column, -1 if none
+
+	// version changes on every row mutation (inserts, updates, deletes,
+	// and their undos). Attached columnar stores compare it against the
+	// version their segments were built from to decide whether a rebuild
+	// is due. Values come from a process-wide counter so a dropped and
+	// recreated table can never alias an older version of itself.
+	version int64
 
 	indexes []*hashIndex
 	idxMu   sync.Mutex // serializes lazy index rebuilds under db.mu.RLock
@@ -75,6 +83,11 @@ type DB struct {
 	// commitCh, when non-nil, is closed on the next commit — the
 	// broadcast replication streams wait on.
 	commitCh chan struct{}
+
+	// columnar, when set, is consulted for analytical SELECTs before the
+	// row engine runs. Stored via atomic pointer so Query never takes a
+	// lock just to discover no backend is attached.
+	columnar atomic.Pointer[columnarHook]
 }
 
 // Result reports the outcome of a mutation.
@@ -386,6 +399,19 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	sel, ok := stmt.(*selectStmt)
 	if !ok {
 		return nil, fmt.Errorf("kdb: Query requires SELECT")
+	}
+	// Analytical SELECTs (aggregates / GROUP BY over a single table) may be
+	// served by an attached columnar backend. The hook runs before the read
+	// lock is taken: the backend re-enters the database through
+	// TableVersions/WriteSnapshot, which acquire their own read locks. A
+	// backend that declines (or fails) falls through to the row engine,
+	// which stays authoritative.
+	if h := db.columnar.Load(); h != nil {
+		if plan, ok := compileAnalytic(sel); ok {
+			if rows, served, err := h.backend.AnalyticQuery(plan, args); err == nil && served {
+				return rows, nil
+			}
+		}
 	}
 	lockStart := time.Now()
 	db.mu.RLock()
@@ -935,6 +961,7 @@ func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
 	}
 	out := &Rows{Columns: colNames}
 	seen := map[string]bool{}
+	skipped := 0
 	for _, row := range filtered {
 		proj := make([]any, len(colIdx))
 		for i, idx := range colIdx {
@@ -946,6 +973,11 @@ func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
 				continue
 			}
 			seen[k] = true
+		}
+		// OFFSET skips surviving (post-DISTINCT) rows before LIMIT counts.
+		if skipped < s.Offset {
+			skipped++
+			continue
 		}
 		out.rows = append(out.rows, proj)
 		if s.Limit >= 0 && len(out.rows) >= s.Limit {
@@ -1077,8 +1109,13 @@ func evalGrouped(s *selectStmt, e *env, rows [][]any) (*Rows, error) {
 		}
 		return false
 	})
+	skipped := 0
 	for _, ks := range order {
 		g := groups[ks]
+		if skipped < s.Offset {
+			skipped++
+			continue
+		}
 		row := make([]any, len(projs))
 		for pi, p := range projs {
 			if p.agg == "" {

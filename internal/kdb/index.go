@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // hashIndex maps canonical column values to row positions in Table.Rows.
@@ -73,8 +74,15 @@ func (t *Table) indexNamed(name string) *hashIndex {
 	return nil
 }
 
+// tableVersions issues process-wide unique table versions; see
+// Table.version.
+var tableVersions atomic.Int64
+
 // invalidateIndexes marks every index stale; the next lookup rebuilds.
+// Called on every row mutation (and every rollback), so it doubles as the
+// table-version bump attached columnar stores watch.
 func (t *Table) invalidateIndexes() {
+	t.version = tableVersions.Add(1)
 	for _, ix := range t.indexes {
 		ix.fresh = false
 	}
@@ -83,6 +91,7 @@ func (t *Table) invalidateIndexes() {
 // noteInsert extends fresh indexes with a newly appended row. Stale
 // indexes stay stale and catch up on their next rebuild.
 func (t *Table) noteInsert(pos int, row []any) {
+	t.version = tableVersions.Add(1)
 	for _, ix := range t.indexes {
 		if ix.fresh {
 			k := hashKey(row[ix.col])

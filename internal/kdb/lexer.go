@@ -35,7 +35,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "IF": true, "NOT": true, "EXISTS": true,
 	"PRIMARY": true, "KEY": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "BY": true,
-	"ASC": true, "DESC": true, "LIMIT": true, "JOIN": true, "ON": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "JOIN": true, "ON": true,
 	"UPDATE": true, "SET": true, "DELETE": true, "DROP": true, "INDEX": true,
 	"AND": true, "OR": true, "LIKE": true, "NULL": true,
 	"INTEGER": true, "REAL": true, "TEXT": true,

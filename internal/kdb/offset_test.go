@@ -1,0 +1,85 @@
+package kdb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// openSeeded returns an in-memory database with a small mixed table for
+// OFFSET/pagination tests.
+func openSeeded(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec("CREATE TABLE p (id INTEGER PRIMARY KEY, grp TEXT, v REAL)"); err != nil {
+		t.Fatal(err)
+	}
+	grps := []string{"a", "b", "c"}
+	for i := 1; i <= 9; i++ {
+		if _, err := db.Exec("INSERT INTO p (id, grp, v) VALUES (?, ?, ?)",
+			int64(i), grps[i%3], float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func queryAll(t *testing.T, db *DB, sql string, args ...any) [][]any {
+	t.Helper()
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return rows.All()
+}
+
+func TestSelectOffset(t *testing.T) {
+	db := openSeeded(t)
+	cases := []struct {
+		sql  string
+		want [][]any
+	}{
+		{"SELECT id FROM p ORDER BY id LIMIT 3 OFFSET 2",
+			[][]any{{int64(3)}, {int64(4)}, {int64(5)}}},
+		{"SELECT id FROM p ORDER BY id OFFSET 7",
+			[][]any{{int64(8)}, {int64(9)}}},
+		{"SELECT id FROM p ORDER BY id LIMIT 5 OFFSET 8",
+			[][]any{{int64(9)}}},
+		{"SELECT id FROM p ORDER BY id LIMIT 2 OFFSET 20",
+			nil},
+		// LIMIT 0 stays empty regardless of OFFSET.
+		{"SELECT id FROM p ORDER BY id LIMIT 0 OFFSET 3", nil},
+		// OFFSET skips post-DISTINCT rows, not raw rows.
+		{"SELECT DISTINCT grp FROM p ORDER BY grp LIMIT 2 OFFSET 1",
+			[][]any{{"b"}, {"c"}}},
+		// Grouped path: OFFSET skips whole groups in ascending key order.
+		{"SELECT grp, COUNT(*) FROM p GROUP BY grp LIMIT 1 OFFSET 1",
+			[][]any{{"b", int64(3)}}},
+		{"SELECT grp, SUM(v) FROM p GROUP BY grp OFFSET 2",
+			[][]any{{"c", float64(2 + 5 + 8)}}},
+		// The single-row aggregate path ignores LIMIT and OFFSET alike.
+		{"SELECT COUNT(*) FROM p LIMIT 2 OFFSET 5",
+			[][]any{{int64(9)}}},
+	}
+	for _, c := range cases {
+		if got := queryAll(t, db, c.sql); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s:\n got %v\nwant %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestOffsetParseErrors(t *testing.T) {
+	db := openSeeded(t)
+	for _, sql := range []string{
+		"SELECT id FROM p OFFSET",
+		"SELECT id FROM p OFFSET x",
+		"SELECT id FROM p LIMIT 2 OFFSET -1",
+	} {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("%s: accepted, want parse error", sql)
+		}
+	}
+}

@@ -321,6 +321,17 @@ func (p *parser) selectStatement() (any, error) {
 		st.Limit = n
 		p.advance()
 	}
+	if p.acceptKeyword("OFFSET") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected OFFSET count, got %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad OFFSET %q", p.cur().text)
+		}
+		st.Offset = n
+		p.advance()
+	}
 	return st, nil
 }
 

@@ -134,6 +134,10 @@ type ScatterPlan struct {
 	Order []ScatterOrder
 	// Limit is the global row limit (-1 none), re-applied after merge.
 	Limit int
+	// Offset is the global row offset (0 none). Shards run with OFFSET
+	// stripped (folded into their LIMIT) and the coordinator skips the
+	// first Offset surviving rows exactly once, after the merge.
+	Offset int
 	// Distinct asks the coordinator to dedupe visible columns after the
 	// merge sort.
 	Distinct bool
@@ -166,6 +170,7 @@ func PlanScatter(sql string) (*ScatterPlan, error) {
 	}
 	plan := &ScatterPlan{
 		Limit:    sel.Limit,
+		Offset:   sel.Offset,
 		Distinct: sel.Distinct,
 		Grouped:  len(sel.GroupBy) > 0,
 		HasAgg:   hasAgg,
@@ -236,6 +241,12 @@ func planGrouped(plan *ScatterPlan, sel *selectStmt) {
 	out := *sel
 	out.Items = shardItems
 	out.OrderBy = nil // engine ignores ORDER BY on grouped queries
+	// OFFSET is applied once at the coordinator: each shard must return
+	// limit+offset groups so the globally surviving window is covered.
+	out.Offset = 0
+	if out.Limit >= 0 {
+		out.Limit += sel.Offset
+	}
 	plan.ShardSQL = serializeSelect(&out)
 }
 
@@ -249,6 +260,8 @@ func planAggregate(plan *ScatterPlan, sel *selectStmt) {
 	out.Items = shardItems
 	out.OrderBy = nil
 	out.Limit = -1 // the engine returns the single row regardless of LIMIT
+	out.Offset = 0
+	plan.Offset = 0 // the single-row aggregate ignores OFFSET, like LIMIT
 	plan.ShardSQL = serializeSelect(&out)
 }
 
@@ -293,6 +306,13 @@ func planPlain(plan *ScatterPlan, sel *selectStmt, hasStar bool) {
 	// rows that later collapse into one distinct projection.
 	if sel.Distinct && appended > 0 {
 		out.Limit = -1
+	}
+	// OFFSET cannot be pushed down (each shard holds an unknown share of
+	// the skipped prefix); fold it into the per-shard LIMIT instead so the
+	// top-(limit+offset) window survives on every shard.
+	out.Offset = 0
+	if out.Limit >= 0 {
+		out.Limit += sel.Offset
 	}
 	plan.ShardSQL = serializeSelect(&out)
 }
@@ -364,6 +384,10 @@ func serializeSelect(s *selectStmt) string {
 	if s.Limit >= 0 {
 		b.WriteString(" LIMIT ")
 		b.WriteString(strconv.Itoa(s.Limit))
+	}
+	if s.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(s.Offset))
 	}
 	return b.String()
 }

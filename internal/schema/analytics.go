@@ -1,0 +1,53 @@
+package schema
+
+// Analytics attachment. The knowledge store's read side splits into two
+// shapes: point lookups (LoadObject and friends, served by hash indexes)
+// and corpus-wide characterization (aggregates over every submission —
+// served, once enabled, by the columnar engine). Enabling analytics is a
+// pure attachment: no schema change, no data migration, and every query
+// keeps its exact row-engine semantics.
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/kdb"
+)
+
+// EnableAnalytics attaches a columnar analytics engine to the store's
+// database. Only embedded databases qualify — a remote or sharded
+// connection's analytics belong on the serving side. The returned store
+// exposes counters and column-level statistics; detach with
+// DisableAnalytics.
+func (s *Store) EnableAnalytics() (*colstore.Store, error) {
+	db, ok := s.DB.(*kdb.DB)
+	if !ok {
+		return nil, fmt.Errorf("schema: analytics requires an embedded database, not %T", s.DB)
+	}
+	return colstore.Attach(db), nil
+}
+
+// DisableAnalytics detaches a previously enabled columnar engine.
+func (s *Store) DisableAnalytics() {
+	if db, ok := s.DB.(*kdb.DB); ok {
+		db.SetColumnar(nil)
+	}
+}
+
+// OperationBaseline aggregates the stored population for one operation:
+// how many summaries exist and their mean bandwidth (MiB/s). This is the
+// cross-run baseline the anomaly layer compares fresh runs against; on an
+// analytics-enabled store it is a single columnar aggregate instead of a
+// full row scan.
+func (s *Store) OperationBaseline(op string) (n int64, meanMiBps float64, err error) {
+	row, err := s.DB.QueryRow(
+		"SELECT COUNT(mean_mib), AVG(mean_mib) FROM summaries WHERE operation = ?", op)
+	if err != nil {
+		return 0, 0, err
+	}
+	n = asInt(row[0])
+	if n == 0 {
+		return 0, 0, fmt.Errorf("schema: no %q summaries stored", op)
+	}
+	return n, asFloat(row[1]), nil
+}

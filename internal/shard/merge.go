@@ -80,6 +80,7 @@ func mergePlain(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
 	if plan.Distinct {
 		seen = map[string]bool{}
 	}
+	skipped := 0
 	for _, row := range rows {
 		proj := row[:visible]
 		if plan.Distinct {
@@ -89,13 +90,19 @@ func mergePlain(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
 			}
 			seen[k] = true
 		}
+		// OFFSET was stripped from the shard queries; skip the surviving
+		// prefix exactly once here, like the engine's projection loop.
+		if skipped < plan.Offset {
+			skipped++
+			continue
+		}
 		out = append(out, proj)
 		if plan.Limit >= 0 && len(out) >= plan.Limit {
 			break
 		}
 	}
-	if plan.Limit == 0 {
-		out = nil
+	if plan.Limit == 0 || len(out) == 0 {
+		out = nil // the engine's empty result is nil, not an empty slice
 	}
 	return kdb.NewRows(cols, out), nil
 }
@@ -236,7 +243,12 @@ func mergeGrouped(plan *kdb.ScatterPlan, parts []*kdb.Rows) (*kdb.Rows, error) {
 		return false
 	})
 	var rows [][]any
+	skipped := 0
 	for _, b := range order {
+		if skipped < plan.Offset {
+			skipped++
+			continue
+		}
 		row := make([]any, len(plan.Items))
 		for i, item := range plan.Items {
 			row[i] = b.accs[i].result(item)

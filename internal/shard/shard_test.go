@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"testing"
@@ -125,6 +126,18 @@ func TestScatterGatherEquivalence(t *testing.T) {
 		{sql: "SELECT region, MIN(id), MAX(lat) FROM ev WHERE lat < ? GROUP BY region", args: []any{5.0}},
 		{sql: "SELECT region AS r, COUNT(*) AS n FROM ev GROUP BY region ORDER BY region"},
 		{sql: "SELECT COUNT(*) FROM ev WHERE region LIKE ?", args: []any{"e%"}},
+		// OFFSET regression: shards must fetch limit+offset and the
+		// coordinator must skip the prefix exactly once after the merge.
+		{sql: "SELECT id, region FROM ev ORDER BY id LIMIT 7 OFFSET 3"},
+		{sql: "SELECT id, lat FROM ev ORDER BY lat DESC, id LIMIT 5 OFFSET 5"},
+		{sql: "SELECT id FROM ev ORDER BY id OFFSET 50"},
+		{sql: "SELECT id FROM ev ORDER BY id LIMIT 4 OFFSET 100"},
+		{sql: "SELECT id FROM ev ORDER BY id LIMIT 0 OFFSET 2"},
+		{sql: "SELECT DISTINCT region FROM ev ORDER BY region LIMIT 2 OFFSET 1"},
+		{sql: "SELECT DISTINCT runid, region FROM ev ORDER BY runid, region LIMIT 6 OFFSET 4"},
+		{sql: "SELECT region, COUNT(*), AVG(lat) FROM ev GROUP BY region LIMIT 2 OFFSET 1"},
+		{sql: "SELECT region, runid, SUM(lat) FROM ev GROUP BY region, runid OFFSET 5"},
+		{sql: "SELECT COUNT(*), AVG(lat) FROM ev LIMIT 3 OFFSET 9"},
 	}
 	for _, q := range queries {
 		cl.check(t, q.sql, q.args...)
@@ -135,6 +148,44 @@ func TestScatterGatherEquivalence(t *testing.T) {
 	cl.exec(t, "DELETE FROM ev WHERE lat > ?", 6.5)
 	cl.check(t, "SELECT * FROM ev ORDER BY id")
 	cl.check(t, "SELECT region, COUNT(*), SUM(lat) FROM ev GROUP BY region")
+}
+
+// TestMergeAVGAllNullGroups pins the AVG recomposition contract: when every
+// shard reports COUNT=0 for a group (all-NULL column, or a WHERE that
+// matches nothing anywhere), the merged SUM/COUNT division must yield NULL —
+// never 0/0 → NaN — exactly as a single node does.
+func TestMergeAVGAllNullGroups(t *testing.T) {
+	cl := newCluster(t, 3)
+	cl.exec(t, "CREATE TABLE m (id INTEGER PRIMARY KEY, grp TEXT, v REAL)")
+	for i := 1; i <= 12; i++ {
+		var v any
+		if i%2 == 0 {
+			v = float64(i) * 0.5
+		}
+		grp := "mixed"
+		if i%3 == 0 {
+			grp, v = "allnull", nil
+		}
+		cl.exec(t, "INSERT INTO m (id, grp, v) VALUES (?, ?, ?)", int64(i), grp, v)
+	}
+	for _, q := range []string{
+		"SELECT grp, AVG(v), SUM(v), COUNT(v) FROM m GROUP BY grp",
+		"SELECT AVG(v) FROM m WHERE grp = 'allnull'",
+		"SELECT AVG(v) FROM m WHERE grp = 'ghost'",
+	} {
+		cl.check(t, q)
+		rows, err := cl.coord.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows.All() {
+			for i, v := range row {
+				if f, ok := v.(float64); ok && math.IsNaN(f) {
+					t.Errorf("%s: column %d is NaN, want NULL", q, i)
+				}
+			}
+		}
+	}
 }
 
 func TestBroadcastMutationCounts(t *testing.T) {

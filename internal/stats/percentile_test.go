@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPercentileConvention locks the interpolation convention (numpy
+// default: linear between closest ranks at p/100·(n-1)) that Summarize,
+// BoxPlot, and the columnar percentile operator all share.
+func TestPercentileConvention(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"single element, p=0", []float64{7.5}, 0, 7.5},
+		{"single element, p=50", []float64{7.5}, 50, 7.5},
+		{"single element, p=100", []float64{7.5}, 100, 7.5},
+		{"p=0 is the minimum", []float64{3, 1, 2}, 0, 1},
+		{"p=100 is the maximum", []float64{3, 1, 2}, 100, 3},
+		{"exact rank", []float64{1, 2, 3, 4, 5}, 50, 3},
+		{"interpolated quartile", []float64{1, 2, 3, 4}, 25, 1.75},
+		{"interpolated median", []float64{1, 2, 3, 4}, 50, 2.5},
+		{"all duplicates", []float64{2, 2, 2, 2}, 50, 2},
+		{"all duplicates, p=90", []float64{2, 2, 2, 2}, 90, 2},
+		{"duplicate-heavy", []float64{1, 2, 2, 2, 2, 2, 9}, 50, 2},
+		{"duplicate-heavy tail", []float64{1, 2, 2, 2, 2, 2, 9}, 100, 9},
+		{"unsorted input", []float64{9, 1, 5}, 50, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(c.xs, c.p)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	xs := []float64{9, 1, 5}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+// TestPercentileRange pins the error contract: out-of-range p — including
+// NaN, which silently bypassed both range comparisons before — errors
+// instead of clamping or indexing with an undefined conversion.
+func TestPercentileRange(t *testing.T) {
+	for _, p := range []float64{-0.001, -1, 100.001, 200, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Percentile([]float64{1, 2, 3}, p); err == nil {
+			t.Errorf("Percentile(_, %v): no error, want out-of-range", p)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Percentile(nil, 50) err = %v, want ErrEmpty", err)
+	}
+	// In-range boundaries stay accepted.
+	for _, p := range []float64{0, 100} {
+		if _, err := Percentile([]float64{1, 2, 3}, p); err != nil {
+			t.Errorf("Percentile(_, %v): unexpected error %v", p, err)
+		}
+	}
+}
+
+// TestPercentileAgreesWithSummarizeAndBoxPlot: the three consumers of the
+// convention must report identical order statistics for the same sample,
+// including duplicate-heavy and single-element inputs.
+func TestPercentileAgreesWithSummarizeAndBoxPlot(t *testing.T) {
+	samples := [][]float64{
+		{4.2},
+		{1, 1, 1, 1, 1},
+		{5, 3, 3, 3, 8, 8, 2, 2, 2, 2},
+		{0.5, 1.5, 2.5, 3.5, 4.5, 5.5},
+	}
+	for _, xs := range samples {
+		med, err := Percentile(xs, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q1, _ := Percentile(xs, 25)
+		q3, _ := Percentile(xs, 75)
+		sum, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Median != med {
+			t.Errorf("%v: Summarize median %v != Percentile(50) %v", xs, sum.Median, med)
+		}
+		box, err := BoxPlot(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if box.Median != med || box.Q1 != q1 || box.Q3 != q3 {
+			t.Errorf("%v: BoxPlot (%v,%v,%v) != Percentile (%v,%v,%v)",
+				xs, box.Q1, box.Median, box.Q3, q1, med, q3)
+		}
+	}
+}

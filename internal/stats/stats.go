@@ -109,7 +109,10 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 || p > 100 {
+	// NaN fails both range comparisons, so test it explicitly: without
+	// this it would flow into the rank arithmetic and index with an
+	// undefined float→int conversion instead of erroring.
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, errors.New("stats: percentile out of [0,100]")
 	}
 	s := append([]float64(nil), xs...)

@@ -263,14 +263,24 @@ func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// Observe records one value.
+// Observe records one value. Buckets follow the Prometheus le (less than
+// or equal) convention: a value exactly equal to a bucket's upper bound
+// lands in that bucket, deterministically — bucket i holds
+// bounds[i-1] < v <= bounds[i]. NaN observations count toward the +Inf
+// overflow bucket (they fit no finite bound), never a finite one.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || h.reg.disabled.Load() {
 		return
 	}
 	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
+	if math.IsNaN(v) {
+		// NaN fails every v > bound comparison, which would silently file
+		// it under the smallest bucket; route it to +Inf instead.
+		i = len(h.bounds)
+	} else {
+		for i < len(h.bounds) && v > h.bounds[i] {
+			i++
+		}
 	}
 	h.counts[i].Add(1)
 	h.count.Add(1)

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -101,7 +102,11 @@ func TestPromExposition(t *testing.T) {
 	r.Counter(Label("reqs_total", "path", "/a")).Add(3)
 	r.Counter(Label("reqs_total", "path", "/b")).Add(1)
 	r.Gauge("workers").Set(4)
-	r.HistogramBuckets(Label("lat_seconds", "path", "/a"), []float64{0.1, 1}).Observe(0.05)
+	h := r.HistogramBuckets(Label("lat_seconds", "path", "/a"), []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(1) // exactly on a bound: le-inclusive, lands in the le="1" bucket
+	nan := r.HistogramBuckets("odd_seconds", []float64{0.1, 1})
+	nan.Observe(math.NaN()) // NaN counts toward +Inf only
 
 	out := r.Prom()
 	for _, want := range []string{
@@ -112,9 +117,14 @@ func TestPromExposition(t *testing.T) {
 		"workers 4",
 		"# TYPE lat_seconds histogram",
 		`lat_seconds_bucket{path="/a",le="0.1"} 1`,
-		`lat_seconds_bucket{path="/a",le="+Inf"} 1`,
-		`lat_seconds_sum{path="/a"} 0.05`,
-		`lat_seconds_count{path="/a"} 1`,
+		`lat_seconds_bucket{path="/a",le="1"} 2`,
+		`lat_seconds_bucket{path="/a",le="+Inf"} 2`,
+		`lat_seconds_sum{path="/a"} 1.05`,
+		`lat_seconds_count{path="/a"} 2`,
+		`odd_seconds_bucket{le="0.1"} 0`,
+		`odd_seconds_bucket{le="1"} 0`,
+		`odd_seconds_bucket{le="+Inf"} 1`,
+		`odd_seconds_count 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
@@ -286,6 +296,46 @@ func TestHandlersAndMiddleware(t *testing.T) {
 	}
 	if got := r.Histogram(Label("http_request_seconds", "path", "/knowledge")).Count(); got != 1 {
 		t.Fatalf("middleware histogram count = %d", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-than-or-equal) bucket
+// convention: a value exactly equal to an exponential bucket's upper bound
+// lands in that bucket, not the next one, and NaN lands in +Inf — both
+// deterministic and documented on Observe.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := ExponentialBuckets(1, 2, 4) // 1, 2, 4, 8
+	r := NewRegistry()
+	h := r.HistogramBuckets("b", bounds)
+	cases := []struct {
+		v      float64
+		bucket int // index into the non-cumulative counts
+	}{
+		{0.5, 0}, // below the first bound
+		{1, 0},   // exactly the first bound: le-inclusive
+		{2, 1},   // exactly an interior bound
+		{2.1, 2},
+		{8, 3},            // exactly the last finite bound
+		{8.0001, 4},       // just over: overflow bucket
+		{math.NaN(), 4},   // NaN: overflow bucket, never a finite one
+		{math.Inf(1), 4},  // +Inf: overflow bucket
+		{math.Inf(-1), 0}, // -Inf: first bucket
+	}
+	want := make([]int64, len(bounds)+1)
+	for _, c := range cases {
+		h.Observe(c.v)
+		want[c.bucket]++
+	}
+	snap := r.Snapshot().Histograms["b"]
+	var cum int64
+	for i := range want {
+		cum += want[i]
+		if snap.Cumulative[i] != cum {
+			t.Errorf("cumulative[%d] = %d, want %d", i, snap.Cumulative[i], cum)
+		}
+	}
+	if snap.Count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", snap.Count, len(cases))
 	}
 }
 

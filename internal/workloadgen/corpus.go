@@ -1,0 +1,136 @@
+package workloadgen
+
+// Synthetic IO500 corpus generation — the Treasure-Trove scale scenario.
+// The paper's knowledge cycle is meant to absorb community-scale result
+// lists (thousands of submissions), and the analytics layer is sized
+// against exactly that: ~35 knowledge-store rows per submission means a
+// thirty-thousand-submission corpus crosses a million rows. The corpus is
+// fully deterministic in (n, seed) — fixed epoch, per-submission derived
+// seeds — so experiments and benchmarks regenerate identical data.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/io500"
+	"repro/internal/knowledge"
+	"repro/internal/rng"
+)
+
+// corpusEpoch anchors synthetic submission timestamps. A constant, not
+// the wall clock: the corpus for a given (n, seed) never changes.
+var corpusEpoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// corpusTier is a storage-system archetype the generator samples from:
+// the spread of real submission lists comes far more from system scale
+// than from run-to-run noise.
+type corpusTier struct {
+	name  string
+	fs    string
+	bw    float64 // ior-easy-write scale, GiB/s
+	md    float64 // mdtest-easy-write scale, kIOPS
+	nodes int
+}
+
+var corpusTiers = []corpusTier{
+	{name: "campus", fs: "nfs", bw: 2.5, md: 18, nodes: 4},
+	{name: "midrange", fs: "beegfs", bw: 28, md: 120, nodes: 16},
+	{name: "capacity", fs: "lustre", bw: 110, md: 310, nodes: 64},
+	{name: "flagship", fs: "lustre", bw: 620, md: 1400, nodes: 512},
+	{name: "allflash", fs: "daos", bw: 980, md: 4200, nodes: 128},
+}
+
+// phaseScale relates each scored phase to its tier anchor: bandwidth
+// phases to bw (easy write = 1), metadata phases to md (easy write = 1).
+var phaseScale = map[string]float64{
+	io500.IorEasyWrite:     1.0,
+	io500.IorHardWrite:     0.11,
+	io500.IorEasyRead:      1.2,
+	io500.IorHardRead:      0.18,
+	io500.MdtestEasyWrite:  1.0,
+	io500.MdtestHardWrite:  0.35,
+	io500.Find:             3.5,
+	io500.MdtestEasyStat:   2.2,
+	io500.MdtestHardStat:   1.6,
+	io500.MdtestEasyDelete: 0.8,
+	io500.MdtestHardRead:   1.1,
+	io500.MdtestHardDelete: 0.5,
+}
+
+// SynthesizeIO500Corpus generates n synthetic IO500 submissions. Each
+// submission gets its own rng.Derive stream, so the i-th submission is
+// identical regardless of n or generation order.
+func SynthesizeIO500Corpus(n int, seed uint64) ([]*knowledge.IO500Object, error) {
+	out := make([]*knowledge.IO500Object, 0, n)
+	for i := 0; i < n; i++ {
+		o, err := synthesizeSubmission(i, rng.New(rng.Derive(seed, uint64(i))))
+		if err != nil {
+			return nil, fmt.Errorf("workloadgen: submission %d: %w", i, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func synthesizeSubmission(i int, r *rng.Source) (*knowledge.IO500Object, error) {
+	tier := corpusTiers[r.Intn(len(corpusTiers))]
+	// System-level luck: one multiplier for the whole submission (a slow
+	// interconnect drags every phase), plus per-phase noise.
+	sysFactor := r.LogNormal(0, 0.35)
+	results := make([]io500.PhaseResult, 0, len(io500.ScheduleOrder))
+	total := 0.0
+	for _, phase := range io500.ScheduleOrder {
+		anchor := tier.md
+		if contains(io500.BandwidthPhases, phase) {
+			anchor = tier.bw
+		}
+		v := anchor * phaseScale[phase] * sysFactor * r.LogNormal(0, 0.18)
+		secs := r.Range(300, 420)
+		total += secs
+		results = append(results, io500.PhaseResult{Phase: phase, Value: v, Seconds: secs})
+	}
+	scores, err := io500.ComputeScores(results)
+	if err != nil {
+		return nil, err
+	}
+	began := corpusEpoch.Add(time.Duration(i) * 97 * time.Minute)
+	o := &knowledge.IO500Object{
+		Command:    fmt.Sprintf("./io500.sh config-%s.ini", tier.name),
+		Began:      began,
+		Finished:   began.Add(time.Duration(total * float64(time.Second))),
+		ScoreBW:    scores.BandwidthGiBps,
+		ScoreMD:    scores.IOPSk,
+		ScoreTotal: scores.Total,
+		Options: map[string]string{
+			"version":       io500.Version,
+			"filesystem":    tier.fs,
+			"api":           []string{"POSIX", "MPIIO"}[r.Intn(2)],
+			"nodes":         fmt.Sprintf("%d", tier.nodes),
+			"ppn":           fmt.Sprintf("%d", 8*(1+r.Intn(4))),
+			"transferSize":  fmt.Sprintf("%d", io500.HardTransfer),
+			"blockSize":     fmt.Sprintf("%dm", 16*(1+r.Intn(8))),
+			"stonewallTime": "300",
+		},
+		System: &knowledge.SystemInfo{
+			Hostname:     fmt.Sprintf("%s-%04d", tier.name, i),
+			Architecture: "x86_64",
+			CPUModel:     "synthetic",
+			Cores:        tier.nodes * 64,
+			CPUMHz:       2400,
+			MemTotalKB:   int64(tier.nodes) * 256 * 1024 * 1024,
+		},
+	}
+	for _, pr := range results {
+		unit := "kIOPS"
+		if contains(io500.BandwidthPhases, pr.Phase) {
+			unit = "GiB/s"
+		}
+		o.TestCases = append(o.TestCases, knowledge.TestCase{
+			Name: pr.Phase, Value: pr.Value, Unit: unit, Seconds: pr.Seconds,
+		})
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -1,0 +1,71 @@
+package workloadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/io500"
+)
+
+func TestSynthesizeIO500CorpusDeterministic(t *testing.T) {
+	a, err := SynthesizeIO500Corpus(50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthesizeIO500Corpus(50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (n, seed) must synthesize an identical corpus")
+	}
+	// Prefix stability: submission i does not depend on n.
+	c, err := SynthesizeIO500Corpus(10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a[:10], c) {
+		t.Fatal("corpus prefix must not depend on corpus size")
+	}
+	d, err := SynthesizeIO500Corpus(10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(c, d) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSynthesizeIO500CorpusShape(t *testing.T) {
+	objs, err := SynthesizeIO500Corpus(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[string]bool{}
+	for i, o := range objs {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("submission %d invalid: %v", i, err)
+		}
+		if len(o.TestCases) != len(io500.ScheduleOrder) {
+			t.Fatalf("submission %d has %d testcases, want %d", i, len(o.TestCases), len(io500.ScheduleOrder))
+		}
+		for j, tc := range o.TestCases {
+			if tc.Name != io500.ScheduleOrder[j] {
+				t.Fatalf("submission %d testcase %d = %q, want schedule order %q", i, j, tc.Name, io500.ScheduleOrder[j])
+			}
+			if tc.Value <= 0 || tc.Seconds <= 0 {
+				t.Fatalf("submission %d %s: non-positive value/seconds", i, tc.Name)
+			}
+		}
+		if o.ScoreBW <= 0 || o.ScoreMD <= 0 || o.ScoreTotal <= 0 {
+			t.Fatalf("submission %d has non-positive scores: %+v", i, o)
+		}
+		if !o.Finished.After(o.Began) {
+			t.Fatalf("submission %d: finished before began", i)
+		}
+		tiers[o.Options["filesystem"]] = true
+	}
+	if len(tiers) < 3 {
+		t.Fatalf("corpus drew only %d system tiers; want variety", len(tiers))
+	}
+}
