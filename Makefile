@@ -28,9 +28,10 @@ tier1:
 # concurrent analytic reads racing writers and lazy rebuilds, repl's
 # follower/router chaos scenarios, shard's scatter-gather coordinator,
 # schema's batched saves, the campaign scheduler's worker pool, core's
-# shared-store cycle runs, and telemetry's lock-free metric registry.
+# shared-store cycle runs, telemetry's lock-free metric registry, and
+# vcs's commit/checkout/merge paths racing store writers.
 race:
-	$(GO) test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
+	$(GO) test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/... ./internal/vcs/...
 
 test: tier1
 

@@ -63,6 +63,7 @@ import (
 	"repro/internal/slurm"
 	"repro/internal/telemetry"
 	"repro/internal/units"
+	"repro/internal/vcs"
 )
 
 func main() {
@@ -72,7 +73,7 @@ func main() {
 	}
 }
 
-const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|analytics|recommend|configure|causes|tune|serve|servedb} [flags]"
+const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|analytics|recommend|configure|causes|tune|log|diff|branch|merge|serve|servedb} [flags]"
 
 func run(args []string) error {
 	if len(args) == 0 {
@@ -108,6 +109,14 @@ func run(args []string) error {
 		return cmdCauses(rest)
 	case "tune":
 		return cmdTune(rest)
+	case "log":
+		return cmdLog(rest)
+	case "diff":
+		return cmdVCSDiff(rest)
+	case "branch":
+		return cmdBranch(rest)
+	case "merge":
+		return cmdMerge(rest)
 	case "serve":
 		return cmdServe(rest)
 	case "servedb":
@@ -264,6 +273,7 @@ func cmdCampaign(args []string) error {
 	config := fs.String("config", "", "JUBE XML configuration to expand into units")
 	traceOut := fs.String("trace", "", "write the campaign's span tree to this JSON file")
 	selfObserve := fs.Bool("self-observe", true, "persist the campaign's own phase timings as a knowledge object")
+	branch := fs.String("branch", "", "run on this knowledge branch and commit the results (embedded databases only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -301,6 +311,16 @@ func cmdCampaign(args []string) error {
 		return err
 	}
 	defer store.Close()
+	var repo *vcs.Repo
+	if *branch != "" {
+		repo, err = store.EnableVersioning()
+		if err != nil {
+			return err
+		}
+		if err := repo.Switch(*branch); err != nil {
+			return err
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	root := telemetry.StartSpan("iokc campaign")
@@ -320,6 +340,18 @@ func cmdCampaign(args []string) error {
 			res.OK, res.Failed, res.Cancelled, len(res.ObjectIDs), len(res.IO500IDs))
 		if res.TelemetryID != 0 {
 			fmt.Printf("self-observation: phase timings stored as knowledge object #%d\n", res.TelemetryID)
+		}
+		if repo != nil && runErr == nil {
+			hash, created, err := repo.Commit(*branch, "iokc",
+				fmt.Sprintf("campaign %q", res.Name), res.CampaignID)
+			switch {
+			case err != nil:
+				runErr = fmt.Errorf("campaign succeeded but commit on %q failed: %w", *branch, err)
+			case created:
+				fmt.Printf("committed on branch %s: %s\n", *branch, hash[:12])
+			default:
+				fmt.Printf("branch %s unchanged (commit %s)\n", *branch, hash[:12])
+			}
 		}
 		for _, r := range res.Runs {
 			if r.Status == "failed" {
@@ -1007,6 +1039,11 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer store.Close()
+	// Versioning is served when the store is embedded; remote/sharded
+	// stores version on their serving side.
+	if _, err := store.EnableVersioning(); err == nil {
+		fmt.Println("versioned knowledge enabled (/history)")
+	}
 	srv := explorer.New(store)
 	srv.Health = health
 	if *pprofOn {

@@ -1,0 +1,211 @@
+package main
+
+// Version-control subcommands: iokc log, diff, branch, merge. They
+// operate on an embedded knowledge database (versioning lives where the
+// data lives; on a served store, run them on the serving host).
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/vcs"
+)
+
+func openRepo(db string) (*schema.Store, *vcs.Repo, error) {
+	store, err := schema.Open(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	repo, err := store.EnableVersioning()
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return store, repo, nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+func cmdLog(args []string) error {
+	fs := flag.NewFlagSet("log", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	ref := fs.String("ref", "main", "branch or commit to log from")
+	limit := fs.Int("limit", 20, "maximum commits to show (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, repo, err := openRepo(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	commits, err := repo.Log(*ref, *limit)
+	if err != nil {
+		return err
+	}
+	for _, c := range commits {
+		line := fmt.Sprintf("%s  %s", shortHash(c.Hash), c.Message)
+		if c.Author != "" {
+			line += fmt.Sprintf("  (%s", c.Author)
+			if c.Created != "" {
+				line += ", " + c.Created
+			}
+			line += ")"
+		}
+		if len(c.Parents) > 1 {
+			line += fmt.Sprintf("  [merge of %d parents]", len(c.Parents))
+		}
+		if c.CampaignID != 0 {
+			line += fmt.Sprintf("  campaign #%d", c.CampaignID)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func cmdVCSDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	from := fs.String("from", "main", "base ref (branch, commit, or WORKING)")
+	to := fs.String("to", "WORKING", "target ref (branch, commit, or WORKING)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, repo, err := openRepo(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	changes, err := repo.Diff(*from, *to)
+	if err != nil {
+		return err
+	}
+	if len(changes) == 0 {
+		fmt.Printf("no differences between %s and %s\n", *from, *to)
+		return nil
+	}
+	for _, c := range changes {
+		switch c.Kind {
+		case "add":
+			fmt.Printf("+ %s pk=%v %s\n", c.Table, c.PK, renderRow(c.Row))
+		case "delete":
+			fmt.Printf("- %s pk=%v %s\n", c.Table, c.PK, renderRow(c.Row))
+		case "modify":
+			for _, cc := range c.Cols {
+				fmt.Printf("~ %s pk=%v %s: %s -> %s\n",
+					c.Table, c.PK, cc.Column, vcs.FormatValue(cc.Old), vcs.FormatValue(cc.New))
+			}
+		default:
+			fmt.Printf("! %s schema changed\n", c.Table)
+		}
+	}
+	return nil
+}
+
+func renderRow(row []any) string {
+	out := "("
+	for i, v := range row {
+		if i > 0 {
+			out += ", "
+		}
+		out += vcs.FormatValue(v)
+	}
+	return out + ")"
+}
+
+func cmdBranch(args []string) error {
+	fs := flag.NewFlagSet("branch", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	from := fs.String("from", "", "base ref for a new branch (default: commit the working state)")
+	checkout := fs.String("checkout", "", "check out this ref instead of creating a branch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, repo, err := openRepo(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if *checkout != "" {
+		if err := repo.Checkout(*checkout); err != nil {
+			return err
+		}
+		fmt.Printf("checked out %s\n", *checkout)
+		return nil
+	}
+	if fs.NArg() == 0 {
+		branches, err := repo.Branches()
+		if err != nil {
+			return err
+		}
+		if len(branches) == 0 {
+			fmt.Println("no branches (run a campaign with --branch, or: iokc branch NAME)")
+			return nil
+		}
+		for _, b := range branches {
+			fmt.Printf("%s  %s\n", shortHash(b.Head), b.Name)
+		}
+		return nil
+	}
+	name := fs.Arg(0)
+	if err := repo.Branch(name, *from); err != nil {
+		return err
+	}
+	head, err := repo.Head(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("branch %s at %s\n", name, shortHash(head))
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	db := fs.String("db", "knowledge.db", "knowledge database")
+	ours := fs.String("into", "main", "branch to merge into (its head must match the working state)")
+	author := fs.String("author", "iokc", "merge commit author")
+	message := fs.String("message", "", "merge commit message")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("merge: need the branch to merge, e.g.: iokc merge --into main tuning")
+	}
+	theirs := fs.Arg(0)
+	store, repo, err := openRepo(*db)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	msg := *message
+	if msg == "" {
+		msg = fmt.Sprintf("merge %s into %s", theirs, *ours)
+	}
+	res, err := repo.Merge(*ours, theirs, *author, msg)
+	if err != nil {
+		return err
+	}
+	if len(res.Conflicts) > 0 {
+		fmt.Printf("merge of %s into %s has %d conflict(s):\n", theirs, *ours, len(res.Conflicts))
+		for _, c := range res.Conflicts {
+			fmt.Printf("  %s: %s pk=%v col=%s (base=%s ours=%s theirs=%s)\n",
+				c.Kind, c.Table, c.PK, c.Column,
+				vcs.FormatValue(c.Base), vcs.FormatValue(c.Ours), vcs.FormatValue(c.Theirs))
+		}
+		fmt.Println("inspect with: SELECT * FROM __conflicts")
+		return fmt.Errorf("merge: %d conflict(s), nothing applied", len(res.Conflicts))
+	}
+	switch {
+	case res.FastForward:
+		fmt.Printf("fast-forwarded %s to %s (%d row change(s))\n", *ours, shortHash(res.Commit), res.Changes)
+	default:
+		fmt.Printf("merged %s into %s: commit %s (%d row change(s))\n", theirs, *ours, shortHash(res.Commit), res.Changes)
+	}
+	return nil
+}

@@ -63,6 +63,7 @@ func New(store *schema.Store) *Server {
 		{"/heatmap", s.handleHeatmap},
 		{"/campaigns", s.handleCampaigns},
 		{"/campaign", s.handleCampaign},
+		{"/history", s.handleHistory},
 		{"/healthz", s.handleHealthz},
 	}
 	known := make([]string, 0, len(routes)+2)
@@ -105,7 +106,7 @@ code { background: #f4f4f4; padding: 1px 4px; }
 form.inline * { margin-right: 6px; }
 </style></head>
 <body>
-<nav><a href="/">Knowledge</a><a href="/compare">Compare</a><a href="/heatmap">Heat map</a><a href="/io500/bbox">Bounding box</a><a href="/campaigns">Campaigns</a><a href="/upload">Upload</a></nav>
+<nav><a href="/">Knowledge</a><a href="/compare">Compare</a><a href="/heatmap">Heat map</a><a href="/io500/bbox">Bounding box</a><a href="/campaigns">Campaigns</a><a href="/history">History</a><a href="/upload">Upload</a></nav>
 <h1>{{.Title}}</h1>
 {{.Body}}
 </body></html>`

@@ -1,0 +1,116 @@
+package explorer
+
+// The /history page: the version store's commit log, branch heads, and
+// an on-demand diff between two refs. Everything here is plain SQL over
+// the __log/__branches/__diff system tables, so the page works against
+// any store with versioning enabled and degrades to a hint when it is
+// not.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+)
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	branches, err := s.Store.DB.Query("SELECT name, head FROM __branches")
+	if err != nil {
+		b.WriteString(`<p>versioned knowledge is not enabled on this store — serve an embedded database ` +
+			`and run campaigns with <code>iokc campaign --branch NAME</code></p>`)
+		s.render(w, "History", template.HTML(b.String()))
+		return
+	}
+
+	b.WriteString("<h2>Branches</h2>")
+	if branches.Len() == 0 {
+		b.WriteString("<p>no branches yet — run <code>iokc campaign --branch NAME</code></p>")
+	} else {
+		b.WriteString("<table><tr><th>branch</th><th>head</th><th></th></tr>")
+		for branches.Next() {
+			row := branches.Row()
+			name, _ := row[0].(string)
+			head, _ := row[1].(string)
+			fmt.Fprintf(&b, `<tr><td>%s</td><td><code>%s</code></td>`+
+				`<td><a href="/history?from=%s&to=WORKING">diff vs working</a></td></tr>`,
+				esc(name), esc(short(head)), esc(name))
+		}
+		b.WriteString("</table>")
+	}
+
+	from := r.URL.Query().Get("from")
+	to := r.URL.Query().Get("to")
+	if from != "" && to != "" {
+		fmt.Fprintf(&b, "<h2>Diff %s → %s</h2>", esc(from), esc(to))
+		diff, err := s.Store.DB.Query(
+			"SELECT tbl, pk, kind, col, old_value, new_value FROM __diff WHERE from_ref = ? AND to_ref = ?",
+			from, to)
+		if err != nil {
+			fmt.Fprintf(&b, `<p class="err">%s</p>`, esc(err.Error()))
+		} else if diff.Len() == 0 {
+			b.WriteString("<p>no differences</p>")
+		} else {
+			b.WriteString("<table><tr><th>table</th><th>pk</th><th>kind</th><th>column</th><th>old</th><th>new</th></tr>")
+			for diff.Next() {
+				row := diff.Row()
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+					esc(asText(row[0])), esc(asText(row[1])), esc(asText(row[2])),
+					esc(asText(row[3])), esc(asText(row[4])), esc(asText(row[5])))
+			}
+			b.WriteString("</table>")
+		}
+	}
+
+	b.WriteString("<h2>Commits</h2>")
+	log, err := s.Store.DB.Query(
+		"SELECT hash, parents, author, message, campaign_id, created FROM __log")
+	if err != nil {
+		fmt.Fprintf(&b, `<p class="err">%s</p>`, esc(err.Error()))
+	} else if log.Len() == 0 {
+		b.WriteString("<p>no commits yet</p>")
+	} else {
+		b.WriteString("<table><tr><th>commit</th><th>author</th><th>message</th><th>campaign</th><th>created</th><th></th></tr>")
+		for log.Next() {
+			row := log.Row()
+			hash, _ := row[0].(string)
+			parents, _ := row[1].(string)
+			campaign := ""
+			if id, ok := row[4].(int64); ok && id != 0 {
+				campaign = fmt.Sprintf(`<a href="/campaign?id=%d">#%d</a>`, id, id)
+			}
+			diffLink := ""
+			if parent := strings.Split(parents, ",")[0]; parent != "" {
+				diffLink = fmt.Sprintf(`<a href="/history?from=%s&to=%s">diff parent</a>`, parent, hash)
+			}
+			tag := ""
+			if strings.Count(parents, ",") >= 1 {
+				tag = " <b>[merge]</b>"
+			}
+			fmt.Fprintf(&b, "<tr><td><code>%s</code>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+				esc(short(hash)), tag, esc(asText(row[2])), esc(asText(row[3])), campaign, esc(asText(row[5])), diffLink)
+		}
+		b.WriteString("</table>")
+	}
+
+	s.render(w, "History", template.HTML(b.String()))
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+func asText(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}

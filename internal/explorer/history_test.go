@@ -1,0 +1,63 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestHistoryPage(t *testing.T) {
+	st := seedCampaign(t)
+	repo, err := st.EnableVersioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _, err := repo.Commit("main", "explorer", "baseline", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.DB.Exec("UPDATE campaigns SET name = ? WHERE id = ?", "renamed", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := repo.Commit("main", "explorer", "tuning round", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(st)
+	code, body := get(t, srv, "/history")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, want := range []string{"main", c1[:12], c2[:12], "baseline", "tuning round", "diff parent"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("history page missing %q", want)
+		}
+	}
+
+	code, body = get(t, srv, "/history?from="+c1+"&to="+c2)
+	if code != 200 {
+		t.Fatalf("diff code = %d", code)
+	}
+	for _, want := range []string{"modify", "renamed", "explorer-sweep"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("history diff missing %q", want)
+		}
+	}
+}
+
+func TestHistoryPageWithoutVersioning(t *testing.T) {
+	st, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	code, body := get(t, New(st), "/history")
+	if code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "not enabled") {
+		t.Errorf("missing the versioning hint: %s", body)
+	}
+}

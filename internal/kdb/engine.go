@@ -88,6 +88,10 @@ type DB struct {
 	// row engine runs. Stored via atomic pointer so Query never takes a
 	// lock just to discover no backend is attached.
 	columnar atomic.Pointer[columnarHook]
+
+	// system, when set, serves virtual "__"-prefixed tables (commit log,
+	// diffs) — see SetSystemTables.
+	system atomic.Pointer[systemHook]
 }
 
 // Result reports the outcome of a mutation.
@@ -399,6 +403,16 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	sel, ok := stmt.(*selectStmt)
 	if !ok {
 		return nil, fmt.Errorf("kdb: Query requires SELECT")
+	}
+	// Virtual system tables ("__log", "__diff", ...) are materialized by an
+	// attached provider, then run through the regular row engine so every
+	// SELECT feature works on them. Like the columnar hook, this happens
+	// before the read lock: the provider re-enters the database through its
+	// public query surface.
+	if strings.HasPrefix(sel.Table, "__") {
+		if rows, served, err := db.querySystem(sel, args); served {
+			return rows, err
+		}
 	}
 	// Analytical SELECTs (aggregates / GROUP BY over a single table) may be
 	// served by an attached columnar backend. The hook runs before the read

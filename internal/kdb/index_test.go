@@ -1,7 +1,9 @@
 package kdb
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -411,7 +413,12 @@ func TestPlanCache(t *testing.T) {
 }
 
 // TestConcurrentExecQueryCompact hammers one file-backed database with
-// parallel mutations, indexed reads, and compactions; run with -race.
+// parallel mutations, indexed reads, compactions, and snapshot streaming;
+// run with -race. Compact holds the writer lock for the whole
+// temp-write/rename/swap sequence and WriteSnapshot serializes against it
+// under the read lock, so a snapshot taken mid-compaction is always a
+// consistent point-in-time state — the streaming goroutine checks that by
+// parsing every stream it takes.
 func TestConcurrentExecQueryCompact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "k.db")
 	db, err := Open(path)
@@ -464,6 +471,26 @@ func TestConcurrentExecQueryCompact(t *testing.T) {
 				return
 			}
 			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if _, err := db.WriteSnapshot(&buf); err != nil {
+				errs <- fmt.Errorf("snapshot %d: %w", i, err)
+				return
+			}
+			tables, err := ParseSnapshotTables(buf.Bytes())
+			if err != nil {
+				errs <- fmt.Errorf("parse snapshot %d: %w", i, err)
+				return
+			}
+			if _, ok := tables["p"]; !ok {
+				errs <- fmt.Errorf("snapshot %d lost table p", i)
+				return
+			}
 		}
 	}()
 	wg.Wait()

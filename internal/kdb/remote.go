@@ -48,12 +48,16 @@ var (
 
 // wireRequest is one client->server message.
 type wireRequest struct {
-	Op   string   `json:"op"` // "exec", "query", "tables", "status", "snapshot", "replicate", "shardmap"
+	Op   string   `json:"op"` // "exec", "query", "tables", "status", "snapshot", "delta", "replicate", "shardmap"
 	SQL  string   `json:"sql,omitempty"`
 	Args []walArg `json:"args,omitempty"`
 	// AfterLSN is the replication offset for the "replicate" op: the
 	// stream delivers every committed record with a greater LSN.
 	AfterLSN int64 `json:"after_lsn,omitempty"`
+	// Have lists the snapshot chunk hashes the client already holds, for
+	// the "delta" op: the response manifest references them instead of
+	// re-shipping their bytes.
+	Have []string `json:"have,omitempty"`
 }
 
 // wireResponse is one server->client message.
@@ -73,6 +77,19 @@ type wireResponse struct {
 	// shape; kdb only transports it).
 	Epoch    int64  `json:"epoch,omitempty"`
 	ShardMap []byte `json:"shard_map,omitempty"`
+	// Manifest and Chunks answer the "delta" verb: the ordered chunk
+	// references of the current snapshot, plus data for exactly those
+	// chunks the request's Have set did not cover.
+	Manifest []ChunkRef `json:"manifest,omitempty"`
+	Chunks   [][]byte   `json:"chunks,omitempty"`
+}
+
+// ChunkRef identifies one snapshot chunk in a delta manifest.
+type ChunkRef struct {
+	Table string `json:"t,omitempty"`
+	Hash  string `json:"h"`
+	Size  int    `json:"n"`
+	Meta  bool   `json:"m,omitempty"`
 }
 
 // Server limits and deadlines used when the corresponding field is zero.
@@ -340,6 +357,39 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		}
 		metReplSnapshotBytes.Add(int64(buf.Len()))
 		return wireResponse{Snapshot: buf.Bytes(), LSN: lsn}
+	case "delta":
+		// Incremental snapshot: the full manifest of the current snapshot's
+		// content-addressed chunks, with bytes only for the segments the
+		// client does not already hold. Reassembling manifest order yields
+		// the exact WriteSnapshot stream, so delta catch-up converges
+		// byte-identically to a full snapshot transfer.
+		if s.DB == nil {
+			return wireResponse{Err: "kdb: this node serves no local database to snapshot"}
+		}
+		var buf bytes.Buffer
+		lsn, err := s.DB.WriteSnapshot(&buf)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		chunks, err := ChunkSnapshot(buf.Bytes(), 0)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		have := make(map[string]bool, len(req.Have))
+		for _, h := range req.Have {
+			have[h] = true
+		}
+		resp := wireResponse{LSN: lsn}
+		shipped := 0
+		for _, c := range chunks {
+			resp.Manifest = append(resp.Manifest, ChunkRef{Table: c.Table, Hash: c.Hash, Size: len(c.Data), Meta: c.Meta})
+			if !have[c.Hash] {
+				resp.Chunks = append(resp.Chunks, c.Data)
+				shipped += len(c.Data)
+			}
+		}
+		metReplSnapshotBytes.Add(int64(shipped))
+		return resp
 	case "query":
 		rows, err := s.conn().Query(req.SQL, args...)
 		if err != nil {

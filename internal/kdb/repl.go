@@ -2,6 +2,9 @@ package kdb
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -343,6 +346,53 @@ func (r *Remote) Snapshot() ([]byte, int64, error) {
 		return nil, 0, err
 	}
 	return resp.Snapshot, resp.LSN, nil
+}
+
+// SnapshotDelta fetches an incremental snapshot: the ordered chunk
+// manifest of the served database's current snapshot, data for exactly
+// the chunks not named in have, and the LSN the snapshot represents.
+// Reassembling the manifest (local chunks where possible, shipped bytes
+// otherwise) reproduces the WriteSnapshot stream byte-for-byte; see
+// ReassembleSnapshot.
+func (r *Remote) SnapshotDelta(have []string) ([]ChunkRef, [][]byte, int64, error) {
+	resp, err := r.roundTrip(wireRequest{Op: "delta", Have: have}, true)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return resp.Manifest, resp.Chunks, resp.LSN, nil
+}
+
+// ReassembleSnapshot rebuilds a full snapshot stream from a delta
+// manifest: each chunk's bytes come from the local store (lookup, which
+// may return nil to decline) or from shipped, consumed in manifest order.
+// Every reassembled chunk is re-hashed against its reference, so a stale
+// or corrupt local segment fails loudly instead of restoring a diverged
+// state.
+func ReassembleSnapshot(manifest []ChunkRef, shipped [][]byte, lookup func(hash string) []byte) ([]byte, error) {
+	var out bytes.Buffer
+	next := 0
+	for i, ref := range manifest {
+		var data []byte
+		if lookup != nil {
+			data = lookup(ref.Hash)
+		}
+		if data == nil {
+			if next >= len(shipped) {
+				return nil, fmt.Errorf("kdb: delta manifest entry %d (%s): chunk neither held locally nor shipped", i, ref.Hash)
+			}
+			data = shipped[next]
+			next++
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != ref.Hash {
+			return nil, fmt.Errorf("kdb: delta manifest entry %d: chunk hash mismatch", i)
+		}
+		out.Write(data)
+	}
+	if next != len(shipped) {
+		return nil, fmt.Errorf("kdb: delta reassembly consumed %d of %d shipped chunks", next, len(shipped))
+	}
+	return out.Bytes(), nil
 }
 
 // ShardMap fetches the epoch-versioned partition map served by a

@@ -1,0 +1,153 @@
+package kdb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Snapshot chunking. A WriteSnapshot stream is a deterministic sequence of
+// log records: per table (sorted), one CREATE TABLE, its CREATE INDEX
+// statements, one INSERT per row, and a trailing meta record. Chunking
+// splits that byte stream into content-addressed segments that reset at
+// every table boundary, so two snapshots that differ in one table still
+// share every other table's chunks. Chunks are the storage unit of the
+// vcs commit graph and the transfer unit of delta replication: a follower
+// (or a new commit) only needs the segments it does not already hold.
+
+// DefaultChunkLines is the number of log records per content chunk. The
+// first chunk of a table also carries its CREATE TABLE / CREATE INDEX
+// records; boundaries are counted from the start of each table, so
+// appending rows to a table leaves its earlier chunks byte-identical.
+const DefaultChunkLines = 512
+
+// SnapshotChunk is one content-addressed segment of a snapshot stream.
+type SnapshotChunk struct {
+	// Table is the (as-written) name of the table the segment belongs to;
+	// empty for the meta record chunk.
+	Table string
+	// Meta marks the chunk holding the snapshot's trailing meta record
+	// (auto-increment high-water marks and base LSN).
+	Meta bool
+	// Hash is the lowercase hex SHA-256 of Data.
+	Hash string
+	// Data is the exact byte range of the stream: whole newline-terminated
+	// log records.
+	Data []byte
+	// Lines is the number of log records in the chunk.
+	Lines int
+}
+
+// ChunkSnapshot splits a WriteSnapshot stream into content-addressed
+// chunks. linesPerChunk bounds the records per chunk (0 means
+// DefaultChunkLines); boundaries additionally reset at every CREATE TABLE
+// record, and meta records always get their own chunk. Concatenating the
+// chunks' Data in order reproduces the input byte-for-byte.
+func ChunkSnapshot(data []byte, linesPerChunk int) ([]SnapshotChunk, error) {
+	if linesPerChunk <= 0 {
+		linesPerChunk = DefaultChunkLines
+	}
+	var chunks []SnapshotChunk
+	var cur SnapshotChunk
+	var buf bytes.Buffer
+	flush := func() {
+		if buf.Len() == 0 {
+			return
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		cur.Hash = hex.EncodeToString(sum[:])
+		cur.Data = append([]byte(nil), buf.Bytes()...)
+		chunks = append(chunks, cur)
+		buf.Reset()
+		cur = SnapshotChunk{Table: cur.Table}
+	}
+	rest := data
+	for len(rest) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(rest, '\n'); nl >= 0 {
+			line, rest = rest[:nl+1], rest[nl+1:]
+		} else {
+			// A snapshot stream is newline-terminated; a trailing partial
+			// line means the input was truncated.
+			return nil, fmt.Errorf("kdb: chunk snapshot: truncated record %q", rest)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(bytes.TrimSpace(line), &e); err != nil {
+			return nil, fmt.Errorf("kdb: chunk snapshot: corrupt record: %w", err)
+		}
+		switch {
+		case e.isMeta():
+			flush()
+			cur = SnapshotChunk{Meta: true}
+		case strings.HasPrefix(e.SQL, "CREATE TABLE "):
+			flush()
+			name := e.SQL[len("CREATE TABLE "):]
+			if i := strings.IndexAny(name, " ("); i >= 0 {
+				name = name[:i]
+			}
+			cur = SnapshotChunk{Table: name}
+		case cur.Lines >= linesPerChunk:
+			flush()
+		}
+		buf.Write(line)
+		cur.Lines++
+		if cur.Meta {
+			flush()
+			cur = SnapshotChunk{}
+		}
+	}
+	flush()
+	return chunks, nil
+}
+
+// SnapshotRecord is one decoded record of a snapshot (or WAL) stream, in
+// the engine's value set — the exported counterpart of the internal replay
+// entry, used by the vcs layer to replay individual chunk records through
+// the public Exec/Batch path.
+type SnapshotRecord struct {
+	SQL     string
+	Args    []any
+	Meta    bool
+	AutoIDs map[string]int64
+	BaseLSN int64
+}
+
+// DecodeSnapshotRecords decodes a snapshot (or chunk) byte range into its
+// records.
+func DecodeSnapshotRecords(data []byte) ([]SnapshotRecord, error) {
+	entries, err := parseWALRecords("chunk", data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SnapshotRecord, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, SnapshotRecord{
+			SQL:     e.SQL,
+			Args:    e.Args,
+			Meta:    e.Meta,
+			AutoIDs: e.AutoIDs,
+			BaseLSN: e.BaseLSN,
+		})
+	}
+	return out, nil
+}
+
+// EncodeSnapshotMeta renders a snapshot meta record exactly as
+// snapshotLocked writes it (auto-increment high-water marks plus base
+// LSN, newline-terminated), so externally composed streams — a vcs
+// checkout, a delta-reassembled snapshot — restore through the same
+// parser with the same semantics. Map keys marshal sorted, so the
+// encoding is deterministic.
+func EncodeSnapshotMeta(autoIDs map[string]int64, baseLSN int64) ([]byte, error) {
+	data, err := json.Marshal(walEntry{AutoIDs: autoIDs, BaseLSN: baseLSN, Meta: true})
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,191 @@
+package kdb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func chunkFixture(t *testing.T) (*DB, []byte) {
+	t.Helper()
+	db := memDB(t)
+	mustExec(t, db, "CREATE TABLE alpha (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_alpha_v ON alpha (v)")
+	for i := 0; i < 700; i++ { // spans two chunks at DefaultChunkLines
+		mustExec(t, db, "INSERT INTO alpha (v) VALUES (?)", fmt.Sprintf("a%03d", i))
+	}
+	mustExec(t, db, "CREATE TABLE beta (id INTEGER PRIMARY KEY, x REAL)")
+	mustExec(t, db, "INSERT INTO beta (x) VALUES (?)", 2.5)
+	var buf bytes.Buffer
+	if _, err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return db, buf.Bytes()
+}
+
+func TestChunkSnapshotConcatenationIsIdentity(t *testing.T) {
+	_, data := chunkFixture(t)
+	chunks, err := ChunkSnapshot(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat bytes.Buffer
+	for _, c := range chunks {
+		cat.Write(c.Data)
+	}
+	if !bytes.Equal(cat.Bytes(), data) {
+		t.Fatal("concatenated chunks do not reproduce the snapshot stream")
+	}
+	// Boundaries: every chunk belongs to one table (or the meta record),
+	// alpha spans multiple chunks, and chunking is deterministic.
+	tables := map[string]int{}
+	metas := 0
+	for _, c := range chunks {
+		if c.Meta {
+			metas++
+			continue
+		}
+		tables[c.Table]++
+	}
+	if metas != 1 {
+		t.Fatalf("meta chunks = %d, want 1", metas)
+	}
+	if tables["alpha"] < 2 {
+		t.Fatalf("alpha chunks = %d, want >= 2 (700 rows over %d-line chunks)", tables["alpha"], DefaultChunkLines)
+	}
+	if tables["beta"] != 1 {
+		t.Fatalf("beta chunks = %d, want 1", tables["beta"])
+	}
+	again, err := ChunkSnapshot(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunks {
+		if chunks[i].Hash != again[i].Hash {
+			t.Fatalf("chunking not deterministic at %d", i)
+		}
+	}
+}
+
+func TestChunkSnapshotRejectsCorruptStream(t *testing.T) {
+	_, data := chunkFixture(t)
+	if _, err := ChunkSnapshot(data[:len(data)-3], 0); err == nil {
+		t.Error("truncated stream must error")
+	}
+	bad := append([]byte("{not json\n"), data...)
+	if _, err := ChunkSnapshot(bad, 0); err == nil {
+		t.Error("corrupt record must error")
+	}
+}
+
+func TestReassembleSnapshot(t *testing.T) {
+	_, data := chunkFixture(t)
+	chunks, err := ChunkSnapshot(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]ChunkRef, len(chunks))
+	for i, c := range chunks {
+		refs[i] = ChunkRef{Table: c.Table, Hash: c.Hash, Size: len(c.Data), Meta: c.Meta}
+	}
+	// Lookup serves even chunks locally; odd chunks ship.
+	var shipped [][]byte
+	local := map[string][]byte{}
+	for i, c := range chunks {
+		if i%2 == 0 {
+			local[c.Hash] = c.Data
+		} else {
+			shipped = append(shipped, c.Data)
+		}
+	}
+	out, err := ReassembleSnapshot(refs, shipped, func(h string) []byte { return local[h] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("reassembled snapshot differs from original")
+	}
+
+	// Error paths: shortfall, hash mismatch, unconsumed chunks.
+	if _, err := ReassembleSnapshot(refs, nil, func(string) []byte { return nil }); err == nil {
+		t.Error("missing chunks must error")
+	}
+	tampered := append([][]byte(nil), shipped...)
+	tampered[0] = []byte("{\"sql\":\"evil\"}\n")
+	if _, err := ReassembleSnapshot(refs, tampered, func(h string) []byte { return local[h] }); err == nil ||
+		!strings.Contains(err.Error(), "hash") {
+		t.Errorf("tampered chunk must fail hash verification, got %v", err)
+	}
+	extra := append(append([][]byte(nil), shipped...), []byte("x\n"))
+	if _, err := ReassembleSnapshot(refs, extra, func(h string) []byte { return local[h] }); err == nil {
+		t.Error("unconsumed shipped chunks must error")
+	}
+}
+
+// TestSnapshotDeltaWire drives the "delta" verb end to end: a client that
+// already holds some chunks receives only the missing ones and rebuilds
+// the exact snapshot.
+func TestSnapshotDeltaWire(t *testing.T) {
+	db, addr := startServer(t)
+	mustExec(t, db, "CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, "INSERT INTO kv (v) VALUES (?)", fmt.Sprintf("v%d", i))
+	}
+	var want bytes.Buffer
+	wantLSN, err := db.WriteSnapshot(&want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := ChunkSnapshot(want.Bytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Cold client: everything ships.
+	manifest, shipped, lsn, err := r.SnapshotDelta(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != wantLSN || len(shipped) != len(chunks) {
+		t.Fatalf("cold delta: lsn=%d shipped=%d, want lsn=%d shipped=%d", lsn, len(shipped), wantLSN, len(chunks))
+	}
+	out, err := ReassembleSnapshot(manifest, shipped, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want.Bytes()) {
+		t.Fatal("cold delta did not reassemble the snapshot")
+	}
+
+	// Warm client holding all but the meta chunk: only that ships.
+	have := map[string][]byte{}
+	var keys []string
+	for _, c := range chunks {
+		if c.Meta {
+			continue
+		}
+		have[c.Hash] = c.Data
+		keys = append(keys, c.Hash)
+	}
+	manifest, shipped, _, err = r.SnapshotDelta(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shipped) != 1 {
+		t.Fatalf("warm delta shipped %d chunks, want just the meta record", len(shipped))
+	}
+	out, err = ReassembleSnapshot(manifest, shipped, func(h string) []byte { return have[h] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want.Bytes()) {
+		t.Fatal("warm delta did not reassemble the snapshot")
+	}
+}

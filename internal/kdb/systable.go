@@ -1,0 +1,81 @@
+package kdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// System-table routing. A provider (internal/vcs) can serve virtual
+// tables whose names start with "__" — commit history (__log), branch
+// heads (__branches), commit diffs (__diff) — so the explorer and the
+// analytics tier query versioned knowledge with plain SQL. The hook runs
+// before the read lock is taken, like the columnar hook: the provider
+// materializes the virtual table's rows (re-entering the database through
+// its public query surface as needed), and the engine then executes the
+// original SELECT against that table with its full WHERE / ORDER BY /
+// aggregate semantics, so a system table behaves exactly like a real one.
+
+// SystemTableProvider materializes virtual "__"-prefixed tables. filters
+// carries the query's AND-only equality conjuncts (lowercased column name
+// → bound value) so providers whose tables are parameterized — __diff
+// needs its from/to refs — can see them; the provider must still emit
+// those values as row columns, since the engine re-applies the full WHERE
+// clause afterwards. claimed=false declines the name (the query then
+// fails with "no such table", as without a provider).
+type SystemTableProvider interface {
+	SystemTable(name string, filters map[string]any) (cols []ColumnDef, rows [][]any, claimed bool, err error)
+}
+
+// systemHook wraps the provider for atomic.Pointer storage.
+type systemHook struct{ p SystemTableProvider }
+
+// SetSystemTables attaches (or, with nil, detaches) a system-table
+// provider. Safe to call concurrently with queries.
+func (db *DB) SetSystemTables(p SystemTableProvider) {
+	if p == nil {
+		db.system.Store(nil)
+		return
+	}
+	db.system.Store(&systemHook{p: p})
+}
+
+// querySystem serves one SELECT whose FROM table the provider claims.
+// served=false falls through to the row engine.
+func (db *DB) querySystem(sel *selectStmt, args []any) (rows *Rows, served bool, err error) {
+	h := db.system.Load()
+	if h == nil {
+		return nil, false, nil
+	}
+	filters := map[string]any{}
+	if fs, ok := analyticFilters(sel.Where); ok {
+		for _, f := range fs {
+			if f.Op != "=" {
+				continue
+			}
+			v := f.Lit
+			if f.Arg >= 0 {
+				if f.Arg >= len(args) {
+					return nil, false, fmt.Errorf("kdb: missing argument %d", f.Arg+1)
+				}
+				v = args[f.Arg]
+			}
+			n, err := normalizeArg(v)
+			if err != nil {
+				return nil, false, err
+			}
+			filters[strings.ToLower(f.Col.Name)] = n
+		}
+	}
+	name := strings.ToLower(sel.Table)
+	cols, data, claimed, err := h.p.SystemTable(name, filters)
+	if err != nil {
+		return nil, true, err
+	}
+	if !claimed {
+		return nil, false, nil
+	}
+	t := &Table{Name: sel.Table, Columns: cols, Rows: data, pkIndex: -1}
+	scratch := &DB{tables: map[string]*Table{name: t}}
+	rows, err = scratch.execSelect(sel, args)
+	return rows, true, err
+}

@@ -1,0 +1,96 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/kdb"
+	"repro/internal/vcs"
+)
+
+// TestFollowerDeltaCatchUpConverges drops a follower far enough behind
+// that streaming catch-up is impossible (the primary's buffer is cleared
+// by a compact-and-restart), with a version store attached on the
+// primary. The restarted follower must converge byte-identically through
+// the commit-delta path, shipping less than a full snapshot because it
+// already holds the shared history's chunks.
+func TestFollowerDeltaCatchUpConverges(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "primary.kdb")
+	primary := openDB(t, path)
+	repo, err := vcs.Attach(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, primary, "CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 600; i++ {
+		mustExec(t, primary, "INSERT INTO kv (v) VALUES (?)", fmt.Sprintf("v%d", i))
+	}
+	if _, _, err := repo.Commit("main", "repl", "campaign 1", 0); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := &kdb.Server{DB: primary, HeartbeatInterval: 20 * time.Millisecond}
+	l1, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fpath := filepath.Join(dir, "replica.kdb")
+	fdb := openDB(t, fpath)
+	f := NewFollower(fdb, l1.Addr().String(), fastOpts())
+	f.Start(context.Background())
+	waitLSN(t, f.DB(), primary.LSN())
+	f.Stop()
+
+	// The follower is down while the primary ingests another campaign,
+	// commits it, compacts, and restarts — coming back with an empty
+	// catch-up buffer whose base is beyond the follower's LSN, so only a
+	// snapshot path can catch it up.
+	for i := 0; i < 50; i++ {
+		mustExec(t, primary, "INSERT INTO kv (v) VALUES (?)", fmt.Sprintf("late%d", i))
+	}
+	if _, _, err := repo.Commit("main", "repl", "campaign 2", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	srv1.Shutdown(shutCtx)
+	shutCancel()
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	primary = openDB(t, path)
+	addr := servePrimary(t, primary)
+
+	fullSize := int64(len(dump(t, primary)))
+	deltaBefore := metDeltaBytes.Value()
+
+	f2 := NewFollower(fdb, addr, fastOpts())
+	f2.Start(context.Background())
+	defer f2.Stop()
+	waitLSN(t, f2.DB(), primary.LSN())
+	if dump(t, primary) != dump(t, f2.DB()) {
+		t.Error("follower did not converge byte-identically through delta catch-up")
+	}
+	shipped := metDeltaBytes.Value() - deltaBefore
+	if shipped <= 0 {
+		t.Fatal("delta catch-up shipped no chunks — full-snapshot fallback was taken")
+	}
+	if shipped >= fullSize {
+		t.Errorf("delta shipped %d bytes, not less than the %d-byte full snapshot", shipped, fullSize)
+	}
+	t.Logf("delta catch-up shipped %d of %d snapshot bytes (%.1f%%)",
+		shipped, fullSize, 100*float64(shipped)/float64(fullSize))
+
+	// The stream continues past the delta-installed snapshot.
+	mustExec(t, primary, "INSERT INTO kv (v) VALUES (?)", "after")
+	waitLSN(t, f2.DB(), primary.LSN())
+	if dump(t, primary) != dump(t, f2.DB()) {
+		t.Error("follower diverged after post-delta commit")
+	}
+}

@@ -11,6 +11,7 @@ var (
 	metLagLSN        *telemetry.Gauge
 	metLagSeconds    *telemetry.Gauge
 	metSnapshotBytes *telemetry.Counter
+	metDeltaBytes    *telemetry.Counter
 	metResyncTotal   *telemetry.Counter
 	metAppliedTotal  *telemetry.Counter
 	metRouterPrimary *telemetry.Counter
@@ -22,6 +23,7 @@ func init() {
 	metLagLSN = reg.Gauge("repl_lag_lsn")
 	metLagSeconds = reg.Gauge("repl_lag_seconds")
 	metSnapshotBytes = reg.Counter("repl_snapshot_bytes")
+	metDeltaBytes = reg.Counter("vcs_delta_bytes")
 	metResyncTotal = reg.Counter("repl_resync_total")
 	metAppliedTotal = reg.Counter("repl_applied_total")
 	metRouterPrimary = reg.Counter(telemetry.Label("repl_router_reads_total", "target", "primary"))

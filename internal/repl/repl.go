@@ -12,6 +12,7 @@
 package repl
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"sync"
@@ -189,8 +190,14 @@ func (f *Follower) syncOnce(ctx context.Context) (progressed bool, err error) {
 	}
 }
 
-// snapshot replaces the local database with a full snapshot fetched over
-// a fresh request/response connection.
+// snapshot replaces the local database with the primary's current state.
+// It first attempts a commit-delta transfer — negotiating over the
+// content-addressed chunks the follower already holds, so only changed
+// table segments cross the wire — and falls back to the classic full
+// snapshot on any failure (old primaries without the delta verb, chunk
+// mismatches, anything). Both paths converge byte-identically: the delta
+// path reassembles and re-verifies the exact snapshot stream before
+// restoring it.
 func (f *Follower) snapshot(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -202,17 +209,70 @@ func (f *Follower) snapshot(ctx context.Context) error {
 		return err
 	}
 	defer r.Close()
-	data, lsn, err := r.Snapshot()
+	data, lsn, err := f.deltaSnapshot(r)
 	if err != nil {
-		return err
+		data, lsn, err = r.Snapshot()
+		if err != nil {
+			return err
+		}
+		metSnapshotBytes.Add(int64(len(data)))
 	}
-	metSnapshotBytes.Add(int64(len(data)))
 	if err := f.db.RestoreSnapshot(data); err != nil {
 		return err
 	}
 	f.noteContact(lsn)
 	f.noteApply(lsn)
 	return nil
+}
+
+// deltaSnapshot fetches the primary's snapshot as a chunk delta. The
+// have-set is the chunks of the follower's own current snapshot plus any
+// commit chunks in its local version store (vcs_chunks) — so a follower
+// that shares committed history with the primary transfers only what
+// changed since.
+func (f *Follower) deltaSnapshot(r *kdb.Remote) ([]byte, int64, error) {
+	have := map[string][]byte{}
+	var buf bytes.Buffer
+	if _, err := f.db.WriteSnapshot(&buf); err != nil {
+		return nil, 0, err
+	}
+	chunks, err := kdb.ChunkSnapshot(buf.Bytes(), 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, c := range chunks {
+		have[c.Hash] = c.Data
+	}
+	// The local commit store, when present, contributes every chunk it
+	// retains; a missing vcs_chunks table just means no version history.
+	if rows, err := f.db.Query("SELECT hash, data FROM vcs_chunks"); err == nil {
+		for rows.Next() {
+			row := rows.Row()
+			h, _ := row[0].(string)
+			s, _ := row[1].(string)
+			if h != "" {
+				have[h] = []byte(s)
+			}
+		}
+	}
+	keys := make([]string, 0, len(have))
+	for h := range have {
+		keys = append(keys, h)
+	}
+	manifest, shipped, lsn, err := r.SnapshotDelta(keys)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, c := range shipped {
+		metDeltaBytes.Add(int64(len(c)))
+	}
+	data, err := kdb.ReassembleSnapshot(manifest, shipped, func(hash string) []byte {
+		return have[hash]
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, lsn, nil
 }
 
 func (f *Follower) noteContact(primaryLSN int64) {

@@ -204,14 +204,52 @@ func Open(path string) (*Store, error) {
 	return Wrap(db)
 }
 
+// Shard-map discovery policy: a hung or flaky coordinator must not hang
+// Open forever, so discovery is bounded and retried once. The knobs are
+// package variables so tests can shrink them.
+var (
+	shardMapTimeout  = 5 * time.Second
+	shardMapAttempts = 2
+	fetchShardMap    = shard.FetchMap
+)
+
+// fetchMapBounded runs shard-map discovery with a per-attempt timeout and
+// one retry. A timed-out attempt's goroutine is abandoned (the underlying
+// dial has no cancellation), which is safe: it only ever touches its own
+// connection.
+func fetchMapBounded(addr string) (*shard.Map, error) {
+	type result struct {
+		m   *shard.Map
+		err error
+	}
+	var lastErr error
+	for attempt := 0; attempt < shardMapAttempts; attempt++ {
+		ch := make(chan result, 1)
+		go func() {
+			m, err := fetchShardMap(addr)
+			ch <- result{m, err}
+		}()
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				return res.m, nil
+			}
+			lastErr = res.err
+		case <-time.After(shardMapTimeout):
+			lastErr = fmt.Errorf("timed out after %v", shardMapTimeout)
+		}
+	}
+	return nil, fmt.Errorf("schema: discover shard map (%d attempts): %w", shardMapAttempts, lastErr)
+}
+
 // openSharded assembles a client-side coordinator from a coordinator
 // address: shard-map discovery, one connection per shard primary, and a
 // repl.Router in front of any shard that advertises read replicas — so
 // replication composes under sharding.
 func openSharded(path string) (kdb.Conn, error) {
-	m, err := shard.FetchMap("kdb://" + strings.TrimPrefix(path, "shard://"))
+	m, err := fetchMapBounded("kdb://" + strings.TrimPrefix(path, "shard://"))
 	if err != nil {
-		return nil, fmt.Errorf("schema: discover shard map: %w", err)
+		return nil, err
 	}
 	conns := make([]kdb.Conn, 0, len(m.Shards))
 	fail := func(err error) (kdb.Conn, error) {

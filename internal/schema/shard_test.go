@@ -1,0 +1,85 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// swapShardFetch installs a test double for shard-map discovery and tight
+// timeouts, restoring the real ones on cleanup. The doubles run on
+// fetchMapBounded's worker goroutines (which outlive a timed-out attempt),
+// so call counters must be atomic.
+func swapShardFetch(t *testing.T, fn func(addr string) (*shard.Map, error)) {
+	t.Helper()
+	oldFetch, oldTimeout, oldAttempts := fetchShardMap, shardMapTimeout, shardMapAttempts
+	fetchShardMap = fn
+	shardMapTimeout = 50 * time.Millisecond
+	t.Cleanup(func() {
+		fetchShardMap, shardMapTimeout, shardMapAttempts = oldFetch, oldTimeout, oldAttempts
+	})
+}
+
+func TestShardMapDiscoveryRetriesOnce(t *testing.T) {
+	var calls atomic.Int64
+	swapShardFetch(t, func(addr string) (*shard.Map, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient: connection refused")
+		}
+		return &shard.Map{}, nil
+	})
+	m, err := fetchMapBounded("kdb://coordinator:1")
+	if err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if m == nil || calls.Load() != 2 {
+		t.Fatalf("calls = %d, want a failed attempt then a successful retry", calls.Load())
+	}
+}
+
+func TestShardMapDiscoveryTimesOut(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	defer close(block)
+	swapShardFetch(t, func(addr string) (*shard.Map, error) {
+		calls.Add(1)
+		<-block // a hung coordinator: never answers
+		return nil, fmt.Errorf("unreachable")
+	})
+	start := time.Now()
+	_, err := fetchMapBounded("kdb://coordinator:1")
+	if err == nil {
+		t.Fatal("hung discovery must error")
+	}
+	if !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("error should name the timeout and attempts: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("calls = %d, want one retry after the timeout", n)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("discovery not bounded: took %v", elapsed)
+	}
+}
+
+func TestShardMapDiscoveryPersistentFailure(t *testing.T) {
+	var calls atomic.Int64
+	swapShardFetch(t, func(addr string) (*shard.Map, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("no route to host")
+	})
+	_, err := Open("shard://coordinator:1")
+	if err == nil {
+		t.Fatal("unreachable coordinator must fail Open")
+	}
+	if !strings.Contains(err.Error(), "discover shard map") || !strings.Contains(err.Error(), "no route to host") {
+		t.Fatalf("error should carry the underlying cause: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("calls = %d, want exactly the bounded attempts", n)
+	}
+}

@@ -1,0 +1,19 @@
+package vcs
+
+// Versioning observability, resolved once at package init against the
+// process-wide registry like kdb/repl/campaign.
+
+import "repro/internal/telemetry"
+
+var (
+	metCommitSeconds  *telemetry.Histogram
+	metChunkBytes     *telemetry.Counter
+	metMergeConflicts *telemetry.Counter
+)
+
+func init() {
+	reg := telemetry.Default()
+	metCommitSeconds = reg.Histogram("vcs_commit_seconds")
+	metChunkBytes = reg.Counter("vcs_chunk_bytes")
+	metMergeConflicts = reg.Counter("vcs_merge_conflicts_total")
+}

@@ -1,0 +1,123 @@
+package vcs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kdb"
+)
+
+// System tables: once a Repo is attached, history is queryable with plain
+// SQL — SELECT * FROM __log, __branches, __conflicts, and
+// SELECT * FROM __diff WHERE from_ref = 'main' AND to_ref = 'tuning'.
+// The provider materializes rows; the engine's row executor then applies
+// the full SELECT (projection, WHERE, ORDER BY, LIMIT) on top.
+
+func textCols(names ...string) []kdb.ColumnDef {
+	cols := make([]kdb.ColumnDef, len(names))
+	for i, n := range names {
+		cols[i] = kdb.ColumnDef{Name: n, Type: kdb.TText}
+	}
+	return cols
+}
+
+// renderRow formats a whole row for the single-TEXT-value diff columns.
+func renderRow(row []any) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = FormatValue(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SystemTable implements kdb.SystemTableProvider.
+func (r *Repo) SystemTable(name string, filters map[string]any) ([]kdb.ColumnDef, [][]any, bool, error) {
+	switch strings.ToLower(name) {
+	case "__log":
+		cols := []kdb.ColumnDef{
+			{Name: "id", Type: kdb.TInteger},
+			{Name: "hash", Type: kdb.TText},
+			{Name: "parents", Type: kdb.TText},
+			{Name: "author", Type: kdb.TText},
+			{Name: "message", Type: kdb.TText},
+			{Name: "campaign_id", Type: kdb.TInteger},
+			{Name: "lsn", Type: kdb.TInteger},
+			{Name: "created", Type: kdb.TText},
+		}
+		rows, err := r.db.Query("SELECT id, hash, parents, author, message, campaign_id, lsn, created FROM vcs_commits ORDER BY id DESC")
+		if err != nil {
+			return nil, nil, true, err
+		}
+		var data [][]any
+		for rows.Next() {
+			data = append(data, rows.Row())
+		}
+		return cols, data, true, nil
+
+	case "__branches":
+		branches, err := r.Branches()
+		if err != nil {
+			return nil, nil, true, err
+		}
+		data := make([][]any, 0, len(branches))
+		for _, b := range branches {
+			data = append(data, []any{b.Name, b.Head})
+		}
+		return textCols("name", "head"), data, true, nil
+
+	case "__diff":
+		from, _ := filters["from_ref"].(string)
+		to, _ := filters["to_ref"].(string)
+		if from == "" || to == "" {
+			return nil, nil, true, fmt.Errorf("vcs: __diff requires WHERE from_ref = '...' AND to_ref = '...' (branch, commit hash, or WORKING)")
+		}
+		changes, err := r.Diff(from, to)
+		if err != nil {
+			return nil, nil, true, err
+		}
+		cols := []kdb.ColumnDef{
+			{Name: "from_ref", Type: kdb.TText},
+			{Name: "to_ref", Type: kdb.TText},
+			{Name: "tbl", Type: kdb.TText},
+			{Name: "pk", Type: kdb.TInteger},
+			{Name: "kind", Type: kdb.TText},
+			{Name: "col", Type: kdb.TText},
+			{Name: "old_value", Type: kdb.TText},
+			{Name: "new_value", Type: kdb.TText},
+		}
+		var data [][]any
+		for _, c := range changes {
+			switch c.Kind {
+			case "modify":
+				for _, cc := range c.Cols {
+					data = append(data, []any{from, to, c.Table, c.PK, c.Kind, cc.Column, FormatValue(cc.Old), FormatValue(cc.New)})
+				}
+			case "add":
+				data = append(data, []any{from, to, c.Table, c.PK, c.Kind, "", "", renderRow(c.Row)})
+			case "delete":
+				data = append(data, []any{from, to, c.Table, c.PK, c.Kind, "", renderRow(c.Row), ""})
+			default: // schema marker
+				data = append(data, []any{from, to, c.Table, nil, c.Kind, "", "", ""})
+			}
+		}
+		return cols, data, true, nil
+
+	case "__conflicts":
+		cols := []kdb.ColumnDef{
+			{Name: "tbl", Type: kdb.TText},
+			{Name: "pk", Type: kdb.TInteger},
+			{Name: "col", Type: kdb.TText},
+			{Name: "kind", Type: kdb.TText},
+			{Name: "base", Type: kdb.TText},
+			{Name: "ours", Type: kdb.TText},
+			{Name: "theirs", Type: kdb.TText},
+		}
+		conflicts := r.LastConflicts()
+		data := make([][]any, 0, len(conflicts))
+		for _, c := range conflicts {
+			data = append(data, []any{c.Table, c.PK, c.Column, c.Kind, FormatValue(c.Base), FormatValue(c.Ours), FormatValue(c.Theirs)})
+		}
+		return cols, data, true, nil
+	}
+	return nil, nil, false, nil
+}

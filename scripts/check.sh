@@ -16,8 +16,8 @@ echo "== go vet =="
 go vet ./...
 echo "== go build =="
 go build ./...
-echo "== go test -race (kdb, colstore, repl, shard, schema, campaign, core, telemetry) =="
-go test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/...
+echo "== go test -race (kdb, colstore, repl, shard, schema, campaign, core, telemetry, vcs) =="
+go test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/... ./internal/vcs/...
 echo "== go test (tier 1) =="
 go test ./...
 echo "== bench smoke (1 iteration) =="
