@@ -13,8 +13,8 @@
 //	iokc configure [--db FILE] --id N [-t SIZE] [-b SIZE] [-s N] [-i N] [-N N]
 //	iokc causes [--db FILE] --id N --sacct FILE [--exclude-user U]
 //	iokc tune [--tasks N] [--burst SIZE] [--seed N]
-//	iokc serve [--db FILE] [--addr :8080] [--replica ADDR]... [--pprof]
-//	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--replica-of ADDR] [--advertise ADDR] [--pprof]
+//	iokc serve [--db FILE] [--addr :8080] [--replica ADDR]... [--slow-query DUR] [--pprof]
+//	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--replica-of ADDR] [--advertise ADDR] [--slow-query DUR] [--pprof]
 //	iokc servedb --db FILE --shard-index I --shard-count N           (serve one shard of a partitioned store)
 //	iokc servedb --shard ADDR[,REPLICA...] --shard ADDR... [--epoch N] (serve a scatter-gather coordinator)
 //
@@ -769,6 +769,7 @@ type serveDBConfig struct {
 	epoch       int64
 	shardIndex  int
 	shardCount  int
+	slowQuery   time.Duration
 }
 
 func parseServeDBArgs(args []string) (*serveDBConfig, error) {
@@ -787,6 +788,7 @@ func parseServeDBArgs(args []string) (*serveDBConfig, error) {
 	fs.Int64Var(&cfg.epoch, "epoch", 1, "shard-map epoch served to clients in coordinator mode")
 	fs.IntVar(&cfg.shardIndex, "shard-index", 0, "this node's shard number when serving one shard of a partitioned store (requires --shard-count)")
 	fs.IntVar(&cfg.shardCount, "shard-count", 0, "total shard count; strides auto-increment ids so shards never collide")
+	fs.DurationVar(&cfg.slowQuery, "slow-query", 0, "trace queries and log those slower than this to __slow_queries (0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -929,7 +931,7 @@ func runShardCoordinator(ctx context.Context, cfg *serveDBConfig) error {
 	srv := &kdb.Server{Backend: coord, ShardMapFunc: coord.ShardMap, Role: "coordinator",
 		MaxConns: cfg.maxConns, IdleTimeout: cfg.idle, Advertise: cfg.advertise}
 	health := func() repl.Status {
-		return repl.Status{Role: "coordinator", Addr: cfg.advertise, AppliedLSN: coord.LSN()}
+		return repl.Status{Role: "coordinator", Addr: cfg.advertise, AppliedLSN: coord.LSN(), Epoch: cfg.epoch}
 	}
 	return serveWire(ctx, cfg, srv, health, func(a net.Addr) string {
 		return fmt.Sprintf("shard coordinator (%d shards, epoch %d) on kdb://%s", len(specs), cfg.epoch, a)
@@ -939,6 +941,17 @@ func runShardCoordinator(ctx context.Context, cfg *serveDBConfig) error {
 // serveWire runs the listen / metrics / graceful-shutdown loop shared by
 // every servedb mode (primary, replica, data shard, coordinator).
 func serveWire(ctx context.Context, cfg *serveDBConfig, srv *kdb.Server, health func() repl.Status, describe func(net.Addr) string) error {
+	// Tracing: a non-zero --slow-query arms the slow-query log (and with
+	// it span recording); the node name stamps this process's hops so a
+	// trace that crosses the wire reads coordinator → shard → replica.
+	telemetry.SetSlowQueryThreshold(cfg.slowQuery)
+	node := cfg.advertise
+	if node == "" {
+		if node = srv.Role; node == "" {
+			node = "primary"
+		}
+	}
+	telemetry.SetTraceNode(node)
 	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -1029,11 +1042,14 @@ func cmdServe(args []string) error {
 	db := fs.String("db", "knowledge.db", "knowledge database")
 	addr := fs.String("addr", ":8080", "listen address")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof endpoints")
+	slowQuery := fs.Duration("slow-query", 0, "trace queries and log those slower than this to __slow_queries and /traces (0 = tracing off)")
 	var replicas replicaFlags
 	fs.Var(&replicas, "replica", "kdb:// address of a read replica (repeatable); reads are routed to caught-up replicas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	telemetry.SetSlowQueryThreshold(*slowQuery)
+	telemetry.SetTraceNode("explorer")
 	store, health, err := openRoutedStore(*db, replicas)
 	if err != nil {
 		return err

@@ -1,0 +1,42 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ior"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+// BenchmarkCampaignThroughput drives full campaign cycles (generation →
+// extraction → batched persistence) against an in-memory store. Tracing is
+// at its default (off), so this is the number the tracing instrumentation
+// must not regress: with no trace context and no slow-query threshold the
+// per-query cost is a couple of atomic loads.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	cfg, err := ior.ParseCommandLine("ior -a mpiio -b 4m -t 1m -s 4 -F -C -i 2 -o /scratch/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.NumTasks = 40
+	cfg.TasksPerNode = 20
+	var gens []core.Generator
+	for i := 0; i < 4; i++ {
+		gens = append(gens, core.IORGenerator{Config: cfg})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := schema.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := &Scheduler{Store: st, Workers: 2, BatchSize: 2, Metrics: telemetry.NewRegistry()}
+		if _, err := s.Run(context.Background(), FromGenerators("bench", 42, gens)); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}

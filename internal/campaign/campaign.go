@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -92,6 +93,10 @@ type Result struct {
 	// TelemetryID is the knowledge object holding the campaign's own
 	// phase timings (0 unless the scheduler ran with SelfObserve).
 	TelemetryID int64
+	// SlowTraceIDs are the knowledge objects holding the slowest traced
+	// requests logged during the campaign (empty unless SelfObserve is set
+	// and a slow-query threshold was active).
+	SlowTraceIDs []int64
 	// FinalLSN is the store's commit LSN after the campaign's last write,
 	// when the backing connection exposes one (local kdb databases and
 	// replication read routers do). Waiting for a replica to reach this
@@ -259,6 +264,11 @@ func (s *Scheduler) Run(ctx context.Context, spec *Spec) (*Result, error) {
 			persistErr = err
 		}
 	}
+	if s.SelfObserve && persistErr == nil {
+		if err := s.persistSlowTraces(spec.Name, began, reg, res); err != nil {
+			persistErr = err
+		}
+	}
 	if l, ok := s.Store.DB.(interface{ LSN() int64 }); ok {
 		res.FinalLSN = l.LSN()
 	}
@@ -292,6 +302,48 @@ func (s *Scheduler) persistTelemetry(name string, trace *telemetry.Span, reg *ex
 	}
 	ex.Object.ID = id
 	res.TelemetryID = id
+	return nil
+}
+
+// maxSlowTraces bounds how many of a campaign's slow traces persist as
+// knowledge: only the slowest few carry diagnostic weight.
+const maxSlowTraces = 3
+
+// persistSlowTraces extends self-observation to distributed tracing: the
+// slowest requests the slow-query log captured while this campaign ran are
+// serialized as trace artifacts (SQL + full span tree) and persisted
+// through the same extraction path, so p99 forensics survive the run.
+func (s *Scheduler) persistSlowTraces(name string, began time.Time, reg *extract.Registry, res *Result) error {
+	slow := telemetry.Traces.SlowQueries()
+	var ours []telemetry.SlowQuery
+	for _, q := range slow {
+		if !q.Start.Before(began) {
+			ours = append(ours, q)
+		}
+	}
+	sort.Slice(ours, func(i, j int) bool { return ours[i].Seconds > ours[j].Seconds })
+	if len(ours) > maxSlowTraces {
+		ours = ours[:maxSlowTraces]
+	}
+	for _, q := range ours {
+		spans := telemetry.Traces.Spans(q.TraceID)
+		if len(spans) == 0 {
+			continue
+		}
+		ex, err := reg.Extract(telemetry.TraceArtifact(name, q, spans))
+		if err != nil {
+			return fmt.Errorf("campaign: extract slow trace %s: %w", q.TraceID, err)
+		}
+		if ex.Object == nil {
+			continue
+		}
+		id, err := s.Store.SaveObject(ex.Object)
+		if err != nil {
+			return fmt.Errorf("campaign: persist slow trace %s: %w", q.TraceID, err)
+		}
+		ex.Object.ID = id
+		res.SlowTraceIDs = append(res.SlowTraceIDs, id)
+	}
 	return nil
 }
 

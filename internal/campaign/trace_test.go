@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/knowledge"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+// TestCampaignPersistsSlowTraces: with the slow-query log armed, a
+// self-observing campaign persists its slowest traced requests as
+// knowledge objects alongside the usual telemetry object.
+func TestCampaignPersistsSlowTraces(t *testing.T) {
+	t.Cleanup(func() {
+		telemetry.SetSlowQueryThreshold(0)
+		telemetry.Traces.Reset()
+	})
+	telemetry.Traces.Reset()
+
+	st, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	telemetry.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+	s := &Scheduler{Store: st, Workers: 2, BatchSize: 2, Metrics: telemetry.NewRegistry(), SelfObserve: true}
+	res, err := s.Run(context.Background(), sweepSpec(t))
+	telemetry.SetSlowQueryThreshold(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SlowTraceIDs) == 0 {
+		t.Fatal("no slow traces persisted")
+	}
+	if len(res.SlowTraceIDs) > maxSlowTraces {
+		t.Fatalf("persisted %d slow traces, cap is %d", len(res.SlowTraceIDs), maxSlowTraces)
+	}
+	o, err := st.LoadObject(res.SlowTraceIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Source != knowledge.SourceTelemetry {
+		t.Errorf("source = %q", o.Source)
+	}
+	if !strings.HasPrefix(o.Command, "iokc-trace ") {
+		t.Errorf("command = %q", o.Command)
+	}
+	if o.Pattern["run"] != "sweep" || o.Pattern["trace_id"] == "" {
+		t.Errorf("pattern = %+v", o.Pattern)
+	}
+	if len(o.Results) == 0 {
+		t.Error("trace object has no span results")
+	}
+}
+
+// TestCampaignNoSlowTracesWithoutThreshold: an unarmed log persists
+// nothing extra — SelfObserve alone must not invent trace objects.
+func TestCampaignNoSlowTracesWithoutThreshold(t *testing.T) {
+	t.Cleanup(func() { telemetry.Traces.Reset() })
+	telemetry.Traces.Reset()
+	st, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := &Scheduler{Store: st, Workers: 2, BatchSize: 2, Metrics: telemetry.NewRegistry(), SelfObserve: true}
+	res, err := s.Run(context.Background(), sweepSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SlowTraceIDs) != 0 {
+		t.Fatalf("slow traces persisted without a threshold: %v", res.SlowTraceIDs)
+	}
+}

@@ -64,6 +64,7 @@ func New(store *schema.Store) *Server {
 		{"/campaigns", s.handleCampaigns},
 		{"/campaign", s.handleCampaign},
 		{"/history", s.handleHistory},
+		{"/traces", s.handleTraces},
 		{"/healthz", s.handleHealthz},
 	}
 	known := make([]string, 0, len(routes)+2)
@@ -106,7 +107,7 @@ code { background: #f4f4f4; padding: 1px 4px; }
 form.inline * { margin-right: 6px; }
 </style></head>
 <body>
-<nav><a href="/">Knowledge</a><a href="/compare">Compare</a><a href="/heatmap">Heat map</a><a href="/io500/bbox">Bounding box</a><a href="/campaigns">Campaigns</a><a href="/history">History</a><a href="/upload">Upload</a></nav>
+<nav><a href="/">Knowledge</a><a href="/compare">Compare</a><a href="/heatmap">Heat map</a><a href="/io500/bbox">Bounding box</a><a href="/campaigns">Campaigns</a><a href="/history">History</a><a href="/traces">Traces</a><a href="/upload">Upload</a></nav>
 <h1>{{.Title}}</h1>
 {{.Body}}
 </body></html>`

@@ -21,5 +21,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			return st
 		}
 	}
-	repl.HealthHandler(status).ServeHTTP(w, r)
+	withEpoch := func() repl.Status {
+		st := status()
+		if st.Epoch == 0 {
+			// Stores fronted by a shard coordinator expose their partition
+			// map; surface its epoch so load balancers can spot stale maps.
+			if m, ok := s.Store.DB.(interface{ ShardMap() (int64, []byte) }); ok {
+				st.Epoch, _ = m.ShardMap()
+			}
+		}
+		return st
+	}
+	repl.HealthHandler(withEpoch).ServeHTTP(w, r)
 }

@@ -1,0 +1,113 @@
+package explorer
+
+// The /traces page: request forensics. Without a query parameter it lists
+// the slow-query log (store-wide plus this process's own ring, via
+// schema.SlowQueries); with ?id=TRACE it renders that trace's span tree —
+// one row per hop, indented under its parent, with node, timing, and the
+// per-hop annotations (rows, path, fanout, replica chosen). The page works
+// against any store: old servers without the tracing tables degrade to
+// local-ring data, and an empty log renders a hint about --slow-query.
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+const slowQueryPageLimit = 100
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		s.renderTrace(w, id)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("<h2>Slow queries</h2>")
+	slow := schema.SlowQueries(s.Store.DB, slowQueryPageLimit)
+	if len(slow) == 0 {
+		b.WriteString(`<p>no slow queries logged — serve with <code>iokc servedb --slow-query 100ms</code> ` +
+			`(or <code>iokc serve --slow-query</code>) to start the log, ` +
+			`or query it directly with <code>SELECT * FROM __slow_queries</code></p>`)
+	} else {
+		b.WriteString("<table><tr><th>trace</th><th>began</th><th>seconds</th><th>rows</th><th>node</th><th>sql</th></tr>")
+		for _, q := range slow {
+			fmt.Fprintf(&b, `<tr><td><a href="/traces?id=%s"><code>%s</code></a></td>`+
+				`<td>%s</td><td>%.6f</td><td>%d</td><td>%s</td><td><code>%s</code></td></tr>`,
+				esc(q.TraceID), esc(short(q.TraceID)),
+				esc(q.Start.UTC().Format(time.RFC3339)), q.Seconds, q.Rows, esc(q.Node), esc(clip(q.SQL, 120)))
+		}
+		b.WriteString("</table>")
+	}
+	s.render(w, "Traces", template.HTML(b.String()))
+}
+
+func (s *Server) renderTrace(w http.ResponseWriter, id string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<h2>Trace <code>%s</code></h2>", esc(id))
+	spans := schema.TraceSpans(s.Store.DB, id)
+	if len(spans) == 0 {
+		b.WriteString(`<p>no spans retained for this trace — the span ring may have wrapped, ` +
+			`or the trace ran on a node this store cannot reach</p>`)
+		s.render(w, "Traces", template.HTML(b.String()))
+		return
+	}
+	b.WriteString("<table><tr><th>span</th><th>node</th><th>seconds</th><th>attrs</th><th>sql</th></tr>")
+	for _, row := range spanTree(spans) {
+		indent := strings.Repeat("&nbsp;&nbsp;&nbsp;", row.depth)
+		fmt.Fprintf(&b, `<tr><td>%s%s</td><td>%s</td><td>%.6f</td><td>%s</td><td><code>%s</code></td></tr>`,
+			indent, esc(row.span.Name), esc(row.span.Node), row.span.Seconds,
+			esc(row.span.AttrsText()), esc(clip(row.span.SQL, 100)))
+	}
+	b.WriteString("</table>")
+	b.WriteString(`<p><a href="/traces">← all slow queries</a></p>`)
+	s.render(w, "Traces", template.HTML(b.String()))
+}
+
+// treeRow is one span positioned in its trace's tree.
+type treeRow struct {
+	span  telemetry.SpanRecord
+	depth int
+}
+
+// spanTree orders spans depth-first from the roots, assigning each its
+// depth. Spans whose parent is missing (ring wrapped, unreachable node)
+// are treated as roots so they still render.
+func spanTree(spans []telemetry.SpanRecord) []treeRow {
+	byID := make(map[string]bool, len(spans))
+	children := map[string][]telemetry.SpanRecord{}
+	var roots []telemetry.SpanRecord
+	for _, s := range spans {
+		byID[s.SpanID] = true
+	}
+	for _, s := range spans {
+		if s.ParentID == "" || !byID[s.ParentID] {
+			roots = append(roots, s)
+		} else {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	var out []treeRow
+	var walk func(s telemetry.SpanRecord, depth int)
+	walk = func(s telemetry.SpanRecord, depth int) {
+		out = append(out, treeRow{span: s, depth: depth})
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return out
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

@@ -1,0 +1,107 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+func resetTraces(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { telemetry.Traces.Reset() })
+	telemetry.Traces.Reset()
+}
+
+func TestTracesPageEmpty(t *testing.T) {
+	resetTraces(t)
+	srv := New(seedStore(t))
+	srv.Metrics = telemetry.NewRegistry()
+	code, body := get(t, srv, "/traces")
+	if code != 200 {
+		t.Fatalf("GET /traces = %d", code)
+	}
+	if !strings.Contains(body, "--slow-query") || !strings.Contains(body, "__slow_queries") {
+		t.Errorf("empty page should hint how to enable the log:\n%s", body)
+	}
+	// The page is linked from the shared nav.
+	if !strings.Contains(body, `href="/traces"`) {
+		t.Error("nav missing the Traces link")
+	}
+}
+
+func TestTracesPageListsAndRendersTree(t *testing.T) {
+	resetTraces(t)
+	began := time.Date(2026, 8, 8, 11, 0, 0, 0, time.UTC)
+	telemetry.Traces.RecordSlow(telemetry.SlowQuery{
+		TraceID: "deadbeef01", SQL: "SELECT v FROM ev", Node: "coordinator",
+		Start: began, Seconds: 1.25, Rows: 8})
+	telemetry.Traces.Record(telemetry.SpanRecord{
+		TraceID: "deadbeef01", SpanID: "root1", Name: "coordinator.scatter", Node: "coordinator",
+		Start: began, Seconds: 1.25, SQL: "SELECT v FROM ev",
+		Attrs: []telemetry.Attr{{Key: "fanout", Value: "2"}}})
+	telemetry.Traces.Record(telemetry.SpanRecord{
+		TraceID: "deadbeef01", SpanID: "kid1", ParentID: "root1", Name: "shard 0", Node: "shard-0",
+		Start: began.Add(time.Millisecond), Seconds: 0.5,
+		Attrs: []telemetry.Attr{{Key: "rows", Value: "4"}}})
+	// An orphan (its parent fell out of the ring) must still render.
+	telemetry.Traces.Record(telemetry.SpanRecord{
+		TraceID: "deadbeef01", SpanID: "lost1", ParentID: "gone", Name: "db.select",
+		Start: began.Add(2 * time.Millisecond), Seconds: 0.1})
+
+	srv := New(seedStore(t))
+	srv.Metrics = telemetry.NewRegistry()
+
+	code, body := get(t, srv, "/traces")
+	if code != 200 {
+		t.Fatalf("GET /traces = %d", code)
+	}
+	for _, want := range []string{"/traces?id=deadbeef01", "SELECT v FROM ev", "coordinator", "1.250000"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("list page missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/traces?id=deadbeef01")
+	if code != 200 {
+		t.Fatalf("GET /traces?id = %d", code)
+	}
+	for _, want := range []string{"coordinator.scatter", "shard 0", "fanout=2", "rows=4", "db.select"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace page missing %q:\n%s", want, body)
+		}
+	}
+	// The child renders indented under its parent.
+	if !strings.Contains(body, "&nbsp;&nbsp;&nbsp;shard 0") {
+		t.Errorf("child span not indented:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/traces?id=unknowntrace")
+	if code != 200 {
+		t.Fatalf("GET unknown trace = %d", code)
+	}
+	if !strings.Contains(body, "no spans retained") {
+		t.Errorf("unknown trace should explain itself:\n%s", body)
+	}
+}
+
+// TestHealthzCarriesEpochAndLag: a health source that knows its shard-map
+// epoch and replica lag serves them through /healthz unchanged.
+func TestHealthzCarriesEpochAndLag(t *testing.T) {
+	store, err := schema.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store)
+	srv.Health = func() repl.Status {
+		return repl.Status{Role: "coordinator", Epoch: 7, ReplLagLSN: 3, ReplLagSeconds: 0.5}
+	}
+	st := getHealth(t, srv)
+	if st.Epoch != 7 || st.ReplLagLSN != 3 || st.ReplLagSeconds != 0.5 {
+		t.Errorf("health = %+v", st)
+	}
+}

@@ -60,6 +60,7 @@ func NewRegistry() *Registry {
 		DarshanExtractor{},
 		MonitorExtractor{},
 		TelemetryExtractor{},
+		TraceExtractor{},
 	}}
 }
 

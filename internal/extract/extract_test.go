@@ -84,7 +84,7 @@ func darshanLog(t *testing.T) []byte {
 
 func TestRegistryAutoDetect(t *testing.T) {
 	reg := NewRegistry()
-	if got := reg.Names(); len(got) != 6 {
+	if got := reg.Names(); len(got) != 7 {
 		t.Errorf("names = %v", got)
 	}
 	cases := []struct {
@@ -300,7 +300,7 @@ func TestCustomExtractorRegistration(t *testing.T) {
 	if ex.Object == nil || ex.Object.Source != "fake" {
 		t.Errorf("custom extraction = %+v", ex)
 	}
-	if got := reg.Names(); len(got) != 7 || got[6] != "fake" {
+	if got := reg.Names(); len(got) != 8 || got[7] != "fake" {
 		t.Errorf("names = %v", got)
 	}
 }

@@ -1,0 +1,77 @@
+package extract
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/knowledge"
+	"repro/internal/telemetry"
+)
+
+// TraceExtractor turns a slow-query trace artifact (telemetry.
+// WriteTraceArtifact) into a knowledge object, so the cycle's own worst
+// requests persist next to benchmark knowledge and a future diagnosis
+// engine can query them: each hop of the span tree becomes one iteration
+// result (Operation = span name, TotalSec = hop duration), and the
+// pattern carries the trace id, SQL, and end-to-end latency.
+type TraceExtractor struct{}
+
+// Name implements Extractor.
+func (TraceExtractor) Name() string { return "trace" }
+
+// Sniff implements Extractor.
+func (TraceExtractor) Sniff(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(telemetry.TraceArtifactPrefix))
+}
+
+// Extract implements Extractor.
+func (TraceExtractor) Extract(data []byte) (*Extraction, error) {
+	run, slow, spans, err := telemetry.ParseTraceArtifact(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("extract: trace artifact %q has no spans", slow.TraceID)
+	}
+	o := &knowledge.Object{
+		Source:  knowledge.SourceTelemetry,
+		Command: "iokc-trace " + slow.TraceID,
+		Pattern: map[string]string{
+			"run":      run,
+			"trace_id": slow.TraceID,
+			"sql":      slow.SQL,
+			"node":     slow.Node,
+		},
+	}
+	// One result per hop and one summary per distinct hop name — the
+	// store requires every result operation to have its summary row.
+	perName := map[string]int{}
+	perNameSec := map[string]float64{}
+	var order []string
+	for _, s := range spans {
+		if _, seen := perName[s.Name]; !seen {
+			order = append(order, s.Name)
+		}
+		o.Results = append(o.Results, knowledge.Result{
+			Operation: s.Name,
+			Iteration: perName[s.Name],
+			TotalSec:  s.Seconds,
+		})
+		perName[s.Name]++
+		perNameSec[s.Name] += s.Seconds
+	}
+	for _, name := range order {
+		o.Summaries = append(o.Summaries, knowledge.Summary{
+			Operation: name, API: "trace",
+			MeanSec:    perNameSec[name] / float64(perName[name]),
+			Iterations: perName[name],
+		})
+	}
+	now := time.Now().UTC()
+	o.Began, o.Finished = now, now
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extraction{Object: o}, nil
+}

@@ -1,0 +1,75 @@
+package extract
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/knowledge"
+	"repro/internal/telemetry"
+)
+
+func TestTraceExtractor(t *testing.T) {
+	began := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	slow := telemetry.SlowQuery{
+		TraceID: "abc123", SQL: "SELECT * FROM ev", Node: "coordinator",
+		Start: began, Seconds: 1.5, Rows: 9}
+	spans := []telemetry.SpanRecord{
+		{TraceID: "abc123", SpanID: "s1", Name: "coordinator.scatter", Node: "coordinator",
+			Start: began, Seconds: 1.5, SQL: slow.SQL},
+		{TraceID: "abc123", SpanID: "s2", ParentID: "s1", Name: "shard 0", Start: began, Seconds: 0.7},
+		{TraceID: "abc123", SpanID: "s3", ParentID: "s1", Name: "shard 0", Start: began, Seconds: 0.6},
+	}
+	data := telemetry.TraceArtifact("nightly", slow, spans)
+
+	reg := NewRegistry()
+	ex, err := reg.Extract(data) // auto-detects via Sniff
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ex.Object
+	if o == nil {
+		t.Fatal("no object extracted")
+	}
+	if o.Source != knowledge.SourceTelemetry {
+		t.Errorf("source = %q", o.Source)
+	}
+	if !strings.HasPrefix(o.Command, "iokc-trace ") {
+		t.Errorf("command = %q", o.Command)
+	}
+	if o.Pattern["run"] != "nightly" || o.Pattern["trace_id"] != "abc123" ||
+		o.Pattern["sql"] != slow.SQL || o.Pattern["node"] != "coordinator" {
+		t.Errorf("pattern = %+v", o.Pattern)
+	}
+	// One result per span; duplicate span names get distinct iterations.
+	if len(o.Results) != 3 {
+		t.Fatalf("results = %+v", o.Results)
+	}
+	shardResults := o.ResultsFor("shard 0")
+	if len(shardResults) != 2 || shardResults[0].Iteration == shardResults[1].Iteration {
+		t.Errorf("shard results = %+v", shardResults)
+	}
+	// One summary per distinct hop name, averaging its hops.
+	if len(o.Summaries) != 2 {
+		t.Fatalf("summaries = %+v", o.Summaries)
+	}
+	byOp := map[string]float64{}
+	for _, sm := range o.Summaries {
+		if sm.API != "trace" {
+			t.Errorf("summary API = %q", sm.API)
+		}
+		byOp[sm.Operation] = sm.MeanSec
+	}
+	if byOp["coordinator.scatter"] != 1.5 || math.Abs(byOp["shard 0"]-0.65) > 1e-9 {
+		t.Errorf("summary means = %+v", byOp)
+	}
+
+	// A spanless artifact is an error, and non-trace data is not sniffed.
+	if _, err := (TraceExtractor{}).Extract(telemetry.TraceArtifact("x", slow, nil)); err == nil {
+		t.Error("artifact without spans extracted")
+	}
+	if (TraceExtractor{}).Sniff([]byte("IOR-3.3.0: MPI Coordinated Test")) {
+		t.Error("Sniff claimed non-trace data")
+	}
+}

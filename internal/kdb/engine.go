@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrNoRows is returned by QueryRow (local and remote) when the query
@@ -219,7 +221,21 @@ func (db *DB) Schema(table string) ([]ColumnDef, error) {
 
 // Exec runs a mutation statement (CREATE, INSERT, UPDATE, DELETE, DROP).
 func (db *DB) Exec(query string, args ...any) (Result, error) {
-	return db.exec(query, args, true)
+	return db.ExecTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// ExecTraced implements TracedConn: Exec recorded as a "db.exec" span.
+func (db *DB) ExecTraced(tc telemetry.TraceContext, query string, args ...any) (Result, error) {
+	hop := telemetry.StartHop(tc, "db.exec")
+	hop.SetSQL(query)
+	res, err := db.exec(query, args, true)
+	if err != nil {
+		hop.Fail(err)
+		return Result{}, err
+	}
+	hop.AttrInt("rows_affected", int64(res.RowsAffected))
+	hop.End()
+	return res, nil
 }
 
 func (db *DB) exec(query string, args []any, log bool) (Result, error) {
@@ -396,13 +412,27 @@ func (db *DB) Batch(fn func(exec ExecFunc) error) error {
 
 // Query runs a SELECT statement.
 func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	return db.QueryTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// QueryTraced implements TracedConn: the same SELECT path as Query, with
+// the work recorded as a "db.select" span annotated with the execution path
+// taken (system table / columnar / index / scan), rows returned, and lock
+// wait. Query delegates here with an empty context, so when tracing is off
+// the hop is nil and every annotation is a no-op.
+func (db *DB) QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*Rows, error) {
+	hop := telemetry.StartHop(tc, "db.select")
+	hop.SetSQL(query)
 	stmt, err := parseCached(query)
 	if err != nil {
+		hop.Fail(err)
 		return nil, err
 	}
 	sel, ok := stmt.(*selectStmt)
 	if !ok {
-		return nil, fmt.Errorf("kdb: Query requires SELECT")
+		err := fmt.Errorf("kdb: Query requires SELECT")
+		hop.Fail(err)
+		return nil, err
 	}
 	// Virtual system tables ("__log", "__diff", ...) are materialized by an
 	// attached provider, then run through the regular row engine so every
@@ -411,7 +441,14 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	// public query surface.
 	if strings.HasPrefix(sel.Table, "__") {
 		if rows, served, err := db.querySystem(sel, args); served {
-			return rows, err
+			if err != nil {
+				hop.Fail(err)
+				return rows, err
+			}
+			hop.Attr("path", "system")
+			hop.AttrInt("rows", int64(rows.Len()))
+			hop.End()
+			return rows, nil
 		}
 	}
 	// Analytical SELECTs (aggregates / GROUP BY over a single table) may be
@@ -423,17 +460,31 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 	if h := db.columnar.Load(); h != nil {
 		if plan, ok := compileAnalytic(sel); ok {
 			if rows, served, err := h.backend.AnalyticQuery(plan, args); err == nil && served {
+				hop.Attr("path", "columnar")
+				hop.AttrInt("rows", int64(rows.Len()))
+				hop.End()
 				return rows, nil
 			}
 		}
 	}
 	lockStart := time.Now()
 	db.mu.RLock()
-	metLockWaitSeconds.Observe(sinceSeconds(lockStart))
+	lockWait := sinceSeconds(lockStart)
+	metLockWaitSeconds.Observe(lockWait)
 	defer db.mu.RUnlock()
 	start := time.Now()
-	defer func() { metQuerySeconds.Observe(sinceSeconds(start)) }()
-	return db.execSelect(sel, args)
+	st := selectStats{path: "scan"}
+	rows, err := db.execSelectStats(sel, args, &st)
+	metQuerySeconds.ObserveEx(sinceSeconds(start), hop.TraceID())
+	if err != nil {
+		hop.Fail(err)
+		return nil, err
+	}
+	hop.Attr("path", st.path)
+	hop.AttrFloat("lock_wait_seconds", lockWait)
+	hop.AttrInt("rows", int64(rows.Len()))
+	hop.End()
+	return rows, nil
 }
 
 // QueryRow runs a SELECT and returns its single row, returning ErrNoRows
@@ -811,6 +862,16 @@ func (e *env) resolve(ref colRef) (int, error) {
 }
 
 func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
+	return db.execSelectStats(s, args, nil)
+}
+
+// selectStats reports how a SELECT executed — currently just which access
+// path served it — for trace-span annotation.
+type selectStats struct {
+	path string // "index" or "scan"
+}
+
+func (db *DB) execSelectStats(s *selectStmt, args []any, st *selectStats) (*Rows, error) {
 	base, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
 		return nil, fmt.Errorf("kdb: no such table %q", s.Table)
@@ -826,6 +887,9 @@ func (db *DB) execSelect(s *selectStmt, args []any) (*Rows, error) {
 				sub[i] = base.Rows[pos]
 			}
 			rows = sub
+			if st != nil {
+				st.path = "index"
+			}
 		}
 	}
 	// Inner joins: hash join on the equality predicate. The smaller probe

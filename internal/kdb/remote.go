@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The paper's persistence phase stores knowledge "either directly as a
@@ -41,10 +43,43 @@ type Conn interface {
 	Close() error
 }
 
+// TracedConn is the optional tracing-aware surface of a Conn: the same
+// Query/Exec, plus an explicit trace context to attach the work to. *DB and
+// *Remote implement it, as do the shard coordinator and the repl router;
+// layers discover it by type assertion and fall back to the plain calls, so
+// tracing degrades gracefully across mixed-version components.
+type TracedConn interface {
+	QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*Rows, error)
+	ExecTraced(tc telemetry.TraceContext, query string, args ...any) (Result, error)
+}
+
 var (
-	_ Conn = (*DB)(nil)
-	_ Conn = (*Remote)(nil)
+	_ Conn       = (*DB)(nil)
+	_ Conn       = (*Remote)(nil)
+	_ TracedConn = (*DB)(nil)
+	_ TracedConn = (*Remote)(nil)
 )
+
+// connQuery routes a query through c's traced surface when a trace is
+// active and c supports it; otherwise the plain path.
+func connQuery(c Conn, tc telemetry.TraceContext, query string, args ...any) (*Rows, error) {
+	if tc.Valid() {
+		if t, ok := c.(TracedConn); ok {
+			return t.QueryTraced(tc, query, args...)
+		}
+	}
+	return c.Query(query, args...)
+}
+
+// connExec is connQuery for mutations.
+func connExec(c Conn, tc telemetry.TraceContext, query string, args ...any) (Result, error) {
+	if tc.Valid() {
+		if t, ok := c.(TracedConn); ok {
+			return t.ExecTraced(tc, query, args...)
+		}
+	}
+	return c.Exec(query, args...)
+}
 
 // wireRequest is one client->server message.
 type wireRequest struct {
@@ -58,6 +93,13 @@ type wireRequest struct {
 	// the "delta" op: the response manifest references them instead of
 	// re-shipping their bytes.
 	Have []string `json:"have,omitempty"`
+	// TraceID and SpanID propagate the caller's trace context so server-side
+	// work joins the client's trace. Both are optional: old clients omit
+	// them (untraced request), and old servers ignore them — json decoding
+	// drops unknown fields — so mixed-version peers interoperate, merely
+	// losing the server-side spans.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // wireResponse is one server->client message.
@@ -322,6 +364,15 @@ func (s *Server) conn() Conn {
 	return s.DB
 }
 
+// traceNode names this server in spans: the advertised address when known,
+// the role otherwise.
+func (s *Server) traceNode() string {
+	if s.Advertise != "" {
+		return s.Advertise
+	}
+	return s.role()
+}
+
 func (s *Server) dispatch(req wireRequest) wireResponse {
 	metServerRequests.Inc()
 	args, err := decodeArgs(req.Args)
@@ -333,10 +384,16 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		if s.ReadOnly {
 			return wireResponse{Err: "kdb: read-only replica rejects mutations"}
 		}
-		res, err := s.conn().Exec(req.SQL, args...)
+		hop := telemetry.StartHop(telemetry.TraceContext{TraceID: req.TraceID, SpanID: req.SpanID}, "server.exec")
+		hop.SetNode(s.traceNode())
+		hop.SetSQL(req.SQL)
+		res, err := connExec(s.conn(), hop.Context(), req.SQL, args...)
 		if err != nil {
+			hop.Fail(err)
 			return wireResponse{Err: err.Error()}
 		}
+		hop.AttrInt("rows_affected", int64(res.RowsAffected))
+		hop.End()
 		return wireResponse{LastInsertID: res.LastInsertID, RowsAffected: res.RowsAffected, LSN: res.LSN}
 	case "status":
 		st := wireResponse{Role: s.role(), Addr: s.Advertise}
@@ -391,10 +448,16 @@ func (s *Server) dispatch(req wireRequest) wireResponse {
 		metReplSnapshotBytes.Add(int64(shipped))
 		return resp
 	case "query":
-		rows, err := s.conn().Query(req.SQL, args...)
+		hop := telemetry.StartHop(telemetry.TraceContext{TraceID: req.TraceID, SpanID: req.SpanID}, "server.query")
+		hop.SetNode(s.traceNode())
+		hop.SetSQL(req.SQL)
+		rows, err := connQuery(s.conn(), hop.Context(), req.SQL, args...)
 		if err != nil {
+			hop.Fail(err)
 			return wireResponse{Err: err.Error()}
 		}
+		hop.AttrInt("rows", int64(rows.Len()))
+		hop.End()
 		resp := wireResponse{Columns: rows.Columns}
 		for _, row := range rows.All() {
 			wr, err := encodeArgs(row)
@@ -582,35 +645,64 @@ func (r *Remote) try(req wireRequest) (wireResponse, error) {
 
 // Exec implements Conn.
 func (r *Remote) Exec(query string, args ...any) (Result, error) {
+	return r.ExecTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// ExecTraced implements TracedConn: the mutation is sent with the trace
+// context on the wire, and the client-side round trip becomes an "rpc.exec"
+// span.
+func (r *Remote) ExecTraced(tc telemetry.TraceContext, query string, args ...any) (Result, error) {
+	hop := telemetry.StartHop(tc, "rpc.exec")
+	hop.SetSQL(query)
+	hop.Attr("addr", r.addr)
 	wa, err := encodeArgs(args)
 	if err != nil {
+		hop.Fail(err)
 		return Result{}, err
 	}
-	resp, err := r.roundTrip(wireRequest{Op: "exec", SQL: query, Args: wa}, false)
+	wtc := hop.Context()
+	resp, err := r.roundTrip(wireRequest{Op: "exec", SQL: query, Args: wa, TraceID: wtc.TraceID, SpanID: wtc.SpanID}, false)
 	if err != nil {
+		hop.Fail(err)
 		return Result{}, err
 	}
+	hop.AttrInt("rows_affected", int64(resp.RowsAffected))
+	hop.End()
 	return Result{LastInsertID: resp.LastInsertID, RowsAffected: resp.RowsAffected, LSN: resp.LSN}, nil
 }
 
 // Query implements Conn.
 func (r *Remote) Query(query string, args ...any) (*Rows, error) {
+	return r.QueryTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// QueryTraced implements TracedConn; see ExecTraced.
+func (r *Remote) QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*Rows, error) {
+	hop := telemetry.StartHop(tc, "rpc.query")
+	hop.SetSQL(query)
+	hop.Attr("addr", r.addr)
 	wa, err := encodeArgs(args)
 	if err != nil {
+		hop.Fail(err)
 		return nil, err
 	}
-	resp, err := r.roundTrip(wireRequest{Op: "query", SQL: query, Args: wa}, true)
+	wtc := hop.Context()
+	resp, err := r.roundTrip(wireRequest{Op: "query", SQL: query, Args: wa, TraceID: wtc.TraceID, SpanID: wtc.SpanID}, true)
 	if err != nil {
+		hop.Fail(err)
 		return nil, err
 	}
 	rows := &Rows{Columns: resp.Columns}
 	for _, wr := range resp.Rows {
 		vals, err := decodeArgs(wr)
 		if err != nil {
+			hop.Fail(err)
 			return nil, err
 		}
 		rows.rows = append(rows.rows, vals)
 	}
+	hop.AttrInt("rows", int64(rows.Len()))
+	hop.End()
 	return rows, nil
 }
 

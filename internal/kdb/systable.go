@@ -39,11 +39,15 @@ func (db *DB) SetSystemTables(p SystemTableProvider) {
 	db.system.Store(&systemHook{p: p})
 }
 
-// querySystem serves one SELECT whose FROM table the provider claims.
-// served=false falls through to the row engine.
+// querySystem serves one SELECT whose FROM table a provider claims. The
+// attached provider gets first refusal; the built-in tracing tables
+// (__slow_queries, __trace_spans) answer next, so they coexist with a
+// versioning provider's __log family. served=false falls through to the
+// row engine.
 func (db *DB) querySystem(sel *selectStmt, args []any) (rows *Rows, served bool, err error) {
+	name := strings.ToLower(sel.Table)
 	h := db.system.Load()
-	if h == nil {
+	if h == nil && !isTraceTable(name) {
 		return nil, false, nil
 	}
 	filters := map[string]any{}
@@ -66,10 +70,19 @@ func (db *DB) querySystem(sel *selectStmt, args []any) (rows *Rows, served bool,
 			filters[strings.ToLower(f.Col.Name)] = n
 		}
 	}
-	name := strings.ToLower(sel.Table)
-	cols, data, claimed, err := h.p.SystemTable(name, filters)
-	if err != nil {
-		return nil, true, err
+	var (
+		cols    []ColumnDef
+		data    [][]any
+		claimed bool
+	)
+	if h != nil {
+		cols, data, claimed, err = h.p.SystemTable(name, filters)
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	if !claimed {
+		cols, data, claimed = traceSystemTable(name)
 	}
 	if !claimed {
 		return nil, false, nil

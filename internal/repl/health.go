@@ -13,15 +13,25 @@ type Status struct {
 	Role string `json:"role"`
 	// Addr is this node's advertised address; PrimaryAddr is the primary
 	// a replica follows.
-	Addr        string   `json:"addr,omitempty"`
-	PrimaryAddr string   `json:"primary_addr,omitempty"`
-	AppliedLSN  int64    `json:"applied_lsn"`
-	PrimaryLSN  int64    `json:"primary_lsn,omitempty"`
-	LagLSN      int64    `json:"lag_lsn"`
-	LagSeconds  float64  `json:"lag_seconds"`
-	Resyncs     int64    `json:"resyncs,omitempty"`
-	LastError   string   `json:"last_error,omitempty"`
-	Replicas    []Status `json:"replicas,omitempty"`
+	Addr        string  `json:"addr,omitempty"`
+	PrimaryAddr string  `json:"primary_addr,omitempty"`
+	AppliedLSN  int64   `json:"applied_lsn"`
+	PrimaryLSN  int64   `json:"primary_lsn,omitempty"`
+	LagLSN      int64   `json:"lag_lsn"`
+	LagSeconds  float64 `json:"lag_seconds"`
+	Resyncs     int64   `json:"resyncs,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
+	// Epoch is the shard-map epoch this node serves (coordinator nodes and
+	// stores opened from a shard:// URL); 0 when unsharded. Load balancers
+	// use it to spot nodes still advertising a superseded partition map.
+	Epoch int64 `json:"shard_epoch,omitempty"`
+	// ReplLagLSN and ReplLagSeconds aggregate the worst replica lag under
+	// this node (0 with no replicas or when all are caught up) — the one
+	// number a load balancer needs to decide whether to drain. They mirror
+	// the repl_lag_lsn / repl_lag_seconds Prometheus gauges.
+	ReplLagLSN     int64    `json:"repl_lag_lsn"`
+	ReplLagSeconds float64  `json:"repl_lag_seconds"`
+	Replicas       []Status `json:"replicas,omitempty"`
 }
 
 // HealthHandler serves the given status snapshot as JSON. A replica that
@@ -63,6 +73,12 @@ func (rt *Router) Health() Status {
 		}
 		if lag := st.AppliedLSN - rst.AppliedLSN; lag > 0 {
 			rst.LagLSN = lag
+		}
+		if rst.LagLSN > st.ReplLagLSN {
+			st.ReplLagLSN = rst.LagLSN
+		}
+		if rst.LagSeconds > st.ReplLagSeconds {
+			st.ReplLagSeconds = rst.LagSeconds
 		}
 		st.Replicas = append(st.Replicas, rst)
 	}

@@ -328,5 +328,9 @@ func (f *Follower) Health() Status {
 			st.LagSeconds = time.Since(f.lastApply).Seconds()
 		}
 	}
+	// A replica's own lag is also its aggregate lag: /healthz consumers
+	// read repl_lag_* uniformly across roles.
+	st.ReplLagLSN = st.LagLSN
+	st.ReplLagSeconds = st.LagSeconds
 	return st
 }

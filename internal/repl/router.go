@@ -3,9 +3,11 @@ package repl
 import (
 	"errors"
 	"io"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/kdb"
+	"repro/internal/telemetry"
 )
 
 // Replica is a read target the Router can route queries to: a remote
@@ -19,12 +21,54 @@ type Replica interface {
 
 var _ Replica = (*kdb.Remote)(nil)
 
+// tracedQuerier is the read-only tracing surface a Replica may offer;
+// *kdb.Remote does (via kdb.TracedConn) and LocalReplica does below. The
+// router queries through it when a trace is active so replica-side spans
+// join the request's trace.
+type tracedQuerier interface {
+	QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error)
+}
+
+// replicaQuery routes through the replica's traced surface when possible.
+func replicaQuery(r Replica, tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
+	if tc.Valid() {
+		if t, ok := r.(tracedQuerier); ok {
+			return t.QueryTraced(tc, query, args...)
+		}
+	}
+	return r.Query(query, args...)
+}
+
+// connQuery and connExec route through a Conn's traced surface when
+// possible.
+func connQuery(c kdb.Conn, tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
+	if tc.Valid() {
+		if t, ok := c.(kdb.TracedConn); ok {
+			return t.QueryTraced(tc, query, args...)
+		}
+	}
+	return c.Query(query, args...)
+}
+
+func connExec(c kdb.Conn, tc telemetry.TraceContext, query string, args ...any) (kdb.Result, error) {
+	if tc.Valid() {
+		if t, ok := c.(kdb.TracedConn); ok {
+			return t.ExecTraced(tc, query, args...)
+		}
+	}
+	return c.Exec(query, args...)
+}
+
 // LocalReplica adapts an in-process Follower into a Replica, so a node
 // can serve its own follower copy without a network hop.
 type LocalReplica struct{ F *Follower }
 
 func (l LocalReplica) Query(query string, args ...any) (*kdb.Rows, error) {
 	return l.F.db.Query(query, args...)
+}
+
+func (l LocalReplica) QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
+	return l.F.db.QueryTraced(tc, query, args...)
 }
 
 func (l LocalReplica) QueryRow(query string, args ...any) ([]any, error) {
@@ -88,8 +132,16 @@ func (rt *Router) Exec(query string, args ...any) (kdb.Result, error) {
 	return rt.def.Exec(query, args...)
 }
 
+func (rt *Router) ExecTraced(tc telemetry.TraceContext, query string, args ...any) (kdb.Result, error) {
+	return rt.def.ExecTraced(tc, query, args...)
+}
+
 func (rt *Router) Query(query string, args ...any) (*kdb.Rows, error) {
 	return rt.def.Query(query, args...)
+}
+
+func (rt *Router) QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
+	return rt.def.QueryTraced(tc, query, args...)
 }
 
 func (rt *Router) QueryRow(query string, args ...any) ([]any, error) {
@@ -122,9 +174,12 @@ func (rt *Router) Close() error {
 }
 
 var (
-	_ kdb.Conn    = (*Router)(nil)
-	_ kdb.Batcher = (*Router)(nil)
-	_ kdb.Conn    = (*Session)(nil)
+	_ kdb.Conn       = (*Router)(nil)
+	_ kdb.TracedConn = (*Router)(nil)
+	_ kdb.Batcher    = (*Router)(nil)
+	_ kdb.Conn       = (*Session)(nil)
+	_ kdb.TracedConn = (*Session)(nil)
+	_ tracedQuerier  = LocalReplica{}
 )
 
 // Session tracks one logical client's last write so its reads are never
@@ -145,11 +200,24 @@ func (s *Session) noteWrite(lsn int64) {
 
 // Exec sends the mutation to the primary and remembers its LSN.
 func (s *Session) Exec(query string, args ...any) (kdb.Result, error) {
-	res, err := s.rt.primary.Exec(query, args...)
-	if err == nil {
-		s.noteWrite(res.LSN)
+	return s.ExecTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// ExecTraced implements kdb.TracedConn: writes always target the primary,
+// recorded as a "router.exec" span.
+func (s *Session) ExecTraced(tc telemetry.TraceContext, query string, args ...any) (kdb.Result, error) {
+	hop := telemetry.StartHop(tc, "router.exec")
+	hop.SetSQL(query)
+	hop.Attr("target", "primary")
+	res, err := connExec(s.rt.primary, hop.Context(), query, args...)
+	if err != nil {
+		hop.Fail(err)
+		return res, err
 	}
-	return res, err
+	s.noteWrite(res.LSN)
+	hop.AttrInt("rows_affected", int64(res.RowsAffected))
+	hop.End()
+	return res, nil
 }
 
 // eachFresh offers sufficiently fresh replicas to fn in round-robin order
@@ -160,7 +228,7 @@ func (s *Session) Exec(query string, args ...any) (kdb.Result, error) {
 // LSN invalidated (a dead replica's stale cache would otherwise keep
 // qualifying forever) and the remaining fresh replicas are tried before
 // the caller falls back to the primary.
-func (s *Session) eachFresh(fn func(Replica) bool) bool {
+func (s *Session) eachFresh(fn func(int, Replica) bool) bool {
 	rt := s.rt
 	n := len(rt.replicas)
 	if n == 0 {
@@ -169,7 +237,8 @@ func (s *Session) eachFresh(fn func(Replica) bool) bool {
 	need := s.lastWrite.Load()
 	start := rt.rr.Add(1)
 	for i := 0; i < n; i++ {
-		rs := rt.replicas[(start+uint64(i))%uint64(n)]
+		idx := int((start + uint64(i)) % uint64(n))
+		rs := rt.replicas[idx]
 		if rs.knownLSN.Load() < need {
 			st, err := rs.r.Status()
 			if err != nil {
@@ -181,7 +250,7 @@ func (s *Session) eachFresh(fn func(Replica) bool) bool {
 				continue
 			}
 		}
-		if fn(rs.r) {
+		if fn(idx, rs.r) {
 			return true
 		}
 		rs.knownLSN.Store(-1)
@@ -193,22 +262,43 @@ func (s *Session) eachFresh(fn func(Replica) bool) bool {
 // fails, and falls back to the primary only when no replica qualifies or
 // every fresh one errored.
 func (s *Session) Query(query string, args ...any) (*kdb.Rows, error) {
+	return s.QueryTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// QueryTraced implements kdb.TracedConn: the routing decision becomes a
+// "router.query" span annotated with the target chosen (replica index or
+// primary fallback), and the chosen backend's own spans nest under it.
+func (s *Session) QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
+	hop := telemetry.StartHop(tc, "router.query")
+	hop.SetSQL(query)
 	var rows *kdb.Rows
-	if s.eachFresh(func(rep Replica) bool {
-		r, err := rep.Query(query, args...)
+	chosen := -1
+	if s.eachFresh(func(idx int, rep Replica) bool {
+		r, err := replicaQuery(rep, hop.Context(), query, args...)
 		if err != nil {
 			return false
 		}
-		rows = r
+		rows, chosen = r, idx
 		return true
 	}) {
 		s.rt.replicaReads.Add(1)
 		metRouterReplica.Inc()
+		hop.Attr("target", "replica "+strconv.Itoa(chosen))
+		hop.AttrInt("rows", int64(rows.Len()))
+		hop.End()
 		return rows, nil
 	}
 	s.rt.primaryReads.Add(1)
 	metRouterPrimary.Inc()
-	return s.rt.primary.Query(query, args...)
+	hop.Attr("target", "primary")
+	rows, err := connQuery(s.rt.primary, hop.Context(), query, args...)
+	if err != nil {
+		hop.Fail(err)
+		return nil, err
+	}
+	hop.AttrInt("rows", int64(rows.Len()))
+	hop.End()
+	return rows, nil
 }
 
 // QueryRow routes like Query; a replica's ErrNoRows is a real answer, not
@@ -216,7 +306,7 @@ func (s *Session) Query(query string, args ...any) (*kdb.Rows, error) {
 func (s *Session) QueryRow(query string, args ...any) ([]any, error) {
 	var row []any
 	var rowErr error
-	if s.eachFresh(func(rep Replica) bool {
+	if s.eachFresh(func(_ int, rep Replica) bool {
 		r, err := rep.QueryRow(query, args...)
 		if err != nil && !errors.Is(err, kdb.ErrNoRows) {
 			return false

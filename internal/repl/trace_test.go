@@ -1,0 +1,127 @@
+package repl
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func resetTracing(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		telemetry.SetTracing(false)
+		telemetry.Traces.Reset()
+	})
+	telemetry.Traces.Reset()
+}
+
+// TestRouterTracedSpans pins the router's span shape: writes become
+// "router.exec" spans targeting the primary, reads become "router.query"
+// spans naming their target, and the engine's own spans nest beneath.
+func TestRouterTracedSpans(t *testing.T) {
+	resetTracing(t)
+	telemetry.SetTracing(true)
+	primary := openDB(t, "")
+	rt := NewRouter(primary) // no replicas: reads fall back to the primary
+	if _, err := rt.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Exec("INSERT INTO kv (v) VALUES (?)", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Query("SELECT v FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string][]telemetry.SpanRecord{}
+	for _, s := range telemetry.Traces.AllSpans() {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	execs := byName["router.exec"]
+	if len(execs) != 2 {
+		t.Fatalf("router.exec spans = %+v", execs)
+	}
+	for _, s := range execs {
+		if s.ParentID != "" || !strings.Contains(s.AttrsText(), "target=primary") {
+			t.Fatalf("router.exec span = %+v", s)
+		}
+	}
+	queries := byName["router.query"]
+	if len(queries) != 1 || !strings.Contains(queries[0].AttrsText(), "target=primary") ||
+		!strings.Contains(queries[0].AttrsText(), "rows=1") {
+		t.Fatalf("router.query spans = %+v", queries)
+	}
+	// The engine spans joined the router's traces rather than rooting anew.
+	if got := byName["db.select"]; len(got) != 1 || got[0].ParentID != queries[0].SpanID {
+		t.Fatalf("db.select span = %+v", got)
+	}
+	if got := byName["db.exec"]; len(got) != 2 {
+		t.Fatalf("db.exec spans = %+v", got)
+	} else {
+		for _, s := range got {
+			if s.TraceID != execs[0].TraceID && s.TraceID != execs[1].TraceID {
+				t.Fatalf("db.exec span in foreign trace: %+v", s)
+			}
+		}
+	}
+}
+
+// TestRouterHealthAggregatesWorstLag checks the /healthz rollup: the
+// router reports the worst replica lag as its own repl_lag_* numbers.
+func TestRouterHealthAggregatesWorstLag(t *testing.T) {
+	primary := openDB(t, "")
+	mustExec(t, primary, "CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, primary, "INSERT INTO kv (v) VALUES (?)", "x")
+	fresh := &fakeReplica{db: primary}
+	fresh.lsn.Store(primary.LSN())
+	stale := &fakeReplica{db: primary} // still at LSN 0
+	rt := NewRouter(primary, fresh, stale)
+
+	st := rt.Health()
+	if len(st.Replicas) != 2 {
+		t.Fatalf("replicas = %+v", st.Replicas)
+	}
+	if st.ReplLagLSN != primary.LSN() {
+		t.Errorf("ReplLagLSN = %d, want worst lag %d", st.ReplLagLSN, primary.LSN())
+	}
+	if st.Replicas[0].LagLSN != 0 || st.Replicas[1].LagLSN != primary.LSN() {
+		t.Errorf("per-replica lag = %d / %d", st.Replicas[0].LagLSN, st.Replicas[1].LagLSN)
+	}
+}
+
+// TestFollowerHealthMirrorsOwnLag: on a replica node the aggregate lag
+// fields repeat the node's own lag, so /healthz consumers read
+// repl_lag_lsn uniformly across roles.
+func TestFollowerHealthMirrorsOwnLag(t *testing.T) {
+	db := openDB(t, "")
+	f := NewFollower(db, "kdb://primary:7070", Options{})
+	f.mu.Lock()
+	f.primaryLSN = 5
+	f.mu.Unlock()
+
+	st := f.Health()
+	if st.LagLSN != 5 || st.ReplLagLSN != 5 {
+		t.Errorf("lag = %d, aggregate = %d, want both 5", st.LagLSN, st.ReplLagLSN)
+	}
+}
+
+// TestStatusJSONAlwaysCarriesLagFields: the aggregate lag fields have no
+// omitempty, so a fully caught-up node still serves explicit zeros —
+// scrapers never need to treat absence as a special case.
+func TestStatusJSONAlwaysCarriesLagFields(t *testing.T) {
+	data, err := json.Marshal(Status{Role: "primary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"repl_lag_lsn":0`, `"repl_lag_seconds":0`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("status JSON missing %s: %s", want, data)
+		}
+	}
+	// Epoch stays omitted on unsharded nodes.
+	if strings.Contains(string(data), "shard_epoch") {
+		t.Errorf("unsharded status leaked shard_epoch: %s", data)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/kdb"
+	"repro/internal/telemetry"
 )
 
 // Coordinator fronts a fixed set of shard connections as one kdb.Conn.
@@ -63,9 +64,31 @@ func (c *Coordinator) Shard(i int) kdb.Conn { return c.shards[i] }
 
 func (c *Coordinator) shardFor(key uint64) int { return int(key % uint64(len(c.shards))) }
 
-// observe records one shard request's latency.
-func observe(shard int, start time.Time) {
-	shardLatency(shard).Observe(time.Since(start).Seconds())
+// observe records one shard request's latency, tagging the series with the
+// trace as its exemplar when the request was traced.
+func observe(shard int, start time.Time, traceID string) {
+	shardLatency(shard).ObserveEx(time.Since(start).Seconds(), traceID)
+}
+
+// queryOn routes a query through a shard's traced surface when a trace is
+// active and the connection supports it, the plain path otherwise.
+func queryOn(conn kdb.Conn, tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
+	if tc.Valid() {
+		if t, ok := conn.(kdb.TracedConn); ok {
+			return t.QueryTraced(tc, query, args...)
+		}
+	}
+	return conn.Query(query, args...)
+}
+
+// execOn is queryOn for mutations.
+func execOn(conn kdb.Conn, tc telemetry.TraceContext, query string, args ...any) (kdb.Result, error) {
+	if tc.Valid() {
+		if t, ok := conn.(kdb.TracedConn); ok {
+			return t.ExecTraced(tc, query, args...)
+		}
+	}
+	return conn.Exec(query, args...)
 }
 
 // Exec routes one mutation. DDL broadcasts to every shard so schemas stay
@@ -74,31 +97,65 @@ func observe(shard int, start time.Time) {
 // broadcast and report the summed affected-row count. The returned LSN is
 // meaningful only relative to the shard that executed the write.
 func (c *Coordinator) Exec(query string, args ...any) (kdb.Result, error) {
+	return c.ExecTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// ExecTraced implements kdb.TracedConn: the routing decision becomes a
+// "coordinator.exec" span with a child span per shard touched.
+func (c *Coordinator) ExecTraced(tc telemetry.TraceContext, query string, args ...any) (kdb.Result, error) {
 	class, _, err := kdb.Classify(query)
 	if err != nil {
 		return kdb.Result{}, err
 	}
+	hop := telemetry.StartHop(tc, "coordinator.exec")
+	hop.SetSQL(query)
 	switch class {
 	case kdb.StmtDDL:
-		return c.broadcast(query, args, false)
+		res, err := c.broadcast(hop.Context(), query, args, false)
+		finishExec(hop, res, err)
+		return res, err
 	case kdb.StmtInsert:
 		idx, err := c.routeInsert(query, args)
 		if err != nil {
+			hop.Fail(err)
 			return kdb.Result{}, err
 		}
+		hop.AttrInt("shard", int64(idx))
+		child := telemetry.StartHop(hop.Context(), fmt.Sprintf("shard %d", idx))
 		start := time.Now()
-		res, err := c.shards[idx].Exec(query, args...)
-		observe(idx, start)
-		if err == nil {
+		res, err := execOn(c.shards[idx], child.Context(), query, args...)
+		observe(idx, start, child.TraceID())
+		if err != nil {
+			child.Fail(err)
+		} else {
 			metIngest.Inc()
+			child.AttrInt("rows_affected", int64(res.RowsAffected))
+			child.End()
 		}
+		finishExec(hop, res, err)
 		return res, err
 	case kdb.StmtUpdate, kdb.StmtDelete:
-		return c.broadcast(query, args, true)
+		res, err := c.broadcast(hop.Context(), query, args, true)
+		finishExec(hop, res, err)
+		return res, err
 	case kdb.StmtSelect:
-		return kdb.Result{}, fmt.Errorf("shard: use Query for SELECT")
+		err := fmt.Errorf("shard: use Query for SELECT")
+		hop.Fail(err)
+		return kdb.Result{}, err
 	}
-	return kdb.Result{}, fmt.Errorf("shard: unsupported statement")
+	err = fmt.Errorf("shard: unsupported statement")
+	hop.Fail(err)
+	return kdb.Result{}, err
+}
+
+// finishExec closes a coordinator exec span with its outcome.
+func finishExec(hop *telemetry.Hop, res kdb.Result, err error) {
+	if err != nil {
+		hop.Fail(err)
+		return
+	}
+	hop.AttrInt("rows_affected", int64(res.RowsAffected))
+	hop.End()
 }
 
 // routeInsert picks the owning shard for an INSERT: hash of the first
@@ -119,7 +176,7 @@ func (c *Coordinator) routeInsert(query string, args []any) (int, error) {
 // first shard's result is returned (DDL, where all results are equal).
 // Shards run concurrently; all errors are joined so a partial failure is
 // visible rather than masked by a later success.
-func (c *Coordinator) broadcast(query string, args []any, sum bool) (kdb.Result, error) {
+func (c *Coordinator) broadcast(tc telemetry.TraceContext, query string, args []any, sum bool) (kdb.Result, error) {
 	results := make([]kdb.Result, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -127,9 +184,16 @@ func (c *Coordinator) broadcast(query string, args []any, sum bool) (kdb.Result,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			child := telemetry.StartHop(tc, fmt.Sprintf("shard %d", i))
 			start := time.Now()
-			results[i], errs[i] = c.shards[i].Exec(query, args...)
-			observe(i, start)
+			results[i], errs[i] = execOn(c.shards[i], child.Context(), query, args...)
+			observe(i, start, child.TraceID())
+			if errs[i] != nil {
+				child.Fail(errs[i])
+			} else {
+				child.AttrInt("rows_affected", int64(results[i].RowsAffected))
+				child.End()
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -151,10 +215,21 @@ func (c *Coordinator) broadcast(query string, args []any, sum bool) (kdb.Result,
 // DISTINCT, and recombines decomposed aggregates with the engine's own
 // comparison and grouping semantics.
 func (c *Coordinator) Query(query string, args ...any) (*kdb.Rows, error) {
+	return c.QueryTraced(telemetry.TraceContext{}, query, args...)
+}
+
+// QueryTraced implements kdb.TracedConn: the scatter-gather becomes a
+// "coordinator.scatter" span with one "shard i" child per fan-out leg
+// (each annotated with the rows that leg returned), so a cross-shard query
+// reads as one tree from coordinator to every replica that served it.
+func (c *Coordinator) QueryTraced(tc telemetry.TraceContext, query string, args ...any) (*kdb.Rows, error) {
 	plan, err := kdb.PlanScatter(query)
 	if err != nil {
 		return nil, err
 	}
+	hop := telemetry.StartHop(tc, "coordinator.scatter")
+	hop.SetSQL(query)
+	hop.AttrInt("fanout", int64(len(c.shards)))
 	parts := make([]*kdb.Rows, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -162,21 +237,32 @@ func (c *Coordinator) Query(query string, args ...any) (*kdb.Rows, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			child := telemetry.StartHop(hop.Context(), fmt.Sprintf("shard %d", i))
 			start := time.Now()
-			parts[i], errs[i] = c.shards[i].Query(plan.ShardSQL, args...)
-			observe(i, start)
+			parts[i], errs[i] = queryOn(c.shards[i], child.Context(), plan.ShardSQL, args...)
+			observe(i, start, child.TraceID())
+			if errs[i] != nil {
+				child.Fail(errs[i])
+			} else {
+				child.AttrInt("rows", int64(parts[i].Len()))
+				child.End()
+			}
 		}(i)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
+		hop.Fail(err)
 		return nil, err
 	}
 	metFanout.Observe(float64(len(c.shards)))
 	out, err := mergeRows(plan, parts)
 	if err != nil {
+		hop.Fail(err)
 		return nil, err
 	}
 	metMergeRows.Add(int64(out.Len()))
+	hop.AttrInt("rows", int64(out.Len()))
+	hop.End()
 	return out, nil
 }
 
@@ -238,7 +324,7 @@ func (c *Coordinator) BatchKeyed(key uint64, fn func(exec kdb.ExecFunc) error) e
 
 func (c *Coordinator) batchOn(idx int, fn func(exec kdb.ExecFunc) error) error {
 	start := time.Now()
-	defer observe(idx, start)
+	defer observe(idx, start, "")
 	count := func(exec kdb.ExecFunc) kdb.ExecFunc {
 		return func(query string, args ...any) (kdb.Result, error) {
 			res, err := exec(query, args...)
@@ -256,6 +342,7 @@ func (c *Coordinator) batchOn(idx int, fn func(exec kdb.ExecFunc) error) error {
 
 var (
 	_ kdb.Conn         = (*Coordinator)(nil)
+	_ kdb.TracedConn   = (*Coordinator)(nil)
 	_ kdb.Batcher      = (*Coordinator)(nil)
 	_ kdb.KeyedBatcher = (*Coordinator)(nil)
 )

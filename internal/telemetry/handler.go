@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -18,13 +17,12 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// JSONHandler serves the registry as a JSON snapshot.
+// JSONHandler serves the registry as a JSON snapshot with sorted keys
+// (deterministic output for diffing and golden tests).
 func JSONHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(r.Snapshot())
+		r.Snapshot().WriteJSON(w)
 	})
 }
 

@@ -17,13 +17,16 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds named metrics. The zero value is not usable; call
@@ -210,6 +213,15 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    atomic.Uint64 // float64 bits
 	count  atomic.Int64
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram to one recent traced observation, so a latency
+// spike on a dashboard leads straight to the trace that caused it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+	Unix    int64   `json:"unix"`
 }
 
 // DefaultBuckets covers 1µs .. ~67s in 26 exponential (factor-2) steps —
@@ -293,6 +305,18 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveEx records one value and, when traceID is non-empty, stores it as
+// the histogram's exemplar (latest traced observation wins).
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	if h == nil || h.reg.disabled.Load() {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{Value: v, TraceID: traceID, Unix: time.Now().Unix()})
+	}
+}
+
 // Count returns the number of observations (0 on a nil histogram).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -316,10 +340,11 @@ type HistogramValue struct {
 	Cumulative []int64   `json:"cumulative"`
 	Sum        float64   `json:"sum"`
 	Count      int64     `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 func (h *Histogram) snapshot() HistogramValue {
-	v := HistogramValue{Bounds: h.bounds, Sum: h.Sum(), Count: h.Count()}
+	v := HistogramValue{Bounds: h.bounds, Sum: h.Sum(), Count: h.Count(), Exemplar: h.ex.Load()}
 	v.Cumulative = make([]int64, len(h.counts))
 	var cum int64
 	for i := range h.counts {
@@ -409,13 +434,34 @@ func (s Snapshot) WriteProm(w *strings.Builder) {
 			continue
 		}
 		h := s.Histograms[name]
-		for i, bound := range h.Bounds {
-			fmt.Fprintf(w, "%s %d\n", bucketSeries(base, labels, formatFloat(bound)), h.Cumulative[i])
+		exBucket := -1
+		if h.Exemplar != nil {
+			exBucket = 0
+			if math.IsNaN(h.Exemplar.Value) {
+				exBucket = len(h.Bounds)
+			} else {
+				for exBucket < len(h.Bounds) && h.Exemplar.Value > h.Bounds[exBucket] {
+					exBucket++
+				}
+			}
 		}
-		fmt.Fprintf(w, "%s %d\n", bucketSeries(base, labels, "+Inf"), h.Cumulative[len(h.Cumulative)-1])
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(w, "%s %d%s\n", bucketSeries(base, labels, formatFloat(bound)), h.Cumulative[i], exemplarSuffix(h.Exemplar, exBucket == i))
+		}
+		fmt.Fprintf(w, "%s %d%s\n", bucketSeries(base, labels, "+Inf"), h.Cumulative[len(h.Cumulative)-1], exemplarSuffix(h.Exemplar, exBucket == len(h.Bounds)))
 		fmt.Fprintf(w, "%s_sum%s %s\n", base, braced(labels), formatFloat(h.Sum))
 		fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels), h.Count)
 	}
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for the bucket
+// the exemplar value falls into ("" elsewhere, so untraced registries keep
+// byte-identical exposition).
+func exemplarSuffix(ex *Exemplar, here bool) string {
+	if ex == nil || !here {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %s %d`, escapeLabel(ex.TraceID), formatFloat(ex.Value), ex.Unix)
 }
 
 func bucketSeries(base, labels, le string) string {
@@ -434,6 +480,72 @@ func braced(labels string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the snapshot as indented JSON with every object's keys
+// in sorted order, so /metrics.json is deterministic and golden-file
+// testable. (encoding/json happens to sort map keys today, but this makes
+// the ordering an explicit contract rather than an implementation detail.)
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	names := sortedKeys(s.Counters)
+	for i, name := range names {
+		writeJSONKey(&b, i, name)
+		fmt.Fprintf(&b, "%d", s.Counters[name])
+	}
+	closeJSONSection(&b, len(names))
+	b.WriteString(",\n  \"gauges\": {")
+	names = sortedKeys(s.Gauges)
+	for i, name := range names {
+		writeJSONKey(&b, i, name)
+		v, err := json.Marshal(s.Gauges[name])
+		if err != nil {
+			return err
+		}
+		b.Write(v)
+	}
+	closeJSONSection(&b, len(names))
+	b.WriteString(",\n  \"histograms\": {")
+	names = sortedKeys(s.Histograms)
+	for i, name := range names {
+		writeJSONKey(&b, i, name)
+		v, err := json.Marshal(s.Histograms[name])
+		if err != nil {
+			return err
+		}
+		b.Write(v)
+	}
+	closeJSONSection(&b, len(names))
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeJSONKey(b *strings.Builder, i int, name string) {
+	if i > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString("\n    ")
+	key, _ := json.Marshal(name)
+	b.Write(key)
+	b.WriteString(": ")
+}
+
+func closeJSONSection(b *strings.Builder, n int) {
+	if n > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteByte('}')
 }
 
 // Prom renders the registry in the Prometheus text format.

@@ -1,0 +1,398 @@
+package telemetry
+
+// Distributed tracing. A TraceContext (trace id + parent span id) travels
+// with a request across process boundaries — the kdb wire protocol carries
+// it as two optional JSON fields — and every layer the request crosses
+// (remote client, server, scatter-gather coordinator, replica router, the
+// engine itself) opens a Hop: one span that is recorded into the
+// process-wide TraceStore when it ends. Spans reference their parent by id
+// rather than by pointer, so a trace assembled from several processes'
+// stores still forms one tree.
+//
+// Tracing is off by default and costs two atomic loads per request when
+// off. It turns on when a slow-query threshold is set (SetSlowQueryThreshold)
+// or explicitly (SetTracing); a request arriving WITH a trace context is
+// always recorded, so a node that has tracing off locally still contributes
+// its hops to traces started elsewhere.
+//
+// The store is two fixed-size rings: recent spans and the slow-query log.
+// A root hop (one with no parent) whose duration crosses the threshold
+// lands in the slow-query log with its full SQL — the entries behind the
+// __slow_queries system table and the explorer's /traces page.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies a position in a trace: the trace and the span
+// that downstream hops should attach to. The zero value means "untraced".
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context belongs to a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+var (
+	slowNanos     atomic.Int64
+	tracingForced atomic.Bool
+	traceNode     atomic.Pointer[string]
+)
+
+// SetSlowQueryThreshold sets the duration at or above which a root hop is
+// recorded in the slow-query log. A positive threshold also turns tracing
+// on; zero disables the log (and tracing, unless forced by SetTracing).
+func SetSlowQueryThreshold(d time.Duration) { slowNanos.Store(int64(d)) }
+
+// SlowQueryThreshold returns the current threshold (0 = disabled).
+func SlowQueryThreshold() time.Duration { return time.Duration(slowNanos.Load()) }
+
+// SetTracing forces tracing on (or back off) independently of the
+// slow-query threshold — spans are recorded, but nothing is logged slow.
+func SetTracing(on bool) { tracingForced.Store(on) }
+
+// TracingOn reports whether new root traces should be started.
+func TracingOn() bool { return tracingForced.Load() || slowNanos.Load() > 0 }
+
+// SetTraceNode names this process in recorded spans (an advertise address,
+// "coordinator", "explorer", ...). Empty means unnamed.
+func SetTraceNode(name string) { traceNode.Store(&name) }
+
+// TraceNode returns the configured node name.
+func TraceNode() string {
+	if p := traceNode.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// newID returns n random bytes hex-encoded (16 bytes for trace ids, 8 for
+// span ids, mirroring W3C trace-context sizes).
+func newID(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a zero id keeps
+		// the trace usable rather than panicking an instrumented hot path.
+		return ""
+	}
+	return hex.EncodeToString(b)
+}
+
+// Attr is one key/value annotation on a span (rows scanned, path taken,
+// shard fanout, replica chosen...).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one completed hop of a trace.
+type SpanRecord struct {
+	TraceID  string    `json:"trace_id"`
+	SpanID   string    `json:"span_id"`
+	ParentID string    `json:"parent_id,omitempty"`
+	Name     string    `json:"name"`
+	Node     string    `json:"node,omitempty"`
+	SQL      string    `json:"sql,omitempty"`
+	Start    time.Time `json:"start"`
+	Seconds  float64   `json:"seconds"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+}
+
+// AttrsText renders the annotations as "k=v k=v" for single-column
+// exposition (the __trace_spans attrs column).
+func (r SpanRecord) AttrsText() string {
+	out := ""
+	for i, a := range r.Attrs {
+		if i > 0 {
+			out += " "
+		}
+		out += a.Key + "=" + a.Value
+	}
+	return out
+}
+
+// SlowQuery is one slow-query log entry: a root hop that crossed the
+// threshold.
+type SlowQuery struct {
+	TraceID string    `json:"trace_id"`
+	SQL     string    `json:"sql"`
+	Node    string    `json:"node,omitempty"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	Rows    int64     `json:"rows"`
+}
+
+// Ring capacities. Spans dominate (every hop of every trace); the slow log
+// holds only threshold-crossing roots.
+const (
+	spanRingSize = 4096
+	slowRingSize = 256
+)
+
+// TraceStore is a bounded in-memory span and slow-query store. Recording
+// only happens while tracing is active, so a mutex (not lock-free
+// machinery) is the right cost/complexity trade.
+type TraceStore struct {
+	mu       sync.Mutex
+	spans    []SpanRecord // ring, capacity spanRingSize
+	spanNext int
+	slow     []SlowQuery // ring, capacity slowRingSize
+	slowNext int
+}
+
+// Traces is the process-wide trace store every built-in instrumentation
+// point records into.
+var Traces = NewTraceStore()
+
+// NewTraceStore returns an empty store.
+func NewTraceStore() *TraceStore { return &TraceStore{} }
+
+// Record appends one span, evicting the oldest when the ring is full.
+func (t *TraceStore) Record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) < spanRingSize {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.spans[t.spanNext] = rec
+	}
+	t.spanNext = (t.spanNext + 1) % spanRingSize
+	t.mu.Unlock()
+}
+
+// RecordSlow appends one slow-query entry, evicting the oldest when full.
+func (t *TraceStore) RecordSlow(q SlowQuery) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.slow) < slowRingSize {
+		t.slow = append(t.slow, q)
+	} else {
+		t.slow[t.slowNext] = q
+	}
+	t.slowNext = (t.slowNext + 1) % slowRingSize
+	t.mu.Unlock()
+}
+
+// Spans returns every retained span of one trace, oldest first.
+func (t *TraceStore) Spans(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range t.AllSpans() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AllSpans returns every retained span, oldest first.
+func (t *TraceStore) AllSpans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	if len(t.spans) == spanRingSize {
+		out = append(out, t.spans[t.spanNext:]...)
+	}
+	out = append(out, t.spans[:t.spanNext]...)
+	if len(t.spans) < spanRingSize {
+		// Ring not yet wrapped: spans[:spanNext] is already everything.
+		out = out[:len(t.spans)]
+	}
+	return out
+}
+
+// SlowQueries returns the retained slow-query log, oldest first.
+func (t *TraceStore) SlowQueries() []SlowQuery {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SlowQuery, 0, len(t.slow))
+	if len(t.slow) == slowRingSize {
+		out = append(out, t.slow[t.slowNext:]...)
+	}
+	out = append(out, t.slow[:t.slowNext]...)
+	if len(t.slow) < slowRingSize {
+		out = out[:len(t.slow)]
+	}
+	return out
+}
+
+// Reset clears both rings (tests).
+func (t *TraceStore) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans, t.spanNext = nil, 0
+	t.slow, t.slowNext = nil, 0
+	t.mu.Unlock()
+}
+
+// Hop is one in-flight span. A nil *Hop is a no-op on every method, so
+// instrumented code never branches on "is tracing on": StartHop decides
+// once. A Hop is owned by one goroutine; it is not safe for concurrent
+// use (start one hop per goroutine instead).
+type Hop struct {
+	store *TraceStore
+	rec   SpanRecord
+	rows  int64
+	ended bool
+}
+
+// StartHop opens a span in the process-wide store. With a valid context
+// the span joins that trace as a child of tc.SpanID; with a zero context a
+// new root trace is started if tracing is on, and nil is returned
+// otherwise.
+func StartHop(tc TraceContext, name string) *Hop { return Traces.StartHop(tc, name) }
+
+// StartHop opens a span recorded into this store; see the package-level
+// StartHop.
+func (t *TraceStore) StartHop(tc TraceContext, name string) *Hop {
+	if tc.TraceID == "" {
+		if !TracingOn() {
+			return nil
+		}
+		tc = TraceContext{TraceID: newID(16)}
+	}
+	return &Hop{
+		store: t,
+		rec: SpanRecord{
+			TraceID:  tc.TraceID,
+			SpanID:   newID(8),
+			ParentID: tc.SpanID,
+			Name:     name,
+			Node:     TraceNode(),
+			Start:    time.Now(),
+		},
+	}
+}
+
+// Context returns the context downstream hops should attach to (this hop
+// as parent). On a nil hop it returns the zero context, which downstream
+// layers treat as "untraced".
+func (h *Hop) Context() TraceContext {
+	if h == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: h.rec.TraceID, SpanID: h.rec.SpanID}
+}
+
+// TraceID returns the owning trace's id ("" on nil).
+func (h *Hop) TraceID() string {
+	if h == nil {
+		return ""
+	}
+	return h.rec.TraceID
+}
+
+// SetSQL attaches the statement text.
+func (h *Hop) SetSQL(sql string) {
+	if h != nil {
+		h.rec.SQL = sql
+	}
+}
+
+// SetNode overrides the process-wide node name for this span.
+func (h *Hop) SetNode(node string) {
+	if h != nil && node != "" {
+		h.rec.Node = node
+	}
+}
+
+// Attr annotates the span.
+func (h *Hop) Attr(key, value string) {
+	if h != nil {
+		h.rec.Attrs = append(h.rec.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// AttrInt annotates the span with an integer value. The "rows" key also
+// feeds the slow-query log's row count.
+func (h *Hop) AttrInt(key string, v int64) {
+	if h == nil {
+		return
+	}
+	if key == "rows" {
+		h.rows = v
+	}
+	h.Attr(key, formatInt(v))
+}
+
+// AttrFloat annotates the span with a float value.
+func (h *Hop) AttrFloat(key string, v float64) {
+	if h != nil {
+		h.Attr(key, formatFloat(v))
+	}
+}
+
+// Fail annotates the span with the error and ends it.
+func (h *Hop) Fail(err error) {
+	if h == nil {
+		return
+	}
+	if err != nil {
+		h.Attr("error", err.Error())
+	}
+	h.End()
+}
+
+// End records the span (first call wins). A root hop that crossed the
+// slow-query threshold is also logged as a slow query.
+func (h *Hop) End() {
+	if h == nil || h.ended {
+		return
+	}
+	h.ended = true
+	dur := time.Since(h.rec.Start)
+	h.rec.Seconds = dur.Seconds()
+	h.store.Record(h.rec)
+	if h.rec.ParentID != "" {
+		return
+	}
+	if n := slowNanos.Load(); n > 0 && dur >= time.Duration(n) {
+		h.store.RecordSlow(SlowQuery{
+			TraceID: h.rec.TraceID,
+			SQL:     h.rec.SQL,
+			Node:    h.rec.Node,
+			Start:   h.rec.Start,
+			Seconds: h.rec.Seconds,
+			Rows:    h.rows,
+		})
+	}
+}
+
+func formatInt(v int64) string {
+	// Avoid strconv import churn here; hex ids aside, attr values are small.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
