@@ -4,10 +4,10 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet test race bench benchsmoke tier1
+.PHONY: check build fmt vet test race bench benchsmoke tier1 loadsmoke
 
 # check is the full gate: what CI (and scripts/check.sh) runs.
-check: fmt vet build race tier1 benchsmoke
+check: fmt vet build race tier1 benchsmoke loadsmoke
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,10 @@ tier1:
 # follower/router chaos scenarios, shard's scatter-gather coordinator,
 # schema's batched saves, the campaign scheduler's worker pool, core's
 # shared-store cycle runs, telemetry's lock-free metric registry, and
-# vcs's commit/checkout/merge paths racing store writers.
+# vcs's commit/checkout/merge paths racing store writers, the api's
+# LSN-invalidated cache racing ingest, and loadgen's concurrent clients.
 race:
-	$(GO) test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/... ./internal/vcs/...
+	$(GO) test -race ./internal/kdb/... ./internal/colstore/... ./internal/repl/... ./internal/shard/... ./internal/schema/... ./internal/campaign/... ./internal/core/... ./internal/telemetry/... ./internal/vcs/... ./internal/api/... ./internal/loadgen/...
 
 test: tier1
 
@@ -42,3 +43,11 @@ bench:
 # benchmark cannot hide until someone runs the full suite.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# loadsmoke drives the in-process self-test target with 1k concurrent
+# clients for 10s and fails if the telemetry-histogram p99 regresses past
+# the (deliberately generous) 750ms ceiling or errors exceed 1%. This is
+# the CI-sized slice of EXPERIMENTS E13; the full 10k-connection run uses
+# separate server and loadgen processes.
+loadsmoke:
+	$(GO) run ./cmd/iokc loadgen --selftest --conns 1000 --duration 10s --objects 200 --io500 200 --max-p99 750ms --max-error-rate 0.01

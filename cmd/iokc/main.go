@@ -13,7 +13,8 @@
 //	iokc configure [--db FILE] --id N [-t SIZE] [-b SIZE] [-s N] [-i N] [-N N]
 //	iokc causes [--db FILE] --id N --sacct FILE [--exclude-user U]
 //	iokc tune [--tasks N] [--burst SIZE] [--seed N]
-//	iokc serve [--db FILE] [--addr :8080] [--replica ADDR]... [--slow-query DUR] [--pprof]
+//	iokc serve [--db FILE] [--addr :8080] [--replica ADDR]... [--api] [--api-only] [--slow-query DUR] [--pprof]
+//	iokc loadgen {--url URL | --selftest} [--conns N] [--duration DUR] [--seed N] [--max-p99 DUR] [--json]
 //	iokc servedb [--db FILE] [--addr :7070] [--metrics-addr :9090] [--replica-of ADDR] [--advertise ADDR] [--slow-query DUR] [--pprof]
 //	iokc servedb --db FILE --shard-index I --shard-count N           (serve one shard of a partitioned store)
 //	iokc servedb --shard ADDR[,REPLICA...] --shard ADDR... [--epoch N] (serve a scatter-gather coordinator)
@@ -31,6 +32,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/api"
 	"repro/internal/bbox"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
@@ -54,6 +58,7 @@ import (
 	"repro/internal/io500"
 	"repro/internal/ior"
 	"repro/internal/kdb"
+	"repro/internal/loadgen"
 	"repro/internal/recommend"
 	"repro/internal/repl"
 	"repro/internal/schema"
@@ -73,7 +78,7 @@ func main() {
 	}
 }
 
-const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|analytics|recommend|configure|causes|tune|log|diff|branch|merge|serve|servedb} [flags]"
+const usage = "usage: iokc {generate|jube|campaign|extract|dxt|trace|list|show|analyze|analytics|recommend|configure|causes|tune|log|diff|branch|merge|serve|servedb|loadgen} [flags]"
 
 func run(args []string) error {
 	if len(args) == 0 {
@@ -121,6 +126,8 @@ func run(args []string) error {
 		return cmdServe(rest)
 	case "servedb":
 		return cmdServeDB(rest)
+	case "loadgen":
+		return cmdLoadgen(rest)
 	}
 	return fmt.Errorf("unknown subcommand %q\n%s", sub, usage)
 }
@@ -957,6 +964,13 @@ func serveWire(ctx context.Context, cfg *serveDBConfig, srv *kdb.Server, health 
 		return err
 	}
 	fmt.Println(describe(l.Addr()))
+	// The metrics listener rides the same shutdown path as the wire
+	// server: mctx is cancelled the moment the wire server begins (or
+	// finishes) draining, so a half-down node never keeps answering
+	// /healthz and attracting load-balancer traffic.
+	mctx, mcancel := context.WithCancel(ctx)
+	defer mcancel()
+	merrc := make(chan error, 1)
 	if cfg.metricsAddr != "" {
 		// The wire protocol is raw TCP, so observability rides on a side
 		// HTTP listener.
@@ -971,14 +985,17 @@ func serveWire(ctx context.Context, cfg *serveDBConfig, srv *kdb.Server, health 
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		defer ml.Close()
 		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
-		go http.Serve(ml, mux)
+		go func() { merrc <- serveGraceful(mctx, ml, mux, 2*time.Second) }()
+	} else {
+		merrc <- nil
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
 	case err := <-errc:
+		mcancel()
+		<-merrc
 		return err
 	case <-ctx.Done():
 		fmt.Println("shutting down")
@@ -986,6 +1003,9 @@ func serveWire(ctx context.Context, cfg *serveDBConfig, srv *kdb.Server, health 
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-merrc; err != nil {
+			return fmt.Errorf("metrics shutdown: %w", err)
 		}
 		return nil
 	}
@@ -1037,20 +1057,63 @@ func openRoutedStore(db string, replicas []string) (*schema.Store, func() repl.S
 	return store, router.Health, nil
 }
 
-func cmdServe(args []string) error {
+// serveConfig is the parsed `iokc serve` command line.
+type serveConfig struct {
+	db             string
+	addr           string
+	pprofOn        bool
+	slowQuery      time.Duration
+	replicas       []string
+	apiOn          bool
+	apiOnly        bool
+	apiRate        float64
+	apiBurst       float64
+	apiMaxInflight int
+	apiProbe       time.Duration
+}
+
+func parseServeArgs(args []string) (*serveConfig, error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	db := fs.String("db", "knowledge.db", "knowledge database")
-	addr := fs.String("addr", ":8080", "listen address")
-	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof endpoints")
-	slowQuery := fs.Duration("slow-query", 0, "trace queries and log those slower than this to __slow_queries and /traces (0 = tracing off)")
+	cfg := &serveConfig{}
+	fs.StringVar(&cfg.db, "db", "knowledge.db", "knowledge database")
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose /debug/pprof endpoints")
+	fs.DurationVar(&cfg.slowQuery, "slow-query", 0, "trace queries and log those slower than this to __slow_queries and /traces (0 = tracing off)")
+	fs.BoolVar(&cfg.apiOn, "api", false, "mount the JSON API under /v1/ beside the explorer")
+	fs.BoolVar(&cfg.apiOnly, "api-only", false, "serve only the JSON API (no HTML explorer)")
+	fs.Float64Var(&cfg.apiRate, "api-rate", 0, "per-client API rate limit in requests/sec (0 = unlimited)")
+	fs.Float64Var(&cfg.apiBurst, "api-burst", 0, "per-client API token-bucket burst (defaults to the rate)")
+	fs.IntVar(&cfg.apiMaxInflight, "api-max-inflight", 0, "concurrent API request cap; excess sheds with 503 (0 = unlimited)")
+	fs.DurationVar(&cfg.apiProbe, "api-probe", 0, "cache-invalidation LSN probe interval for remote backends (default 250ms)")
 	var replicas replicaFlags
 	fs.Var(&replicas, "replica", "kdb:// address of a read replica (repeatable); reads are routed to caught-up replicas")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	cfg.replicas = replicas
+	if cfg.apiRate > 0 && cfg.apiBurst == 0 {
+		cfg.apiBurst = cfg.apiRate
+	}
+	return cfg, nil
+}
+
+// cmdServe runs the HTTP front ends — the HTML explorer, the JSON API, or
+// both on one listener — with the same drain-on-SIGTERM path every server
+// in this binary uses.
+func cmdServe(args []string) error {
+	cfg, err := parseServeArgs(args)
+	if err != nil {
 		return err
 	}
-	telemetry.SetSlowQueryThreshold(*slowQuery)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, cfg)
+}
+
+func runServe(ctx context.Context, cfg *serveConfig) error {
+	telemetry.SetSlowQueryThreshold(cfg.slowQuery)
 	telemetry.SetTraceNode("explorer")
-	store, health, err := openRoutedStore(*db, replicas)
+	store, health, err := openRoutedStore(cfg.db, cfg.replicas)
 	if err != nil {
 		return err
 	}
@@ -1060,11 +1123,120 @@ func cmdServe(args []string) error {
 	if _, err := store.EnableVersioning(); err == nil {
 		fmt.Println("versioned knowledge enabled (/history)")
 	}
-	srv := explorer.New(store)
-	srv.Health = health
-	if *pprofOn {
-		srv.EnablePprof()
+	var handler http.Handler
+	if !cfg.apiOnly {
+		exp := explorer.New(store)
+		exp.Health = health
+		if cfg.pprofOn {
+			exp.EnablePprof()
+		}
+		handler = exp
 	}
-	fmt.Printf("knowledge explorer on %s (db %s)\n", *addr, *db)
-	return http.ListenAndServe(*addr, srv)
+	if cfg.apiOn || cfg.apiOnly {
+		apiSrv := api.New(api.Config{
+			Store:         store,
+			Health:        health,
+			Rate:          cfg.apiRate,
+			Burst:         cfg.apiBurst,
+			MaxInflight:   cfg.apiMaxInflight,
+			ProbeInterval: cfg.apiProbe,
+		})
+		defer apiSrv.Close()
+		if cfg.apiOnly {
+			handler = apiSrv
+		} else {
+			// One listener, one shutdown path: /v1/ is the API, everything
+			// else stays the explorer.
+			mux := http.NewServeMux()
+			mux.Handle("/v1/", apiSrv)
+			mux.Handle("/", handler)
+			handler = mux
+		}
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	switch {
+	case cfg.apiOnly:
+		fmt.Printf("knowledge API on http://%s/v1/ (db %s)\n", l.Addr(), cfg.db)
+	case cfg.apiOn:
+		fmt.Printf("knowledge explorer + API on %s (db %s, API under /v1/)\n", l.Addr(), cfg.db)
+	default:
+		fmt.Printf("knowledge explorer on %s (db %s)\n", l.Addr(), cfg.db)
+	}
+	return serveGraceful(ctx, l, handler, 10*time.Second)
+}
+
+// serveGraceful serves handler on l until ctx is cancelled, then drains
+// in-flight requests for up to the drain timeout — the single graceful-
+// shutdown path shared by the explorer, the API, and servedb's metrics
+// listener.
+func serveGraceful(ctx context.Context, l net.Listener, handler http.Handler, drain time.Duration) error {
+	hs := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Println("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// cmdLoadgen drives the client-model load harness against an API endpoint
+// (or an in-process self-target) and optionally gates on the telemetry-
+// histogram-derived p99 — the CI smoke's regression check.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "API base URL to drive, e.g. http://127.0.0.1:8080")
+	conns := fs.Int("conns", 1000, "concurrent client connections, one TCP connection each")
+	dur := fs.Duration("duration", 10*time.Second, "measured run duration")
+	seed := fs.Uint64("seed", 1, "base seed; each client derives its own request stream")
+	selftest := fs.Bool("selftest", false, "serve an in-process API over a synthetic corpus and drive that")
+	objects := fs.Int("objects", 200, "synthetic knowledge objects for --selftest")
+	io500N := fs.Int("io500", 200, "synthetic io500 runs for --selftest")
+	maxP99 := fs.Duration("max-p99", 0, "fail when the histogram-derived p99 exceeds this (0 = no gate)")
+	maxErrs := fs.Float64("max-error-rate", 0.01, "fail when errors/requests exceeds this fraction")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*url == "") == !*selftest {
+		return fmt.Errorf("loadgen: pass exactly one of --url or --selftest")
+	}
+	target := *url
+	if *selftest {
+		t, err := loadgen.StartSelfTarget(*objects, *io500N, *seed, api.Config{})
+		if err != nil {
+			return err
+		}
+		defer t.Close()
+		target = t.URL
+		fmt.Printf("self-target on %s (%d objects, %d io500 runs)\n", target, *objects, *io500N)
+	}
+	res, err := loadgen.Run(loadgen.Options{URL: target, Conns: *conns, Duration: *dur, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		out, _ := json.MarshalIndent(res, "", "  ")
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(res.String())
+	}
+	if res.Requests > 0 && float64(res.Errors)/float64(res.Requests) > *maxErrs {
+		return fmt.Errorf("loadgen: error rate %.2f%% exceeds %.2f%%",
+			100*float64(res.Errors)/float64(res.Requests), 100**maxErrs)
+	}
+	if *maxP99 > 0 && res.HistP99 > maxP99.Seconds() {
+		return fmt.Errorf("loadgen: histogram p99 %.1fms exceeds gate %s", res.HistP99*1e3, *maxP99)
+	}
+	return nil
 }

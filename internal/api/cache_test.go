@@ -1,0 +1,118 @@
+package api
+
+// Cache correctness under writes — the read-your-writes proof. Writers
+// ingest continuously while readers hammer a hot cached endpoint; every
+// response's X-Knowledge-LSN must be >= the store LSN observed before the
+// request was issued. A cache that served an entry stamped before an
+// already-committed write would fail the assertion. Run under -race this
+// also gates the cache/validity plumbing itself.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/workloadgen"
+)
+
+func TestCacheNeverServesPastCommittedLSN(t *testing.T) {
+	s, store := newTestServer(t, 5, Config{})
+	lsnSource, ok := store.DB.(interface{ LSN() int64 })
+	if !ok {
+		t.Fatal("embedded store does not expose LSN")
+	}
+
+	const (
+		writers  = 2
+		readers  = 4
+		duration = 300 * time.Millisecond
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	var writes atomic.Int64
+
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				batch, err := workloadgen.SynthesizeIO500Corpus(1, uint64(wi)*1000+uint64(writes.Add(1)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := store.SaveIO500s(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				// Observe the committed position first; the response must
+				// reflect at least this LSN. (The store may advance further
+				// while the request is in flight — that's fine; serving
+				// *older* state is the bug.)
+				before := lsnSource.LSN()
+				req := httptest.NewRequest(http.MethodGet, "/v1/io500?limit=5", nil)
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					t.Errorf("reader got %d: %s", w.Code, w.Body)
+					return
+				}
+				served, err := strconv.ParseInt(w.Header().Get("X-Knowledge-LSN"), 10, 64)
+				if err != nil {
+					t.Errorf("bad X-Knowledge-LSN %q", w.Header().Get("X-Knowledge-LSN"))
+					return
+				}
+				if served < before {
+					failures.Add(1)
+					t.Errorf("response LSN %d predates pre-request LSN %d", served, before)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d responses served stale-past-read state", failures.Load())
+	}
+	if writes.Load() == 0 {
+		t.Fatal("no writes landed; the interleaving proved nothing")
+	}
+}
+
+// TestCacheInvalidationExactForEmbedded pins the stronger property the
+// embedded engine gives: the instant SaveIO500s returns, the very next
+// read reflects it — no probe-interval window.
+func TestCacheInvalidationExactForEmbedded(t *testing.T) {
+	s, store := newTestServer(t, 1, Config{})
+	for i := 0; i < 20; i++ {
+		w1 := httptest.NewRecorder()
+		s.ServeHTTP(w1, httptest.NewRequest(http.MethodGet, "/v1/io500", nil))
+		batch, err := workloadgen.SynthesizeIO500Corpus(1, uint64(i)+500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.SaveIO500s(batch); err != nil {
+			t.Fatal(err)
+		}
+		w2 := httptest.NewRecorder()
+		s.ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/v1/io500", nil))
+		if w2.Header().Get("X-Cache") != "miss" {
+			t.Fatalf("iteration %d: read after write served X-Cache=%q, want miss", i, w2.Header().Get("X-Cache"))
+		}
+		if w1.Header().Get("X-Knowledge-LSN") == w2.Header().Get("X-Knowledge-LSN") {
+			t.Fatalf("iteration %d: LSN header did not advance across a commit", i)
+		}
+	}
+}

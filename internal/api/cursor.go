@@ -1,0 +1,127 @@
+package api
+
+// Cursor codec for keyset pagination. A cursor is the EncodeKey-ordered
+// key tuple of the last row the client saw, serialized as a typed JSON
+// array and base64url-encoded so it survives query strings untouched. The
+// type tags keep the round trip exact — int64 stays int64, -0.0 stays
+// -0.0 — which matters because the next page's WHERE clause compares the
+// decoded values against stored column values under kdb.CompareOrder.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// cursorField is one typed element of the key tuple. Tags: i=int64,
+// f=float64, s=string, b=bool, z=nil.
+type cursorField struct {
+	T string `json:"t"`
+	V string `json:"v"`
+}
+
+// EncodeCursor serializes a key tuple into an opaque page token. Values
+// outside the engine's storable domain (int64, float64, string, bool, nil)
+// are rendered through fmt and tagged as strings — lossy but never
+// panicking, matching how the engine itself coerces exotic inserts.
+func EncodeCursor(vals []any) string {
+	fields := make([]cursorField, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			fields[i] = cursorField{T: "z"}
+		case int64:
+			fields[i] = cursorField{T: "i", V: strconv.FormatInt(x, 10)}
+		case int:
+			fields[i] = cursorField{T: "i", V: strconv.FormatInt(int64(x), 10)}
+		case float64:
+			// 'g'/-1 round-trips every float64 exactly, including
+			// ±Inf ("+Inf"/"-Inf") and negative zero ("-0").
+			fields[i] = cursorField{T: "f", V: strconv.FormatFloat(x, 'g', -1, 64)}
+		case bool:
+			if x {
+				fields[i] = cursorField{T: "b", V: "t"}
+			} else {
+				fields[i] = cursorField{T: "b", V: "f"}
+			}
+		case string:
+			fields[i] = cursorField{T: "s", V: x}
+		default:
+			fields[i] = cursorField{T: "s", V: fmt.Sprint(x)}
+		}
+	}
+	raw, _ := json.Marshal(fields)
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// DecodeCursor reverses EncodeCursor. Any malformed token — bad base64,
+// bad JSON, an unknown tag, an unparsable number — returns an error the
+// handlers map to 400 invalid_cursor rather than a panic or a silent
+// first-page reset.
+func DecodeCursor(s string) ([]any, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("api: bad cursor encoding: %w", err)
+	}
+	var fields []cursorField
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("api: bad cursor payload: %w", err)
+	}
+	vals := make([]any, len(fields))
+	for i, f := range fields {
+		switch f.T {
+		case "z":
+			vals[i] = nil
+		case "i":
+			n, err := strconv.ParseInt(f.V, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("api: bad cursor int %q: %w", f.V, err)
+			}
+			vals[i] = n
+		case "f":
+			x, err := strconv.ParseFloat(f.V, 64)
+			if err != nil {
+				return nil, fmt.Errorf("api: bad cursor float %q: %w", f.V, err)
+			}
+			vals[i] = x
+		case "b":
+			switch f.V {
+			case "t":
+				vals[i] = true
+			case "f":
+				vals[i] = false
+			default:
+				return nil, fmt.Errorf("api: bad cursor bool %q", f.V)
+			}
+		case "s":
+			vals[i] = f.V
+		default:
+			return nil, fmt.Errorf("api: unknown cursor tag %q", f.T)
+		}
+	}
+	return vals, nil
+}
+
+// encodeIDCursor is the common single-column case: the numeric id keyset
+// every list endpoint pages on.
+func encodeIDCursor(id int64) string { return EncodeCursor([]any{id}) }
+
+// decodeIDCursor accepts an empty token as "start from the beginning".
+func decodeIDCursor(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	vals, err := DecodeCursor(s)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) != 1 {
+		return 0, fmt.Errorf("api: cursor has %d fields, want 1", len(vals))
+	}
+	id, ok := vals[0].(int64)
+	if !ok {
+		return 0, fmt.Errorf("api: cursor field is %T, want integer", vals[0])
+	}
+	return id, nil
+}

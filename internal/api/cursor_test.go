@@ -1,0 +1,102 @@
+package api
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kdb"
+)
+
+// cursorCorpus mirrors the kdb compare/encode property corpus: every
+// engine type plus its edge values. A cursor must round-trip each of them
+// so that the decoded tuple lands in the same EncodeKey bucket and the
+// same CompareOrder position as the original — otherwise a resumed page
+// could skip or repeat rows.
+func cursorCorpus() []any {
+	return []any{
+		nil,
+		int64(math.MinInt64), int64(-7), int64(0), int64(5), int64(6), int64(math.MaxInt64),
+		math.Inf(-1), float64(-7.5), math.Copysign(0, -1), float64(0), float64(5), float64(5.5), math.Inf(1),
+		"", "a", "ab", "b", "5", "cursor with spaces & symbols /?=+", "日本語",
+		true, false,
+	}
+}
+
+func TestCursorRoundTripProperty(t *testing.T) {
+	vals := cursorCorpus()
+	// Every single value, plus every pair (mixed-type tuples).
+	var tuples [][]any
+	for _, a := range vals {
+		tuples = append(tuples, []any{a})
+		for _, b := range vals {
+			tuples = append(tuples, []any{a, b})
+		}
+	}
+	for _, tup := range tuples {
+		enc := EncodeCursor(tup)
+		dec, err := DecodeCursor(enc)
+		if err != nil {
+			t.Fatalf("DecodeCursor(EncodeCursor(%#v)): %v", tup, err)
+		}
+		if len(dec) != len(tup) {
+			t.Fatalf("round trip of %#v changed arity: %#v", tup, dec)
+		}
+		// EncodeKey equality is the property pagination relies on: the
+		// decoded tuple must be indistinguishable from the original to
+		// the engine's ordering and grouping.
+		if kdb.EncodeKey(dec) != kdb.EncodeKey(tup) {
+			t.Errorf("EncodeKey mismatch: %#v round-tripped to %#v", tup, dec)
+		}
+		for i := range tup {
+			if kdb.CompareOrder(tup[i], dec[i]) != 0 {
+				t.Errorf("CompareOrder(%#v, %#v) != 0 after round trip", tup[i], dec[i])
+			}
+		}
+	}
+}
+
+func TestCursorExactFloatRoundTrip(t *testing.T) {
+	// Negative zero and infinities must survive exactly, not just
+	// compare-equal: the formatted value is part of the opaque token.
+	for _, v := range []float64{math.Copysign(0, -1), math.Inf(1), math.Inf(-1), 0x1.fffffffffffffp+1023} {
+		dec, err := DecodeCursor(EncodeCursor([]any{v}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dec[0].(float64)
+		if math.Float64bits(got) != math.Float64bits(v) {
+			t.Errorf("float %x round-tripped to %x", math.Float64bits(v), math.Float64bits(got))
+		}
+	}
+}
+
+func TestDecodeCursorRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"not!base64url!!",                 // bad encoding
+		"bm90LWpzb24",                     // valid base64, not JSON ("not-json")
+		EncodeCursor([]any{int64(1)})[1:], // truncated token
+		"W3sidCI6IngiLCJ2IjoiIn1d",        // unknown tag "x"
+		"W3sidCI6ImkiLCJ2IjoiYWJjIn1d",    // int tag, non-numeric value
+		"W3sidCI6ImIiLCJ2IjoicSJ9XQ",      // bool tag, bad value
+	}
+	for _, c := range cases {
+		if _, err := DecodeCursor(c); err == nil {
+			t.Errorf("DecodeCursor(%q) accepted malformed input", c)
+		}
+	}
+}
+
+func TestDecodeIDCursor(t *testing.T) {
+	if id, err := decodeIDCursor(""); err != nil || id != 0 {
+		t.Fatalf("empty cursor: got (%d, %v), want (0, nil)", id, err)
+	}
+	if id, err := decodeIDCursor(encodeIDCursor(42)); err != nil || id != 42 {
+		t.Fatalf("round trip: got (%d, %v), want (42, nil)", id, err)
+	}
+	if _, err := decodeIDCursor(EncodeCursor([]any{int64(1), int64(2)})); err == nil {
+		t.Fatal("two-field cursor accepted where one id expected")
+	}
+	if _, err := decodeIDCursor(EncodeCursor([]any{"abc"})); err == nil {
+		t.Fatal("string cursor accepted where integer id expected")
+	}
+}

@@ -1,0 +1,61 @@
+package api
+
+// Request plumbing shared by every route: response-status capture for
+// metrics, request ids for log/error correlation, and the per-client key
+// the rate limiter buckets on.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net"
+	"net/http"
+)
+
+// statusWriter records the response code (and whether a body was started)
+// so the route wrapper can label api_requests_total accurately.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// newRequestID returns 8 random bytes hex-encoded — unique enough to grep
+// one request out of a day of logs, cheap enough for every response.
+func newRequestID() string {
+	b := make([]byte, 8)
+	if _, err := rand.Read(b); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b)
+}
+
+// clientKey identifies the caller for rate limiting: the remote IP without
+// the ephemeral port, so one misbehaving host shares one bucket across all
+// its connections.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,77 @@
+package api
+
+// Per-client token-bucket rate limiting. Each client (keyed by remote IP)
+// owns one bucket refilled continuously at Rate tokens/sec up to Burst.
+// A request costs one token; an empty bucket yields 429 with Retry-After
+// set to the time until the next token accrues, so well-behaved clients
+// back off exactly as long as needed instead of hammering.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	// now is swappable so tests can drive the clock deterministically.
+	now func() time.Time
+}
+
+// maxBuckets bounds limiter memory against address churn (one entry per
+// client IP). Past the bound, a sweep drops buckets that have fully
+// refilled — clients with no recent deficit lose nothing by being
+// forgotten, since a fresh bucket starts full.
+const maxBuckets = 8192
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: map[string]*bucket{}, now: time.Now}
+}
+
+// allow spends one token from key's bucket. When denied, retryAfter is how
+// long until a full token is available.
+func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.sweep(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(math.Ceil(deficit/l.rate)) * time.Second
+}
+
+// sweep drops refilled buckets; callers hold l.mu.
+func (l *rateLimiter) sweep(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

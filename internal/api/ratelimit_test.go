@@ -1,0 +1,78 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketMath(t *testing.T) {
+	l := newRateLimiter(2, 4) // 2 tokens/sec, burst 4
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.allow("a")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry < 500*time.Millisecond || retry > time.Second {
+		t.Fatalf("retryAfter %v, want ~1 token / 2 per sec rounded up", retry)
+	}
+
+	// Another client has its own bucket.
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("independent client throttled")
+	}
+
+	// Half a second refills one token at rate 2.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("second token granted before it accrued")
+	}
+
+	// Refill clamps at burst: a long idle period grants burst, not more.
+	now = now.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.allow("a"); ok {
+			granted++
+		}
+	}
+	if granted != 4 {
+		t.Fatalf("after long idle granted %d, want burst=4", granted)
+	}
+}
+
+func TestRateZeroDisables(t *testing.T) {
+	l := newRateLimiter(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatal("rate 0 should disable limiting")
+		}
+	}
+}
+
+func TestBucketSweepBoundsMemory(t *testing.T) {
+	l := newRateLimiter(1000, 1000)
+	base := time.Unix(1000, 0)
+	now := base
+	l.now = func() time.Time { return now }
+	for i := 0; i < maxBuckets+100; i++ {
+		now = now.Add(10 * time.Second) // every earlier bucket fully refills
+		l.allow(clientName(i))
+	}
+	if n := len(l.buckets); n > maxBuckets {
+		t.Fatalf("limiter retained %d buckets, cap %d", n, maxBuckets)
+	}
+}
+
+func clientName(i int) string {
+	return "10." + string(rune('0'+i%10)) + ".x." + string(rune('0'+(i/10)%10)) + "-" + time.Duration(i).String()
+}

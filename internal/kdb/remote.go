@@ -11,6 +11,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
@@ -547,6 +548,24 @@ type Remote struct {
 	enc    *json.Encoder
 	dec    *json.Decoder
 	closed bool
+	// lsn is the highest server LSN observed on any response — a passive
+	// high-water mark (no extra round trips) used for cache validity.
+	lsn atomic.Int64
+}
+
+// LSN returns the highest log sequence number this client has observed
+// from the server — a lower bound on the server's position, monotonic per
+// client. It never issues a request; use Status for an active probe.
+func (r *Remote) LSN() int64 { return r.lsn.Load() }
+
+// noteLSN advances the observed high-water mark.
+func (r *Remote) noteLSN(lsn int64) {
+	for {
+		cur := r.lsn.Load()
+		if lsn <= cur || r.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
 }
 
 // dialTimeout bounds connection establishment, including reconnects.
@@ -607,6 +626,7 @@ func (r *Remote) roundTrip(req wireRequest, idempotent bool) (wireResponse, erro
 	}
 	resp, err := r.try(req)
 	if err == nil {
+		r.noteLSN(resp.LSN)
 		return resp, nil
 	}
 	var we wireError
@@ -624,7 +644,11 @@ func (r *Remote) roundTrip(req wireRequest, idempotent bool) (wireResponse, erro
 	if rerr := r.reconnect(); rerr != nil {
 		return wireResponse{}, err
 	}
-	return r.try(req)
+	resp, err = r.try(req)
+	if err == nil {
+		r.noteLSN(resp.LSN)
+	}
+	return resp, err
 }
 
 // try sends one request and reads one response on the current connection;

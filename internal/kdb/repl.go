@@ -64,6 +64,12 @@ func (db *DB) LSN() int64 {
 	return db.lsn
 }
 
+// CommitNotify returns a channel that is closed at the next commit. Each
+// commit closes the previously handed-out channel, so watchers re-arm by
+// calling CommitNotify again after a wake-up — the same broadcast the
+// replication feed rides, exposed for cache invalidation.
+func (db *DB) CommitNotify() <-chan struct{} { return db.commitSignal() }
+
 // commitSignal returns a channel that is closed at the next commit.
 func (db *DB) commitSignal() <-chan struct{} {
 	db.mu.Lock()

@@ -1,0 +1,481 @@
+// Package loadgen is the self-generated client-model harness behind
+// `iokc loadgen`: it models a fleet of API consumers — each holding one
+// persistent HTTP connection and issuing a mix of point reads, ad-hoc
+// analytics, and paginated scans — and reports the latency distribution
+// (p50/p99/p999), cache behavior (hits, 304 revalidations), and error
+// counts the EXPERIMENTS entries record. Clients remember ETags per URL
+// and revalidate with If-None-Match, so a warmed run exercises the API's
+// 304 path exactly like a production dashboard would.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/rng"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workloadgen"
+)
+
+// Options configures one load run.
+type Options struct {
+	// URL is the API base, e.g. http://127.0.0.1:8080.
+	URL string
+	// Conns is the number of concurrent clients; each holds exactly one
+	// TCP connection for the whole run.
+	Conns int
+	// Duration is how long clients issue requests after ramp-up.
+	Duration time.Duration
+	// Seed derives every client's private request stream (rng.Derive), so
+	// a run is reproducible connection-for-connection.
+	Seed uint64
+	// Metrics receives the loadgen_request_seconds histogram whose
+	// Quantile(0.99) backs the CI regression gate; nil uses the default
+	// registry.
+	Metrics *telemetry.Registry
+}
+
+// Result is the harness's report.
+type Result struct {
+	Conns       int           `json:"conns"`
+	Requests    int64         `json:"requests"`
+	Errors      int64         `json:"errors"`
+	Status      map[int]int64 `json:"status"`
+	CacheHits   int64         `json:"cache_hits"`
+	CacheMisses int64         `json:"cache_misses"`
+	NotModified int64         `json:"not_modified"`
+	P50         float64       `json:"p50_seconds"`
+	P99         float64       `json:"p99_seconds"`
+	P999        float64       `json:"p999_seconds"`
+	Max         float64       `json:"max_seconds"`
+	RPS         float64       `json:"rps"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	// HistP99 is the p99 estimated from the telemetry histogram's buckets
+	// — coarser than P99 (computed from exact samples) but comparable
+	// across runs, which is what a regression threshold needs.
+	HistP99 float64 `json:"hist_p99_seconds"`
+}
+
+// CacheHitRate is hits/(hits+misses) over responses that carried X-Cache.
+func (r *Result) CacheHitRate() float64 {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
+}
+
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conns=%d requests=%d errors=%d rps=%.0f elapsed=%s\n",
+		r.Conns, r.Requests, r.Errors, r.RPS, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "latency p50=%.1fms p99=%.1fms p999=%.1fms max=%.1fms (hist p99=%.1fms)\n",
+		r.P50*1e3, r.P99*1e3, r.P999*1e3, r.Max*1e3, r.HistP99*1e3)
+	fmt.Fprintf(&b, "cache hit=%d miss=%d not_modified=%d hit_rate=%.1f%%\n",
+		r.CacheHits, r.CacheMisses, r.NotModified, 100*r.CacheHitRate())
+	codes := make([]int, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "status %d: %d\n", c, r.Status[c])
+	}
+	return b.String()
+}
+
+// clientStats is one client's private tallies, merged after the run so the
+// hot path never contends on shared state.
+type clientStats struct {
+	latencies   []float64
+	requests    int64
+	errors      int64
+	status      map[int]int64
+	cacheHits   int64
+	cacheMisses int64
+	notModified int64
+}
+
+// Run drives Options.Conns clients against the API for Options.Duration.
+// Clients ramp up first (all connections established before the clock
+// starts), so "sustains N concurrent connections" means N, not a moving
+// average.
+func Run(opts Options) (*Result, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	hist := reg.Histogram("loadgen_request_seconds")
+	base := strings.TrimRight(opts.URL, "/")
+
+	// Discover warm target ids once; every client shares the id pool but
+	// draws from it with its own stream.
+	ids, io500IDs, err := discoverIDs(base)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: discovery against %s failed: %w", base, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ready, done sync.WaitGroup
+	var connected atomic.Int64
+	start := make(chan struct{})
+	statsCh := make([]*clientStats, opts.Conns)
+
+	for i := 0; i < opts.Conns; i++ {
+		ready.Add(1)
+		done.Add(1)
+		cs := &clientStats{status: map[int]int64{}}
+		statsCh[i] = cs
+		go func(idx int, cs *clientStats) {
+			defer done.Done()
+			c := newClient(idx, base, ids, io500IDs, opts.Seed)
+			// Establish the connection before the measured window: one
+			// health probe forces the dial and leaves keep-alive warm.
+			if err := c.probe(); err == nil {
+				connected.Add(1)
+			}
+			ready.Done()
+			<-start
+			for ctx.Err() == nil {
+				c.step(ctx, cs, hist)
+			}
+			c.close()
+		}(i, cs)
+	}
+	ready.Wait()
+	t0 := time.Now()
+	close(start)
+	timer := time.AfterFunc(opts.Duration, cancel)
+	done.Wait()
+	timer.Stop()
+	elapsed := time.Since(t0)
+
+	res := &Result{Conns: int(connected.Load()), Status: map[int]int64{}, Elapsed: elapsed}
+	var all []float64
+	for _, cs := range statsCh {
+		res.Requests += cs.requests
+		res.Errors += cs.errors
+		res.CacheHits += cs.cacheHits
+		res.CacheMisses += cs.cacheMisses
+		res.NotModified += cs.notModified
+		for code, n := range cs.status {
+			res.Status[code] += n
+		}
+		all = append(all, cs.latencies...)
+	}
+	if len(all) > 0 {
+		sort.Float64s(all)
+		res.P50, _ = stats.Percentile(all, 50)
+		res.P99, _ = stats.Percentile(all, 99)
+		res.P999, _ = stats.Percentile(all, 99.9)
+		res.Max = all[len(all)-1]
+	}
+	if elapsed > 0 {
+		res.RPS = float64(res.Requests) / elapsed.Seconds()
+	}
+	if snap := reg.Snapshot(); len(snap.Histograms) > 0 {
+		if hv, ok := snap.Histograms["loadgen_request_seconds"]; ok {
+			res.HistP99 = hv.Quantile(0.99)
+		}
+	}
+	return res, nil
+}
+
+// discoverIDs fetches the first pages of objects and io500 runs so point
+// reads target rows that exist.
+func discoverIDs(base string) (objs, io500 []int64, err error) {
+	c := &http.Client{Timeout: 30 * time.Second}
+	fetch := func(path string) ([]int64, error) {
+		resp, err := c.Get(base + path + "?limit=200")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return nil, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		var env struct {
+			Data []struct {
+				ID int64 `json:"id"`
+			} `json:"data"`
+		}
+		if err := decodeJSON(resp.Body, &env); err != nil {
+			return nil, err
+		}
+		ids := make([]int64, len(env.Data))
+		for i, d := range env.Data {
+			ids[i] = d.ID
+		}
+		return ids, nil
+	}
+	if objs, err = fetch("/v1/objects"); err != nil {
+		return nil, nil, err
+	}
+	if io500, err = fetch("/v1/io500"); err != nil {
+		return nil, nil, err
+	}
+	return objs, io500, nil
+}
+
+// analyticsQueries are the canned ad-hoc SELECTs the analytics traffic
+// class cycles through — aggregate shapes a dashboard would poll.
+var analyticsQueries = []string{
+	"SELECT operation, COUNT(*), AVG(mean_mib) FROM summaries GROUP BY operation",
+	"SELECT COUNT(*) FROM performances",
+	"SELECT operation, MAX(max_mib) FROM summaries GROUP BY operation",
+}
+
+// client is one modeled consumer: a single-connection HTTP client plus its
+// private request stream and ETag memory.
+type client struct {
+	http   *http.Client
+	base   string
+	ids    []int64
+	io500  []int64
+	state  uint64 // splitmix-style stream state, derived from the run seed
+	etags  map[string]string
+	bodies []byte // scratch for draining
+}
+
+func newClient(idx int, base string, ids, io500 []int64, seed uint64) *client {
+	tr := &http.Transport{
+		// One live connection per client: this is the "concurrent
+		// connections" the harness claims to sustain.
+		MaxIdleConns:        1,
+		MaxIdleConnsPerHost: 1,
+		MaxConnsPerHost:     1,
+		IdleConnTimeout:     90 * time.Second,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+	}
+	return &client{
+		http:   &http.Client{Transport: tr, Timeout: 60 * time.Second},
+		base:   base,
+		ids:    ids,
+		io500:  io500,
+		state:  rng.Derive(seed, uint64(idx)+1),
+		etags:  map[string]string{},
+		bodies: make([]byte, 4096),
+	}
+}
+
+// next is a splitmix64 step over the client's private stream — cheap,
+// deterministic, and independent across clients by construction of Derive.
+func (c *client) next() uint64 {
+	c.state += 0x9e3779b97f4a7c15
+	z := c.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (c *client) probe() error {
+	resp, err := c.http.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	c.drain(resp)
+	return nil
+}
+
+func (c *client) close() { c.http.CloseIdleConnections() }
+
+// step issues one request according to the traffic mix: 60% point reads,
+// 20% analytics, 20% paginated scan (a scan counts each page as one
+// request).
+func (c *client) step(ctx context.Context, cs *clientStats, hist *telemetry.Histogram) {
+	switch r := c.next() % 10; {
+	case r < 6:
+		c.pointRead(ctx, cs, hist)
+	case r < 8:
+		c.analytics(ctx, cs, hist)
+	default:
+		c.scan(ctx, cs, hist)
+	}
+}
+
+func (c *client) pointRead(ctx context.Context, cs *clientStats, hist *telemetry.Histogram) {
+	var path string
+	if len(c.io500) > 0 && (len(c.ids) == 0 || c.next()%2 == 0) {
+		path = fmt.Sprintf("/v1/io500/%d", c.io500[c.next()%uint64(len(c.io500))])
+	} else if len(c.ids) > 0 {
+		path = fmt.Sprintf("/v1/objects/%d", c.ids[c.next()%uint64(len(c.ids))])
+	} else {
+		path = "/v1/objects"
+	}
+	c.get(ctx, path, cs, hist)
+}
+
+func (c *client) analytics(ctx context.Context, cs *clientStats, hist *telemetry.Histogram) {
+	q := analyticsQueries[c.next()%uint64(len(analyticsQueries))]
+	c.get(ctx, "/v1/query?q="+url.QueryEscape(q), cs, hist)
+}
+
+func (c *client) scan(ctx context.Context, cs *clientStats, hist *telemetry.Histogram) {
+	cursor := ""
+	for page := 0; page < 5 && ctx.Err() == nil; page++ {
+		path := "/v1/objects?limit=20"
+		if cursor != "" {
+			path += "&cursor=" + url.QueryEscape(cursor)
+		}
+		next, ok := c.get(ctx, path, cs, hist)
+		if !ok || next == "" {
+			return
+		}
+		cursor = next
+	}
+}
+
+// get issues one GET, records latency and cache signals, and returns the
+// page's next_cursor (list endpoints) for scan traffic.
+func (c *client) get(ctx context.Context, path string, cs *clientStats, hist *telemetry.Histogram) (nextCursor string, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		cs.errors++
+		return "", false
+	}
+	if etag := c.etags[path]; etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	start := time.Now()
+	resp, err := c.http.Do(req)
+	lat := time.Since(start).Seconds()
+	if err != nil {
+		if ctx.Err() != nil {
+			return "", false // shutdown, not a server error
+		}
+		cs.errors++
+		return "", false
+	}
+	cs.requests++
+	cs.latencies = append(cs.latencies, lat)
+	hist.Observe(lat)
+	cs.status[resp.StatusCode]++
+	switch resp.Header.Get("X-Cache") {
+	case "hit":
+		cs.cacheHits++
+	case "miss":
+		cs.cacheMisses++
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		c.etags[path] = etag
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		cs.notModified++
+		c.drain(resp)
+		return "", true
+	}
+	if resp.StatusCode != http.StatusOK {
+		cs.errors++
+		c.drain(resp)
+		return "", false
+	}
+	var env struct {
+		NextCursor string `json:"next_cursor"`
+	}
+	if err := decodeJSON(resp.Body, &env); err != nil {
+		resp.Body.Close()
+		return "", true // non-envelope bodies (healthz) are fine
+	}
+	resp.Body.Close()
+	return env.NextCursor, true
+}
+
+func (c *client) drain(resp *http.Response) {
+	io.CopyBuffer(io.Discard, resp.Body, c.bodies)
+	resp.Body.Close()
+}
+
+// SelfTarget is an in-process API instance seeded with synthetic
+// knowledge, for smoke tests and `iokc loadgen --selftest`: the CI gate
+// must not depend on an external server being up.
+type SelfTarget struct {
+	URL    string
+	server *http.Server
+	api    *api.Server
+	store  *schema.Store
+	lis    net.Listener
+}
+
+// StartSelfTarget seeds an in-memory store with objects+io500 corpora and
+// serves the API on a loopback port.
+func StartSelfTarget(objects, io500 int, seed uint64, cfg api.Config) (*SelfTarget, error) {
+	store, err := schema.Open("")
+	if err != nil {
+		return nil, err
+	}
+	if err := seedStore(store, objects, io500, seed); err != nil {
+		return nil, err
+	}
+	cfg.Store = store
+	apiSrv := api.New(cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		apiSrv.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: apiSrv}
+	go srv.Serve(lis)
+	return &SelfTarget{
+		URL:    "http://" + lis.Addr().String(),
+		server: srv,
+		api:    apiSrv,
+		store:  store,
+		lis:    lis,
+	}, nil
+}
+
+// Store exposes the seeded store so tests can interleave writes.
+func (t *SelfTarget) Store() *schema.Store { return t.store }
+
+// Close shuts the listener and API down.
+func (t *SelfTarget) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	t.server.Shutdown(ctx)
+	t.api.Close()
+}
+
+// seedStore writes a synthetic corpus: io500 runs from workloadgen plus
+// hand-built IOR-shaped knowledge objects (enough summaries to make the
+// analytics queries non-trivial).
+func seedStore(store *schema.Store, objects, io500 int, seed uint64) error {
+	if io500 > 0 {
+		corpus, err := workloadgen.SynthesizeIO500Corpus(io500, seed)
+		if err != nil {
+			return err
+		}
+		if _, err := store.SaveIO500s(corpus); err != nil {
+			return err
+		}
+	}
+	objs := SynthesizeObjects(objects, seed)
+	if len(objs) > 0 {
+		if _, err := store.SaveObjects(objs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

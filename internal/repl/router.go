@@ -123,6 +123,40 @@ func (rt *Router) Session() *Session { return &Session{rt: rt} }
 // session (campaign ingest records it as the run's final LSN).
 func (rt *Router) LSN() int64 { return rt.def.lastWrite.Load() }
 
+// PrimaryLSN reports the primary's committed position when the primary
+// connection exposes one (embedded databases, coordinators, and remote
+// clients all do), falling back to the router's own last-write LSN. Unlike
+// Health it never probes replicas, so it is cheap enough for cache-validity
+// checks on the read path.
+func (rt *Router) PrimaryLSN() int64 {
+	lsn := rt.LSN()
+	if l, ok := rt.primary.(interface{ LSN() int64 }); ok {
+		if p := l.LSN(); p > lsn {
+			lsn = p
+		}
+	}
+	return lsn
+}
+
+// ProbePrimaryLSN actively asks the primary for its committed position
+// via a status round trip when the primary connection supports one
+// (remote clients do; the probe also advances their passive high-water
+// mark), falling back to PrimaryLSN. Unlike PrimaryLSN it can observe
+// commits made by other processes even while this router routes all
+// reads to replicas — the API's cache invalidation polls it for exactly
+// that reason.
+func (rt *Router) ProbePrimaryLSN() int64 {
+	lsn := rt.PrimaryLSN()
+	if s, ok := rt.primary.(interface {
+		Status() (kdb.NodeStatus, error)
+	}); ok {
+		if st, err := s.Status(); err == nil && st.LSN > lsn {
+			lsn = st.LSN
+		}
+	}
+	return lsn
+}
+
 // Stats reports how many reads went to the primary vs replicas.
 func (rt *Router) Stats() (primary, replica int64) {
 	return rt.primaryReads.Load(), rt.replicaReads.Load()

@@ -106,6 +106,22 @@ func (s *Store) ListCampaigns() ([]CampaignMeta, error) {
 	return out, nil
 }
 
+// ListCampaignsPage returns one keyset-paginated page of campaign headers
+// (id > afterID, ascending); see Store.ListObjectsPage for the contract.
+func (s *Store) ListCampaignsPage(afterID int64, limit int) ([]CampaignMeta, error) {
+	rows, err := s.DB.Query(fmt.Sprintf(
+		`SELECT id, name, base_seed, workers, units, began, finished, wall_ms, status
+		 FROM campaigns WHERE id > ? ORDER BY id LIMIT %d`, limit), afterID)
+	if err != nil {
+		return nil, err
+	}
+	var out []CampaignMeta
+	for rows.Next() {
+		out = append(out, scanCampaign(rows.Row()))
+	}
+	return out, nil
+}
+
 // LoadCampaign returns one campaign header plus its per-unit runs in unit
 // order.
 func (s *Store) LoadCampaign(id int64) (*CampaignMeta, []CampaignRun, error) {

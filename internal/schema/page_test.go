@@ -1,0 +1,82 @@
+package schema
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workloadgen"
+)
+
+func TestListIO500PageKeyset(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	corpus, err := workloadgen.SynthesizeIO500Corpus(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SaveIO500s(corpus); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []int64
+	after := int64(0)
+	for {
+		page, err := s.ListIO500Page(after, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range page {
+			if m.ID <= after {
+				t.Fatalf("page returned id %d <= cursor %d", m.ID, after)
+			}
+			got = append(got, m.ID)
+			after = m.ID
+		}
+		if len(page) < 3 {
+			break
+		}
+	}
+	if len(got) != 7 {
+		t.Fatalf("walked %d rows, want 7", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ids not strictly ascending: %v", got)
+		}
+	}
+	// Past-end cursor yields an empty page, not an error.
+	if page, err := s.ListIO500Page(got[len(got)-1]+1000, 3); err != nil || len(page) != 0 {
+		t.Fatalf("past-end page = (%v, %v)", page, err)
+	}
+}
+
+func TestListCampaignsPage(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	began := time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if _, err := s.CreateCampaign("c", uint64(i), 2, 4, began); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := s.ListCampaignsPage(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 || first[0].ID >= first[1].ID {
+		t.Fatalf("first page %+v", first)
+	}
+	rest, err := s.ListCampaignsPage(first[1].ID, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 {
+		t.Fatalf("rest has %d rows, want 3", len(rest))
+	}
+}

@@ -560,6 +560,24 @@ func (s *Store) ListObjects() ([]Meta, error) {
 	return out, nil
 }
 
+// ListObjectsPage returns up to limit knowledge-object rows with id >
+// afterID in ascending id order — one keyset-paginated page. Pass afterID 0
+// for the first page; a short (or empty) result means the scan is done.
+func (s *Store) ListObjectsPage(afterID int64, limit int) ([]Meta, error) {
+	rows, err := s.DB.Query(fmt.Sprintf(
+		"SELECT id, source, command, began FROM performances WHERE id > ? ORDER BY id LIMIT %d", limit), afterID)
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for rows.Next() {
+		r := rows.Row()
+		began, _ := time.Parse(timeLayout, asString(r[3]))
+		out = append(out, Meta{ID: asInt(r[0]), Source: asString(r[1]), Command: asString(r[2]), Began: began})
+	}
+	return out, nil
+}
+
 // SaveIO500 persists an IO500 knowledge object across the IOFHs* tables.
 func (s *Store) SaveIO500(o *knowledge.IO500Object) (int64, error) {
 	return s.saveIO500(s.DB.Exec, o)
@@ -712,6 +730,23 @@ func (s *Store) LoadIO500(id int64) (*knowledge.IO500Object, error) {
 // ListIO500 lists stored IO500 runs, newest first.
 func (s *Store) ListIO500() ([]Meta, error) {
 	rows, err := s.DB.Query("SELECT id, command, began FROM IOFHsRuns ORDER BY id DESC")
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for rows.Next() {
+		r := rows.Row()
+		began, _ := time.Parse(timeLayout, asString(r[2]))
+		out = append(out, Meta{ID: asInt(r[0]), Source: "io500", Command: asString(r[1]), Began: began})
+	}
+	return out, nil
+}
+
+// ListIO500Page returns one keyset-paginated page of IO500 runs; see
+// ListObjectsPage for the paging contract.
+func (s *Store) ListIO500Page(afterID int64, limit int) ([]Meta, error) {
+	rows, err := s.DB.Query(fmt.Sprintf(
+		"SELECT id, command, began FROM IOFHsRuns WHERE id > ? ORDER BY id LIMIT %d", limit), afterID)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("q", []float64{0.1, 0.5, 1, 5})
+	// 90 observations in (0, 0.1], 9 in (0.1, 0.5], 1 in (0.5, 1].
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.3)
+	}
+	h.Observe(0.7)
+	hv := r.Snapshot().Histograms["q"]
+
+	if p50 := hv.Quantile(0.5); p50 <= 0 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.1]", p50)
+	}
+	if p99 := hv.Quantile(0.99); p99 <= 0.1 || p99 > 0.5 {
+		t.Errorf("p99 = %v, want within (0.1, 0.5]", p99)
+	}
+	if p999 := hv.Quantile(0.999); p999 <= 0.5 || p999 > 1 {
+		t.Errorf("p999 = %v, want within (0.5, 1]", p999)
+	}
+	// Interpolation is monotone in p.
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		q := hv.Quantile(p)
+		if q < prev {
+			t.Errorf("Quantile not monotone: Quantile(%v)=%v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty HistogramValue
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", q)
+	}
+	r := NewRegistry()
+	h := r.HistogramBuckets("inf", []float64{1})
+	h.Observe(100) // lands in +Inf bucket
+	hv := r.Snapshot().Histograms["inf"]
+	// Can't interpolate into +Inf: clamp to the last finite bound.
+	if q := hv.Quantile(0.99); q != 1 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 1", q)
+	}
+	if q := hv.Quantile(math.NaN()); q != 0 {
+		t.Errorf("NaN p = %v, want 0", q)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if q := hv.Quantile(7); q != 1 {
+		t.Errorf("p>1 = %v, want clamp", q)
+	}
+}

@@ -343,6 +343,55 @@ type HistogramValue struct {
 	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
+// Quantile estimates the p-quantile (0 < p <= 1) from the bucket counts by
+// linear interpolation within the bucket that crosses the target rank — the
+// standard Prometheus histogram_quantile estimate. Observations in the +Inf
+// bucket clamp to the highest finite bound. Returns 0 on an empty histogram.
+func (v HistogramValue) Quantile(p float64) float64 {
+	if v.Count == 0 || len(v.Cumulative) == 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(v.Count)
+	for i, cum := range v.Cumulative {
+		if float64(cum) < rank {
+			continue
+		}
+		// Bucket i crosses the rank. Interpolate between its bounds.
+		upper := math.Inf(1)
+		if i < len(v.Bounds) {
+			upper = v.Bounds[i]
+		}
+		if math.IsInf(upper, 1) {
+			// Can't interpolate into +Inf; clamp to the last finite bound.
+			if len(v.Bounds) > 0 {
+				return v.Bounds[len(v.Bounds)-1]
+			}
+			return 0
+		}
+		lower := 0.0
+		prev := int64(0)
+		if i > 0 {
+			lower = v.Bounds[i-1]
+			prev = v.Cumulative[i-1]
+		}
+		inBucket := float64(cum - prev)
+		if inBucket <= 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-float64(prev))/inBucket
+	}
+	if len(v.Bounds) > 0 {
+		return v.Bounds[len(v.Bounds)-1]
+	}
+	return 0
+}
+
 func (h *Histogram) snapshot() HistogramValue {
 	v := HistogramValue{Bounds: h.bounds, Sum: h.Sum(), Count: h.Count(), Exemplar: h.ex.Load()}
 	v.Cumulative = make([]int64, len(h.counts))

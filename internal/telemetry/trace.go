@@ -21,12 +21,30 @@ package telemetry
 // __slow_queries system table and the explorer's /traces page.
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// traceCtxKey carries a TraceContext through a context.Context — the
+// in-process analogue of the wire protocol's trace fields, used by HTTP
+// layers to hand their hop to the storage calls they make.
+type traceCtxKey struct{}
+
+// ContextWith returns ctx carrying tc for ContextTrace to recover.
+func ContextWith(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// ContextTrace recovers the TraceContext stored by ContextWith, or the
+// zero ("untraced") context when none is present.
+func ContextTrace(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
 
 // TraceContext identifies a position in a trace: the trace and the span
 // that downstream hops should attach to. The zero value means "untraced".
